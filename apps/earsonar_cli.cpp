@@ -1,0 +1,253 @@
+// earsonar — the command-line front end a release would ship.
+//
+//   earsonar simulate --out DIR [--subjects N] [--seed S]
+//       Generate a labeled cohort of WAV recordings + labels.csv.
+//   earsonar train --data DIR --model FILE
+//       Train the detection head from DIR/labels.csv and save the model.
+//   earsonar diagnose --model FILE WAV...
+//       Diagnose one or more recordings with a saved model.
+//   earsonar inspect WAV
+//       Show events, segmented echoes, the echo spectrum, and the chirp
+//       frequency track of a recording.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audio/wav.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/model_io.hpp"
+#include "core/pipeline.hpp"
+#include "dsp/stft.hpp"
+#include "sim/dataset.hpp"
+
+using namespace earsonar;
+namespace fs = std::filesystem;
+
+namespace {
+
+// ------------------------------------------------------------ tiny arg API
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) throw std::invalid_argument("missing value for " + arg);
+      args.options[arg.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+std::string option_or(const Args& args, const std::string& key,
+                      const std::string& fallback) {
+  const auto it = args.options.find(key);
+  return it == args.options.end() ? fallback : it->second;
+}
+
+std::string require_option(const Args& args, const std::string& key) {
+  const auto it = args.options.find(key);
+  if (it == args.options.end())
+    throw std::invalid_argument("required option --" + key + " missing");
+  return it->second;
+}
+
+// ------------------------------------------------------------- subcommands
+
+int cmd_simulate(const Args& args) {
+  const fs::path out_dir = require_option(args, "out");
+  const std::size_t subjects =
+      static_cast<std::size_t>(std::stoul(option_or(args, "subjects", "16")));
+  const std::uint64_t seed = std::stoull(option_or(args, "seed", "42"));
+
+  fs::create_directories(out_dir);
+  sim::CohortConfig cfg;
+  cfg.subject_count = subjects;
+  cfg.sessions_per_state = 1;
+  cfg.probe.chirp_count = 30;
+  cfg.seed = seed;
+  const auto recordings = sim::CohortGenerator(cfg).generate();
+
+  CsvWriter labels((out_dir / "labels.csv").string());
+  labels.header({"file", "state", "subject", "session", "fill"});
+  for (const auto& rec : recordings) {
+    std::ostringstream name;
+    name << "s" << rec.subject_id << "_v" << rec.session << ".wav";
+    audio::write_wav((out_dir / name.str()).string(), rec.waveform,
+                     audio::WavEncoding::kFloat32);
+    labels.row({name.str(), sim::to_string(rec.state),
+                std::to_string(rec.subject_id), std::to_string(rec.session),
+                CsvWriter::format(rec.fill)});
+  }
+  std::printf("wrote %zu recordings + labels.csv to %s\n", recordings.size(),
+              out_dir.string().c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const fs::path data_dir = require_option(args, "data");
+  const std::string model_path = require_option(args, "model");
+
+  std::ifstream labels_file(data_dir / "labels.csv");
+  if (!labels_file) {
+    std::fprintf(stderr, "error: cannot open %s/labels.csv\n",
+                 data_dir.string().c_str());
+    return 1;
+  }
+  std::string line;
+  std::getline(labels_file, line);  // header
+
+  core::EarSonar pipeline;
+  ml::Matrix features;
+  std::vector<std::size_t> labels;
+  std::size_t skipped = 0;
+  while (std::getline(labels_file, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string file, state_name;
+    std::getline(row, file, ',');
+    std::getline(row, state_name, ',');
+    const audio::Waveform wav = audio::read_wav((data_dir / file).string());
+    core::EchoAnalysis analysis = pipeline.analyze(wav);
+    if (!analysis.usable()) {
+      ++skipped;
+      continue;
+    }
+    features.push_back(std::move(analysis.features));
+    labels.push_back(sim::state_index(sim::effusion_state_from_string(state_name)));
+  }
+  std::printf("loaded %zu recordings (%zu without a usable echo)\n",
+              features.size(), skipped);
+
+  core::MeeDetector detector;
+  detector.fit(features, labels);
+  core::save_detector_file(detector, model_path);
+  std::printf("model saved to %s (%zu selected features, %zu centroids)\n",
+              model_path.c_str(), detector.selected_features().size(),
+              detector.centroids().size());
+  return 0;
+}
+
+int cmd_diagnose(const Args& args) {
+  const core::DetectorModel model =
+      core::load_detector_file(require_option(args, "model"));
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "error: no WAV files given\n");
+    return 1;
+  }
+  core::EarSonar pipeline;
+  AsciiTable table({"recording", "diagnosis", "confidence", "echoes"});
+  for (const std::string& path : args.positional) {
+    const audio::Waveform wav = audio::read_wav(path);
+    const core::EchoAnalysis analysis = pipeline.analyze(wav);
+    if (!analysis.usable()) {
+      table.add_row({fs::path(path).filename().string(), "(no echo)", "-", "0"});
+      continue;
+    }
+    const core::Diagnosis d = model.predict(analysis.features);
+    table.add_row({fs::path(path).filename().string(), core::kMeeStateNames[d.state],
+                   AsciiTable::format(d.confidence, 2),
+                   std::to_string(analysis.echoes.size())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "error: no WAV file given\n");
+    return 1;
+  }
+  const audio::Waveform wav = audio::read_wav(args.positional.front());
+  std::printf("%s: %zu samples @ %.0f Hz (%.2f s), rms %.4f, peak %.4f\n",
+              args.positional.front().c_str(), wav.size(), wav.sample_rate(),
+              wav.duration_seconds(), wav.rms(), wav.peak());
+
+  core::EarSonar pipeline;
+  const core::EchoAnalysis analysis = pipeline.analyze(wav);
+  std::printf("events: %zu, echoes: %zu\n", analysis.events.size(),
+              analysis.echoes.size());
+  if (!analysis.echoes.empty()) {
+    std::printf("eardrum distance estimate: %.1f mm (parity ratio %.2f)\n",
+                analysis.echoes.front().distance_m * 1000.0,
+                analysis.echoes.front().parity_ratio);
+  }
+  if (analysis.usable()) {
+    std::printf("\necho power spectrum (normalized):\n");
+    const auto norm = dsp::normalize_peak(analysis.mean_spectrum);
+    for (std::size_t i = 0; i < norm.size(); i += 16) {
+      const int bar = static_cast<int>(norm.psd[i] * 40);
+      std::printf("  %5.2f kHz |%s\n", norm.frequency_hz[i] / 1000.0,
+                  std::string(static_cast<std::size_t>(bar), '#').c_str());
+    }
+  }
+
+  // Chirp frequency ladder (Fig. 6-style) from the first 25 ms.
+  if (wav.size() >= 1200) {
+    dsp::StftConfig stft_cfg;
+    stft_cfg.window_length = 64;
+    stft_cfg.hop = 16;
+    stft_cfg.fft_size = 256;
+    const auto gram = dsp::stft(
+        std::span<const double>(wav.samples()).subspan(0, 1200), wav.sample_rate(),
+        stft_cfg);
+    const auto track = dsp::peak_frequency_track(gram);
+    std::printf("\npeak-frequency track of the first 25 ms (kHz):");
+    for (std::size_t i = 0; i < track.size(); i += 4)
+      std::printf(" %.1f", track[i] / 1000.0);
+    std::printf("\n");
+  }
+
+  std::printf("\nstage timings: band-pass %.2f ms, events %.2f ms, "
+              "segmentation %.2f ms, features %.2f ms\n",
+              analysis.timings.bandpass_ms, analysis.timings.event_detect_ms,
+              analysis.timings.segment_ms, analysis.timings.feature_ms);
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "earsonar — acoustic middle-ear-effusion screening (ICDCS'23 reproduction)\n"
+      "\n"
+      "usage:\n"
+      "  earsonar simulate --out DIR [--subjects N] [--seed S]\n"
+      "  earsonar train    --data DIR --model FILE\n"
+      "  earsonar diagnose --model FILE WAV...\n"
+      "  earsonar inspect  WAV\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "diagnose") return cmd_diagnose(args);
+    if (command == "inspect") return cmd_inspect(args);
+    print_usage();
+    return command == "help" || command == "--help" ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the per-figure/table benchmark binaries.
+//
+// Every bench prints (a) the paper's reported numbers where applicable and
+// (b) the numbers this reproduction measures, in the same row/series layout
+// as the original table or figure, so the shape comparison is immediate.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "baseline/chan.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "eval/experiment.hpp"
+#include "sim/dataset.hpp"
+
+namespace earsonar::bench {
+
+/// Standard reproduction cohort: the paper's 112 participants, two sessions
+/// per effusion state, 30 chirps (0.15 s) per session under realistic
+/// session-to-session condition jitter.
+inline sim::CohortConfig paper_cohort() {
+  sim::CohortConfig cc;
+  cc.subject_count = 112;
+  cc.sessions_per_state = 2;
+  cc.probe.chirp_count = 30;
+  return cc;
+}
+
+/// Smaller cohort for the condition sweeps (each sweep point regenerates and
+/// re-evaluates a full test set).
+inline sim::CohortConfig sweep_cohort(std::uint64_t seed = 42) {
+  sim::CohortConfig cc;
+  cc.subject_count = 40;
+  cc.sessions_per_state = 2;
+  cc.probe.chirp_count = 30;
+  cc.seed = seed;
+  return cc;
+}
+
+/// A controlled-conditions variant used as the training reference for sweeps.
+inline sim::CohortConfig controlled(sim::CohortConfig cc) {
+  cc.randomize_conditions = false;
+  cc.condition.noise_spl_db = 40.0;
+  return cc;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_table(const AsciiTable& table) { table.print(std::cout); }
+
+inline std::string pct(double fraction, int decimals = 1) {
+  return AsciiTable::format(100.0 * fraction, decimals) + "%";
+}
+
+}  // namespace earsonar::bench

@@ -1,0 +1,51 @@
+// Fig. 14(a-b): false-acceptance and false-rejection rates per state under
+// increasing background noise.
+#include "bench_util.hpp"
+
+using namespace earsonar;
+
+int main() {
+  bench::print_header(
+      "Fig. 14(a-b) — FAR/FRR vs background noise level",
+      "paper: FAR barely moves; FRR rises with noise (45 -> 60 dB)");
+
+  core::EarSonar pipeline;
+  const sim::CohortConfig train_cfg = bench::controlled(bench::sweep_cohort());
+  std::printf("training reference model...\n");
+  const auto train_recs = sim::CohortGenerator(train_cfg).generate();
+  const eval::EvalDataset train = eval::build_earsonar_dataset(train_recs, pipeline);
+
+  AsciiTable far_table({"noise", "Clear FAR", "Serous FAR", "Mucoid FAR",
+                        "Purulent FAR", "mean FAR"});
+  AsciiTable frr_table({"noise", "Clear FRR", "Serous FRR", "Mucoid FRR",
+                        "Purulent FRR", "mean FRR"});
+  for (double spl : {45.0, 50.0, 55.0, 60.0}) {
+    sim::CohortConfig cc = bench::controlled(bench::sweep_cohort(/*seed=*/778));
+    cc.sessions_per_state = 1;
+    cc.condition.noise_spl_db = spl;
+    const auto test_recs = sim::CohortGenerator(cc).generate();
+    const eval::EvalDataset test = eval::build_earsonar_dataset(test_recs, pipeline);
+    const ml::ConfusionMatrix cm = eval::transfer_earsonar(train, test, {});
+
+    std::vector<double> fars, frrs;
+    double far_sum = 0.0, frr_sum = 0.0;
+    for (std::size_t c = 0; c < core::kMeeStateCount; ++c) {
+      fars.push_back(100.0 * cm.false_acceptance_rate(c));
+      frrs.push_back(100.0 * cm.false_rejection_rate(c));
+      far_sum += fars.back();
+      frr_sum += frrs.back();
+    }
+    fars.push_back(far_sum / 4.0);
+    frrs.push_back(frr_sum / 4.0);
+    const std::string label = AsciiTable::format(spl, 0) + " dB";
+    far_table.add_row(label, fars, 1);
+    frr_table.add_row(label, frrs, 1);
+  }
+  std::printf("\nfalse acceptance rate (%%):\n");
+  bench::print_table(far_table);
+  std::printf("\nfalse rejection rate (%%):\n");
+  bench::print_table(frr_table);
+  std::printf("\nexpected shape: FRR grows with SPL, FAR roughly flat "
+              "(paper recommends a quiet room).\n");
+  return 0;
+}

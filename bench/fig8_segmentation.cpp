@@ -1,0 +1,51 @@
+// Fig. 8: adaptive-energy event detection (a) and eardrum-echo segmentation
+// by parity decomposition (b).
+#include "bench_util.hpp"
+
+using namespace earsonar;
+
+int main() {
+  bench::print_header("Fig. 8 — event detection and echo segmentation",
+                      "event start/end markers; segmented eardrum echo");
+
+  sim::SubjectFactory factory(42);
+  const sim::Subject subject = factory.make(2);
+  sim::ProbeConfig pc;
+  pc.chirp_count = 8;
+  sim::EarProbe probe(pc);
+  Rng rng(3);
+  const audio::Waveform rec = probe.record_state(
+      subject, sim::EffusionState::kSerous, sim::reference_earphone(), {}, rng);
+
+  core::EarSonar pipeline;
+  const core::EchoAnalysis analysis = pipeline.analyze(rec);
+
+  std::printf("true canal length: %.1f mm (true echo offset %.1f samples)\n\n",
+              subject.canal.length_m * 1000.0,
+              2.0 * subject.canal.length_m / 343.0 * 48000.0);
+
+  AsciiTable events({"event #", "start", "end", "length", "echo peak",
+                     "echo distance (mm)", "parity ratio", "fallback"});
+  for (std::size_t i = 0; i < analysis.events.size(); ++i) {
+    const core::Event& e = analysis.events[i];
+    std::vector<std::string> row{
+        std::to_string(i), std::to_string(e.start), std::to_string(e.end),
+        std::to_string(e.length())};
+    if (i < analysis.echoes.size()) {
+      const core::EchoSegment& echo = analysis.echoes[i];
+      row.push_back(std::to_string(echo.peak_index));
+      row.push_back(AsciiTable::format(echo.distance_m * 1000.0, 1));
+      row.push_back(AsciiTable::format(echo.parity_ratio, 2));
+      row.push_back(echo.from_fallback ? "yes" : "no");
+    }
+    events.add_row(row);
+  }
+  bench::print_table(events);
+
+  std::printf("\nexpected shape: one event per transmitted chirp (8 chirps sent), "
+              "each event yielding one eardrum echo at a 2-3.5 cm plausible "
+              "distance after per-recording consensus re-anchoring.\n");
+  std::printf("events found: %zu, echoes segmented: %zu\n", analysis.events.size(),
+              analysis.echoes.size());
+  return 0;
+}

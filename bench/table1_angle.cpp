@@ -1,0 +1,33 @@
+// Table I: acoustic measurement accuracy vs earphone wearing angle.
+#include "bench_util.hpp"
+
+using namespace earsonar;
+
+int main() {
+  bench::print_header("Table I — accuracy vs wearing angle",
+                      "paper: 92.8 / 91.3 / 90.2 / 88.5 / 86.4 % at 0..40 deg");
+
+  core::EarSonar pipeline;
+  const sim::CohortConfig train_cfg = bench::controlled(bench::sweep_cohort());
+  std::printf("training reference model (%zu subjects, 0 deg, quiet)...\n",
+              train_cfg.subject_count);
+  const auto train_recs = sim::CohortGenerator(train_cfg).generate();
+  const eval::EvalDataset train = eval::build_earsonar_dataset(train_recs, pipeline);
+
+  AsciiTable table({"angle", "accuracy (ours)", "accuracy (paper)"});
+  const double paper[] = {92.8, 91.3, 90.2, 88.5, 86.4};
+  int i = 0;
+  for (double angle : {0.0, 10.0, 20.0, 30.0, 40.0}) {
+    sim::CohortConfig cc = bench::controlled(bench::sweep_cohort(/*seed=*/777));
+    cc.sessions_per_state = 1;
+    cc.condition.angle_deg = angle;
+    const auto test_recs = sim::CohortGenerator(cc).generate();
+    const eval::EvalDataset test = eval::build_earsonar_dataset(test_recs, pipeline);
+    const double acc = eval::transfer_earsonar(train, test, {}).accuracy();
+    table.add_row("Axis" + std::to_string(static_cast<int>(angle)),
+                  {100.0 * acc, paper[i++]}, 1);
+  }
+  bench::print_table(table);
+  std::printf("\nexpected shape: monotone decrease with angle; 0 deg best.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Table II: latency of the EarSonar pipeline stages, as google-benchmark
+// microbenchmarks. The paper reports, on a smartphone: band-pass filter
+// 1.32 ms, feature extraction 35.89 ms, inference 1.2 ms.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hpp"
+#include "sim/dataset.hpp"
+
+using namespace earsonar;
+
+namespace {
+
+// Shared fixtures built once: a 1-second recording and a fitted detector.
+struct LatencyFixture {
+  LatencyFixture() {
+    sim::SubjectFactory factory(42);
+    subject = factory.make(0);
+    sim::ProbeConfig pc;
+    pc.chirp_count = 200;  // 1 s of probing, as a realistic app burst
+    sim::EarProbe probe(pc);
+    Rng rng(1);
+    recording = probe.record_state(subject, sim::EffusionState::kSerous,
+                                   sim::reference_earphone(), {}, rng);
+    analysis = pipeline.analyze(recording);
+
+    // Fit the detection head on a small cohort for the inference benchmark.
+    sim::CohortConfig cc;
+    cc.subject_count = 8;
+    cc.sessions_per_state = 1;
+    cc.probe.chirp_count = 10;
+    const auto recs = sim::CohortGenerator(cc).generate();
+    std::vector<audio::Waveform> waves;
+    std::vector<std::size_t> labels;
+    for (const auto& r : recs) {
+      waves.push_back(r.waveform);
+      labels.push_back(sim::state_index(r.state));
+    }
+    pipeline.fit(waves, labels);
+  }
+
+  core::EarSonar pipeline;
+  sim::Subject subject;
+  audio::Waveform recording;
+  core::EchoAnalysis analysis;
+};
+
+LatencyFixture& fixture() {
+  static LatencyFixture f;
+  return f;
+}
+
+void BM_BandpassFilter(benchmark::State& state) {
+  const core::Preprocessor pre;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pre.process(fixture().recording));
+}
+BENCHMARK(BM_BandpassFilter)->Unit(benchmark::kMillisecond);
+
+void BM_EventDetection(benchmark::State& state) {
+  const core::AdaptiveEventDetector detector;
+  const core::Preprocessor pre;
+  const audio::Waveform filtered = pre.process(fixture().recording);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(detector.detect(filtered));
+}
+BENCHMARK(BM_EventDetection)->Unit(benchmark::kMillisecond);
+
+void BM_EchoSegmentation(benchmark::State& state) {
+  const core::ParityEchoSegmenter segmenter;
+  const core::Preprocessor pre;
+  const core::AdaptiveEventDetector detector;
+  const audio::Waveform filtered = pre.process(fixture().recording);
+  const auto events = detector.detect(filtered);
+  for (auto _ : state) {
+    for (const core::Event& e : events)
+      benchmark::DoNotOptimize(segmenter.segment(filtered, e));
+  }
+}
+BENCHMARK(BM_EchoSegmentation)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  // Paper "Feature Extract": echo spectra + the 105-dim vector.
+  core::FeatureExtractor extractor;
+  extractor.set_reference(audio::FmcwConfig{});
+  const core::Preprocessor pre;
+  const audio::Waveform filtered = pre.process(fixture().recording);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(extractor.extract(filtered, fixture().analysis.echoes));
+}
+BENCHMARK(BM_FeatureExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_Inference(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        fixture().pipeline.diagnose_features(fixture().analysis.features));
+}
+BENCHMARK(BM_Inference)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipelineAnalyze(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(fixture().pipeline.analyze(fixture().recording));
+}
+BENCHMARK(BM_FullPipelineAnalyze)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Table II — per-stage latency (paper, on a smartphone: band-pass "
+              "1.32 ms, feature extract 35.89 ms, inference 1.2 ms; ours runs "
+              "on this machine over a 1 s / 200-chirp recording)\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

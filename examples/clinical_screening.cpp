@@ -1,0 +1,82 @@
+// Clinical screening day: a pediatric clinic screens a waiting room of
+// children with EarSonar and produces a triage report — who looks healthy,
+// who should see the otolaryngologist. This is the scenario the paper's
+// introduction motivates (caregivers lack otoscopes and training).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "sim/dataset.hpp"
+
+using namespace earsonar;
+
+namespace {
+
+const char* triage_advice(std::size_t state, double confidence) {
+  if (state == 0) return confidence > 0.5 ? "no action" : "re-test recommended";
+  if (state == 1) return "monitor at home, re-screen in 3 days";
+  return "refer to otolaryngologist";
+}
+
+}  // namespace
+
+int main() {
+  // --- Train the screening model on the reference cohort.
+  sim::CohortConfig train_cfg;
+  train_cfg.subject_count = 32;
+  train_cfg.sessions_per_state = 2;
+  train_cfg.probe.chirp_count = 30;
+  std::printf("training the screening model on %zu reference participants...\n",
+              train_cfg.subject_count);
+  const auto training = sim::CohortGenerator(train_cfg).generate();
+  std::vector<audio::Waveform> waves;
+  std::vector<std::size_t> labels;
+  for (const auto& rec : training) {
+    waves.push_back(rec.waveform);
+    labels.push_back(sim::state_index(rec.state));
+  }
+  core::EarSonar earsonar;
+  earsonar.fit(waves, labels);
+
+  // --- Today's waiting room: 16 new children with mixed ear states.
+  sim::SubjectFactory clinic(/*cohort_seed=*/2468);
+  sim::ProbeConfig pc;
+  pc.chirp_count = 30;
+  sim::EarProbe probe(pc);
+  sim::RecordingCondition clinic_room;
+  clinic_room.noise_spl_db = 45.0;  // a realistic clinic corridor
+
+  AsciiTable report({"patient", "age", "diagnosis", "confidence", "truth",
+                     "triage advice"});
+  Rng rng(13);
+  std::size_t correct = 0, referrals = 0, true_fluid = 0;
+  for (std::uint32_t id = 0; id < 16; ++id) {
+    const sim::Subject child = clinic.make(id);
+    const auto truth = sim::all_effusion_states()[id % 4];
+    const audio::Waveform recording =
+        probe.record_state(child, truth, sim::reference_earphone(), clinic_room, rng);
+    const auto diagnosis = earsonar.diagnose(recording);
+
+    std::string diag_name = "(no echo)";
+    std::string advice = "re-seat earbud and retry";
+    double confidence = 0.0;
+    if (diagnosis) {
+      diag_name = core::kMeeStateNames[diagnosis->state];
+      confidence = diagnosis->confidence;
+      advice = triage_advice(diagnosis->state, confidence);
+      if (diagnosis->state == sim::state_index(truth)) ++correct;
+      if (diagnosis->state >= 2) ++referrals;
+    }
+    if (sim::state_index(truth) >= 2) ++true_fluid;
+    report.add_row({"child-" + std::to_string(id + 1),
+                    std::to_string(child.age_years), diag_name,
+                    AsciiTable::format(confidence, 2), sim::to_string(truth), advice});
+  }
+  report.print(std::cout);
+  std::printf("\nscreening summary: %zu/16 diagnoses exactly right; "
+              "%zu referrals issued for %zu mucoid/purulent ears.\n",
+              correct, referrals, true_fluid);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Device survey: can a family use whatever earbuds they already own?
+// Screens the same child with the four commercial earphones of the paper's
+// Fig. 15(a) plus the prior-work smartphone-funnel rig, and reports how the
+// diagnosis and the per-stage latency hold up.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "sim/dataset.hpp"
+
+using namespace earsonar;
+
+int main() {
+  // Train on a device-diverse cohort: a shipped screening model has to serve
+  // whatever earbuds the family owns, so each training sub-cohort records
+  // through a different commercial earphone.
+  std::printf("training on a mixed-device cohort...\n");
+  std::vector<audio::Waveform> waves;
+  std::vector<std::size_t> labels;
+  std::uint64_t sub_seed = 42;
+  for (const sim::Earphone& device : sim::commercial_earphones()) {
+    sim::CohortConfig train_cfg;
+    train_cfg.subject_count = 10;
+    train_cfg.sessions_per_state = 1;
+    train_cfg.probe.chirp_count = 30;
+    train_cfg.seed = sub_seed++;
+    train_cfg.earphone = device;
+    for (const auto& rec : sim::CohortGenerator(train_cfg).generate()) {
+      waves.push_back(rec.waveform);
+      labels.push_back(sim::state_index(rec.state));
+    }
+  }
+  core::EarSonar earsonar;
+  earsonar.fit(waves, labels);
+
+  // The same child, serous effusion, recorded with every device.
+  sim::SubjectFactory factory(31337);
+  const sim::Subject child = factory.make(0);
+  sim::ProbeConfig pc;
+  pc.chirp_count = 30;
+  sim::EarProbe probe(pc);
+
+  std::vector<sim::Earphone> devices = sim::commercial_earphones();
+  devices.insert(devices.begin(), sim::reference_earphone());
+  devices.push_back(sim::smartphone_funnel());
+
+  AsciiTable table({"device", "diagnosis (truth: Serous)", "confidence",
+                    "echoes used", "analyze latency (ms)"});
+  Rng rng(5);
+  for (const sim::Earphone& device : devices) {
+    const audio::Waveform recording = probe.record_state(
+        child, sim::EffusionState::kSerous, device, sim::RecordingCondition{}, rng);
+    const core::EchoAnalysis analysis = earsonar.analyze(recording);
+    std::string diag = "(no echo)";
+    double confidence = 0.0;
+    if (analysis.usable()) {
+      const core::Diagnosis d = earsonar.diagnose_features(analysis.features);
+      diag = core::kMeeStateNames[d.state];
+      confidence = d.confidence;
+    }
+    table.add_row({device.name, diag, AsciiTable::format(confidence, 2),
+                   std::to_string(analysis.echoes.size()),
+                   AsciiTable::format(analysis.timings.total_ms(), 2)});
+  }
+  table.print(std::cout);
+  std::printf("\nexpected: the four in-ear devices agree with the otoscope; the "
+              "open funnel rig is the stress case (that hardware is why the "
+              "prior method plateaued near 85%%).\n");
+  return 0;
+}

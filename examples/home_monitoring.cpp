@@ -1,0 +1,76 @@
+// Home monitoring: the paper's target deployment. A child diagnosed with
+// purulent otitis media is monitored at home with earphones, twice daily,
+// through the recovery arc; the log shows when the middle ear clears.
+// Also demonstrates persisting a session to a WAV file and re-loading it —
+// the real app's capture/upload path.
+#include <cstdio>
+#include <filesystem>
+
+#include "audio/wav.hpp"
+#include "core/pipeline.hpp"
+#include "sim/dataset.hpp"
+
+using namespace earsonar;
+
+int main() {
+  // --- Train once (e.g., in the clinic at enrollment).
+  sim::CohortConfig train_cfg;
+  train_cfg.subject_count = 24;
+  train_cfg.sessions_per_state = 2;
+  train_cfg.probe.chirp_count = 30;
+  std::printf("fitting the monitoring model...\n");
+  const auto training = sim::CohortGenerator(train_cfg).generate();
+  std::vector<audio::Waveform> waves;
+  std::vector<std::size_t> labels;
+  for (const auto& rec : training) {
+    waves.push_back(rec.waveform);
+    labels.push_back(sim::state_index(rec.state));
+  }
+  core::EarSonar earsonar;
+  earsonar.fit(waves, labels);
+
+  // --- Twenty days at home, two sessions per day (8 am, 6 pm).
+  sim::LongitudinalConfig home;
+  home.subject_id = 3;
+  home.days = 20;
+  home.seed = 999;
+  home.probe.chirp_count = 30;
+  home.initial_state = sim::EffusionState::kPurulent;
+  const auto sessions = sim::generate_longitudinal(home);
+
+  std::printf("\nday | time | truth     | diagnosis  | confidence\n");
+  std::printf("----+------+-----------+------------+-----------\n");
+  int first_clear_day = -1;
+  int truth_clear_day = -1;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto& rec = sessions[i];
+    const int day = static_cast<int>(rec.session / 2);
+    const char* when = rec.session % 2 == 0 ? "8am" : "6pm";
+    const auto diagnosis = earsonar.diagnose(rec.waveform);
+    const std::string diag =
+        diagnosis ? core::kMeeStateNames[diagnosis->state] : "(no echo)";
+    if (rec.session % 4 == 0) {  // print every other day's morning, keep it short
+      std::printf("%3d | %-4s | %-9s | %-10s | %.2f\n", day + 1, when,
+                  sim::to_string(rec.state).c_str(), diag.c_str(),
+                  diagnosis ? diagnosis->confidence : 0.0);
+    }
+    if (first_clear_day < 0 && diagnosis && diagnosis->state == 0)
+      first_clear_day = day + 1;
+    if (truth_clear_day < 0 && rec.state == sim::EffusionState::kClear)
+      truth_clear_day = day + 1;
+  }
+  std::printf("\nEarSonar first reported a clear middle ear on day %d "
+              "(ground-truth recovery: day %d).\n",
+              first_clear_day, truth_clear_day);
+
+  // --- Persist the final session like the app's upload path, then re-check.
+  const std::string wav_path =
+      (std::filesystem::temp_directory_path() / "earsonar_session.wav").string();
+  audio::write_wav(wav_path, sessions.back().waveform, audio::WavEncoding::kFloat32);
+  const audio::Waveform reloaded = audio::read_wav(wav_path);
+  const auto replay = earsonar.diagnose(reloaded);
+  std::printf("re-diagnosis from the saved WAV (%s): %s\n", wav_path.c_str(),
+              replay ? core::kMeeStateNames[replay->state] : "(no echo)");
+  std::filesystem::remove(wav_path);
+  return 0;
+}

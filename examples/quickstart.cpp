@@ -1,0 +1,58 @@
+// Quickstart: the EarSonar public API end to end in one page.
+//
+//  1. Build a training set (here: simulated recordings; in deployment these
+//     come from the earphone microphone with otoscope-verified labels).
+//  2. Fit the EarSonar pipeline.
+//  3. Diagnose a new recording and print the result.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "sim/dataset.hpp"
+
+using namespace earsonar;
+
+int main() {
+  // --- 1. Training data: a small labeled cohort from the ear simulator.
+  sim::CohortConfig cohort;
+  cohort.subject_count = 12;
+  cohort.sessions_per_state = 1;
+  cohort.probe.chirp_count = 20;  // 100 ms of probing per recording
+  std::printf("generating %zu labeled training recordings...\n",
+              cohort.subject_count * 4 * cohort.sessions_per_state);
+  const auto training = sim::CohortGenerator(cohort).generate();
+
+  std::vector<audio::Waveform> waves;
+  std::vector<std::size_t> labels;
+  for (const auto& rec : training) {
+    waves.push_back(rec.waveform);
+    labels.push_back(sim::state_index(rec.state));  // otoscope ground truth
+  }
+
+  // --- 2. Fit the pipeline (band-pass -> events -> echo segmentation ->
+  //        absorption spectrum -> 105 features -> k-means detection head).
+  core::EarSonar earsonar;
+  earsonar.fit(waves, labels);
+  std::printf("pipeline fitted (%zu features, top %zu selected).\n",
+              earsonar.feature_dimension(),
+              earsonar.detector().selected_features().size());
+
+  // --- 3. Diagnose a previously unseen patient in each state.
+  sim::SubjectFactory factory(/*cohort_seed=*/777);  // not in the training set
+  const sim::Subject patient = factory.make(0);
+  sim::EarProbe probe(cohort.probe);
+  Rng rng(2026);
+
+  std::printf("\n%-22s %-12s %-10s\n", "ground truth", "diagnosis", "confidence");
+  for (sim::EffusionState truth : sim::all_effusion_states()) {
+    const audio::Waveform recording = probe.record_state(
+        patient, truth, sim::reference_earphone(), sim::RecordingCondition{}, rng);
+    const auto diagnosis = earsonar.diagnose(recording);
+    if (!diagnosis) {
+      std::printf("%-22s (no eardrum echo found)\n", sim::to_string(truth).c_str());
+      continue;
+    }
+    std::printf("%-22s %-12s %.2f\n", sim::to_string(truth).c_str(),
+                core::kMeeStateNames[diagnosis->state], diagnosis->confidence);
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "audio/noise.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/butterworth.hpp"
+
+namespace earsonar::audio {
+
+namespace {
+
+std::vector<double> white_samples(std::size_t count, earsonar::Rng& rng) {
+  std::vector<double> xs(count);
+  for (double& x : xs) x = rng.normal(0.0, 1.0);
+  return xs;
+}
+
+// Paul Kellet's economy pink-noise filter (three leaky integrators).
+std::vector<double> pink_samples(std::size_t count, earsonar::Rng& rng) {
+  std::vector<double> xs(count);
+  double b0 = 0.0, b1 = 0.0, b2 = 0.0;
+  for (double& x : xs) {
+    const double w = rng.normal(0.0, 1.0);
+    b0 = 0.99765 * b0 + w * 0.0990460;
+    b1 = 0.96300 * b1 + w * 0.2965164;
+    b2 = 0.57000 * b2 + w * 1.0526913;
+    x = b0 + b1 + b2 + w * 0.1848;
+  }
+  return xs;
+}
+
+void normalize_rms(std::vector<double>& xs) {
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  const double r = std::sqrt(acc / static_cast<double>(xs.size()));
+  if (r > 0.0)
+    for (double& x : xs) x /= r;
+}
+
+}  // namespace
+
+Waveform make_noise(NoiseColor color, std::size_t count, double sample_rate,
+                    earsonar::Rng& rng) {
+  require_nonempty("noise length", count);
+  require_positive("sample_rate", sample_rate);
+  std::vector<double> xs;
+  switch (color) {
+    case NoiseColor::kWhite:
+      xs = white_samples(count, rng);
+      break;
+    case NoiseColor::kPink:
+      xs = pink_samples(count, rng);
+      break;
+    case NoiseColor::kBabble: {
+      // Speech-band emphasis: pink noise through a 300-4000 Hz band-pass with
+      // slow amplitude modulation, approximating multi-talker babble.
+      xs = pink_samples(count, rng);
+      dsp::BiquadCascade bp = dsp::butterworth_bandpass(
+          2, 300.0, std::min(4000.0, sample_rate / 2.0 * 0.9), sample_rate);
+      xs = bp.process(xs);
+      const double mod_hz = 3.0;  // syllabic rate
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double t = static_cast<double>(i) / sample_rate;
+        xs[i] *= 0.7 + 0.3 * std::sin(2.0 * 3.14159265358979 * mod_hz * t +
+                                      rng.uniform(0.0, 0.001));
+      }
+      break;
+    }
+  }
+  normalize_rms(xs);
+  return Waveform(std::move(xs), sample_rate);
+}
+
+Waveform make_noise_at_spl(NoiseColor color, double spl_db, std::size_t count,
+                           double sample_rate, earsonar::Rng& rng) {
+  Waveform noise = make_noise(color, count, sample_rate, rng);
+  noise.scale(Waveform::spl_to_rms_amplitude(spl_db));
+  return noise;
+}
+
+void add_noise_at_spl(Waveform& target, NoiseColor color, double spl_db,
+                      earsonar::Rng& rng) {
+  require_nonempty("add_noise target", target.size());
+  Waveform noise =
+      make_noise_at_spl(color, spl_db, target.size(), target.sample_rate(), rng);
+  target.mix(noise);
+}
+
+void add_noise_at_snr(Waveform& target, double snr_db, earsonar::Rng& rng) {
+  require_nonempty("add_noise target", target.size());
+  const double signal_rms = target.rms();
+  require(signal_rms > 0.0, "add_noise_at_snr: target is silent");
+  Waveform noise =
+      make_noise(NoiseColor::kWhite, target.size(), target.sample_rate(), rng);
+  noise.scale(signal_rms / db_to_amplitude(snr_db));
+  target.mix(noise);
+}
+
+double snr_db(const Waveform& signal, const Waveform& noise) {
+  require(signal.rms() > 0.0 && noise.rms() > 0.0, "snr_db: silent input");
+  return amplitude_to_db(signal.rms() / noise.rms());
+}
+
+}  // namespace earsonar::audio

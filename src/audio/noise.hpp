@@ -1,0 +1,37 @@
+// Noise synthesis with dB-SPL calibration (paper §VI-C2 adds controlled
+// background noise at 40-75 dB SPL to recorded data).
+#pragma once
+
+#include <cstddef>
+
+#include "audio/waveform.hpp"
+#include "common/rng.hpp"
+
+namespace earsonar::audio {
+
+enum class NoiseColor {
+  kWhite,   ///< flat spectrum
+  kPink,    ///< -3 dB/octave (1/f power)
+  kBabble,  ///< speech-shaped: band-limited low-frequency-weighted hum
+};
+
+/// `count` samples of unit-RMS noise of the given color.
+Waveform make_noise(NoiseColor color, std::size_t count, double sample_rate,
+                    earsonar::Rng& rng);
+
+/// Noise calibrated to `spl_db` under the library's full-scale convention.
+Waveform make_noise_at_spl(NoiseColor color, double spl_db, std::size_t count,
+                           double sample_rate, earsonar::Rng& rng);
+
+/// Adds noise of the given color/SPL into `target` in place.
+void add_noise_at_spl(Waveform& target, NoiseColor color, double spl_db,
+                      earsonar::Rng& rng);
+
+/// Adds white noise such that the resulting signal-to-noise ratio relative to
+/// `target`'s current RMS is `snr_db`.
+void add_noise_at_snr(Waveform& target, double snr_db, earsonar::Rng& rng);
+
+/// Measured SNR (dB) of `signal` against `noise` RMS levels.
+double snr_db(const Waveform& signal, const Waveform& noise);
+
+}  // namespace earsonar::audio

@@ -1,0 +1,145 @@
+#include "audio/wav.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace earsonar::audio {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void put_tag(std::vector<std::uint8_t>& out, const char* tag) {
+  out.insert(out.end(), tag, tag + 4);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+}  // namespace
+
+void write_wav(const std::string& path, const Waveform& waveform, WavEncoding encoding) {
+  require_nonempty("write_wav samples", waveform.size());
+  const std::uint16_t format = encoding == WavEncoding::kPcm16 ? 1 : 3;
+  const std::uint16_t bits = encoding == WavEncoding::kPcm16 ? 16 : 32;
+  const std::uint16_t channels = 1;
+  const std::uint32_t rate = static_cast<std::uint32_t>(waveform.sample_rate());
+  const std::uint16_t block = static_cast<std::uint16_t>(channels * bits / 8);
+  const std::uint32_t data_bytes = static_cast<std::uint32_t>(waveform.size()) * block;
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(44 + data_bytes);
+  put_tag(bytes, "RIFF");
+  put_u32(bytes, 36 + data_bytes);
+  put_tag(bytes, "WAVE");
+  put_tag(bytes, "fmt ");
+  put_u32(bytes, 16);
+  put_u16(bytes, format);
+  put_u16(bytes, channels);
+  put_u32(bytes, rate);
+  put_u32(bytes, rate * block);
+  put_u16(bytes, block);
+  put_u16(bytes, bits);
+  put_tag(bytes, "data");
+  put_u32(bytes, data_bytes);
+
+  for (double s : waveform.samples()) {
+    const double clipped = std::clamp(s, -1.0, 1.0);
+    if (encoding == WavEncoding::kPcm16) {
+      const auto v = static_cast<std::int16_t>(std::lround(clipped * 32767.0));
+      put_u16(bytes, static_cast<std::uint16_t>(v));
+    } else {
+      const float f = static_cast<float>(clipped);
+      std::uint32_t raw;
+      std::memcpy(&raw, &f, sizeof raw);
+      put_u32(bytes, raw);
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("write_wav: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) fail("write_wav: write failed for " + path);
+}
+
+Waveform read_wav(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("read_wav: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (bytes.size() < 44) fail("read_wav: file too short: " + path);
+  if (std::memcmp(bytes.data(), "RIFF", 4) != 0 || std::memcmp(bytes.data() + 8, "WAVE", 4) != 0)
+    fail("read_wav: not a RIFF/WAVE file: " + path);
+
+  // Walk chunks to find fmt and data.
+  std::size_t pos = 12;
+  std::uint16_t format = 0, channels = 0, bits = 0;
+  std::uint32_t rate = 0;
+  const std::uint8_t* data = nullptr;
+  std::uint32_t data_bytes = 0;
+  while (pos + 8 <= bytes.size()) {
+    const std::uint32_t chunk_size = get_u32(bytes.data() + pos + 4);
+    if (std::memcmp(bytes.data() + pos, "fmt ", 4) == 0) {
+      if (pos + 8 + 16 > bytes.size()) fail("read_wav: truncated fmt chunk");
+      format = get_u16(bytes.data() + pos + 8);
+      channels = get_u16(bytes.data() + pos + 10);
+      rate = get_u32(bytes.data() + pos + 12);
+      bits = get_u16(bytes.data() + pos + 22);
+    } else if (std::memcmp(bytes.data() + pos, "data", 4) == 0) {
+      data = bytes.data() + pos + 8;
+      data_bytes = chunk_size;
+    }
+    pos += 8 + chunk_size + (chunk_size & 1);  // chunks are word-aligned
+  }
+  if (data == nullptr) fail("read_wav: no data chunk: " + path);
+  if (channels == 0 || rate == 0) fail("read_wav: no fmt chunk: " + path);
+  if (data + data_bytes > bytes.data() + bytes.size())
+    fail("read_wav: data chunk overruns file: " + path);
+
+  const bool pcm16 = format == 1 && bits == 16;
+  const bool f32 = format == 3 && bits == 32;
+  if (!pcm16 && !f32) fail("read_wav: unsupported encoding in " + path);
+
+  const std::size_t bytes_per_sample = bits / 8;
+  const std::size_t frame_bytes = bytes_per_sample * channels;
+  const std::size_t frames = data_bytes / frame_bytes;
+  std::vector<double> samples(frames);
+  for (std::size_t i = 0; i < frames; ++i) {
+    const std::uint8_t* p = data + i * frame_bytes;  // first channel only
+    if (pcm16) {
+      const auto v = static_cast<std::int16_t>(get_u16(p));
+      samples[i] = static_cast<double>(v) / 32767.0;
+    } else {
+      const std::uint32_t raw = get_u32(p);
+      float f;
+      std::memcpy(&f, &raw, sizeof f);
+      samples[i] = static_cast<double>(f);
+    }
+  }
+  return Waveform(std::move(samples), static_cast<double>(rate));
+}
+
+}  // namespace earsonar::audio

@@ -1,0 +1,23 @@
+// Minimal RIFF/WAVE reader & writer (PCM16 and IEEE float32, mono).
+// Lets examples persist simulated recordings and re-load them, standing in
+// for the phone-app capture files the paper's prototype uploads to a laptop.
+#pragma once
+
+#include <string>
+
+#include "audio/waveform.hpp"
+
+namespace earsonar::audio {
+
+enum class WavEncoding { kPcm16, kFloat32 };
+
+/// Writes `waveform` as a mono WAV file. Samples are clipped to [-1, 1].
+/// Throws std::runtime_error on I/O failure.
+void write_wav(const std::string& path, const Waveform& waveform,
+               WavEncoding encoding = WavEncoding::kPcm16);
+
+/// Reads a mono (or first-channel-of-interleaved) WAV file written in PCM16
+/// or float32. Throws std::runtime_error on malformed input.
+Waveform read_wav(const std::string& path);
+
+}  // namespace earsonar::audio

@@ -1,0 +1,74 @@
+#include "audio/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace earsonar::audio {
+
+Waveform::Waveform(std::vector<double> samples, double sample_rate)
+    : samples_(std::move(samples)), sample_rate_(sample_rate) {
+  require_positive("Waveform sample_rate", sample_rate);
+}
+
+Waveform Waveform::silence(std::size_t count, double sample_rate) {
+  return Waveform(std::vector<double>(count, 0.0), sample_rate);
+}
+
+double Waveform::duration_seconds() const {
+  return static_cast<double>(samples_.size()) / sample_rate_;
+}
+
+Waveform Waveform::slice(std::size_t start, std::size_t count) const {
+  if (start >= samples_.size()) return Waveform({}, sample_rate_);
+  const std::size_t end = std::min(samples_.size(), start + count);
+  return Waveform(std::vector<double>(samples_.begin() + static_cast<std::ptrdiff_t>(start),
+                                      samples_.begin() + static_cast<std::ptrdiff_t>(end)),
+                  sample_rate_);
+}
+
+void Waveform::scale(double gain) {
+  for (double& s : samples_) s *= gain;
+}
+
+void Waveform::add_at(const Waveform& other, std::size_t offset) {
+  require(other.sample_rate_ == sample_rate_, "Waveform::add_at: sample-rate mismatch");
+  require(offset + other.size() <= size(), "Waveform::add_at: out of range");
+  for (std::size_t i = 0; i < other.size(); ++i) samples_[offset + i] += other.samples_[i];
+}
+
+void Waveform::mix(const Waveform& other) {
+  require(other.sample_rate_ == sample_rate_, "Waveform::mix: sample-rate mismatch");
+  require(other.size() == size(), "Waveform::mix: length mismatch");
+  for (std::size_t i = 0; i < size(); ++i) samples_[i] += other.samples_[i];
+}
+
+double Waveform::rms() const {
+  if (samples_.empty()) return 0.0;
+  return earsonar::rms(samples_);
+}
+
+double Waveform::peak() const {
+  double p = 0.0;
+  for (double s : samples_) p = std::max(p, std::abs(s));
+  return p;
+}
+
+void Waveform::normalize_peak(double target_peak) {
+  require(target_peak >= 0.0, "normalize_peak: target must be >= 0");
+  const double p = peak();
+  if (p <= 0.0) return;
+  scale(target_peak / p);
+}
+
+double Waveform::spl_to_rms_amplitude(double spl_db) {
+  // Full-scale sine (peak 1.0) has RMS 1/sqrt(2) and is defined to measure
+  // kFullScaleSpl. Scale down from there.
+  const double full_scale_rms = 1.0 / std::sqrt(2.0);
+  return full_scale_rms * db_to_amplitude(spl_db - kFullScaleSpl);
+}
+
+}  // namespace earsonar::audio

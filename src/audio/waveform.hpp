@@ -1,0 +1,61 @@
+// The sampled-audio value type shared by the simulator and the pipeline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace earsonar::audio {
+
+/// A mono sampled signal with its sample rate. Value semantics; cheap moves.
+/// Amplitude convention: 1.0 is digital full scale, and the calibration used
+/// throughout the library maps full scale to kFullScaleSpl dB SPL.
+class Waveform {
+ public:
+  /// dB SPL represented by a full-scale (amplitude 1.0) sine. 94 dB SPL at
+  /// full scale is the common measurement-microphone calibration point.
+  static constexpr double kFullScaleSpl = 94.0;
+
+  Waveform() = default;
+  Waveform(std::vector<double> samples, double sample_rate);
+
+  /// Silent waveform of `count` samples.
+  static Waveform silence(std::size_t count, double sample_rate);
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+  [[nodiscard]] std::vector<double>& samples() { return samples_; }
+  [[nodiscard]] std::span<const double> view() const { return samples_; }
+  [[nodiscard]] double sample_rate() const { return sample_rate_; }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double duration_seconds() const;
+
+  /// Copy of samples [start, start+count); clamped to the signal end.
+  [[nodiscard]] Waveform slice(std::size_t start, std::size_t count) const;
+
+  /// Multiplies every sample by `gain`.
+  void scale(double gain);
+
+  /// Adds `other` into this waveform starting at `offset` samples; the other
+  /// waveform must share this sample rate and fit (offset+other.size()<=size).
+  void add_at(const Waveform& other, std::size_t offset);
+
+  /// Element-wise sum with an equal-rate, equal-length waveform.
+  void mix(const Waveform& other);
+
+  [[nodiscard]] double rms() const;
+  [[nodiscard]] double peak() const;
+
+  /// Scales so the peak magnitude becomes `target_peak` (no-op on silence).
+  void normalize_peak(double target_peak = 1.0);
+
+  /// RMS amplitude corresponding to a sine at `spl_db` under the library's
+  /// full-scale calibration.
+  static double spl_to_rms_amplitude(double spl_db);
+
+ private:
+  std::vector<double> samples_;
+  double sample_rate_ = 48000.0;
+};
+
+}  // namespace earsonar::audio

@@ -1,0 +1,53 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace earsonar {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) fail("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { write_cells(names); }
+
+void CsvWriter::row(const std::vector<std::string>& cells) { write_cells(cells); }
+
+void CsvWriter::row(const std::string& label, const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format(v));
+  write_cells(cells);
+}
+
+std::string CsvWriter::format(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_) fail("CsvWriter: write failed");
+}
+
+}  // namespace earsonar

@@ -1,0 +1,38 @@
+// Minimal CSV writer used by benches to dump reproducible result series.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace earsonar {
+
+/// Streams rows of mixed string/number cells to a CSV file. RFC-4180 style
+/// quoting: cells containing commas, quotes, or newlines are quoted and inner
+/// quotes doubled.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes a header row.
+  void header(const std::vector<std::string>& names);
+
+  /// Writes one row of already-formatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: label followed by numeric columns (formatted %.6g).
+  void row(const std::string& label, const std::vector<double>& values);
+
+  /// Formats a double the way `row` does; exposed for tests.
+  static std::string format(double value);
+
+  /// Quotes a cell per RFC-4180 when needed; exposed for tests.
+  static std::string escape(const std::string& cell);
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+  std::ofstream out_;
+};
+
+}  // namespace earsonar

@@ -1,0 +1,43 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace earsonar {
+
+void require(bool condition, std::string_view message) {
+  if (!condition) throw std::invalid_argument(std::string(message));
+}
+
+void ensure(bool condition, std::string_view message) {
+  if (!condition) throw std::logic_error(std::string(message));
+}
+
+void fail(std::string_view message) { throw std::runtime_error(std::string(message)); }
+
+std::string range_message(std::string_view name, double value, double lo, double hi) {
+  std::ostringstream os;
+  os << name << " must be in [" << lo << ", " << hi << "], got " << value;
+  return os.str();
+}
+
+void require_in_range(std::string_view name, double value, double lo, double hi) {
+  if (!(value >= lo && value <= hi)) throw std::invalid_argument(range_message(name, value, lo, hi));
+}
+
+void require_positive(std::string_view name, double value) {
+  if (!(value > 0.0)) {
+    std::ostringstream os;
+    os << name << " must be positive, got " << value;
+    throw std::invalid_argument(os.str());
+  }
+}
+
+void require_nonempty(std::string_view name, std::size_t size) {
+  if (size == 0) {
+    std::ostringstream os;
+    os << name << " must be non-empty";
+    throw std::invalid_argument(os.str());
+  }
+}
+
+}  // namespace earsonar

@@ -1,0 +1,39 @@
+// Contract-checking helpers shared by every EarSonar module.
+//
+// The library follows the C++ Core Guidelines error-handling model: broken
+// preconditions throw std::invalid_argument, broken runtime invariants throw
+// std::logic_error, and unavailable external resources throw
+// std::runtime_error. All throw sites funnel through these helpers so the
+// message format is uniform and grep-able.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace earsonar {
+
+/// Throws std::invalid_argument when `condition` is false.
+/// Use for caller-supplied argument validation at public API boundaries.
+void require(bool condition, std::string_view message);
+
+/// Throws std::logic_error when `condition` is false.
+/// Use for internal invariants that indicate a library bug when violated.
+void ensure(bool condition, std::string_view message);
+
+/// Throws std::runtime_error unconditionally. Use for I/O and resource errors.
+[[noreturn]] void fail(std::string_view message);
+
+/// Builds "name must be in [lo, hi], got value" style messages.
+std::string range_message(std::string_view name, double value, double lo, double hi);
+
+/// Throws std::invalid_argument unless lo <= value <= hi.
+void require_in_range(std::string_view name, double value, double lo, double hi);
+
+/// Throws std::invalid_argument unless value > 0.
+void require_positive(std::string_view name, double value);
+
+/// Throws std::invalid_argument unless size > 0.
+void require_nonempty(std::string_view name, std::size_t size);
+
+}  // namespace earsonar

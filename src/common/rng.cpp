@@ -1,0 +1,79 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace earsonar {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Hash the current engine state summary with the stream id. Copy the engine
+  // so fork() is const and the parent stream is left untouched.
+  std::mt19937_64 copy = engine_;
+  const std::uint64_t base = copy();
+  return Rng(splitmix64(base ^ splitmix64(stream)));
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "Rng::uniform: lo must be <= hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Rng::uniform_int: lo must be <= hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  require(sigma >= 0.0, "Rng::normal: sigma must be >= 0");
+  if (sigma == 0.0) return mean;
+  std::normal_distribution<double> dist(mean, sigma);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  require_in_range("Rng::bernoulli p", p, 0.0, 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  require_nonempty("Rng::weighted_index weights", weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "Rng::weighted_index: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "Rng::weighted_index: weights must not all be zero");
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;  // floating-point edge: land on the last bucket
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::shuffle(idx.begin(), idx.end(), engine_);
+  return idx;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  require(k <= n, "Rng::sample_without_replacement: k must be <= n");
+  std::vector<std::size_t> idx = permutation(n);
+  idx.resize(k);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+}  // namespace earsonar

@@ -1,0 +1,127 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace earsonar {
+
+namespace {
+
+// Central moment of the given order relative to the supplied mean.
+double central_moment(std::span<const double> xs, double mu, int order) {
+  double acc = 0.0;
+  for (double x : xs) acc += std::pow(x - mu, order);
+  return acc / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  require_nonempty("mean input", xs.size());
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  require_nonempty("variance input", xs.size());
+  const double mu = mean(xs);
+  return central_moment(xs, mu, 2);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_value(std::span<const double> xs) {
+  require_nonempty("min_value input", xs.size());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  require_nonempty("max_value input", xs.size());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double skewness(std::span<const double> xs) {
+  require_nonempty("skewness input", xs.size());
+  const double mu = mean(xs);
+  const double m2 = central_moment(xs, mu, 2);
+  if (m2 <= 0.0) return 0.0;
+  return central_moment(xs, mu, 3) / std::pow(m2, 1.5);
+}
+
+double kurtosis_excess(std::span<const double> xs) {
+  require_nonempty("kurtosis input", xs.size());
+  const double mu = mean(xs);
+  const double m2 = central_moment(xs, mu, 2);
+  if (m2 <= 0.0) return 0.0;
+  return central_moment(xs, mu, 4) / (m2 * m2) - 3.0;
+}
+
+double rms(std::span<const double> xs) {
+  require_nonempty("rms input", xs.size());
+  return std::sqrt(energy(xs) / static_cast<double>(xs.size()));
+}
+
+double energy(std::span<const double> xs) {
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return acc;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  require_nonempty("percentile input", xs.size());
+  require_in_range("percentile p", p, 0.0, 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "pearson_correlation: size mismatch");
+  require_nonempty("pearson_correlation input", xs.size());
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+SummaryStats summarize(std::span<const double> xs) {
+  require_nonempty("summarize input", xs.size());
+  SummaryStats s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = min_value(xs);
+  s.max = max_value(xs);
+  s.skewness = skewness(xs);
+  s.kurtosis_excess = kurtosis_excess(xs);
+  return s;
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  require_nonempty("argmax input", xs.size());
+  return static_cast<std::size_t>(std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::size_t argmin(std::span<const double> xs) {
+  require_nonempty("argmin input", xs.size());
+  return static_cast<std::size_t>(std::min_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+}  // namespace earsonar

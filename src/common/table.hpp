@@ -1,0 +1,40 @@
+// ASCII table renderer for benchmark output, so each bench binary prints
+// rows that visually match the tables/figures in the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace earsonar {
+
+/// Accumulates rows of string cells and pretty-prints them with aligned,
+/// pipe-separated columns. Used by every bench binary.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a row; shorter rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: label + numeric cells with fixed decimals.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int decimals = 2);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Fixed-decimal number formatting shared with add_row.
+  static std::string format(double value, int decimals);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace earsonar

@@ -1,0 +1,175 @@
+#include "core/absorption.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/interpolate.hpp"
+#include "dsp/window.hpp"
+
+namespace earsonar::core {
+
+void SpectrumConfig::validate() const {
+  require(pre_peak >= 2, "SpectrumConfig: pre_peak must be >= 2");
+  require(post_peak >= 8, "SpectrumConfig: post_peak must be >= 8");
+  require(event_window_length >= 16,
+          "SpectrumConfig: event_window_length must be >= 16");
+  require(gate_start >= 1, "SpectrumConfig: gate_start must be >= 1");
+  require(gate_length >= 8, "SpectrumConfig: gate_length must be >= 8");
+  require(direct_half_window >= 4, "SpectrumConfig: direct_half_window must be >= 4");
+  require(interpolated_length >= pre_peak + post_peak + 1 &&
+              interpolated_length >= gate_length + 1 &&
+              interpolated_length >= event_window_length + 1,
+          "SpectrumConfig: interpolated_length must cover the window");
+  require(dsp::is_power_of_two(fft_size), "SpectrumConfig: fft_size must be 2^n");
+  require(fft_size >= interpolated_length, "SpectrumConfig: fft_size too small");
+  require(band_low_hz > 0.0 && band_low_hz < band_high_hz,
+          "SpectrumConfig: need 0 < low < high");
+  require(band_bins >= 8, "SpectrumConfig: need >= 8 band bins");
+}
+
+EchoSpectrumExtractor::EchoSpectrumExtractor(SpectrumConfig config) : config_(config) {
+  config_.validate();
+}
+
+void EchoSpectrumExtractor::set_reference(const audio::FmcwConfig& chirp) {
+  // The clean chirp, padded into an event-length buffer at its natural
+  // position and pushed through the identical window/FFT processing.
+  const audio::Waveform pulse = audio::make_chirp(chirp);
+  const std::size_t len =
+      std::max({config_.event_window_length, config_.pre_peak + config_.post_peak,
+                config_.gate_start + config_.gate_length}) +
+      pulse.size() + 8;
+  audio::Waveform padded = audio::Waveform::silence(len, chirp.sample_rate);
+  padded.add_at(pulse, 0);
+  switch (config_.anchor) {
+    case WindowAnchor::kEventStart:
+      reference_ = window_psd(padded, config_.event_window_length / 2,
+                              config_.event_window_length / 2,
+                              config_.event_window_length -
+                                  config_.event_window_length / 2);
+      break;
+    case WindowAnchor::kEchoPeak: {
+      // The clean pulse peaks mid-chirp; center the reference there.
+      const std::size_t center = pulse.size() / 2;
+      reference_ = window_psd(padded, center, config_.pre_peak, config_.post_peak);
+      break;
+    }
+    case WindowAnchor::kDirectGate:
+      // The gate excludes the pulse by construction; reference the full
+      // pulse spectrum instead so the division still de-tilts the band.
+      reference_ = window_psd(padded, pulse.size() / 2, config_.pre_peak,
+                              config_.post_peak);
+      break;
+  }
+  // Guard against divisions by near-zero edge bins.
+  const double peak = max_value(reference_.psd);
+  ensure(peak > 0.0, "set_reference: silent reference");
+  for (double& v : reference_.psd) v = std::max(v, 1e-4 * peak);
+}
+
+dsp::Spectrum EchoSpectrumExtractor::window_psd(const audio::Waveform& signal,
+                                                std::size_t center, std::size_t pre,
+                                                std::size_t post) const {
+  const double fs = signal.sample_rate();
+  // Fixed-length window zero-padded at the recording edges so every chirp
+  // yields an identical analysis geometry.
+  std::vector<double> window_samples(pre + post + 1, 0.0);
+  for (std::size_t i = 0; i < window_samples.size(); ++i) {
+    const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(center) -
+                               static_cast<std::ptrdiff_t>(pre) +
+                               static_cast<std::ptrdiff_t>(i);
+    if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(signal.size()))
+      window_samples[i] = signal.samples()[static_cast<std::size_t>(idx)];
+  }
+
+  // Optionally interpolate onto a denser uniform grid (paper: "FFT
+  // processing on the interpolated signal"), taper, zero-pad, transform.
+  std::vector<double> dense =
+      config_.interpolate
+          ? dsp::resample_to_length(window_samples, config_.interpolated_length)
+          : window_samples;
+  if (config_.hann_taper) {
+    const std::vector<double> taper = dsp::hann_window(dense.size());
+    dsp::apply_window_inplace(dense, taper);
+  }
+  const std::size_t pre_pad = dense.size();
+  dense.resize(config_.fft_size, 0.0);
+
+  // Interpolation stretches the window in time, compressing the spectrum by
+  // the same factor; use the effective rate to keep the axis physical.
+  const double stretch =
+      static_cast<double>(pre_pad) / static_cast<double>(window_samples.size());
+  const double effective_fs = fs * stretch;
+
+  dsp::Spectrum full;
+  full.psd = dsp::power_spectrum(dense);
+  full.frequency_hz.resize(full.psd.size());
+  for (std::size_t i = 0; i < full.psd.size(); ++i)
+    full.frequency_hz[i] = dsp::bin_frequency(i, config_.fft_size, effective_fs);
+
+  return dsp::resample_spectrum(full, config_.band_low_hz, config_.band_high_hz,
+                                config_.band_bins);
+}
+
+dsp::Spectrum EchoSpectrumExtractor::extract(const audio::Waveform& signal,
+                                             const EchoSegment& echo) const {
+  require(echo.peak_index < signal.size(), "extract: echo peak outside signal");
+  const double fs = signal.sample_rate();
+  require(config_.band_high_hz <= fs / 2.0, "extract: band exceeds Nyquist");
+
+  dsp::Spectrum spectrum;
+  switch (config_.anchor) {
+    case WindowAnchor::kEventStart: {
+      const std::size_t center = echo.event_start + config_.event_window_length / 2;
+      spectrum = window_psd(signal, center, config_.event_window_length / 2,
+                            config_.event_window_length -
+                                config_.event_window_length / 2);
+      break;
+    }
+    case WindowAnchor::kEchoPeak:
+      spectrum = window_psd(signal, echo.peak_index, config_.pre_peak, config_.post_peak);
+      break;
+    case WindowAnchor::kDirectGate: {
+      const std::size_t gate_center =
+          echo.direct_peak_index + config_.gate_start + config_.gate_length / 2;
+      spectrum = window_psd(signal, gate_center, config_.gate_length / 2,
+                            config_.gate_length - config_.gate_length / 2);
+      break;
+    }
+  }
+
+  if (has_reference()) {
+    for (std::size_t i = 0; i < spectrum.size(); ++i)
+      spectrum.psd[i] /= reference_.psd[i];
+  }
+  if (config_.normalize_by_direct) {
+    const dsp::Spectrum direct =
+        window_psd(signal, echo.direct_peak_index, config_.direct_half_window,
+                   config_.direct_half_window);
+    const double floor = 1e-9 * std::max(1e-30, max_value(direct.psd));
+    for (std::size_t i = 0; i < spectrum.size(); ++i)
+      spectrum.psd[i] /= direct.psd[i] + floor;
+  }
+  return config_.peak_normalize ? dsp::normalize_peak(spectrum) : spectrum;
+}
+
+dsp::Spectrum EchoSpectrumExtractor::average(
+    const audio::Waveform& signal, const std::vector<EchoSegment>& echoes) const {
+  require_nonempty("average echoes", echoes.size());
+  dsp::Spectrum acc;
+  for (const EchoSegment& echo : echoes) {
+    dsp::Spectrum one = extract(signal, echo);
+    if (acc.psd.empty()) {
+      acc = std::move(one);
+    } else {
+      for (std::size_t i = 0; i < acc.psd.size(); ++i) acc.psd[i] += one.psd[i];
+    }
+  }
+  for (double& v : acc.psd) v /= static_cast<double>(echoes.size());
+  return config_.peak_normalize ? dsp::normalize_peak(acc) : acc;
+}
+
+}  // namespace earsonar::core

@@ -1,0 +1,109 @@
+// Acoustic absorption analysis (paper §IV-C1): a fixed window anchored at the
+// segmented eardrum-echo peak is interpolated and Fourier-transformed into a
+// power spectral density whose in-band shape carries the absorption
+// signature; per-chirp PSDs are averaged into one echo spectrum per
+// recording.
+//
+// Two implementation choices matter at a 48 kHz sample rate, where the drum
+// echo overlaps the tail of the direct speaker-to-mic pulse (paper Fig. 7b):
+//   * the echo window is asymmetric — a short lead before the peak and a long
+//     tail after it, because a fluid-loaded drum's notched reflectance rings
+//     and that ringing outlives the direct pulse;
+//   * each echo PSD is normalized by the PSD of the same chirp's direct
+//     pulse, canceling the transmit spectrum and the earphone's frequency
+//     response (the direct pulse acts as a per-chirp reference).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "audio/chirp.hpp"
+#include "audio/waveform.hpp"
+#include "core/segment.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace earsonar::core {
+
+/// How the analysis window is anchored.
+///  * kEventStart — a fixed-length window from the start of the detected
+///    event, covering the full chirp + echo composite. Deterministic (no
+///    anchor jitter) and echo-dominated with the prototype's shadowed
+///    microphone; the library default.
+///  * kEchoPeak — centered window around the segmented echo peak, the
+///    paper's literal description ("take the peak sampling point of the
+///    eardrum as the centre"). Sensitive to anchor jitter at 48 kHz, where
+///    one sample is 3.6 mm of reflector distance; kept for ablation.
+///  * kDirectGate — a fixed time gate opening behind the direct-pulse peak,
+///    isolating the late ringing tail; kept for ablation.
+enum class WindowAnchor { kEventStart, kEchoPeak, kDirectGate };
+
+struct SpectrumConfig {
+  WindowAnchor anchor = WindowAnchor::kEventStart;
+  std::size_t event_window_length = 72;///< kEventStart: window duration
+  std::size_t pre_peak = 8;            ///< kEchoPeak: samples before the peak
+  std::size_t post_peak = 56;          ///< kEchoPeak: samples after it
+  std::size_t gate_start = 28;         ///< kDirectGate: gate opens this many
+                                       ///<   samples after the direct peak
+  std::size_t gate_length = 40;        ///< kDirectGate: gate duration
+  std::size_t direct_half_window = 12; ///< +-N window around the direct pulse
+  bool normalize_by_direct = false;    ///< divide echo PSD by direct-gate PSD
+  /// Taper applied to the analysis window before the FFT. The chirp + echo
+  /// transient decays to zero inside the window, so no taper is the correct
+  /// default: a taper would re-weight the chirp's time-frequency sweep and
+  /// make the band shape sensitive to sample-level window placement.
+  bool hann_taper = false;
+  /// Cubic-spline upsampling of the window before the FFT (the paper's
+  /// "interpolated signal"). Off by default: zero-padding already provides
+  /// the fine frequency grid, and spline evaluation is slightly lossy for
+  /// content close to Nyquist (the 16-20 kHz band at 48 kHz).
+  bool interpolate = false;
+  /// Peak-normalize each extracted spectrum. Off by default: with the
+  /// transmit reference installed the spectrum level *is* the absorbed-energy
+  /// measurement (the paper's core observable) and must be preserved.
+  /// Plotting code normalizes for display instead.
+  bool peak_normalize = false;
+  std::size_t interpolated_length = 256;  ///< spline-resampled window length
+  std::size_t fft_size = 512;          ///< zero-padded transform length
+  double band_low_hz = 16000.0;        ///< analysis band == the chirp band;
+  double band_high_hz = 20000.0;       ///< outside it the ratio is noise/noise
+  std::size_t band_bins = 128;         ///< uniform grid of the output spectrum
+
+  void validate() const;
+};
+
+class EchoSpectrumExtractor {
+ public:
+  explicit EchoSpectrumExtractor(SpectrumConfig config = {});
+
+  /// Installs the transmit-reference spectrum: the band PSD of the clean
+  /// probe chirp pushed through the same window/FFT processing. When set,
+  /// every extracted PSD is divided by it, so the output reads the channel
+  /// response |H(f)|^2 (eardrum reflectance imprint) instead of the chirp's
+  /// own spectrum. The pipeline installs this automatically from its chirp
+  /// design.
+  void set_reference(const audio::FmcwConfig& chirp);
+  [[nodiscard]] bool has_reference() const { return !reference_.psd.empty(); }
+
+  /// PSD (peak-normalized, on the uniform band grid) of one echo window,
+  /// normalized by the transmit reference and/or direct-pulse PSD when
+  /// configured.
+  [[nodiscard]] dsp::Spectrum extract(const audio::Waveform& signal,
+                                      const EchoSegment& echo) const;
+
+  /// Average spectrum over many echoes of the same recording (element-wise
+  /// mean of per-echo normalized PSDs, then re-normalized).
+  [[nodiscard]] dsp::Spectrum average(const audio::Waveform& signal,
+                                      const std::vector<EchoSegment>& echoes) const;
+
+  [[nodiscard]] const SpectrumConfig& config() const { return config_; }
+
+ private:
+  /// Band PSD of signal[center-pre, center+post] via interpolate+taper+FFT.
+  [[nodiscard]] dsp::Spectrum window_psd(const audio::Waveform& signal,
+                                         std::size_t center, std::size_t pre,
+                                         std::size_t post) const;
+  SpectrumConfig config_;
+  dsp::Spectrum reference_;  ///< transmit-reference band PSD (may be empty)
+};
+
+}  // namespace earsonar::core

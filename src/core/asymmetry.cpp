@@ -1,0 +1,44 @@
+#include "core/asymmetry.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace earsonar::core {
+
+double spectral_asymmetry(const dsp::Spectrum& left, const dsp::Spectrum& right) {
+  require(left.size() == right.size() && left.size() > 0,
+          "spectral_asymmetry: spectra must share a non-empty grid");
+  const double level_l = std::max(mean(left.psd), 1e-12);
+  const double level_r = std::max(mean(right.psd), 1e-12);
+  const double level_term = std::abs(std::log(level_l) - std::log(level_r));
+
+  // Shape distance between the peak-normalized curves.
+  const dsp::Spectrum nl = dsp::normalize_peak(left);
+  const dsp::Spectrum nr = dsp::normalize_peak(right);
+  double shape_term = 0.0;
+  for (std::size_t i = 0; i < nl.size(); ++i)
+    shape_term += std::abs(nl.psd[i] - nr.psd[i]);
+  shape_term /= static_cast<double>(nl.size());
+
+  return level_term + shape_term;
+}
+
+BilateralResult screen_bilateral(const EchoAnalysis& left, const EchoAnalysis& right,
+                                 const AsymmetryConfig& config) {
+  require(left.usable() && right.usable(),
+          "screen_bilateral: both ears need a usable echo analysis");
+  require(config.flag_threshold > 0.0, "AsymmetryConfig: threshold must be > 0");
+
+  BilateralResult result;
+  result.left_level = mean(left.mean_spectrum.psd);
+  result.right_level = mean(right.mean_spectrum.psd);
+  result.asymmetry = spectral_asymmetry(left.mean_spectrum, right.mean_spectrum);
+  result.flagged = result.asymmetry > config.flag_threshold;
+  if (result.flagged)
+    result.suspect_ear = result.left_level < result.right_level ? -1 : +1;
+  return result;
+}
+
+}  // namespace earsonar::core

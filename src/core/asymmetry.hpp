@@ -1,0 +1,40 @@
+// Bilateral (own-control) screening extension.
+//
+// MEE is frequently unilateral, and a person's two ears are anatomically far
+// more alike than two different people's ears. Comparing the left and right
+// echo spectra therefore gives a calibration-free screen: a large asymmetry
+// flags the quieter (more absorbing) ear without any training cohort at all.
+// This addresses the paper's cross-subject variability head-on — the
+// contralateral ear is the perfect reference.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace earsonar::core {
+
+struct AsymmetryConfig {
+  /// Flag when the asymmetry score exceeds this (score is the symmetric
+  /// log-level distance; healthy pairs sit well below it).
+  double flag_threshold = 0.8;
+};
+
+/// Result of screening one ear pair.
+struct BilateralResult {
+  double asymmetry = 0.0;     ///< symmetric log-band-level distance
+  bool flagged = false;       ///< asymmetry above threshold
+  int suspect_ear = 0;        ///< -1 = left quieter/suspect, +1 = right, 0 = none
+  double left_level = 0.0;    ///< mean band level, left echo spectrum
+  double right_level = 0.0;
+};
+
+/// Symmetric spectral asymmetry between two echo spectra on the same grid:
+/// |log(level_a) - log(level_b)| plus the shape distance of the normalized
+/// curves. 0 for identical ears; grows with unilateral absorption.
+double spectral_asymmetry(const dsp::Spectrum& left, const dsp::Spectrum& right);
+
+/// Screens a left/right pair of *analyzed* recordings.
+BilateralResult screen_bilateral(const EchoAnalysis& left, const EchoAnalysis& right,
+                                 const AsymmetryConfig& config = {});
+
+}  // namespace earsonar::core

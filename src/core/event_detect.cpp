@@ -1,0 +1,117 @@
+#include "core/event_detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace earsonar::core {
+
+void EventDetectorConfig::validate() const {
+  require(window >= 4, "EventDetectorConfig: window must be >= 4");
+  require(smooth >= 2 && smooth <= window,
+          "EventDetectorConfig: smooth must be in [2, window]");
+  require(start_threshold_k > 0.0, "EventDetectorConfig: threshold must be > 0");
+  require(prominence >= 1.0, "EventDetectorConfig: prominence must be >= 1");
+  require(floor_prominence >= 1.0,
+          "EventDetectorConfig: floor_prominence must be >= 1");
+  require(min_length >= 1, "EventDetectorConfig: min_length must be >= 1");
+  require(max_length > min_length, "EventDetectorConfig: max_length must exceed min");
+}
+
+AdaptiveEventDetector::AdaptiveEventDetector(EventDetectorConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+std::vector<Event> AdaptiveEventDetector::detect(const audio::Waveform& signal) const {
+  require_nonempty("event detection input", signal.size());
+  const std::vector<double>& x = signal.samples();
+  const std::size_t n = x.size();
+
+  // Instantaneous power and its centered moving average A(i) over `smooth`
+  // samples: the oscillating carrier makes raw |X(i)|^2 cross zero every half
+  // cycle, so thresholds act on the smoothed envelope.
+  std::vector<double> power(n);
+  for (std::size_t i = 0; i < n; ++i) power[i] = x[i] * x[i];
+
+  const std::size_t s = std::min(config_.smooth, n);
+  const std::size_t half = s / 2;
+  std::vector<double> envelope(n, 0.0);
+  double run = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    run += power[i];
+    if (i >= s) run -= power[i - s];
+    const std::size_t count = std::min(i + 1, s);
+    const std::size_t center = i >= half ? i - half : 0;
+    envelope[center] = run / static_cast<double>(count);
+  }
+
+  // Global mean power: the closing threshold mu-bar of Eq. 6-7.
+  double global_mean = 0.0;
+  for (double p : power) global_mean += p;
+  global_mean /= static_cast<double>(n);
+
+  // Robust noise-floor estimate for the prominence gate.
+  const double floor_env = std::max(median(envelope), 1e-30);
+
+  // Running exponential estimates mu(i), sigma(i) with 1/W weighting (Eq. 6).
+  // They adapt to the noise floor between events, so an arriving chirp pops
+  // far above mu + k*sigma.
+  const double alpha = 1.0 / static_cast<double>(config_.window);
+  double mu = envelope[0];
+  double sigma = 0.0;
+
+  std::vector<Event> events;
+  bool in_event = false;
+  Event current;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = envelope[i];
+    if (!in_event) {
+      if (e > mu + config_.start_threshold_k * sigma && e > global_mean) {
+        in_event = true;
+        current.start = i;
+      } else {
+        // Track the noise floor only outside events, so the event's own
+        // energy cannot inflate the threshold (Eq. 6's sliding update).
+        const double dev = std::abs(e - mu);
+        mu = alpha * e + (1.0 - alpha) * mu;
+        sigma = alpha * dev + (1.0 - alpha) * sigma;
+      }
+    } else {
+      const bool too_long = i - current.start >= config_.max_length;
+      const bool quiet = e < global_mean;  // |X(i)|^2 < mu-bar closes the event
+      if (too_long || quiet || i + 1 == n) {
+        current.end = i + 1;
+        in_event = false;
+        // Length and prominence gates: real chirp events tower over the
+        // recording's mean power; noise wiggles do not.
+        double peak_env = 0.0;
+        for (std::size_t j = current.start; j < current.end; ++j)
+          peak_env = std::max(peak_env, envelope[j]);
+        if (current.length() >= config_.min_length &&
+            peak_env >= config_.prominence * global_mean &&
+            peak_env >= config_.floor_prominence * floor_env)
+          events.push_back(current);
+      }
+    }
+  }
+
+  // Expand by the smoothing half-width (the envelope blurs edges by ~half),
+  // then merge events separated by less than merge_gap.
+  std::vector<Event> merged;
+  for (Event e : events) {
+    e.start = e.start > half ? e.start - half : 0;
+    e.end = std::min(n, e.end + half);
+    if (!merged.empty() && e.start < merged.back().end + config_.merge_gap &&
+        e.end - merged.back().start <= config_.max_length) {
+      merged.back().end = std::max(merged.back().end, e.end);
+    } else {
+      merged.push_back(e);
+    }
+  }
+  return merged;
+}
+
+}  // namespace earsonar::core

@@ -1,0 +1,68 @@
+// Feature extraction (paper §IV-C2): a 105-element vector per recording made
+// of MFCC features and statistical features of the eardrum-echo power
+// spectrum. The paper does not itemize the 105 slots; this implementation
+// fixes a deterministic layout (documented below and in DESIGN.md):
+//
+//   3 x 13 = 39  MFCCs of the early / middle / late chirp-group spectra
+//        30      log sub-band powers of the mean echo PSD
+//        24      uniform samples of the normalized mean PSD
+//         6      spectral-shape features (dip frequency & depth, centroid,
+//                low/high band-power ratio, slope, 85% roll-off)
+//         6      summary statistics (mean, std, min, max, skewness, kurtosis)
+//       ----
+//       105
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "audio/waveform.hpp"
+#include "core/absorption.hpp"
+#include "core/segment.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace earsonar::core {
+
+struct FeatureConfig {
+  SpectrumConfig spectrum;
+  std::size_t mfcc_coefficients = 13;
+  std::size_t mfcc_filters = 24;
+  std::size_t time_groups = 3;     ///< early/middle/late chirp groups
+  std::size_t subband_powers = 30;
+  std::size_t psd_samples = 24;
+
+  [[nodiscard]] std::size_t dimension() const {
+    return time_groups * mfcc_coefficients + subband_powers + psd_samples + 6 + 6;
+  }
+  void validate() const;
+};
+
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(FeatureConfig config = {});
+
+  /// Installs the transmit-reference spectrum on the inner spectrum
+  /// extractor (see EchoSpectrumExtractor::set_reference).
+  void set_reference(const audio::FmcwConfig& chirp) { extractor_.set_reference(chirp); }
+
+  /// The full feature vector for one recording's segmented echoes.
+  [[nodiscard]] std::vector<double> extract(const audio::Waveform& signal,
+                                            const std::vector<EchoSegment>& echoes) const;
+
+  /// MFCC-style coefficients of one band spectrum (mel triangles across the
+  /// analysis band, log, DCT-II). Exposed for tests.
+  [[nodiscard]] std::vector<double> band_mfcc(const dsp::Spectrum& spectrum) const;
+
+  [[nodiscard]] std::size_t dimension() const { return config_.dimension(); }
+  [[nodiscard]] const FeatureConfig& config() const { return config_; }
+
+ private:
+  FeatureConfig config_;
+  EchoSpectrumExtractor extractor_;
+};
+
+/// Human-readable name of feature slot `index` under `config`'s layout.
+std::string feature_name(const FeatureConfig& config, std::size_t index);
+
+}  // namespace earsonar::core

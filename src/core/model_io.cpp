@@ -1,0 +1,167 @@
+#include "core/model_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ml/laplacian.hpp"
+
+namespace earsonar::core {
+
+namespace {
+
+constexpr const char* kMagic = "earsonar-model";
+constexpr int kVersion = 1;
+
+void write_vector(std::ostream& out, const char* tag, const std::vector<double>& xs) {
+  out << tag << ' ' << xs.size();
+  out.precision(17);
+  for (double x : xs) out << ' ' << x;
+  out << '\n';
+}
+
+void write_index_vector(std::ostream& out, const char* tag,
+                        const std::vector<std::size_t>& xs) {
+  out << tag << ' ' << xs.size();
+  for (std::size_t x : xs) out << ' ' << x;
+  out << '\n';
+}
+
+std::vector<double> read_vector(std::istream& in, const std::string& expected_tag) {
+  std::string tag;
+  std::size_t count = 0;
+  if (!(in >> tag >> count) || tag != expected_tag)
+    fail("load_detector: expected '" + expected_tag + "' section");
+  std::vector<double> xs(count);
+  for (double& x : xs)
+    if (!(in >> x)) fail("load_detector: truncated '" + expected_tag + "' section");
+  return xs;
+}
+
+std::vector<std::size_t> read_index_vector(std::istream& in,
+                                           const std::string& expected_tag) {
+  std::string tag;
+  std::size_t count = 0;
+  if (!(in >> tag >> count) || tag != expected_tag)
+    fail("load_detector: expected '" + expected_tag + "' section");
+  std::vector<std::size_t> xs(count);
+  for (std::size_t& x : xs)
+    if (!(in >> x)) fail("load_detector: truncated '" + expected_tag + "' section");
+  return xs;
+}
+
+}  // namespace
+
+DetectorModel snapshot(const MeeDetector& detector) {
+  require(detector.fitted(), "snapshot: detector not fitted");
+  DetectorModel model;
+  model.scaler_mean = detector.scaler_means();
+  model.scaler_std = detector.scaler_stds();
+  model.selected_features = detector.selected_features();
+  model.centroids = detector.centroids();
+  model.cluster_to_state = detector.cluster_to_state();
+  return model;
+}
+
+void save_detector(const MeeDetector& detector, std::ostream& out) {
+  const DetectorModel model = snapshot(detector);
+  out << kMagic << ' ' << kVersion << '\n';
+  write_vector(out, "scaler_mean", model.scaler_mean);
+  write_vector(out, "scaler_std", model.scaler_std);
+  write_index_vector(out, "selected", model.selected_features);
+  out << "centroids " << model.centroids.size() << ' '
+      << (model.centroids.empty() ? 0 : model.centroids.front().size()) << '\n';
+  out.precision(17);
+  for (const auto& row : model.centroids) {
+    for (std::size_t j = 0; j < row.size(); ++j) out << (j ? " " : "") << row[j];
+    out << '\n';
+  }
+  write_index_vector(out, "mapping", model.cluster_to_state);
+  if (!out) fail("save_detector: write failed");
+}
+
+void save_detector_file(const MeeDetector& detector, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("save_detector_file: cannot open " + path);
+  save_detector(detector, out);
+}
+
+DetectorModel load_detector(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic)
+    fail("load_detector: not an earsonar model file");
+  if (version != kVersion)
+    fail("load_detector: unsupported model version " + std::to_string(version));
+
+  DetectorModel model;
+  model.scaler_mean = read_vector(in, "scaler_mean");
+  model.scaler_std = read_vector(in, "scaler_std");
+  model.selected_features = read_index_vector(in, "selected");
+
+  std::string tag;
+  std::size_t rows = 0, cols = 0;
+  if (!(in >> tag >> rows >> cols) || tag != "centroids")
+    fail("load_detector: expected 'centroids' section");
+  model.centroids.assign(rows, std::vector<double>(cols));
+  for (auto& row : model.centroids)
+    for (double& v : row)
+      if (!(in >> v)) fail("load_detector: truncated centroid matrix");
+  model.cluster_to_state = read_index_vector(in, "mapping");
+
+  // Consistency checks.
+  if (model.scaler_mean.size() != model.scaler_std.size())
+    fail("load_detector: scaler mean/std size mismatch");
+  for (std::size_t idx : model.selected_features)
+    if (idx >= model.scaler_mean.size())
+      fail("load_detector: selected feature index out of range");
+  for (const auto& row : model.centroids)
+    if (row.size() != model.selected_features.size())
+      fail("load_detector: centroid dimension mismatch");
+  if (model.cluster_to_state.size() != model.centroids.size())
+    fail("load_detector: mapping size mismatch");
+  for (std::size_t state : model.cluster_to_state)
+    if (state >= kMeeStateCount) fail("load_detector: state index out of range");
+  return model;
+}
+
+DetectorModel load_detector_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("load_detector_file: cannot open " + path);
+  return load_detector(in);
+}
+
+Diagnosis DetectorModel::predict(const std::vector<double>& features) const {
+  require(!centroids.empty(), "DetectorModel: empty model");
+  require(features.size() == scaler_mean.size(),
+          "DetectorModel: feature dimension mismatch");
+  std::vector<double> scaled(features.size());
+  for (std::size_t j = 0; j < features.size(); ++j)
+    scaled[j] = scaler_std[j] > 1e-12 ? (features[j] - scaler_mean[j]) / scaler_std[j]
+                                      : 0.0;
+  const std::vector<double> reduced = ml::project_features(scaled, selected_features);
+
+  double best = std::numeric_limits<double>::max();
+  double second = std::numeric_limits<double>::max();
+  std::size_t best_cluster = 0;
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double d = ml::euclidean_distance(centroids[c], reduced);
+    if (d < best) {
+      second = best;
+      best = d;
+      best_cluster = c;
+    } else if (d < second) {
+      second = d;
+    }
+  }
+  Diagnosis result;
+  result.state = cluster_to_state[best_cluster];
+  result.distance = best;
+  result.confidence = second > 0.0 ? std::clamp(1.0 - best / second, 0.0, 1.0) : 0.0;
+  return result;
+}
+
+}  // namespace earsonar::core

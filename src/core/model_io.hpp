@@ -1,0 +1,52 @@
+// Detector-model persistence.
+//
+// A deployed screener trains once (in the clinic, on labeled data) and then
+// runs for weeks on a phone; the fitted detection head must survive restarts.
+// Models serialize to a small versioned text format — human-inspectable,
+// diff-able, and independent of platform endianness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/detector.hpp"
+
+namespace earsonar::core {
+
+/// Serializes a fitted detector (scaler moments, selected feature indices,
+/// centroids, cluster->state mapping) to a stream. Throws std::invalid_argument
+/// when the detector is not fitted.
+void save_detector(const MeeDetector& detector, std::ostream& out);
+
+/// Writes save_detector output to `path`; throws std::runtime_error on I/O
+/// failure.
+void save_detector_file(const MeeDetector& detector, const std::string& path);
+
+/// Snapshot of the learned state, loadable without re-training.
+struct DetectorModel {
+  std::vector<double> scaler_mean;
+  std::vector<double> scaler_std;
+  std::vector<std::size_t> selected_features;
+  ml::Matrix centroids;                       ///< k rows in reduced space
+  std::vector<std::size_t> cluster_to_state;
+
+  /// Diagnoses a raw (unscaled, unreduced) feature vector.
+  [[nodiscard]] Diagnosis predict(const std::vector<double>& features) const;
+
+  /// Dimension of the raw feature vectors this model expects.
+  [[nodiscard]] std::size_t feature_dimension() const { return scaler_mean.size(); }
+};
+
+/// Parses a model previously written by save_detector. Throws
+/// std::runtime_error on malformed input (bad magic, version, truncation,
+/// inconsistent dimensions).
+DetectorModel load_detector(std::istream& in);
+
+/// Reads load_detector input from `path`.
+DetectorModel load_detector_file(const std::string& path);
+
+/// Extracts the loadable snapshot from a fitted detector (the exact state
+/// save_detector writes). Exposed so tests can compare save/load round trips.
+DetectorModel snapshot(const MeeDetector& detector);
+
+}  // namespace earsonar::core

@@ -1,0 +1,155 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "dsp/interpolate.hpp"
+
+namespace earsonar::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+}  // namespace
+
+EarSonar::EarSonar(PipelineConfig config)
+    : config_(config),
+      preprocessor_(config.preprocess),
+      event_detector_(config.events),
+      segmenter_(config.segmenter),
+      spectrum_extractor_(config.features.spectrum),
+      extractor_(config.features),
+      detector_(config.detector) {
+  // The pipeline knows its own probe signal; use it as the transmit
+  // reference so extracted spectra read the channel (eardrum) response
+  // rather than the chirp's own spectrum.
+  spectrum_extractor_.set_reference(config_.chirp);
+  extractor_.set_reference(config_.chirp);
+}
+
+namespace {
+
+// Re-anchors an event at the chirp onset: the first sample whose smoothed
+// envelope crosses 10% of the event's peak envelope. Event detection opens on
+// an adaptive threshold whose exact crossing moves with the noise floor; this
+// re-alignment pins every analysis window to the same point of the chirp.
+std::size_t align_event_start(const audio::Waveform& signal, const Event& event) {
+  constexpr std::size_t kSmooth = 4;
+  constexpr double kOnsetFraction = 0.1;
+  const std::vector<double>& x = signal.samples();
+  double peak = 0.0;
+  for (std::size_t i = event.start; i < event.end; ++i)
+    peak = std::max(peak, std::abs(x[i]));
+  if (peak <= 0.0) return event.start;
+  double run = 0.0;
+  for (std::size_t i = event.start; i < event.end; ++i) {
+    run += std::abs(x[i]);
+    if (i >= event.start + kSmooth) run -= std::abs(x[i - kSmooth]);
+    const double env = run / static_cast<double>(std::min(i - event.start + 1, kSmooth));
+    if (env >= kOnsetFraction * peak)
+      return i > event.start + 2 ? i - 2 : event.start;
+  }
+  return event.start;
+}
+
+}  // namespace
+
+EchoAnalysis EarSonar::analyze(const audio::Waveform& recording) const {
+  require_nonempty("EarSonar::analyze recording", recording.size());
+  EchoAnalysis analysis;
+
+  auto t0 = Clock::now();
+  // Every downstream constant (band edges, chirp grid, echo-distance math)
+  // assumes the probe design's sample rate; transparently resample captures
+  // that arrive at another rate (e.g., 44.1 kHz WAVs from a phone).
+  const audio::Waveform* input = &recording;
+  audio::Waveform resampled;
+  if (recording.sample_rate() != config_.chirp.sample_rate) {
+    resampled = audio::Waveform(
+        dsp::resample_to_rate(recording.view(), recording.sample_rate(),
+                              config_.chirp.sample_rate),
+        config_.chirp.sample_rate);
+    input = &resampled;
+  }
+  const audio::Waveform filtered = preprocessor_.process(*input);
+  analysis.timings.bandpass_ms = ms_since(t0);
+
+  t0 = Clock::now();
+  analysis.events = event_detector_.detect(filtered);
+  for (Event& event : analysis.events) event.start = align_event_start(filtered, event);
+  analysis.timings.event_detect_ms = ms_since(t0);
+
+  t0 = Clock::now();
+  for (const Event& event : analysis.events) {
+    if (std::optional<EchoSegment> echo = segmenter_.segment(filtered, event))
+      analysis.echoes.push_back(*echo);
+  }
+  // Consensus re-anchoring: within one recording the eardrum does not move,
+  // so the echo offset behind the direct pulse is re-set to the per-recording
+  // median. This suppresses chirp-to-chirp anchor jitter from movement or a
+  // wall reflection occasionally outscoring the drum echo.
+  if (analysis.echoes.size() >= 3) {
+    std::vector<double> offsets;
+    offsets.reserve(analysis.echoes.size());
+    for (const EchoSegment& e : analysis.echoes)
+      offsets.push_back(static_cast<double>(e.peak_index) -
+                        static_cast<double>(e.direct_peak_index));
+    const double consensus = median(offsets);
+    const auto offset = static_cast<std::ptrdiff_t>(std::lround(consensus));
+    for (EchoSegment& e : analysis.echoes) {
+      e.peak_index = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(e.direct_peak_index) + offset);
+      e.distance_m = samples_to_distance_m(consensus, filtered.sample_rate());
+    }
+  }
+  analysis.timings.segment_ms = ms_since(t0);
+
+  if (analysis.echoes.empty()) return analysis;
+
+  t0 = Clock::now();
+  analysis.mean_spectrum = spectrum_extractor_.average(filtered, analysis.echoes);
+  analysis.features = extractor_.extract(filtered, analysis.echoes);
+  analysis.timings.feature_ms = ms_since(t0);
+  return analysis;
+}
+
+void EarSonar::fit(const std::vector<audio::Waveform>& recordings,
+                   const std::vector<std::size_t>& labels) {
+  require(recordings.size() == labels.size(), "EarSonar::fit: size mismatch");
+  ml::Matrix features;
+  std::vector<std::size_t> usable_labels;
+  for (std::size_t i = 0; i < recordings.size(); ++i) {
+    EchoAnalysis analysis = analyze(recordings[i]);
+    if (!analysis.usable()) continue;
+    features.push_back(std::move(analysis.features));
+    usable_labels.push_back(labels[i]);
+  }
+  require(features.size() >= kMeeStateCount,
+          "EarSonar::fit: fewer than four usable recordings");
+  detector_.fit(features, usable_labels);
+}
+
+void EarSonar::fit_features(const ml::Matrix& features,
+                            const std::vector<std::size_t>& labels) {
+  detector_.fit(features, labels);
+}
+
+std::optional<Diagnosis> EarSonar::diagnose(const audio::Waveform& recording) const {
+  require(fitted(), "EarSonar::diagnose before fit");
+  EchoAnalysis analysis = analyze(recording);
+  if (!analysis.usable()) return std::nullopt;
+  return detector_.predict(analysis.features);
+}
+
+Diagnosis EarSonar::diagnose_features(const std::vector<double>& features) const {
+  require(fitted(), "EarSonar::diagnose_features before fit");
+  return detector_.predict(features);
+}
+
+}  // namespace earsonar::core

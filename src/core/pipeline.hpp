@@ -1,0 +1,96 @@
+// The EarSonar facade: raw microphone capture in, MEE diagnosis out.
+//
+// Wires the full paper pipeline — band-pass preprocessing, adaptive-energy
+// event detection, parity-decomposition echo segmentation, echo-PSD
+// absorption analysis, 105-dim feature extraction, and the k-means detection
+// head — behind one class, with per-stage wall-clock instrumentation
+// (Table II reports per-stage latency).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "audio/waveform.hpp"
+#include "core/absorption.hpp"
+#include "core/detector.hpp"
+#include "core/event_detect.hpp"
+#include "core/features.hpp"
+#include "core/preprocess.hpp"
+#include "core/segment.hpp"
+
+namespace earsonar::core {
+
+struct PipelineConfig {
+  audio::FmcwConfig chirp;  ///< the probe design; also the transmit reference
+  PreprocessConfig preprocess;
+  EventDetectorConfig events;
+  SegmenterConfig segmenter;
+  FeatureConfig features;  ///< carries SpectrumConfig inside
+  DetectorConfig detector;
+};
+
+/// Wall-clock milliseconds spent in each stage of analyze()/diagnose().
+struct StageTimings {
+  double bandpass_ms = 0.0;
+  double event_detect_ms = 0.0;
+  double segment_ms = 0.0;
+  double feature_ms = 0.0;
+  double inference_ms = 0.0;
+
+  [[nodiscard]] double total_ms() const {
+    return bandpass_ms + event_detect_ms + segment_ms + feature_ms + inference_ms;
+  }
+};
+
+/// Everything analyze() learns about one recording.
+struct EchoAnalysis {
+  std::vector<Event> events;
+  std::vector<EchoSegment> echoes;
+  dsp::Spectrum mean_spectrum;        ///< averaged eardrum-echo PSD
+  std::vector<double> features;       ///< 105-dim vector
+  StageTimings timings;
+
+  [[nodiscard]] bool usable() const { return !echoes.empty(); }
+};
+
+class EarSonar {
+ public:
+  explicit EarSonar(PipelineConfig config = {});
+
+  /// Signal-processing front half: preprocess, find events, segment echoes,
+  /// build the echo spectrum and feature vector. `features` is empty when no
+  /// echo could be segmented (caller decides how to handle the dropout).
+  [[nodiscard]] EchoAnalysis analyze(const audio::Waveform& recording) const;
+
+  /// Trains the detection head on labeled recordings (label indices follow
+  /// kMeeStateNames). Recordings whose analysis fails are skipped; at least
+  /// four usable recordings are required.
+  void fit(const std::vector<audio::Waveform>& recordings,
+           const std::vector<std::size_t>& labels);
+
+  /// Trains the detection head directly on precomputed feature vectors.
+  void fit_features(const ml::Matrix& features, const std::vector<std::size_t>& labels);
+
+  /// Full diagnosis of one recording; nullopt when no echo was found.
+  [[nodiscard]] std::optional<Diagnosis> diagnose(const audio::Waveform& recording) const;
+
+  /// Diagnosis from a precomputed feature vector.
+  [[nodiscard]] Diagnosis diagnose_features(const std::vector<double>& features) const;
+
+  [[nodiscard]] bool fitted() const { return detector_.fitted(); }
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+  [[nodiscard]] const MeeDetector& detector() const { return detector_; }
+  [[nodiscard]] std::size_t feature_dimension() const { return extractor_.dimension(); }
+
+ private:
+  PipelineConfig config_;
+  Preprocessor preprocessor_;
+  AdaptiveEventDetector event_detector_;
+  ParityEchoSegmenter segmenter_;
+  EchoSpectrumExtractor spectrum_extractor_;
+  FeatureExtractor extractor_;
+  MeeDetector detector_;
+};
+
+}  // namespace earsonar::core

@@ -1,0 +1,37 @@
+#include "core/preprocess.hpp"
+
+#include "common/error.hpp"
+#include "dsp/butterworth.hpp"
+
+namespace earsonar::core {
+
+void PreprocessConfig::validate(double sample_rate) const {
+  require(butterworth_order >= 1 && butterworth_order <= 8,
+          "PreprocessConfig: order must be in [1, 8]");
+  require(band_low_hz > 0.0 && band_high_hz < sample_rate / 2.0 &&
+              band_low_hz < band_high_hz,
+          "PreprocessConfig: need 0 < low < high < Nyquist");
+}
+
+Preprocessor::Preprocessor(PreprocessConfig config) : config_(config) {}
+
+dsp::BiquadCascade Preprocessor::design(double sample_rate) const {
+  config_.validate(sample_rate);
+  return dsp::butterworth_bandpass(config_.butterworth_order, config_.band_low_hz,
+                                   config_.band_high_hz, sample_rate);
+}
+
+audio::Waveform Preprocessor::process(const audio::Waveform& input) const {
+  require_nonempty("Preprocessor input", input.size());
+  dsp::BiquadCascade filter = design(input.sample_rate());
+  std::vector<double> filtered = config_.zero_phase
+                                     ? filter.filtfilt(input.view())
+                                     : filter.process(input.view());
+  return audio::Waveform(std::move(filtered), input.sample_rate());
+}
+
+double Preprocessor::magnitude_at(double frequency_hz, double sample_rate) const {
+  return design(sample_rate).magnitude_at(frequency_hz, sample_rate);
+}
+
+}  // namespace earsonar::core

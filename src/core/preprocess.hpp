@@ -1,0 +1,37 @@
+// Signal preprocessing (paper §IV-B1): Butterworth band-pass around the
+// probe band to strip ambient noise, plus an optional Hanning pulse-shaping
+// pass that raises the peak-to-sidelobe ratio of each chirp.
+#pragma once
+
+#include "audio/waveform.hpp"
+#include "dsp/biquad.hpp"
+
+namespace earsonar::core {
+
+struct PreprocessConfig {
+  int butterworth_order = 4;      ///< prototype order (bandpass => 8 poles)
+  double band_low_hz = 15000.0;   ///< slightly wider than the 16-20 kHz chirp
+  double band_high_hz = 21000.0;
+  bool zero_phase = true;         ///< filtfilt (offline pipeline) vs causal
+
+  void validate(double sample_rate) const;
+};
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(PreprocessConfig config = {});
+
+  /// Band-pass-filters the recording; the output keeps the sample rate.
+  [[nodiscard]] audio::Waveform process(const audio::Waveform& input) const;
+
+  [[nodiscard]] const PreprocessConfig& config() const { return config_; }
+
+  /// Magnitude response of the designed filter at `frequency_hz` (for tests).
+  [[nodiscard]] double magnitude_at(double frequency_hz, double sample_rate) const;
+
+ private:
+  [[nodiscard]] dsp::BiquadCascade design(double sample_rate) const;
+  PreprocessConfig config_;
+};
+
+}  // namespace earsonar::core

@@ -1,0 +1,50 @@
+#include "core/screening.hpp"
+
+#include "common/error.hpp"
+#include "core/detector.hpp"
+
+namespace earsonar::core {
+
+BinaryScreener::BinaryScreener(ScreeningConfig config)
+    : config_(config), model_([&] {
+        ml::LogisticConfig lc = config.logistic;
+        lc.classes = 2;
+        return lc;
+      }()) {
+  require_in_range("ScreeningConfig.decision_threshold", config.decision_threshold,
+                   0.0, 1.0);
+}
+
+void BinaryScreener::fit(const ml::Matrix& features, const std::vector<bool>& has_fluid) {
+  require_nonempty("BinaryScreener features", features.size());
+  require(features.size() == has_fluid.size(), "BinaryScreener: size mismatch");
+  scaler_.fit(features);
+  std::vector<std::size_t> labels(has_fluid.size());
+  for (std::size_t i = 0; i < has_fluid.size(); ++i) labels[i] = has_fluid[i] ? 1 : 0;
+  model_.fit(scaler_.transform(features), labels);
+}
+
+double BinaryScreener::fluid_probability(const std::vector<double>& features) const {
+  require(fitted(), "BinaryScreener: score before fit");
+  return model_.predict_proba(scaler_.transform(features))[1];
+}
+
+bool BinaryScreener::flag(const std::vector<double>& features) const {
+  return fluid_probability(features) >= config_.decision_threshold;
+}
+
+void BinaryScreener::set_threshold(double threshold) {
+  require_in_range("decision_threshold", threshold, 0.0, 1.0);
+  config_.decision_threshold = threshold;
+}
+
+std::vector<bool> fluid_labels(const std::vector<std::size_t>& state_labels) {
+  std::vector<bool> out(state_labels.size());
+  for (std::size_t i = 0; i < state_labels.size(); ++i) {
+    require(state_labels[i] < kMeeStateCount, "fluid_labels: label out of range");
+    out[i] = state_labels[i] != 0;  // anything but Clear is fluid
+  }
+  return out;
+}
+
+}  // namespace earsonar::core

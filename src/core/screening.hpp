@@ -1,0 +1,48 @@
+// Binary home-screening mode (extension beyond the paper).
+//
+// The question a caregiver actually asks is "is there fluid?", not "which of
+// four grades?". This mode collapses the label space to fluid / no-fluid,
+// scores recordings with a logistic head over the acoustic features, and is
+// evaluated with ROC/AUC — the protocol the Chan et al. prior work used.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/logistic.hpp"
+#include "ml/scaler.hpp"
+
+namespace earsonar::core {
+
+struct ScreeningConfig {
+  ml::LogisticConfig logistic{.classes = 2, .epochs = 400};
+  double decision_threshold = 0.5;  ///< fluid probability above which we flag
+};
+
+class BinaryScreener {
+ public:
+  explicit BinaryScreener(ScreeningConfig config = {});
+
+  /// Fits on features with binary labels (true = fluid present).
+  void fit(const ml::Matrix& features, const std::vector<bool>& has_fluid);
+
+  /// Probability that fluid is present, in [0, 1].
+  [[nodiscard]] double fluid_probability(const std::vector<double>& features) const;
+
+  /// fluid_probability >= decision_threshold.
+  [[nodiscard]] bool flag(const std::vector<double>& features) const;
+
+  void set_threshold(double threshold);
+  [[nodiscard]] double threshold() const { return config_.decision_threshold; }
+  [[nodiscard]] bool fitted() const { return model_.fitted(); }
+
+ private:
+  ScreeningConfig config_;
+  ml::StandardScaler scaler_;
+  ml::LogisticRegression model_;
+};
+
+/// Collapses four-state labels (0..3 = Clear..Purulent) to fluid presence.
+std::vector<bool> fluid_labels(const std::vector<std::size_t>& state_labels);
+
+}  // namespace earsonar::core

@@ -1,0 +1,39 @@
+#include "core/severity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace earsonar::core {
+
+SeverityEstimator::SeverityEstimator(SeverityConfig config)
+    : config_(config), model_(config.ridge) {}
+
+void SeverityEstimator::fit(const ml::Matrix& features,
+                            const std::vector<double>& fill_fractions) {
+  require_nonempty("SeverityEstimator features", features.size());
+  require(features.size() == fill_fractions.size(),
+          "SeverityEstimator: feature/label size mismatch");
+  for (double fill : fill_fractions)
+    require_in_range("fill fraction", fill, 0.0, 1.0);
+  scaler_.fit(features);
+  model_.fit(scaler_.transform(features), fill_fractions);
+}
+
+double SeverityEstimator::estimate(const std::vector<double>& features) const {
+  require(fitted(), "SeverityEstimator: estimate before fit");
+  return std::clamp(model_.predict(scaler_.transform(features)), 0.0, 1.0);
+}
+
+double mean_absolute_error(const std::vector<double>& estimates,
+                           const std::vector<double>& truths) {
+  require(estimates.size() == truths.size(), "mean_absolute_error: size mismatch");
+  require_nonempty("mean_absolute_error input", estimates.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < estimates.size(); ++i)
+    acc += std::abs(estimates[i] - truths[i]);
+  return acc / static_cast<double>(estimates.size());
+}
+
+}  // namespace earsonar::core

@@ -1,0 +1,46 @@
+// Continuous severity estimation (extension beyond the paper).
+//
+// The paper grades effusion into four discrete states; clinicians also care
+// about *how much* fluid sits behind the drum (it predicts hearing loss and
+// drives the drainage decision). The simulator knows the true fill fraction,
+// so this extension regresses it from the same 105 acoustic features with a
+// ridge head and evaluates against ground truth.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/ridge.hpp"
+#include "ml/scaler.hpp"
+
+namespace earsonar::core {
+
+struct SeverityConfig {
+  ml::RidgeConfig ridge{.lambda = 1.0};
+};
+
+/// Severity = estimated middle-ear fill fraction in [0, 1] (0 = dry).
+class SeverityEstimator {
+ public:
+  explicit SeverityEstimator(SeverityConfig config = {});
+
+  /// Fits on feature vectors with ground-truth fill fractions in [0, 1].
+  void fit(const ml::Matrix& features, const std::vector<double>& fill_fractions);
+
+  /// Estimated fill fraction, clamped to [0, 1].
+  [[nodiscard]] double estimate(const std::vector<double>& features) const;
+
+  [[nodiscard]] bool fitted() const { return model_.fitted(); }
+
+ private:
+  SeverityConfig config_;
+  ml::StandardScaler scaler_;
+  ml::RidgeRegression model_;
+};
+
+/// Mean absolute error between estimates and ground truth; the severity
+/// bench reports this next to the fill-estimate/truth correlation.
+double mean_absolute_error(const std::vector<double>& estimates,
+                           const std::vector<double>& truths);
+
+}  // namespace earsonar::core

@@ -1,0 +1,72 @@
+#include "core/template_match.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace earsonar::core {
+
+ChirpTemplateMatcher::ChirpTemplateMatcher(const audio::FmcwConfig& chirp)
+    : template_(audio::make_chirp(chirp).samples()) {
+  ensure(!template_.empty(), "ChirpTemplateMatcher: empty template");
+}
+
+std::vector<double> ChirpTemplateMatcher::correlation_track(
+    std::span<const double> signal) const {
+  if (signal.size() < template_.size()) return {};
+  const std::size_t t = template_.size();
+  double template_energy = 0.0;
+  for (double v : template_) template_energy += v * v;
+  ensure(template_energy > 0.0, "ChirpTemplateMatcher: silent template");
+
+  std::vector<double> track(signal.size() - t + 1, 0.0);
+  // Running window energy of the signal.
+  double window_energy = 0.0;
+  for (std::size_t i = 0; i < t; ++i) window_energy += signal[i] * signal[i];
+  for (std::size_t i = 0; i < track.size(); ++i) {
+    if (i > 0) {
+      window_energy += signal[i + t - 1] * signal[i + t - 1] -
+                       signal[i - 1] * signal[i - 1];
+    }
+    if (window_energy > 1e-20) {
+      double dot = 0.0;
+      for (std::size_t j = 0; j < t; ++j) dot += signal[i + j] * template_[j];
+      track[i] = dot / std::sqrt(window_energy * template_energy);
+    }
+  }
+  return track;
+}
+
+std::vector<TemplateMatch> ChirpTemplateMatcher::find_arrivals(
+    std::span<const double> signal, double min_correlation) const {
+  require_in_range("min_correlation", min_correlation, 0.0, 1.0);
+  const std::vector<double> track = correlation_track(signal);
+  std::vector<TemplateMatch> arrivals;
+  for (std::size_t i = 1; i + 1 < track.size(); ++i) {
+    const double mag = std::abs(track[i]);
+    if (mag < min_correlation) continue;
+    if (mag >= std::abs(track[i - 1]) && mag >= std::abs(track[i + 1]))
+      arrivals.push_back({static_cast<double>(i), track[i]});
+  }
+  return arrivals;
+}
+
+double ChirpTemplateMatcher::score_at(std::span<const double> signal, double position,
+                                      std::size_t slack) const {
+  require(position >= 0.0, "score_at: position must be >= 0");
+  const std::vector<double> track = correlation_track(signal);
+  if (track.empty()) return 0.0;
+  const auto center = static_cast<std::ptrdiff_t>(std::lround(position));
+  const std::ptrdiff_t lo =
+      std::max<std::ptrdiff_t>(0, center - static_cast<std::ptrdiff_t>(slack));
+  const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(
+      static_cast<std::ptrdiff_t>(track.size()) - 1,
+      center + static_cast<std::ptrdiff_t>(slack));
+  double best = 0.0;
+  for (std::ptrdiff_t i = lo; i <= hi; ++i)
+    best = std::max(best, std::abs(track[static_cast<std::size_t>(i)]));
+  return best;
+}
+
+}  // namespace earsonar::core

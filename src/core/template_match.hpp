@@ -1,0 +1,53 @@
+// Template matching against the transmit chirp (paper §III "we use the
+// correlation coefficient to separate echos reflected by different in-ear
+// objects" and §IV-B3 principle (i): the eardrum echo maintains a high
+// correlation with the direct signal).
+//
+// Each echo is a delayed, filtered copy of the transmitted chirp, so sliding
+// normalized correlation against the known template both locates reflector
+// arrivals and scores how chirp-like each candidate is.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "audio/chirp.hpp"
+
+namespace earsonar::core {
+
+/// One reflector arrival found by template matching.
+struct TemplateMatch {
+  double position = 0.0;     ///< start of the matched template (samples)
+  double correlation = 0.0;  ///< normalized correlation in [-1, 1] at that lag
+};
+
+class ChirpTemplateMatcher {
+ public:
+  /// Builds the matcher's template from the probe design.
+  explicit ChirpTemplateMatcher(const audio::FmcwConfig& chirp = {});
+
+  /// Sliding normalized correlation of the template against `signal`:
+  /// out[i] = corr(signal[i .. i+T), template). Length = len - T + 1
+  /// (empty when the signal is shorter than the template). Zero where the
+  /// local signal energy is negligible.
+  [[nodiscard]] std::vector<double> correlation_track(
+      std::span<const double> signal) const;
+
+  /// Local maxima of |correlation| above `min_correlation`, sorted by
+  /// position — the reflector arrivals within `signal`.
+  [[nodiscard]] std::vector<TemplateMatch> find_arrivals(
+      std::span<const double> signal, double min_correlation = 0.5) const;
+
+  /// Correlation score of one candidate echo: the best |correlation| within
+  /// +-`slack` samples of `position`. Scores how chirp-like the segment is.
+  [[nodiscard]] double score_at(std::span<const double> signal, double position,
+                                std::size_t slack = 2) const;
+
+  [[nodiscard]] std::size_t template_length() const { return template_.size(); }
+
+ private:
+  std::vector<double> template_;
+};
+
+}  // namespace earsonar::core

@@ -1,0 +1,74 @@
+#include "dsp/biquad.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace earsonar::dsp {
+
+std::complex<double> Biquad::response(double w) const {
+  const std::complex<double> z1 = std::polar(1.0, -w);
+  const std::complex<double> z2 = z1 * z1;
+  return (b0 + b1 * z1 + b2 * z2) / (1.0 + a1 * z1 + a2 * z2);
+}
+
+bool Biquad::is_stable() const {
+  // Jury criterion for a degree-2 polynomial z^2 + a1 z + a2.
+  return std::abs(a2) < 1.0 && std::abs(a1) < 1.0 + a2;
+}
+
+BiquadCascade::BiquadCascade(std::vector<Biquad> sections)
+    : sections_(std::move(sections)), state_(sections_.size()) {}
+
+double BiquadCascade::process_sample(double x) {
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const Biquad& s = sections_[i];
+    State& st = state_[i];
+    const double y = s.b0 * x + st.z1;
+    st.z1 = s.b1 * x - s.a1 * y + st.z2;
+    st.z2 = s.b2 * x - s.a2 * y;
+    x = y;
+  }
+  return x;
+}
+
+std::vector<double> BiquadCascade::process(std::span<const double> input) {
+  std::vector<double> out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) out[i] = process_sample(input[i]);
+  return out;
+}
+
+std::vector<double> BiquadCascade::filtfilt(std::span<const double> input) const {
+  BiquadCascade forward(sections_);
+  std::vector<double> once = forward.process(input);
+  std::reverse(once.begin(), once.end());
+  BiquadCascade backward(sections_);
+  std::vector<double> twice = backward.process(once);
+  std::reverse(twice.begin(), twice.end());
+  return twice;
+}
+
+void BiquadCascade::reset() {
+  for (State& st : state_) st = State{};
+}
+
+std::complex<double> BiquadCascade::response(double w) const {
+  std::complex<double> h{1.0, 0.0};
+  for (const Biquad& s : sections_) h *= s.response(w);
+  return h;
+}
+
+double BiquadCascade::magnitude_at(double frequency_hz, double sample_rate) const {
+  require_positive("sample_rate", sample_rate);
+  require_in_range("frequency_hz", frequency_hz, 0.0, sample_rate / 2.0);
+  const double w = 2.0 * 3.14159265358979323846 * frequency_hz / sample_rate;
+  return std::abs(response(w));
+}
+
+bool BiquadCascade::is_stable() const {
+  return std::all_of(sections_.begin(), sections_.end(),
+                     [](const Biquad& s) { return s.is_stable(); });
+}
+
+}  // namespace earsonar::dsp

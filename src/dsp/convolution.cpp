@@ -1,0 +1,76 @@
+#include "dsp/convolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+
+namespace earsonar::dsp {
+
+namespace {
+// Below this output size the direct algorithm beats FFT setup costs.
+constexpr std::size_t kDirectThreshold = 4096;
+}  // namespace
+
+std::vector<double> convolve(std::span<const double> a, std::span<const double> b) {
+  require_nonempty("convolve a", a.size());
+  require_nonempty("convolve b", b.size());
+  if (a.size() * b.size() <= kDirectThreshold * 8 &&
+      std::min(a.size(), b.size()) <= 64) {
+    return convolve_direct(a, b);
+  }
+  return convolve_fft(a, b);
+}
+
+std::vector<double> convolve_direct(std::span<const double> a, std::span<const double> b) {
+  require_nonempty("convolve a", a.size());
+  require_nonempty("convolve b", b.size());
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) out[i + j] += a[i] * b[j];
+  return out;
+}
+
+std::vector<double> convolve_fft(std::span<const double> a, std::span<const double> b) {
+  require_nonempty("convolve a", a.size());
+  require_nonempty("convolve b", b.size());
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_power_of_two(out_len);
+
+  std::vector<Complex> fa(n, Complex{0.0, 0.0});
+  std::vector<Complex> fb(n, Complex{0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex{a[i], 0.0};
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex{b[i], 0.0};
+  fft_radix2_inplace(fa);
+  fft_radix2_inplace(fb);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  std::vector<Complex> prod = ifft(fa);
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = prod[i].real();
+  return out;
+}
+
+std::vector<double> autoconvolve(std::span<const double> x) { return convolve(x, x); }
+
+std::vector<double> cross_correlate(std::span<const double> a, std::span<const double> b) {
+  require_nonempty("cross_correlate a", a.size());
+  require_nonempty("cross_correlate b", b.size());
+  std::vector<double> b_rev(b.rbegin(), b.rend());
+  return convolve(a, b_rev);
+}
+
+double normalized_correlation(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "normalized_correlation: size mismatch");
+  require_nonempty("normalized_correlation input", a.size());
+  double num = 0.0, ea = 0.0, eb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += a[i] * b[i];
+    ea += a[i] * a[i];
+    eb += b[i] * b[i];
+  }
+  if (ea <= 0.0 || eb <= 0.0) return 0.0;
+  return num / std::sqrt(ea * eb);
+}
+
+}  // namespace earsonar::dsp

@@ -1,0 +1,34 @@
+// Convolution and correlation. The echo segmenter's parity decomposition
+// (paper §IV-B3) is built on the *auto-convolution* (x * x)[m], whose local
+// maxima mark centers of even/odd symmetry in the pulse train.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace earsonar::dsp {
+
+/// Full linear convolution; picks the direct or FFT path by size.
+std::vector<double> convolve(std::span<const double> a, std::span<const double> b);
+
+/// Direct O(N*M) convolution (reference implementation, used for small sizes
+/// and as the oracle in tests).
+std::vector<double> convolve_direct(std::span<const double> a, std::span<const double> b);
+
+/// FFT-based convolution (zero-padded to the next power of two).
+std::vector<double> convolve_fft(std::span<const double> a, std::span<const double> b);
+
+/// Auto-convolution (x * x); length 2N-1. Peak positions m correspond to
+/// symmetry centers at m/2 in the original sequence.
+std::vector<double> autoconvolve(std::span<const double> x);
+
+/// Full cross-correlation r[k] = sum_n a[n] * b[n - k + (len(b)-1)],
+/// length N+M-1, lag k - (len(b)-1).
+std::vector<double> cross_correlate(std::span<const double> a, std::span<const double> b);
+
+/// Normalized cross-correlation peak value in [-1, 1] between two sequences of
+/// equal length (zero lag only).
+double normalized_correlation(std::span<const double> a, std::span<const double> b);
+
+}  // namespace earsonar::dsp

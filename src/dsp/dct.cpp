@@ -1,0 +1,54 @@
+#include "dsp/dct.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace earsonar::dsp {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+std::vector<double> dct2(std::span<const double> input) {
+  require_nonempty("dct2 input", input.size());
+  const std::size_t n = input.size();
+  std::vector<double> out(n);
+  const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double scale = std::sqrt(2.0 / static_cast<double>(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      acc += input[i] * std::cos(kPi / static_cast<double>(n) *
+                                 (static_cast<double>(i) + 0.5) * static_cast<double>(k));
+    out[k] = acc * (k == 0 ? scale0 : scale);
+  }
+  return out;
+}
+
+std::vector<double> idct2(std::span<const double> input) {
+  require_nonempty("idct2 input", input.size());
+  const std::size_t n = input.size();
+  std::vector<double> out(n);
+  const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double scale = std::sqrt(2.0 / static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = input[0] * scale0;
+    for (std::size_t k = 1; k < n; ++k)
+      acc += input[k] * scale *
+             std::cos(kPi / static_cast<double>(n) * (static_cast<double>(i) + 0.5) *
+                      static_cast<double>(k));
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<double> dct2_truncated(std::span<const double> input, std::size_t count) {
+  require(count <= input.size(), "dct2_truncated: count exceeds input size");
+  std::vector<double> full = dct2(input);
+  full.resize(count);
+  return full;
+}
+
+}  // namespace earsonar::dsp

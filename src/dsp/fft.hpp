@@ -1,0 +1,52 @@
+// Fast Fourier transforms.
+//
+// Power-of-two sizes run through an iterative radix-2 Cooley-Tukey kernel;
+// every other size is handled by Bluestein's chirp-z algorithm, so callers may
+// transform arbitrary lengths (the echo windows the pipeline cuts are not
+// always powers of two).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace earsonar::dsp {
+
+using Complex = std::complex<double>;
+
+/// True when n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place forward FFT; data.size() must be a power of two.
+void fft_radix2_inplace(std::span<Complex> data);
+
+/// Forward FFT of arbitrary length (radix-2 fast path, Bluestein otherwise).
+std::vector<Complex> fft(std::span<const Complex> input);
+
+/// Inverse FFT (includes the 1/N normalization).
+std::vector<Complex> ifft(std::span<const Complex> input);
+
+/// Forward FFT of a real signal; returns all N complex bins.
+std::vector<Complex> fft_real(std::span<const double> input);
+
+/// First N/2+1 bins of the FFT of a real signal (non-negative frequencies).
+std::vector<Complex> rfft(std::span<const double> input);
+
+/// |X[k]| for the non-negative-frequency bins of a real signal.
+std::vector<double> magnitude_spectrum(std::span<const double> input);
+
+/// |X[k]|^2 / N for the non-negative-frequency bins of a real signal.
+std::vector<double> power_spectrum(std::span<const double> input);
+
+/// Center frequency in Hz of bin k for an N-point transform at sample_rate.
+double bin_frequency(std::size_t bin, std::size_t fft_size, double sample_rate);
+
+/// Nearest bin index for `frequency_hz` in an N-point transform.
+std::size_t frequency_to_bin(double frequency_hz, std::size_t fft_size,
+                             double sample_rate);
+
+}  // namespace earsonar::dsp

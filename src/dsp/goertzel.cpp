@@ -1,0 +1,35 @@
+#include "dsp/goertzel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace earsonar::dsp {
+
+double goertzel_power(std::span<const double> signal, double frequency_hz,
+                      double sample_rate) {
+  const double mag = goertzel_magnitude(signal, frequency_hz, sample_rate);
+  return mag * mag;
+}
+
+double goertzel_magnitude(std::span<const double> signal, double frequency_hz,
+                          double sample_rate) {
+  require_nonempty("goertzel input", signal.size());
+  require_positive("sample_rate", sample_rate);
+  require(frequency_hz >= 0.0 && frequency_hz <= sample_rate / 2.0,
+          "goertzel: frequency outside [0, Nyquist]");
+  const double w = 2.0 * std::numbers::pi * frequency_hz / sample_rate;
+  const double coeff = 2.0 * std::cos(w);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+  for (double x : signal) {
+    s0 = x + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  const double real = s1 - s2 * std::cos(w);
+  const double imag = s2 * std::sin(w);
+  return std::sqrt(real * real + imag * imag) / static_cast<double>(signal.size());
+}
+
+}  // namespace earsonar::dsp

@@ -1,0 +1,18 @@
+// Goertzel single-bin DFT — a cheap way to measure energy at one probe
+// frequency, used by tests and the simulator's calibration checks.
+#pragma once
+
+#include <span>
+
+namespace earsonar::dsp {
+
+/// Power of `signal` at `frequency_hz` (normalized |X(f)|^2 / N^2 so a
+/// full-scale sine of that frequency reports ~0.25).
+double goertzel_power(std::span<const double> signal, double frequency_hz,
+                      double sample_rate);
+
+/// Magnitude |X(f)| / N at `frequency_hz` (full-scale sine reports ~0.5).
+double goertzel_magnitude(std::span<const double> signal, double frequency_hz,
+                          double sample_rate);
+
+}  // namespace earsonar::dsp

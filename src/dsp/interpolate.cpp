@@ -1,0 +1,178 @@
+#include "dsp/interpolate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/butterworth.hpp"
+
+namespace earsonar::dsp {
+
+std::vector<double> interp_linear(std::span<const double> x, std::span<const double> y,
+                                  std::span<const double> queries) {
+  require(x.size() == y.size(), "interp_linear: x/y size mismatch");
+  require(x.size() >= 2, "interp_linear: need >= 2 knots");
+  for (std::size_t i = 1; i < x.size(); ++i)
+    require(x[i] > x[i - 1], "interp_linear: x must be strictly ascending");
+
+  std::vector<double> out(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const double f = queries[q];
+    if (f <= x.front()) {
+      out[q] = y.front();
+    } else if (f >= x.back()) {
+      out[q] = y.back();
+    } else {
+      const auto it = std::lower_bound(x.begin(), x.end(), f);
+      const std::size_t hi = static_cast<std::size_t>(it - x.begin());
+      const std::size_t lo = hi - 1;
+      const double t = (f - x[lo]) / (x[hi] - x[lo]);
+      out[q] = y[lo] * (1.0 - t) + y[hi] * t;
+    }
+  }
+  return out;
+}
+
+CubicSpline::CubicSpline(std::span<const double> x, std::span<const double> y)
+    : x_(x.begin(), x.end()), y_(y.begin(), y.end()) {
+  require(x.size() == y.size(), "CubicSpline: x/y size mismatch");
+  require(x.size() >= 2, "CubicSpline: need >= 2 knots");
+  for (std::size_t i = 1; i < x.size(); ++i)
+    require(x[i] > x[i - 1], "CubicSpline: x must be strictly ascending");
+
+  const std::size_t n = x_.size();
+  m_.assign(n, 0.0);
+  if (n == 2) return;  // natural spline through 2 points is a line
+
+  // Thomas algorithm on the tridiagonal system for second derivatives.
+  std::vector<double> a(n, 0.0), b(n, 0.0), c(n, 0.0), d(n, 0.0);
+  b[0] = 1.0;
+  b[n - 1] = 1.0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double h0 = x_[i] - x_[i - 1];
+    const double h1 = x_[i + 1] - x_[i];
+    a[i] = h0;
+    b[i] = 2.0 * (h0 + h1);
+    c[i] = h1;
+    d[i] = 6.0 * ((y_[i + 1] - y_[i]) / h1 - (y_[i] - y_[i - 1]) / h0);
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const double w = a[i] / b[i - 1];
+    b[i] -= w * c[i - 1];
+    d[i] -= w * d[i - 1];
+  }
+  m_[n - 1] = d[n - 1] / b[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) m_[i] = (d[i] - c[i] * m_[i + 1]) / b[i];
+}
+
+double CubicSpline::operator()(double query) const {
+  if (query <= x_.front()) return y_.front();
+  if (query >= x_.back()) return y_.back();
+  const auto it = std::lower_bound(x_.begin(), x_.end(), query);
+  const std::size_t hi = static_cast<std::size_t>(it - x_.begin());
+  const std::size_t lo = hi - 1;
+  const double h = x_[hi] - x_[lo];
+  const double t0 = (x_[hi] - query) / h;
+  const double t1 = (query - x_[lo]) / h;
+  return t0 * y_[lo] + t1 * y_[hi] +
+         ((t0 * t0 * t0 - t0) * m_[lo] + (t1 * t1 * t1 - t1) * m_[hi]) * h * h / 6.0;
+}
+
+std::vector<double> CubicSpline::evaluate(std::span<const double> queries) const {
+  std::vector<double> out(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) out[i] = (*this)(queries[i]);
+  return out;
+}
+
+std::vector<double> resample_to_length(std::span<const double> signal,
+                                       std::size_t target_length) {
+  require(signal.size() >= 2, "resample_to_length: need >= 2 samples");
+  require(target_length >= 2, "resample_to_length: target must be >= 2");
+  std::vector<double> x(signal.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  CubicSpline spline(x, signal);
+  std::vector<double> out(target_length);
+  const double scale =
+      static_cast<double>(signal.size() - 1) / static_cast<double>(target_length - 1);
+  for (std::size_t i = 0; i < target_length; ++i)
+    out[i] = spline(static_cast<double>(i) * scale);
+  return out;
+}
+
+double sample_fractional(std::span<const double> signal, double index) {
+  if (signal.empty()) return 0.0;
+  if (index < 0.0 || index > static_cast<double>(signal.size() - 1)) return 0.0;
+  const auto at = [&](std::ptrdiff_t i) -> double {
+    if (i < 0 || i >= static_cast<std::ptrdiff_t>(signal.size())) return 0.0;
+    return signal[static_cast<std::size_t>(i)];
+  };
+  const std::ptrdiff_t i1 = static_cast<std::ptrdiff_t>(std::floor(index));
+  const double t = index - static_cast<double>(i1);
+  const double p0 = at(i1 - 1), p1 = at(i1), p2 = at(i1 + 1), p3 = at(i1 + 2);
+  // Catmull-Rom.
+  return 0.5 * ((2.0 * p1) + (-p0 + p2) * t + (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * t * t +
+                (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * t * t * t);
+}
+
+double sample_fractional_sinc(std::span<const double> signal, double index) {
+  if (signal.empty()) return 0.0;
+  if (index < 0.0 || index > static_cast<double>(signal.size() - 1)) return 0.0;
+  constexpr int kHalfTaps = 8;
+  constexpr double kPi = 3.14159265358979323846;
+  const auto at = [&](std::ptrdiff_t i) -> double {
+    if (i < 0 || i >= static_cast<std::ptrdiff_t>(signal.size())) return 0.0;
+    return signal[static_cast<std::size_t>(i)];
+  };
+  const std::ptrdiff_t base = static_cast<std::ptrdiff_t>(std::floor(index));
+  const double frac = index - static_cast<double>(base);
+  if (frac < 1e-12) return at(base);  // exact sample, skip the kernel
+
+  double acc = 0.0;
+  for (int k = -kHalfTaps + 1; k <= kHalfTaps; ++k) {
+    const double t = frac - static_cast<double>(k);  // distance to tap k
+    const double sinc = std::sin(kPi * t) / (kPi * t);
+    // Hann window over the kernel span [-kHalfTaps, kHalfTaps].
+    const double win = 0.5 + 0.5 * std::cos(kPi * t / kHalfTaps);
+    acc += at(base + k) * sinc * win;
+  }
+  return acc;
+}
+
+std::vector<double> resample_to_rate(std::span<const double> signal, double source_rate,
+                                     double target_rate) {
+  require_nonempty("resample_to_rate input", signal.size());
+  require_positive("source_rate", source_rate);
+  require_positive("target_rate", target_rate);
+  if (source_rate == target_rate)
+    return std::vector<double>(signal.begin(), signal.end());
+
+  // Downsampling folds content above the new Nyquist back into band;
+  // low-pass first.
+  std::vector<double> prepared;
+  if (target_rate < source_rate) {
+    BiquadCascade aa = butterworth_lowpass(6, 0.45 * target_rate, source_rate);
+    prepared = aa.filtfilt(signal);
+  } else {
+    prepared.assign(signal.begin(), signal.end());
+  }
+
+  const double ratio = source_rate / target_rate;
+  const std::size_t out_len = static_cast<std::size_t>(
+      std::llround(static_cast<double>(signal.size()) / ratio));
+  std::vector<double> out(std::max<std::size_t>(out_len, 1));
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = sample_fractional_sinc(prepared, static_cast<double>(i) * ratio);
+  return out;
+}
+
+std::vector<double> fractional_delay(std::span<const double> signal, double delay_samples) {
+  require(delay_samples >= 0.0, "fractional_delay: delay must be >= 0");
+  std::vector<double> out(signal.size(), 0.0);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double src = static_cast<double>(i) - delay_samples;
+    if (src >= 0.0) out[i] = sample_fractional(signal, src);
+  }
+  return out;
+}
+
+}  // namespace earsonar::dsp

@@ -1,0 +1,110 @@
+#include "dsp/mel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
+
+namespace earsonar::dsp {
+
+double hz_to_mel(double hz) {
+  require(hz >= 0.0, "hz_to_mel: hz must be >= 0");
+  return 2595.0 * std::log10(1.0 + hz / 700.0);
+}
+
+double mel_to_hz(double mel) {
+  require(mel >= 0.0, "mel_to_hz: mel must be >= 0");
+  return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+MelFilterbank::MelFilterbank(const MelFilterbankConfig& config) : config_(config) {
+  require(config.filter_count >= 1, "MelFilterbank: need >= 1 filter");
+  require_positive("MelFilterbank sample_rate", config.sample_rate);
+  require(config.fft_size >= 4, "MelFilterbank: fft_size too small");
+  require(config.low_hz >= 0.0 && config.high_hz <= config.sample_rate / 2.0 &&
+              config.low_hz < config.high_hz,
+          "MelFilterbank: need 0 <= low < high <= Nyquist");
+
+  const std::size_t n_bins = bins();
+  const double mel_lo = hz_to_mel(config.low_hz);
+  const double mel_hi = hz_to_mel(config.high_hz);
+  // filter_count triangles need filter_count + 2 edge points.
+  std::vector<double> edges_hz(config.filter_count + 2);
+  for (std::size_t i = 0; i < edges_hz.size(); ++i) {
+    const double mel = mel_lo + (mel_hi - mel_lo) * static_cast<double>(i) /
+                                    static_cast<double>(edges_hz.size() - 1);
+    edges_hz[i] = mel_to_hz(mel);
+  }
+
+  weights_.assign(config.filter_count, std::vector<double>(n_bins, 0.0));
+  for (std::size_t f = 0; f < config.filter_count; ++f) {
+    const double left = edges_hz[f], center = edges_hz[f + 1], right = edges_hz[f + 2];
+    for (std::size_t b = 0; b < n_bins; ++b) {
+      const double freq = bin_frequency(b, config.fft_size, config.sample_rate);
+      double w = 0.0;
+      if (freq > left && freq < center) w = (freq - left) / (center - left);
+      else if (freq >= center && freq < right) w = (right - freq) / (right - center);
+      weights_[f][b] = w;
+    }
+  }
+}
+
+std::vector<double> MelFilterbank::apply(std::span<const double> power_spectrum) const {
+  require(power_spectrum.size() == bins(), "MelFilterbank::apply: spectrum size mismatch");
+  std::vector<double> energies(config_.filter_count, 0.0);
+  for (std::size_t f = 0; f < config_.filter_count; ++f) {
+    double acc = 0.0;
+    const auto& row = weights_[f];
+    for (std::size_t b = 0; b < row.size(); ++b) acc += row[b] * power_spectrum[b];
+    energies[f] = acc;
+  }
+  return energies;
+}
+
+MfccExtractor::MfccExtractor(const MfccConfig& config)
+    : config_(config), filterbank_(config.filterbank) {
+  require(config.coefficient_count >= 1 &&
+              config.coefficient_count <= config.filterbank.filter_count,
+          "MfccExtractor: coefficient_count must be in [1, filter_count]");
+  require_positive("MfccExtractor log_floor", config.log_floor);
+}
+
+std::vector<double> MfccExtractor::compute(std::span<const double> frame) const {
+  require_nonempty("MfccExtractor frame", frame.size());
+  const std::size_t n = config_.filterbank.fft_size;
+  std::vector<double> padded(n, 0.0);
+  const std::size_t copy = std::min(frame.size(), n);
+  std::copy_n(frame.begin(), copy, padded.begin());
+  const std::vector<double> w = hann_window(n);
+  apply_window_inplace(padded, w);
+
+  std::vector<Complex> bins_cx = rfft(padded);
+  std::vector<double> power(bins_cx.size());
+  const double scale = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < bins_cx.size(); ++i) power[i] = std::norm(bins_cx[i]) * scale;
+  return compute_from_power(power);
+}
+
+std::vector<double> MfccExtractor::compute_from_power(
+    std::span<const double> power_spectrum) const {
+  std::vector<double> energies = filterbank_.apply(power_spectrum);
+  for (double& e : energies) e = std::log(std::max(e, config_.log_floor));
+  // DCT-II, keep the leading coefficients.
+  const std::size_t n = energies.size();
+  std::vector<double> mfcc(config_.coefficient_count, 0.0);
+  const double pi = 3.14159265358979323846;
+  const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double scale = std::sqrt(2.0 / static_cast<double>(n));
+  for (std::size_t k = 0; k < mfcc.size(); ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      acc += energies[i] * std::cos(pi / static_cast<double>(n) *
+                                    (static_cast<double>(i) + 0.5) * static_cast<double>(k));
+    mfcc[k] = acc * (k == 0 ? scale0 : scale);
+  }
+  return mfcc;
+}
+
+}  // namespace earsonar::dsp

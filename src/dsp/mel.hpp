@@ -1,0 +1,72 @@
+// Mel filterbank and MFCC extraction.
+//
+// The paper computes MFCCs over the segmented eardrum echo; since the chirp
+// band is 16-20 kHz rather than speech-band audio, the filterbank edges are
+// configurable and default to a band bracketing the probe signal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace earsonar::dsp {
+
+/// Hz -> mel (HTK formula).
+double hz_to_mel(double hz);
+
+/// Mel -> Hz (HTK formula).
+double mel_to_hz(double mel);
+
+struct MelFilterbankConfig {
+  std::size_t filter_count = 20;   ///< number of triangular filters
+  double low_hz = 14000.0;         ///< lower edge of the first filter
+  double high_hz = 22000.0;        ///< upper edge of the last filter
+  std::size_t fft_size = 512;      ///< transform length the filters apply to
+  double sample_rate = 48000.0;
+};
+
+/// Triangular mel filterbank: filter_count rows of fft_size/2+1 weights.
+class MelFilterbank {
+ public:
+  explicit MelFilterbank(const MelFilterbankConfig& config);
+
+  /// Applies the filterbank to a power spectrum of size fft_size/2+1;
+  /// returns filter_count band energies.
+  [[nodiscard]] std::vector<double> apply(std::span<const double> power_spectrum) const;
+
+  [[nodiscard]] const MelFilterbankConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t bins() const { return config_.fft_size / 2 + 1; }
+  [[nodiscard]] const std::vector<std::vector<double>>& weights() const { return weights_; }
+
+ private:
+  MelFilterbankConfig config_;
+  std::vector<std::vector<double>> weights_;
+};
+
+struct MfccConfig {
+  MelFilterbankConfig filterbank;
+  std::size_t coefficient_count = 13;  ///< DCT coefficients kept
+  double log_floor = 1e-12;            ///< floor before the log to avoid -inf
+};
+
+/// MFCC extractor: power spectrum -> mel energies -> log -> DCT-II.
+class MfccExtractor {
+ public:
+  explicit MfccExtractor(const MfccConfig& config);
+
+  /// MFCCs of a time-domain frame (frame is zero-padded/truncated to
+  /// fft_size, Hann-windowed, transformed internally).
+  [[nodiscard]] std::vector<double> compute(std::span<const double> frame) const;
+
+  /// MFCCs from an already-computed power spectrum (size fft_size/2+1).
+  [[nodiscard]] std::vector<double> compute_from_power(
+      std::span<const double> power_spectrum) const;
+
+  [[nodiscard]] const MfccConfig& config() const { return config_; }
+
+ private:
+  MfccConfig config_;
+  MelFilterbank filterbank_;
+};
+
+}  // namespace earsonar::dsp

@@ -1,0 +1,171 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/fft.hpp"
+
+namespace earsonar::dsp {
+
+namespace {
+
+// Windowed periodogram of exactly one segment, appended into `acc`.
+std::vector<double> segment_periodogram(std::span<const double> seg,
+                                        std::span<const double> window,
+                                        double sample_rate) {
+  std::vector<double> xw = apply_window(seg, window);
+  std::vector<Complex> bins = rfft(xw);
+  const double norm = 1.0 / (sample_rate * window_power(window));
+  std::vector<double> psd(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    psd[i] = std::norm(bins[i]) * norm;
+    // One-sided spectrum: double everything except DC and Nyquist.
+    const bool is_edge = (i == 0) || (seg.size() % 2 == 0 && i == bins.size() - 1);
+    if (!is_edge) psd[i] *= 2.0;
+  }
+  return psd;
+}
+
+}  // namespace
+
+Spectrum periodogram(std::span<const double> signal, double sample_rate,
+                     WindowType window) {
+  require_nonempty("periodogram input", signal.size());
+  require_positive("sample_rate", sample_rate);
+  const std::vector<double> w = make_window(window, signal.size());
+  Spectrum out;
+  out.psd = segment_periodogram(signal, w, sample_rate);
+  out.frequency_hz.resize(out.psd.size());
+  for (std::size_t i = 0; i < out.psd.size(); ++i)
+    out.frequency_hz[i] = bin_frequency(i, signal.size(), sample_rate);
+  return out;
+}
+
+Spectrum welch_psd(std::span<const double> signal, double sample_rate,
+                   std::size_t segment, WindowType window) {
+  require_nonempty("welch input", signal.size());
+  require(segment >= 2, "welch: segment must be >= 2");
+  require(segment <= signal.size(), "welch: segment longer than signal");
+  require_positive("sample_rate", sample_rate);
+
+  const std::size_t hop = segment / 2;
+  const std::vector<double> w = make_window(window, segment);
+  std::vector<double> acc(segment / 2 + 1, 0.0);
+  std::size_t count = 0;
+  for (std::size_t start = 0; start + segment <= signal.size(); start += hop) {
+    std::vector<double> psd =
+        segment_periodogram(signal.subspan(start, segment), w, sample_rate);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += psd[i];
+    ++count;
+  }
+  ensure(count > 0, "welch: no segments");
+  for (double& v : acc) v /= static_cast<double>(count);
+
+  Spectrum out;
+  out.psd = std::move(acc);
+  out.frequency_hz.resize(out.psd.size());
+  for (std::size_t i = 0; i < out.psd.size(); ++i)
+    out.frequency_hz[i] = bin_frequency(i, segment, sample_rate);
+  return out;
+}
+
+Spectrum band_slice(const Spectrum& spectrum, double low_hz, double high_hz) {
+  require(low_hz <= high_hz, "band_slice: low must be <= high");
+  Spectrum out;
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    if (spectrum.frequency_hz[i] >= low_hz && spectrum.frequency_hz[i] <= high_hz) {
+      out.frequency_hz.push_back(spectrum.frequency_hz[i]);
+      out.psd.push_back(spectrum.psd[i]);
+    }
+  }
+  return out;
+}
+
+double band_power(const Spectrum& spectrum, double low_hz, double high_hz) {
+  Spectrum band = band_slice(spectrum, low_hz, high_hz);
+  if (band.size() < 2) return band.size() == 1 ? band.psd[0] : 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < band.size(); ++i) {
+    const double df = band.frequency_hz[i] - band.frequency_hz[i - 1];
+    acc += 0.5 * (band.psd[i] + band.psd[i - 1]) * df;
+  }
+  return acc;
+}
+
+Spectrum normalize_peak(const Spectrum& spectrum) {
+  Spectrum out = spectrum;
+  if (out.psd.empty()) return out;
+  const double peak = max_value(out.psd);
+  if (peak <= 0.0) return out;
+  for (double& v : out.psd) v /= peak;
+  return out;
+}
+
+Spectrum resample_spectrum(const Spectrum& spectrum, double low_hz, double high_hz,
+                           std::size_t bins) {
+  require(bins >= 2, "resample_spectrum: need >= 2 bins");
+  require(low_hz < high_hz, "resample_spectrum: low must be < high");
+  require_nonempty("resample_spectrum input", spectrum.size());
+
+  Spectrum out;
+  out.frequency_hz.resize(bins);
+  out.psd.resize(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double f = low_hz + (high_hz - low_hz) * static_cast<double>(i) /
+                                  static_cast<double>(bins - 1);
+    out.frequency_hz[i] = f;
+    // Linear interpolation, clamped at the ends.
+    if (f <= spectrum.frequency_hz.front()) {
+      out.psd[i] = spectrum.psd.front();
+    } else if (f >= spectrum.frequency_hz.back()) {
+      out.psd[i] = spectrum.psd.back();
+    } else {
+      const auto it = std::lower_bound(spectrum.frequency_hz.begin(),
+                                       spectrum.frequency_hz.end(), f);
+      const std::size_t hi = static_cast<std::size_t>(it - spectrum.frequency_hz.begin());
+      const std::size_t lo = hi - 1;
+      const double f0 = spectrum.frequency_hz[lo], f1 = spectrum.frequency_hz[hi];
+      const double t = (f - f0) / (f1 - f0);
+      out.psd[i] = spectrum.psd[lo] * (1.0 - t) + spectrum.psd[hi] * t;
+    }
+  }
+  return out;
+}
+
+SpectralDip find_dip(const Spectrum& spectrum, double low_hz, double high_hz) {
+  Spectrum band = band_slice(spectrum, low_hz, high_hz);
+  require(band.size() >= 3, "find_dip: band too narrow");
+  const double band_max = max_value(band.psd);
+  SpectralDip dip;
+  if (band_max <= 0.0) return dip;
+
+  double best_value = band_max;
+  for (std::size_t i = 1; i + 1 < band.size(); ++i) {
+    const bool local_min = band.psd[i] <= band.psd[i - 1] && band.psd[i] <= band.psd[i + 1];
+    if (local_min && band.psd[i] < best_value) {
+      best_value = band.psd[i];
+      dip.frequency_hz = band.frequency_hz[i];
+    }
+  }
+  if (dip.frequency_hz > 0.0) dip.depth = 1.0 - best_value / band_max;
+  return dip;
+}
+
+double spectral_centroid(const Spectrum& spectrum) {
+  require_nonempty("spectral_centroid input", spectrum.size());
+  double wsum = 0.0, psum = 0.0;
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    wsum += spectrum.frequency_hz[i] * spectrum.psd[i];
+    psum += spectrum.psd[i];
+  }
+  return psum > 0.0 ? wsum / psum : 0.0;
+}
+
+double spectrum_correlation(const Spectrum& a, const Spectrum& b) {
+  require(a.size() == b.size(), "spectrum_correlation: grids must match");
+  return pearson_correlation(a.psd, b.psd);
+}
+
+}  // namespace earsonar::dsp

@@ -1,0 +1,61 @@
+// Power-spectral-density estimation and band utilities. The absorption
+// analysis stage (paper §IV-C1) turns the segmented eardrum echo into a PSD
+// and reads the acoustic dip near 18 kHz out of it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace earsonar::dsp {
+
+/// A sampled spectrum: psd[i] is the power density at frequency_hz[i].
+struct Spectrum {
+  std::vector<double> frequency_hz;
+  std::vector<double> psd;
+
+  [[nodiscard]] std::size_t size() const { return psd.size(); }
+};
+
+/// Single-window periodogram PSD of a real signal (optionally windowed),
+/// normalized so white noise of variance s^2 has density s^2 / fs.
+Spectrum periodogram(std::span<const double> signal, double sample_rate,
+                     WindowType window = WindowType::kHann);
+
+/// Welch-averaged PSD: `segment` samples per segment, 50% overlap.
+Spectrum welch_psd(std::span<const double> signal, double sample_rate,
+                   std::size_t segment, WindowType window = WindowType::kHann);
+
+/// Restricts a spectrum to [low_hz, high_hz] (inclusive).
+Spectrum band_slice(const Spectrum& spectrum, double low_hz, double high_hz);
+
+/// Total power in [low_hz, high_hz] (trapezoidal integration of the PSD).
+double band_power(const Spectrum& spectrum, double low_hz, double high_hz);
+
+/// Peak-normalizes the PSD to a maximum of 1 (no-op on all-zero input).
+Spectrum normalize_peak(const Spectrum& spectrum);
+
+/// Resamples a spectrum onto `bins` uniformly spaced frequencies spanning
+/// [low_hz, high_hz] using linear interpolation. Aligns spectra from windows
+/// of different lengths onto a common grid for correlation/feature use.
+Spectrum resample_spectrum(const Spectrum& spectrum, double low_hz, double high_hz,
+                           std::size_t bins);
+
+/// Location (Hz) and depth of the deepest local minimum of the PSD within
+/// [low_hz, high_hz]. Depth is measured relative to the band's maximum, in
+/// linear power ratio (0 = no dip, ->1 = deep notch).
+struct SpectralDip {
+  double frequency_hz = 0.0;
+  double depth = 0.0;
+};
+SpectralDip find_dip(const Spectrum& spectrum, double low_hz, double high_hz);
+
+/// Spectral centroid (power-weighted mean frequency) over the whole spectrum.
+double spectral_centroid(const Spectrum& spectrum);
+
+/// Pearson correlation between the PSDs of two equal-grid spectra.
+double spectrum_correlation(const Spectrum& a, const Spectrum& b);
+
+}  // namespace earsonar::dsp

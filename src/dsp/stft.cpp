@@ -1,0 +1,56 @@
+#include "dsp/stft.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/fft.hpp"
+
+namespace earsonar::dsp {
+
+void StftConfig::validate() const {
+  require(window_length >= 8, "StftConfig: window_length must be >= 8");
+  require(hop >= 1 && hop <= window_length, "StftConfig: hop must be in [1, window]");
+  require(is_power_of_two(fft_size), "StftConfig: fft_size must be a power of two");
+  require(fft_size >= window_length, "StftConfig: fft_size must cover the window");
+}
+
+Spectrogram stft(std::span<const double> signal, double sample_rate,
+                 const StftConfig& config) {
+  config.validate();
+  require_positive("sample_rate", sample_rate);
+  require(signal.size() >= config.window_length, "stft: signal shorter than window");
+
+  const std::vector<double> win = make_window(config.window, config.window_length);
+  Spectrogram out;
+  out.frequency_hz.resize(config.fft_size / 2 + 1);
+  for (std::size_t b = 0; b < out.frequency_hz.size(); ++b)
+    out.frequency_hz[b] = bin_frequency(b, config.fft_size, sample_rate);
+
+  for (std::size_t start = 0; start + config.hop <= signal.size();
+       start += config.hop) {
+    std::vector<double> frame(config.fft_size, 0.0);
+    const std::size_t take = std::min(config.window_length, signal.size() - start);
+    for (std::size_t i = 0; i < take; ++i) frame[i] = signal[start + i] * win[i];
+
+    std::vector<Complex> bins = rfft(frame);
+    std::vector<double> power(bins.size());
+    const double norm = 1.0 / static_cast<double>(config.fft_size);
+    for (std::size_t b = 0; b < bins.size(); ++b) power[b] = std::norm(bins[b]) * norm;
+    out.power.push_back(std::move(power));
+    out.time_s.push_back(
+        (static_cast<double>(start) + config.window_length / 2.0) / sample_rate);
+    if (start + config.window_length >= signal.size()) break;
+  }
+  return out;
+}
+
+std::vector<double> peak_frequency_track(const Spectrogram& spectrogram) {
+  std::vector<double> track;
+  track.reserve(spectrogram.frames());
+  for (const auto& frame : spectrogram.power)
+    track.push_back(spectrogram.frequency_hz[argmax(frame)]);
+  return track;
+}
+
+}  // namespace earsonar::dsp

@@ -1,0 +1,44 @@
+// Short-time Fourier transform / spectrogram. Used by the CLI's inspection
+// commands to render the time-frequency picture of a probing session (the
+// FMCW chirp ladder of the paper's Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace earsonar::dsp {
+
+struct StftConfig {
+  std::size_t window_length = 256;
+  std::size_t hop = 128;
+  std::size_t fft_size = 256;         ///< >= window_length, power of two
+  WindowType window = WindowType::kHann;
+
+  void validate() const;
+};
+
+/// A magnitude spectrogram: power[frame][bin], with helper axes.
+struct Spectrogram {
+  std::vector<std::vector<double>> power;  ///< frames x (fft_size/2+1)
+  std::vector<double> time_s;              ///< frame centers
+  std::vector<double> frequency_hz;        ///< bin centers
+
+  [[nodiscard]] std::size_t frames() const { return power.size(); }
+  [[nodiscard]] std::size_t bins() const {
+    return power.empty() ? 0 : power.front().size();
+  }
+};
+
+/// Power spectrogram of a real signal. Frames shorter than the window at the
+/// signal tail are zero-padded. Requires signal.size() >= window_length.
+Spectrogram stft(std::span<const double> signal, double sample_rate,
+                 const StftConfig& config = {});
+
+/// Frequency of the per-frame power-weighted peak bin, one value per frame —
+/// a cheap instantaneous-frequency track that makes chirp sweeps visible.
+std::vector<double> peak_frequency_track(const Spectrogram& spectrogram);
+
+}  // namespace earsonar::dsp

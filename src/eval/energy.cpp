@@ -1,0 +1,38 @@
+#include "eval/energy.hpp"
+
+#include "common/error.hpp"
+
+namespace earsonar::eval {
+
+std::vector<PhonePowerProfile> paper_phone_profiles() {
+  // Active powers are the paper's Table III; idle draws are typical
+  // screen-on-idle figures for the same handset class.
+  return {
+      {"Huawei", 2100.0, 850.0},
+      {"Galaxy", 2120.0, 870.0},
+      {"MI 10", 2243.0, 900.0},
+  };
+}
+
+double detection_energy_mj(const PhonePowerProfile& phone,
+                           const core::StageTimings& timings) {
+  require_positive("active_power_mw", phone.active_power_mw);
+  return phone.active_power_mw * timings.total_ms() / 1000.0;  // mW * s = mJ
+}
+
+double detection_net_energy_mj(const PhonePowerProfile& phone,
+                               const core::StageTimings& timings) {
+  require(phone.idle_power_mw >= 0.0 && phone.idle_power_mw < phone.active_power_mw,
+          "PhonePowerProfile: idle power must be below active power");
+  return (phone.active_power_mw - phone.idle_power_mw) * timings.total_ms() / 1000.0;
+}
+
+double detections_per_charge(const PhonePowerProfile& phone,
+                             const core::StageTimings& timings, double battery_mwh) {
+  require_positive("battery_mwh", battery_mwh);
+  const double energy_mj = detection_energy_mj(phone, timings);
+  require_positive("detection energy", energy_mj);
+  return battery_mwh * 3600.0 / energy_mj;  // 1 mWh = 3.6 J = 3600 mJ
+}
+
+}  // namespace earsonar::eval

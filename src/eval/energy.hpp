@@ -1,0 +1,38 @@
+// Energy model for Table III.
+//
+// SUBSTITUTION (see DESIGN.md): the paper measures whole-phone power rails on
+// three handsets during MEE detection (Huawei 2100 mW, Galaxy 2120 mW,
+// MI 10 2243 mW). Without the handsets we reproduce the *methodology*:
+// per-detection energy = measured pipeline latency x a device power profile
+// whose constants come from the paper's own Table III.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace earsonar::eval {
+
+struct PhonePowerProfile {
+  std::string name;
+  double active_power_mw = 0.0;  ///< average draw while the pipeline runs
+  double idle_power_mw = 0.0;    ///< baseline draw subtracted for net energy
+};
+
+/// The three handsets of Table III with the paper's measured active powers.
+std::vector<PhonePowerProfile> paper_phone_profiles();
+
+/// Energy (millijoules) of one detection: active power x total latency.
+double detection_energy_mj(const PhonePowerProfile& phone,
+                           const core::StageTimings& timings);
+
+/// Net energy above idle for one detection (mJ).
+double detection_net_energy_mj(const PhonePowerProfile& phone,
+                               const core::StageTimings& timings);
+
+/// Detections per battery charge for the given battery capacity (mWh).
+double detections_per_charge(const PhonePowerProfile& phone,
+                             const core::StageTimings& timings, double battery_mwh);
+
+}  // namespace earsonar::eval

@@ -1,0 +1,145 @@
+#include "eval/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ml/crossval.hpp"
+
+namespace earsonar::eval {
+
+namespace {
+
+// Extracts the subset of a dataset at the given indices.
+EvalDataset subset(const EvalDataset& dataset, const std::vector<std::size_t>& indices) {
+  EvalDataset out;
+  out.features.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  out.groups.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    out.features.push_back(dataset.features[idx]);
+    out.labels.push_back(dataset.labels[idx]);
+    out.groups.push_back(dataset.groups[idx]);
+  }
+  return out;
+}
+
+}  // namespace
+
+EvalDataset build_earsonar_dataset(const std::vector<sim::SessionRecording>& recordings,
+                                   const core::EarSonar& pipeline) {
+  require_nonempty("build_earsonar_dataset recordings", recordings.size());
+  EvalDataset dataset;
+  for (const sim::SessionRecording& rec : recordings) {
+    core::EchoAnalysis analysis = pipeline.analyze(rec.waveform);
+    if (!analysis.usable()) {
+      dataset.skipped++;
+      continue;
+    }
+    dataset.features.push_back(std::move(analysis.features));
+    dataset.labels.push_back(sim::state_index(rec.state));
+    dataset.groups.push_back(rec.subject_id);
+  }
+  return dataset;
+}
+
+EvalDataset build_chan_dataset(const std::vector<sim::SessionRecording>& recordings,
+                               const baseline::ChanDetector& detector) {
+  require_nonempty("build_chan_dataset recordings", recordings.size());
+  EvalDataset dataset;
+  for (const sim::SessionRecording& rec : recordings) {
+    dataset.features.push_back(detector.extract_features(rec.waveform));
+    dataset.labels.push_back(sim::state_index(rec.state));
+    dataset.groups.push_back(rec.subject_id);
+  }
+  return dataset;
+}
+
+ml::ConfusionMatrix loocv_earsonar(const EvalDataset& dataset,
+                                   const core::DetectorConfig& config) {
+  require_nonempty("loocv dataset", dataset.size());
+  ml::ConfusionMatrix cm(core::kMeeStateCount);
+  for (const ml::Split& split : ml::leave_one_group_out(dataset.groups)) {
+    const EvalDataset train = subset(dataset, split.train);
+    core::MeeDetector detector(config);
+    detector.fit(train.features, train.labels);
+    for (std::size_t idx : split.test)
+      cm.add(dataset.labels[idx], detector.predict(dataset.features[idx]).state);
+  }
+  return cm;
+}
+
+ml::ConfusionMatrix loocv_chan(const EvalDataset& dataset,
+                               const baseline::ChanConfig& config) {
+  require_nonempty("loocv dataset", dataset.size());
+  ml::ConfusionMatrix cm(core::kMeeStateCount);
+  for (const ml::Split& split : ml::leave_one_group_out(dataset.groups)) {
+    const EvalDataset train = subset(dataset, split.train);
+    baseline::ChanDetector detector(config);
+    detector.fit_features(train.features, train.labels);
+    for (std::size_t idx : split.test)
+      cm.add(dataset.labels[idx], detector.predict_features(dataset.features[idx]));
+  }
+  return cm;
+}
+
+ml::ConfusionMatrix transfer_earsonar(const EvalDataset& train, const EvalDataset& test,
+                                      const core::DetectorConfig& config) {
+  require_nonempty("transfer train", train.size());
+  require_nonempty("transfer test", test.size());
+  core::MeeDetector detector(config);
+  detector.fit(train.features, train.labels);
+  ml::ConfusionMatrix cm(core::kMeeStateCount);
+  for (std::size_t i = 0; i < test.size(); ++i)
+    cm.add(test.labels[i], detector.predict(test.features[i]).state);
+  return cm;
+}
+
+std::vector<double> training_size_sweep(const EvalDataset& dataset,
+                                        const std::vector<double>& fractions,
+                                        const core::DetectorConfig& config,
+                                        double holdout_fraction, std::uint64_t seed) {
+  require_nonempty("sweep dataset", dataset.size());
+  require_in_range("holdout_fraction", holdout_fraction, 0.05, 0.9);
+  require_nonempty("sweep fractions", fractions.size());
+
+  // Group-aware holdout: the last ceil(holdout * groups) participants test.
+  std::vector<std::size_t> groups(dataset.groups);
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  earsonar::Rng rng(seed);
+  rng.shuffle(groups);
+  const std::size_t holdout_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(holdout_fraction * static_cast<double>(groups.size())));
+  std::vector<bool> is_test_group(groups.size(), false);
+  std::vector<std::size_t> test_groups(groups.end() - static_cast<std::ptrdiff_t>(holdout_count),
+                                       groups.end());
+  auto in_test = [&](std::size_t g) {
+    return std::find(test_groups.begin(), test_groups.end(), g) != test_groups.end();
+  };
+
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (in_test(dataset.groups[i])) test_idx.push_back(i);
+    else train_idx.push_back(i);
+  }
+  const EvalDataset test = subset(dataset, test_idx);
+
+  std::vector<double> accuracies;
+  accuracies.reserve(fractions.size());
+  for (double fraction : fractions) {
+    require_in_range("sweep fraction", fraction, 0.01, 1.0);
+    std::vector<std::size_t> train_labels;
+    train_labels.reserve(train_idx.size());
+    for (std::size_t idx : train_idx) train_labels.push_back(dataset.labels[idx]);
+    const std::vector<std::size_t> picked =
+        ml::stratified_subsample(train_labels, fraction, seed ^ 0x51Ee7);
+    std::vector<std::size_t> chosen;
+    chosen.reserve(picked.size());
+    for (std::size_t local : picked) chosen.push_back(train_idx[local]);
+    const EvalDataset train = subset(dataset, chosen);
+    accuracies.push_back(transfer_earsonar(train, test, config).accuracy());
+  }
+  return accuracies;
+}
+
+}  // namespace earsonar::eval

@@ -1,0 +1,57 @@
+// Shared evaluation harness behind the benches: feature-dataset construction
+// from simulated cohorts, leave-one-participant-out cross-validation
+// (paper §VI-A), train/test condition transfer, and the training-size sweep.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baseline/chan.hpp"
+#include "core/pipeline.hpp"
+#include "ml/metrics.hpp"
+#include "sim/dataset.hpp"
+
+namespace earsonar::eval {
+
+/// Features + ground truth + participant grouping, ready for CV splits.
+struct EvalDataset {
+  ml::Matrix features;
+  std::vector<std::size_t> labels;   ///< state indices 0..3
+  std::vector<std::size_t> groups;   ///< participant ids
+  std::size_t skipped = 0;           ///< recordings with no segmentable echo
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+};
+
+/// Runs the EarSonar front half on every recording; unusable recordings are
+/// counted in `skipped` and dropped.
+EvalDataset build_earsonar_dataset(const std::vector<sim::SessionRecording>& recordings,
+                                   const core::EarSonar& pipeline);
+
+/// Extracts the Chan-style coarse features for every recording.
+EvalDataset build_chan_dataset(const std::vector<sim::SessionRecording>& recordings,
+                               const baseline::ChanDetector& detector);
+
+/// Leave-one-participant-out CV of the EarSonar detection head. Each fold
+/// re-fits scaling, feature selection, clustering, and cluster mapping on the
+/// other participants.
+ml::ConfusionMatrix loocv_earsonar(const EvalDataset& dataset,
+                                   const core::DetectorConfig& config);
+
+/// Leave-one-participant-out CV of the Chan baseline classifier.
+ml::ConfusionMatrix loocv_chan(const EvalDataset& dataset, const baseline::ChanConfig& config);
+
+/// Fits on `train` and evaluates on `test` (used by the condition sweeps:
+/// train at reference conditions, test under angle/noise/movement stress).
+ml::ConfusionMatrix transfer_earsonar(const EvalDataset& train, const EvalDataset& test,
+                                      const core::DetectorConfig& config);
+
+/// Training-size study (Fig. 15b): holds out `holdout_fraction` of the
+/// participants, then fits on stratified subsamples of the remaining data at
+/// each `fraction` and reports test accuracy per fraction.
+std::vector<double> training_size_sweep(const EvalDataset& dataset,
+                                        const std::vector<double>& fractions,
+                                        const core::DetectorConfig& config,
+                                        double holdout_fraction, std::uint64_t seed);
+
+}  // namespace earsonar::eval

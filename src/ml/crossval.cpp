@@ -1,0 +1,73 @@
+#include "ml/crossval.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace earsonar::ml {
+
+std::vector<Split> leave_one_group_out(const std::vector<std::size_t>& group_ids) {
+  require_nonempty("group_ids", group_ids.size());
+  std::vector<std::size_t> groups(group_ids);
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  require(groups.size() >= 2, "leave_one_group_out: need >= 2 groups");
+
+  std::vector<Split> splits;
+  splits.reserve(groups.size());
+  for (std::size_t g : groups) {
+    Split split;
+    for (std::size_t i = 0; i < group_ids.size(); ++i) {
+      if (group_ids[i] == g) split.test.push_back(i);
+      else split.train.push_back(i);
+    }
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+std::vector<Split> k_fold(std::size_t sample_count, std::size_t folds, std::uint64_t seed) {
+  require(folds >= 2, "k_fold: need >= 2 folds");
+  require(sample_count >= folds, "k_fold: fewer samples than folds");
+  earsonar::Rng rng(seed);
+  const std::vector<std::size_t> order = rng.permutation(sample_count);
+
+  std::vector<Split> splits(folds);
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    const std::size_t fold = i % folds;
+    for (std::size_t f = 0; f < folds; ++f) {
+      if (f == fold) splits[f].test.push_back(order[i]);
+      else splits[f].train.push_back(order[i]);
+    }
+  }
+  for (Split& s : splits) {
+    std::sort(s.train.begin(), s.train.end());
+    std::sort(s.test.begin(), s.test.end());
+  }
+  return splits;
+}
+
+std::vector<std::size_t> stratified_subsample(const std::vector<std::size_t>& labels,
+                                              double fraction, std::uint64_t seed) {
+  require_nonempty("labels", labels.size());
+  require_in_range("fraction", fraction, 0.0, 1.0);
+  earsonar::Rng rng(seed);
+
+  std::map<std::size_t, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+
+  std::vector<std::size_t> kept;
+  for (auto& [cls, indices] : by_class) {
+    (void)cls;
+    const std::size_t want = std::max<std::size_t>(
+        1, static_cast<std::size_t>(fraction * static_cast<double>(indices.size()) + 0.5));
+    rng.shuffle(indices);
+    for (std::size_t i = 0; i < std::min(want, indices.size()); ++i)
+      kept.push_back(indices[i]);
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace earsonar::ml

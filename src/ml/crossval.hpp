@@ -1,0 +1,30 @@
+// Cross-validation splitters. The paper's headline evaluation is
+// leave-one-participant-out CV over 112 subjects (§VI-A); the training-size
+// study (Fig. 15b) uses stratified subsampling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace earsonar::ml {
+
+struct Split {
+  std::vector<std::size_t> train;  ///< sample indices
+  std::vector<std::size_t> test;
+};
+
+/// Leave-one-group-out: one split per distinct group id, testing that group.
+/// Groups are participant ids in the paper's LOOCV.
+std::vector<Split> leave_one_group_out(const std::vector<std::size_t>& group_ids);
+
+/// k-fold over samples (shuffled, deterministic in `seed`).
+std::vector<Split> k_fold(std::size_t sample_count, std::size_t folds, std::uint64_t seed);
+
+/// Stratified subsample: keeps `fraction` of each class's samples (at least
+/// one per non-empty class). Returns kept indices.
+std::vector<std::size_t> stratified_subsample(const std::vector<std::size_t>& labels,
+                                              double fraction, std::uint64_t seed);
+
+}  // namespace earsonar::ml

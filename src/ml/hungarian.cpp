@@ -1,0 +1,80 @@
+#include "ml/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace earsonar::ml {
+
+std::vector<std::size_t> hungarian_min_cost(
+    const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  require_nonempty("hungarian cost", n);
+  for (const auto& row : cost)
+    require(row.size() == n, "hungarian_min_cost: matrix must be square");
+
+  // Classic O(n^3) potentials formulation (1-indexed internally).
+  const double kInf = std::numeric_limits<double>::max() / 4;
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t j = 1; j <= n; ++j)
+    if (p[j] != 0) assignment[p[j] - 1] = j - 1;
+  return assignment;
+}
+
+std::vector<std::size_t> best_cluster_to_label(
+    const std::vector<std::vector<std::size_t>>& counts) {
+  const std::size_t n = counts.size();
+  require_nonempty("cluster counts", n);
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  for (std::size_t c = 0; c < n; ++c) {
+    require(counts[c].size() == n, "best_cluster_to_label: matrix must be square");
+    for (std::size_t l = 0; l < n; ++l)
+      cost[c][l] = -static_cast<double>(counts[c][l]);  // maximize agreement
+  }
+  return hungarian_min_cost(cost);
+}
+
+}  // namespace earsonar::ml

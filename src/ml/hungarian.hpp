@@ -1,0 +1,21 @@
+// Hungarian (Kuhn-Munkres) assignment. Used to map k-means cluster ids onto
+// effusion-state labels optimally against the ground-truth contingency table
+// when evaluating the unsupervised detector.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace earsonar::ml {
+
+/// Solves min-cost perfect assignment on a square cost matrix.
+/// Returns assignment[row] = column. O(n^3).
+std::vector<std::size_t> hungarian_min_cost(
+    const std::vector<std::vector<double>>& cost);
+
+/// Convenience for cluster labeling: given counts[cluster][label], returns
+/// the label assignment per cluster that *maximizes* total agreement.
+std::vector<std::size_t> best_cluster_to_label(
+    const std::vector<std::vector<std::size_t>>& counts);
+
+}  // namespace earsonar::ml

@@ -1,0 +1,161 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace earsonar::ml {
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  require(a.size() == b.size(), "squared_distance: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double euclidean_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+KMeans::KMeans(KMeansConfig config) : config_(config) {
+  require(config.k >= 1, "KMeans: k must be >= 1");
+  require(config.max_iterations >= 1, "KMeans: max_iterations must be >= 1");
+  require(config.restarts >= 1, "KMeans: restarts must be >= 1");
+  require(config.tolerance >= 0.0, "KMeans: tolerance must be >= 0");
+}
+
+Matrix KMeans::seed_plus_plus(const Matrix& data, earsonar::Rng& rng) const {
+  Matrix centroids;
+  centroids.reserve(config_.k);
+  centroids.push_back(
+      data[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1))]);
+
+  std::vector<double> dist2(data.size(), std::numeric_limits<double>::max());
+  while (centroids.size() < config_.k) {
+    for (std::size_t i = 0; i < data.size(); ++i)
+      dist2[i] = std::min(dist2[i], squared_distance(data[i], centroids.back()));
+    double total = 0.0;
+    for (double d : dist2) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; duplicate one.
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    centroids.push_back(data[rng.weighted_index(dist2)]);
+  }
+  return centroids;
+}
+
+KMeansResult KMeans::fit_with_init(const Matrix& data,
+                                   const Matrix& initial_centroids) const {
+  require_nonempty("KMeans data", data.size());
+  require(initial_centroids.size() == config_.k,
+          "fit_with_init: need exactly k initial centroids");
+  const std::size_t d = data.front().size();
+  for (const auto& row : data)
+    require(row.size() == d, "KMeans: ragged data matrix");
+  for (const auto& c : initial_centroids)
+    require(c.size() == d, "fit_with_init: centroid dimension mismatch");
+  return lloyd(data, initial_centroids);
+}
+
+KMeansResult KMeans::fit_once(const Matrix& data, earsonar::Rng& rng) const {
+  return lloyd(data, seed_plus_plus(data, rng));
+}
+
+KMeansResult KMeans::lloyd(const Matrix& data, Matrix initial_centroids) const {
+  const std::size_t n = data.size();
+  const std::size_t d = data.front().size();
+
+  KMeansResult result;
+  result.centroids = std::move(initial_centroids);
+  result.labels.assign(n, 0);
+
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step.
+    for (std::size_t i = 0; i < n; ++i)
+      result.labels[i] = predict(result.centroids, data[i]);
+
+    // Update step.
+    Matrix next(config_.k, std::vector<double>(d, 0.0));
+    std::vector<std::size_t> counts(config_.k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      counts[result.labels[i]]++;
+      for (std::size_t j = 0; j < d; ++j) next[result.labels[i]][j] += data[i][j];
+    }
+    for (std::size_t c = 0; c < config_.k; ++c) {
+      if (counts[c] == 0) {
+        // Empty-cluster repair: reseed at the point farthest from its centroid.
+        std::size_t worst = 0;
+        double worst_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double di = squared_distance(data[i], result.centroids[result.labels[i]]);
+          if (di > worst_d) {
+            worst_d = di;
+            worst = i;
+          }
+        }
+        next[c] = data[worst];
+      } else {
+        for (std::size_t j = 0; j < d; ++j)
+          next[c][j] /= static_cast<double>(counts[c]);
+      }
+    }
+
+    double shift = 0.0;
+    for (std::size_t c = 0; c < config_.k; ++c)
+      shift += squared_distance(next[c], result.centroids[c]);
+    result.centroids = std::move(next);
+    if (shift < config_.tolerance) break;
+  }
+
+  // Final assignment + inertia.
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.labels[i] = predict(result.centroids, data[i]);
+    result.inertia += squared_distance(data[i], result.centroids[result.labels[i]]);
+  }
+  return result;
+}
+
+KMeansResult KMeans::fit(const Matrix& data) const {
+  require_nonempty("KMeans data", data.size());
+  require(data.size() >= config_.k, "KMeans: fewer points than clusters");
+  const std::size_t d = data.front().size();
+  require_nonempty("KMeans feature dimension", d);
+  for (const auto& row : data)
+    require(row.size() == d, "KMeans: ragged data matrix");
+
+  earsonar::Rng rng(config_.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (std::size_t r = 0; r < config_.restarts; ++r) {
+    earsonar::Rng run = rng.fork(r);
+    KMeansResult candidate = fit_once(data, run);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+std::size_t KMeans::predict(const Matrix& centroids, const std::vector<double>& point) {
+  require_nonempty("KMeans centroids", centroids.size());
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double d = squared_distance(centroids[c], point);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace earsonar::ml

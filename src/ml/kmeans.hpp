@@ -1,0 +1,64 @@
+// k-means clustering (paper §IV-C3): k-means++ seeding, Lloyd iterations,
+// empty-cluster repair, multiple restarts keeping the lowest inertia.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace earsonar::ml {
+
+/// Row-major dataset: samples[i] is one feature vector; all rows equal length.
+using Matrix = std::vector<std::vector<double>>;
+
+struct KMeansConfig {
+  std::size_t k = 4;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-6;   ///< stop when centroid movement^2 falls below
+  std::size_t restarts = 8;  ///< independent runs; best inertia wins
+  std::uint64_t seed = 7;
+};
+
+struct KMeansResult {
+  Matrix centroids;                 ///< k rows
+  std::vector<std::size_t> labels;  ///< cluster id per input row
+  double inertia = 0.0;             ///< sum of squared distances to centroids
+  std::size_t iterations = 0;       ///< iterations of the winning restart
+};
+
+/// Squared Euclidean distance between equal-length vectors.
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean distance (Eq. 11 of the paper).
+double euclidean_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+class KMeans {
+ public:
+  explicit KMeans(KMeansConfig config = {});
+
+  /// Clusters `data` (n rows, d columns, n >= k). Deterministic for a fixed
+  /// config seed.
+  [[nodiscard]] KMeansResult fit(const Matrix& data) const;
+
+  /// Clusters `data` starting from the given initial centroids (size k) —
+  /// the paper's "given k initial cluster center points" variant, seeded from
+  /// the per-state means of the training data. Runs Lloyd iterations once
+  /// (no random restarts needed with an informed start).
+  [[nodiscard]] KMeansResult fit_with_init(const Matrix& data,
+                                           const Matrix& initial_centroids) const;
+
+  /// Index of the closest centroid to `point`.
+  static std::size_t predict(const Matrix& centroids, const std::vector<double>& point);
+
+  [[nodiscard]] const KMeansConfig& config() const { return config_; }
+
+ private:
+  KMeansResult fit_once(const Matrix& data, earsonar::Rng& rng) const;
+  KMeansResult lloyd(const Matrix& data, Matrix initial_centroids) const;
+  Matrix seed_plus_plus(const Matrix& data, earsonar::Rng& rng) const;
+
+  KMeansConfig config_;
+};
+
+}  // namespace earsonar::ml

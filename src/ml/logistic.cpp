@@ -1,0 +1,91 @@
+#include "ml/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace earsonar::ml {
+
+namespace {
+std::vector<double> softmax(const std::vector<double>& logits) {
+  const double peak = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> p(logits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - peak);
+    total += p[i];
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+}  // namespace
+
+LogisticRegression::LogisticRegression(LogisticConfig config) : config_(config) {
+  require(config.classes >= 2, "LogisticRegression: need >= 2 classes");
+  require(config.epochs >= 1, "LogisticRegression: need >= 1 epoch");
+  require_positive("LogisticRegression learning_rate", config.learning_rate);
+  require(config.l2 >= 0.0, "LogisticRegression: l2 must be >= 0");
+}
+
+void LogisticRegression::fit(const Matrix& x, const std::vector<std::size_t>& y) {
+  require_nonempty("LogisticRegression x", x.size());
+  require(x.size() == y.size(), "LogisticRegression: x/y size mismatch");
+  const std::size_t n = x.size();
+  const std::size_t d = x.front().size();
+  require_nonempty("LogisticRegression dimension", d);
+  for (const auto& row : x)
+    require(row.size() == d, "LogisticRegression: ragged matrix");
+  for (std::size_t label : y)
+    require(label < config_.classes, "LogisticRegression: label out of range");
+
+  earsonar::Rng rng(config_.seed);
+  weights_.assign(config_.classes, std::vector<double>(d));
+  for (auto& row : weights_)
+    for (double& w : row) w = rng.normal(0.0, 0.01);
+  bias_.assign(config_.classes, 0.0);
+
+  Matrix grad_w(config_.classes, std::vector<double>(d, 0.0));
+  std::vector<double> grad_b(config_.classes, 0.0);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (auto& row : grad_w) std::fill(row.begin(), row.end(), 0.0);
+    std::fill(grad_b.begin(), grad_b.end(), 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::vector<double> p = predict_proba(x[i]);
+      for (std::size_t c = 0; c < config_.classes; ++c) {
+        const double err = p[c] - (c == y[i] ? 1.0 : 0.0);
+        for (std::size_t j = 0; j < d; ++j) grad_w[c][j] += err * x[i][j];
+        grad_b[c] += err;
+      }
+    }
+
+    const double scale = config_.learning_rate / static_cast<double>(n);
+    for (std::size_t c = 0; c < config_.classes; ++c) {
+      for (std::size_t j = 0; j < d; ++j)
+        weights_[c][j] -= scale * (grad_w[c][j] + config_.l2 * weights_[c][j]);
+      bias_[c] -= scale * grad_b[c];
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::predict_proba(const std::vector<double>& x) const {
+  require(fitted(), "LogisticRegression: predict before fit");
+  require(x.size() == weights_.front().size(), "LogisticRegression: dim mismatch");
+  std::vector<double> logits(config_.classes, 0.0);
+  for (std::size_t c = 0; c < config_.classes; ++c) {
+    double acc = bias_[c];
+    for (std::size_t j = 0; j < x.size(); ++j) acc += weights_[c][j] * x[j];
+    logits[c] = acc;
+  }
+  return softmax(logits);
+}
+
+std::size_t LogisticRegression::predict(const std::vector<double>& x) const {
+  const std::vector<double> p = predict_proba(x);
+  return static_cast<std::size_t>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace earsonar::ml

@@ -1,0 +1,130 @@
+#include "ml/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace earsonar::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes)
+    : counts_(classes, std::vector<std::size_t>(classes, 0)) {
+  require(classes >= 2, "ConfusionMatrix: need >= 2 classes");
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted, std::size_t count) {
+  require(truth < classes() && predicted < classes(), "ConfusionMatrix::add: out of range");
+  counts_[truth][predicted] += count;
+}
+
+std::size_t ConfusionMatrix::at(std::size_t truth, std::size_t predicted) const {
+  require(truth < classes() && predicted < classes(), "ConfusionMatrix::at: out of range");
+  return counts_[truth][predicted];
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t acc = 0;
+  for (const auto& row : counts_)
+    for (std::size_t v : row) acc += v;
+  return acc;
+}
+
+std::size_t ConfusionMatrix::row_total(std::size_t truth) const {
+  require(truth < classes(), "ConfusionMatrix::row_total: out of range");
+  std::size_t acc = 0;
+  for (std::size_t v : counts_[truth]) acc += v;
+  return acc;
+}
+
+std::size_t ConfusionMatrix::column_total(std::size_t predicted) const {
+  require(predicted < classes(), "ConfusionMatrix::column_total: out of range");
+  std::size_t acc = 0;
+  for (const auto& row : counts_) acc += row[predicted];
+  return acc;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < classes(); ++c) correct += counts_[c][c];
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  const std::size_t predicted = column_total(cls);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(counts_[cls][cls]) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  const std::size_t actual = row_total(cls);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(counts_[cls][cls]) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_precision() const {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < classes(); ++c) acc += precision(c);
+  return acc / static_cast<double>(classes());
+}
+
+double ConfusionMatrix::macro_recall() const {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < classes(); ++c) acc += recall(c);
+  return acc / static_cast<double>(classes());
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < classes(); ++c) acc += f1(c);
+  return acc / static_cast<double>(classes());
+}
+
+double ConfusionMatrix::false_acceptance_rate(std::size_t cls) const {
+  require(cls < classes(), "false_acceptance_rate: out of range");
+  const std::size_t negatives = total() - row_total(cls);
+  if (negatives == 0) return 0.0;
+  const std::size_t fp = column_total(cls) - counts_[cls][cls];
+  return static_cast<double>(fp) / static_cast<double>(negatives);
+}
+
+double ConfusionMatrix::false_rejection_rate(std::size_t cls) const {
+  require(cls < classes(), "false_rejection_rate: out of range");
+  const std::size_t positives = row_total(cls);
+  if (positives == 0) return 0.0;
+  const std::size_t fn = positives - counts_[cls][cls];
+  return static_cast<double>(fn) / static_cast<double>(positives);
+}
+
+std::vector<std::vector<double>> ConfusionMatrix::row_normalized() const {
+  std::vector<std::vector<double>> out(classes(), std::vector<double>(classes(), 0.0));
+  for (std::size_t r = 0; r < classes(); ++r) {
+    const std::size_t rt = row_total(r);
+    if (rt == 0) continue;
+    for (std::size_t c = 0; c < classes(); ++c)
+      out[r][c] = static_cast<double>(counts_[r][c]) / static_cast<double>(rt);
+  }
+  return out;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  require(other.classes() == classes(), "ConfusionMatrix::merge: class count mismatch");
+  for (std::size_t r = 0; r < classes(); ++r)
+    for (std::size_t c = 0; c < classes(); ++c) counts_[r][c] += other.counts_[r][c];
+}
+
+ConfusionMatrix confusion_from_labels(const std::vector<std::size_t>& truth,
+                                      const std::vector<std::size_t>& predicted,
+                                      std::size_t classes) {
+  require(truth.size() == predicted.size(), "confusion_from_labels: size mismatch");
+  ConfusionMatrix cm(classes);
+  for (std::size_t i = 0; i < truth.size(); ++i) cm.add(truth[i], predicted[i]);
+  return cm;
+}
+
+}  // namespace earsonar::ml

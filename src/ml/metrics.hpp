@@ -1,0 +1,65 @@
+// Classification metrics (paper §VI-A: precision, recall, F1, confusion
+// matrix, plus FAR/FRR for the robustness studies of Fig. 14).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace earsonar::ml {
+
+/// Row-normalizable confusion matrix over `classes` labels.
+/// rows = ground truth, columns = prediction.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t classes);
+
+  void add(std::size_t truth, std::size_t predicted, std::size_t count = 1);
+
+  [[nodiscard]] std::size_t classes() const { return counts_.size(); }
+  [[nodiscard]] std::size_t at(std::size_t truth, std::size_t predicted) const;
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] std::size_t row_total(std::size_t truth) const;
+  [[nodiscard]] std::size_t column_total(std::size_t predicted) const;
+
+  /// Overall fraction of correct predictions; 0 when empty.
+  [[nodiscard]] double accuracy() const;
+
+  /// TP / (TP + FP) for a class; 0 when the class was never predicted.
+  [[nodiscard]] double precision(std::size_t cls) const;
+
+  /// TP / (TP + FN) for a class; 0 when the class never occurred.
+  [[nodiscard]] double recall(std::size_t cls) const;
+
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  [[nodiscard]] double f1(std::size_t cls) const;
+
+  /// Unweighted mean across classes.
+  [[nodiscard]] double macro_precision() const;
+  [[nodiscard]] double macro_recall() const;
+  [[nodiscard]] double macro_f1() const;
+
+  /// False-acceptance rate for a class: FP / (negatives) — how often other
+  /// states are mistaken for this one.
+  [[nodiscard]] double false_acceptance_rate(std::size_t cls) const;
+
+  /// False-rejection rate for a class: FN / (positives) — how often this
+  /// state is missed.
+  [[nodiscard]] double false_rejection_rate(std::size_t cls) const;
+
+  /// Row-normalized matrix (each row sums to 1) for pretty-printing.
+  [[nodiscard]] std::vector<std::vector<double>> row_normalized() const;
+
+  /// Merges another confusion matrix (same class count) into this one.
+  void merge(const ConfusionMatrix& other);
+
+ private:
+  std::vector<std::vector<std::size_t>> counts_;
+};
+
+/// Builds a confusion matrix from parallel truth/prediction arrays.
+ConfusionMatrix confusion_from_labels(const std::vector<std::size_t>& truth,
+                                      const std::vector<std::size_t>& predicted,
+                                      std::size_t classes);
+
+}  // namespace earsonar::ml

@@ -1,0 +1,96 @@
+#include "ml/outlier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace earsonar::ml {
+
+OutlierResult remove_outliers_by_distance(const Matrix& data, const KMeans& kmeans,
+                                          const OutlierConfig& config) {
+  require_nonempty("outlier data", data.size());
+  require(config.distance_sigma > 0.0, "OutlierConfig: distance_sigma must be > 0");
+  require(config.max_loops >= 1, "OutlierConfig: max_loops must be >= 1");
+  require_in_range("OutlierConfig.min_keep_fraction", config.min_keep_fraction, 0.1, 1.0);
+
+  // Count how many loops flag each point; only points flagged in every loop
+  // are removed ("compare with the results of multiple loops").
+  std::vector<std::size_t> flags(data.size(), 0);
+  for (std::size_t loop = 0; loop < config.max_loops; ++loop) {
+    KMeansConfig kc = kmeans.config();
+    kc.seed = kc.seed + loop * 1013904223ULL;  // vary the seeding per loop
+    const KMeansResult result = KMeans(kc).fit(data);
+
+    std::vector<double> dist(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+      dist[i] = euclidean_distance(data[i], result.centroids[result.labels[i]]);
+    const double mu = mean(dist);
+    const double sd = stddev(dist);
+    const double cut = mu + config.distance_sigma * sd;
+
+    // A lone far point can capture its own centroid (distance 0); clusters
+    // holding almost no data are outlier clusters themselves.
+    std::vector<std::size_t> cluster_size(result.centroids.size(), 0);
+    for (std::size_t label : result.labels) cluster_size[label]++;
+    const std::size_t tiny = static_cast<std::size_t>(
+        config.tiny_cluster_fraction * static_cast<double>(data.size()));
+
+    for (std::size_t i = 0; i < data.size(); ++i)
+      if (dist[i] > cut || cluster_size[result.labels[i]] <= std::max<std::size_t>(1, tiny))
+        flags[i]++;
+  }
+
+  OutlierResult out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (flags[i] == config.max_loops) out.removed.push_back(i);
+    else out.kept.push_back(i);
+  }
+
+  // Safety valve: never discard more than allowed; restore the least-flagged.
+  const std::size_t min_keep = static_cast<std::size_t>(
+      std::ceil(config.min_keep_fraction * static_cast<double>(data.size())));
+  while (out.kept.size() < min_keep && !out.removed.empty()) {
+    out.kept.push_back(out.removed.back());
+    out.removed.pop_back();
+  }
+  std::sort(out.kept.begin(), out.kept.end());
+  std::sort(out.removed.begin(), out.removed.end());
+  return out;
+}
+
+KMeansResult cluster_with_random_sampling(const Matrix& data, const KMeans& kmeans,
+                                          double sample_fraction, std::uint64_t seed) {
+  require_nonempty("cluster data", data.size());
+  require_in_range("sample_fraction", sample_fraction, 0.05, 1.0);
+
+  earsonar::Rng rng(seed);
+  const std::size_t sample_size = std::max(
+      kmeans.config().k,
+      static_cast<std::size_t>(std::llround(sample_fraction * static_cast<double>(data.size()))));
+  const std::vector<std::size_t> picked =
+      rng.sample_without_replacement(data.size(), std::min(sample_size, data.size()));
+
+  Matrix sample;
+  sample.reserve(picked.size());
+  for (std::size_t idx : picked) sample.push_back(data[idx]);
+
+  KMeansResult fitted = kmeans.fit(sample);
+
+  // Assign the full dataset to the sampled centroids.
+  KMeansResult full;
+  full.centroids = fitted.centroids;
+  full.iterations = fitted.iterations;
+  full.labels.resize(data.size());
+  full.inertia = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    full.labels[i] = KMeans::predict(full.centroids, data[i]);
+    full.inertia += squared_distance(data[i], full.centroids[full.labels[i]]);
+  }
+  return full;
+}
+
+}  // namespace earsonar::ml

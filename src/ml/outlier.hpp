@@ -1,0 +1,39 @@
+// Outlier handling for clustering (paper §IV-C4): distance-based removal
+// validated over multiple clustering loops, and random-subsample clustering
+// that fits centroids on a noise-diluted sample and assigns the rest.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/kmeans.hpp"
+
+namespace earsonar::ml {
+
+struct OutlierConfig {
+  double distance_sigma = 2.5;   ///< flag points beyond mean + sigma * std
+  std::size_t max_loops = 3;     ///< paper: "monitor over multiple loops"
+  double min_keep_fraction = 0.8;///< never discard more than this share
+  /// Clusters holding at most this fraction of the data are treated as
+  /// outlier clusters and flagged wholesale — a far-away point otherwise
+  /// "steals" a centroid and sits at zero distance from it.
+  double tiny_cluster_fraction = 0.02;
+};
+
+struct OutlierResult {
+  std::vector<std::size_t> kept;     ///< indices retained
+  std::vector<std::size_t> removed;  ///< indices flagged as outliers
+};
+
+/// Strategy 1 of the paper: iteratively cluster, flag points whose distance
+/// to their centroid exceeds mean + sigma*std in *every* loop, remove them.
+OutlierResult remove_outliers_by_distance(const Matrix& data, const KMeans& kmeans,
+                                          const OutlierConfig& config = {});
+
+/// Strategy 2 of the paper: fit centroids on a random `sample_fraction` of
+/// the data (noise is unlikely to be sampled), then assign every point to the
+/// fitted centroids. Returns the full-data labels and the fitted centroids.
+KMeansResult cluster_with_random_sampling(const Matrix& data, const KMeans& kmeans,
+                                          double sample_fraction, std::uint64_t seed);
+
+}  // namespace earsonar::ml

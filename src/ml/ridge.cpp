@@ -1,0 +1,89 @@
+#include "ml/ridge.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace earsonar::ml {
+
+RidgeRegression::RidgeRegression(RidgeConfig config) : config_(config) {
+  require(config.lambda >= 0.0, "RidgeConfig: lambda must be >= 0");
+}
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const std::size_t n = a.size();
+  require_nonempty("linear system", n);
+  require(b.size() == n, "solve_linear_system: size mismatch");
+  for (const auto& row : a)
+    require(row.size() == n, "solve_linear_system: matrix must be square");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    if (std::abs(a[pivot][col]) < 1e-12)
+      throw std::invalid_argument("solve_linear_system: singular matrix");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= a[r][c] * x[c];
+    x[r] = acc / a[r][r];
+  }
+  return x;
+}
+
+void RidgeRegression::fit(const Matrix& x, const std::vector<double>& y) {
+  require_nonempty("RidgeRegression x", x.size());
+  require(x.size() == y.size(), "RidgeRegression: x/y size mismatch");
+  const std::size_t n = x.size();
+  const std::size_t d = x.front().size();
+  require_nonempty("RidgeRegression dimension", d);
+  for (const auto& row : x)
+    require(row.size() == d, "RidgeRegression: ragged matrix");
+
+  // Normal equations over the augmented design [X | 1]; lambda penalizes
+  // only the d weight coordinates.
+  const std::size_t m = d + 1;
+  std::vector<std::vector<double>> gram(m, std::vector<double>(m, 0.0));
+  std::vector<double> rhs(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = a; b < d; ++b) gram[a][b] += x[i][a] * x[i][b];
+      gram[a][d] += x[i][a];
+      rhs[a] += x[i][a] * y[i];
+    }
+    rhs[d] += y[i];
+  }
+  gram[d][d] = static_cast<double>(n);
+  for (std::size_t a = 0; a < d; ++a) {
+    gram[a][a] += config_.lambda;
+    for (std::size_t b = 0; b < a; ++b) gram[a][b] = gram[b][a];
+    gram[d][a] = gram[a][d];
+  }
+
+  const std::vector<double> solution = solve_linear_system(gram, rhs);
+  weights_.assign(solution.begin(), solution.begin() + static_cast<std::ptrdiff_t>(d));
+  intercept_ = solution[d];
+}
+
+double RidgeRegression::predict(const std::vector<double>& x) const {
+  require(fitted(), "RidgeRegression: predict before fit");
+  require(x.size() == weights_.size(), "RidgeRegression: dimension mismatch");
+  double acc = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) acc += weights_[j] * x[j];
+  return acc;
+}
+
+}  // namespace earsonar::ml

@@ -1,0 +1,40 @@
+// Ridge (L2-regularized least-squares) regression — the head behind the
+// continuous severity estimator. Solved in closed form via Gaussian
+// elimination on the (d+1)-dimensional normal equations.
+#pragma once
+
+#include <vector>
+
+#include "ml/kmeans.hpp"
+
+namespace earsonar::ml {
+
+struct RidgeConfig {
+  double lambda = 1e-2;  ///< L2 penalty on the weights (not the intercept)
+};
+
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(RidgeConfig config = {});
+
+  /// Fits weights + intercept minimizing ||Xw + b - y||^2 + lambda ||w||^2.
+  void fit(const Matrix& x, const std::vector<double>& y);
+
+  [[nodiscard]] double predict(const std::vector<double>& x) const;
+  [[nodiscard]] bool fitted() const { return !weights_.empty(); }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+  [[nodiscard]] double intercept() const { return intercept_; }
+
+ private:
+  RidgeConfig config_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+/// Solves the square linear system a*x = b by Gaussian elimination with
+/// partial pivoting; throws std::invalid_argument on singular systems.
+/// Exposed for tests.
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace earsonar::ml

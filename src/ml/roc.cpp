@@ -1,0 +1,78 @@
+#include "ml/roc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace earsonar::ml {
+
+namespace {
+void check_inputs(const std::vector<double>& scores, const std::vector<bool>& labels) {
+  require(scores.size() == labels.size(), "roc: score/label size mismatch");
+  require_nonempty("roc scores", scores.size());
+  const std::size_t positives =
+      static_cast<std::size_t>(std::count(labels.begin(), labels.end(), true));
+  require(positives > 0 && positives < labels.size(),
+          "roc: need at least one positive and one negative");
+}
+}  // namespace
+
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<bool>& labels) {
+  check_inputs(scores, labels);
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  const double positives =
+      static_cast<double>(std::count(labels.begin(), labels.end(), true));
+  const double negatives = static_cast<double>(labels.size()) - positives;
+
+  std::vector<RocPoint> curve;
+  curve.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  double tp = 0.0, fp = 0.0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]]) tp += 1.0;
+    else fp += 1.0;
+    // Emit a point only when the next score differs (ties share a point).
+    if (i + 1 == order.size() || scores[order[i + 1]] != scores[order[i]])
+      curve.push_back({scores[order[i]], tp / positives, fp / negatives});
+  }
+  return curve;
+}
+
+double auc(const std::vector<double>& scores, const std::vector<bool>& labels) {
+  check_inputs(scores, labels);
+  // Mann-Whitney: P(score_pos > score_neg) + 0.5 P(tie).
+  double wins = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (!labels[i]) continue;
+    for (std::size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j]) continue;
+      total += 1.0;
+      if (scores[i] > scores[j]) wins += 1.0;
+      else if (scores[i] == scores[j]) wins += 0.5;
+    }
+  }
+  return wins / total;
+}
+
+double best_youden_threshold(const std::vector<double>& scores,
+                             const std::vector<bool>& labels) {
+  const std::vector<RocPoint> curve = roc_curve(scores, labels);
+  double best_j = -1.0;
+  double best_threshold = curve.front().threshold;
+  for (const RocPoint& p : curve) {
+    const double j = p.true_positive_rate - p.false_positive_rate;
+    if (j > best_j) {
+      best_j = j;
+      best_threshold = p.threshold;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace earsonar::ml

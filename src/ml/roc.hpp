@@ -1,0 +1,33 @@
+// ROC analysis for binary screening (fluid vs no-fluid) — the task the
+// prior-work baseline was originally evaluated on, added here as an
+// extension so the reproduction can report AUC alongside the paper's
+// four-state metrics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace earsonar::ml {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;
+  double false_positive_rate = 0.0;
+};
+
+/// ROC curve for scores (higher = more positive) against binary labels.
+/// Points are ordered from the most conservative threshold (0,0) to the most
+/// permissive (1,1). Requires at least one positive and one negative label.
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<bool>& labels);
+
+/// Area under the ROC curve via the Mann-Whitney statistic (ties counted
+/// half). 0.5 = chance, 1.0 = perfect ranking.
+double auc(const std::vector<double>& scores, const std::vector<bool>& labels);
+
+/// The threshold on `scores` whose sensitivity+specificity sum (Youden's J)
+/// is maximal.
+double best_youden_threshold(const std::vector<double>& scores,
+                             const std::vector<bool>& labels);
+
+}  // namespace earsonar::ml

@@ -1,0 +1,45 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace earsonar::ml {
+
+void StandardScaler::fit(const Matrix& data) {
+  require_nonempty("StandardScaler data", data.size());
+  const std::size_t d = data.front().size();
+  require_nonempty("StandardScaler dimension", d);
+  for (const auto& row : data)
+    require(row.size() == d, "StandardScaler: ragged matrix");
+
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (const auto& row : data)
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  for (double& m : mean_) m /= static_cast<double>(data.size());
+  for (const auto& row : data)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - mean_[j];
+      std_[j] += diff * diff;
+    }
+  for (double& s : std_) s = std::sqrt(s / static_cast<double>(data.size()));
+}
+
+std::vector<double> StandardScaler::transform(const std::vector<double>& row) const {
+  require(fitted(), "StandardScaler: transform before fit");
+  require(row.size() == mean_.size(), "StandardScaler: dimension mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j)
+    out[j] = std_[j] > 1e-12 ? (row[j] - mean_[j]) / std_[j] : 0.0;
+  return out;
+}
+
+Matrix StandardScaler::transform(const Matrix& data) const {
+  Matrix out;
+  out.reserve(data.size());
+  for (const auto& row : data) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace earsonar::ml

@@ -1,0 +1,28 @@
+// Z-score feature standardization fitted on training data only.
+#pragma once
+
+#include <vector>
+
+#include "ml/kmeans.hpp"
+
+namespace earsonar::ml {
+
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation from `data`.
+  void fit(const Matrix& data);
+
+  /// (x - mean) / std per column; constant columns map to 0.
+  [[nodiscard]] std::vector<double> transform(const std::vector<double>& row) const;
+  [[nodiscard]] Matrix transform(const Matrix& data) const;
+
+  [[nodiscard]] bool fitted() const { return !mean_.empty(); }
+  [[nodiscard]] const std::vector<double>& means() const { return mean_; }
+  [[nodiscard]] const std::vector<double>& stds() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace earsonar::ml

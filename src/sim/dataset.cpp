@@ -1,0 +1,107 @@
+#include "sim/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include "common/error.hpp"
+
+namespace earsonar::sim {
+
+CohortGenerator::CohortGenerator(CohortConfig config)
+    : config_(std::move(config)), factory_(config_.seed), probe_(config_.probe) {
+  require(config_.subject_count >= 1, "CohortConfig: need >= 1 subject");
+  require(config_.sessions_per_state >= 1, "CohortConfig: need >= 1 session per state");
+}
+
+std::vector<SessionRecording> CohortGenerator::generate() const {
+  std::vector<SessionRecording> all;
+  all.reserve(config_.subject_count * kEffusionStateCount * config_.sessions_per_state);
+  for (std::uint32_t id = 0; id < config_.subject_count; ++id) {
+    std::vector<SessionRecording> one = generate_subject(id);
+    for (auto& rec : one) all.push_back(std::move(rec));
+  }
+  return all;
+}
+
+std::vector<SessionRecording> CohortGenerator::generate_subject(
+    std::uint32_t subject_id) const {
+  require(subject_id < config_.subject_count, "generate_subject: id out of range");
+  const Subject subject = factory_.make(subject_id);
+  Rng rng(splitmix64(subject.seed ^ 0xDA7A5E7ULL));
+
+  std::vector<SessionRecording> recs;
+  std::uint32_t session = 0;
+  for (EffusionState state : all_effusion_states()) {
+    for (std::size_t s = 0; s < config_.sessions_per_state; ++s) {
+      const EardrumModel drum = subject.eardrum(state, -1.0, session);
+      RecordingCondition condition = config_.condition;
+      if (config_.randomize_conditions) {
+        // A real collection never holds conditions perfectly constant:
+        // children re-seat the earbud (small angle), the clinic hums at
+        // 35-50 dB, and some sessions have restless heads.
+        condition.angle_deg =
+            std::min(15.0, std::abs(rng.normal(0.0, 5.0)) + condition.angle_deg);
+        condition.noise_spl_db = rng.uniform(35.0, 50.0);
+        condition.movement = rng.bernoulli(0.2) ? BodyMovement::kHeadMovement
+                                                : condition.movement;
+      }
+      SessionRecording rec;
+      rec.subject_id = subject_id;
+      rec.session = session++;
+      rec.state = state;
+      rec.fill = drum.fill();
+      rec.waveform = probe_.record(subject, drum, config_.earphone, condition, rng);
+      recs.push_back(std::move(rec));
+    }
+  }
+  return recs;
+}
+
+std::vector<Subject> CohortGenerator::subjects() const {
+  std::vector<Subject> out;
+  out.reserve(config_.subject_count);
+  for (std::uint32_t id = 0; id < config_.subject_count; ++id)
+    out.push_back(factory_.make(id));
+  return out;
+}
+
+EffusionState recovery_state_on_day(EffusionState initial_state, std::size_t day,
+                                    std::size_t days) {
+  require(days >= 1, "recovery_state_on_day: days must be >= 1");
+  require(day < days, "recovery_state_on_day: day out of range");
+  // Stages from the initial state down to Clear, equal dwell time each.
+  const std::size_t start = state_index(initial_state);  // Clear=0 .. Purulent=3
+  const std::size_t stages = start + 1;                   // including Clear
+  const std::size_t stage =
+      (day * stages) / days;  // 0 .. stages-1 as the days progress
+  const std::size_t remaining = start - stage;
+  return state_from_index(remaining);
+}
+
+std::vector<SessionRecording> generate_longitudinal(const LongitudinalConfig& config) {
+  require(config.days >= 1, "LongitudinalConfig: days must be >= 1");
+  SubjectFactory factory(config.seed);
+  const Subject subject = factory.make(config.subject_id);
+  EarProbe probe(config.probe);
+  Rng rng(splitmix64(subject.seed ^ 0x10f6ULL));
+
+  std::vector<SessionRecording> recs;
+  recs.reserve(config.days * 2);
+  std::uint32_t session = 0;
+  for (std::size_t day = 0; day < config.days; ++day) {
+    const EffusionState state =
+        recovery_state_on_day(config.initial_state, day, config.days);
+    for (int half = 0; half < 2; ++half) {  // 8 am and 6 pm
+      const EardrumModel drum = subject.eardrum(state, -1.0, session);
+      SessionRecording rec;
+      rec.subject_id = config.subject_id;
+      rec.session = session++;
+      rec.state = state;
+      rec.fill = drum.fill();
+      rec.waveform = probe.record(subject, drum, config.earphone, config.condition, rng);
+      recs.push_back(std::move(rec));
+    }
+  }
+  return recs;
+}
+
+}  // namespace earsonar::sim

@@ -1,0 +1,87 @@
+// Cohort and longitudinal dataset synthesis (paper §V-§VI data collection:
+// 112 children followed from diagnosis to recovery, recordings twice daily,
+// otoscope ground truth at every session).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "audio/waveform.hpp"
+#include "sim/conditions.hpp"
+#include "sim/earphone.hpp"
+#include "sim/probe.hpp"
+#include "sim/subject.hpp"
+
+namespace earsonar::sim {
+
+/// One labeled recording session.
+struct SessionRecording {
+  std::uint32_t subject_id = 0;
+  std::uint32_t session = 0;     ///< per-subject session counter
+  EffusionState state = EffusionState::kClear;  ///< otoscope ground truth
+  double fill = 0.0;             ///< true fill fraction behind the drum
+  audio::Waveform waveform;      ///< what the in-ear microphone captured
+};
+
+struct CohortConfig {
+  std::size_t subject_count = 112;
+  std::size_t sessions_per_state = 2;  ///< recordings per state per subject
+  std::uint64_t seed = 42;
+  ProbeConfig probe;
+  RecordingCondition condition;
+  Earphone earphone = reference_earphone();
+  /// Clinical realism: each session perturbs the base condition with a small
+  /// random wearing angle, clinic-room noise level, and occasional head
+  /// movement (children do not sit perfectly still). Turn off to study one
+  /// controlled condition (the Table I / Fig. 14 sweeps do).
+  bool randomize_conditions = true;
+};
+
+/// Generates a balanced cohort: every subject contributes
+/// `sessions_per_state` recordings in each of the four states (the paper
+/// follows each child through the full recovery arc, so all states are
+/// observed for all participants).
+class CohortGenerator {
+ public:
+  explicit CohortGenerator(CohortConfig config);
+
+  /// All recordings for the whole cohort, subject-major order.
+  [[nodiscard]] std::vector<SessionRecording> generate() const;
+
+  /// All recordings for one subject.
+  [[nodiscard]] std::vector<SessionRecording> generate_subject(
+      std::uint32_t subject_id) const;
+
+  /// The subject objects themselves (for anatomy inspection).
+  [[nodiscard]] std::vector<Subject> subjects() const;
+
+  [[nodiscard]] const CohortConfig& config() const { return config_; }
+
+ private:
+  CohortConfig config_;
+  SubjectFactory factory_;
+  EarProbe probe_;
+};
+
+/// The canonical recovery arc Purulent -> Mucoid -> Serous -> Clear sampled
+/// over `days` days with two recordings per day (8 am / 6 pm as in the
+/// paper). Day d's state follows the arc proportionally.
+struct LongitudinalConfig {
+  std::uint32_t subject_id = 0;
+  std::size_t days = 20;
+  std::uint64_t seed = 42;
+  ProbeConfig probe;
+  RecordingCondition condition;
+  Earphone earphone = reference_earphone();
+  EffusionState initial_state = EffusionState::kPurulent;
+};
+
+/// State scheduled for day `day` of `days` when recovering from
+/// `initial_state` to Clear (piecewise-constant, monotone recovery).
+EffusionState recovery_state_on_day(EffusionState initial_state, std::size_t day,
+                                    std::size_t days);
+
+/// Generates the two-a-day longitudinal series for one subject.
+std::vector<SessionRecording> generate_longitudinal(const LongitudinalConfig& config);
+
+}  // namespace earsonar::sim

@@ -1,0 +1,54 @@
+#include "sim/ear_canal.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace earsonar::sim {
+
+EarCanal sample_ear_canal(earsonar::Rng& rng) {
+  EarCanal canal;
+  canal.length_m = rng.uniform(kMinCanalLengthM, kMaxCanalLengthM);
+  canal.diameter_m = rng.uniform(0.0055, 0.0075);
+  canal.direct.distance_m = rng.uniform(0.0010, 0.0022);
+  canal.direct.gain = rng.uniform(0.008, 0.018);
+  canal.eardrum_path_gain = rng.uniform(0.38, 0.46);
+
+  const std::size_t wall_count = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  canal.wall_paths.clear();
+  for (std::size_t i = 0; i < wall_count; ++i) {
+    AcousticPath path;
+    // Wall features sit strictly between the earbud tip and the drum; the
+    // canal is a smooth tube, so wall reflections are an order weaker than
+    // the drum echo and concentrate near the tip (tip/skin discontinuity).
+    path.distance_m = rng.uniform(0.006, canal.length_m - 0.008);
+    // Deeper reflectors are weaker (spreading + absorption).
+    const double depth_factor = 1.0 - path.distance_m / canal.length_m;
+    path.gain = rng.uniform(0.004, 0.012) * (0.6 + 0.8 * depth_factor);
+    canal.wall_paths.push_back(path);
+  }
+  std::sort(canal.wall_paths.begin(), canal.wall_paths.end(),
+            [](const AcousticPath& a, const AcousticPath& b) {
+              return a.distance_m < b.distance_m;
+            });
+  validate(canal);
+  return canal;
+}
+
+void validate(const EarCanal& canal) {
+  require(canal.length_m >= kMinCanalLengthM && canal.length_m <= kMaxCanalLengthM,
+          "EarCanal: length outside anatomical range");
+  require_positive("EarCanal diameter", canal.diameter_m);
+  require_positive("EarCanal direct gain", canal.direct.gain);
+  require(canal.direct.distance_m > 0.0 && canal.direct.distance_m < canal.length_m,
+          "EarCanal: direct path must be inside the canal");
+  require(canal.eardrum_path_gain > 0.0 && canal.eardrum_path_gain <= 1.0,
+          "EarCanal: eardrum path gain must be in (0, 1]");
+  for (const AcousticPath& p : canal.wall_paths) {
+    require(p.distance_m > 0.0 && p.distance_m < canal.length_m,
+            "EarCanal: wall path outside the canal");
+    require(p.gain > 0.0 && p.gain < 1.0, "EarCanal: wall gain must be in (0, 1)");
+  }
+}
+
+}  // namespace earsonar::sim

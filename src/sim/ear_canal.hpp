@@ -1,0 +1,51 @@
+// Ear-canal multipath geometry.
+//
+// Besides the eardrum echo, the probe signal reflects off the canal walls
+// (paper challenge #1) and leaks directly from speaker to microphone. Each
+// subject gets a fixed canal length in the anatomical 2-3.5 cm range plus a
+// subject-specific set of wall-reflection paths.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace earsonar::sim {
+
+/// One acoustic propagation path from speaker to microphone.
+struct AcousticPath {
+  double distance_m = 0.0;  ///< one-way reflector distance (round trip = 2x)
+  double gain = 0.0;        ///< pressure gain of the path
+};
+
+/// Anatomical ranges for canal length (paper cites 2-3.5 cm, Keefe 1993).
+inline constexpr double kMinCanalLengthM = 0.020;
+inline constexpr double kMaxCanalLengthM = 0.035;
+
+struct EarCanal {
+  double length_m = 0.027;           ///< earphone tip to eardrum
+  double diameter_m = 0.0065;
+  /// Speaker-to-mic leakage inside the earbud. The prototype's extra
+  /// microphone is mounted parallel to the speaker facing *into* the canal
+  /// (paper Fig. 3/4), so it is acoustically shadowed from the speaker and
+  /// the leak is an order of magnitude below the eardrum echo — consistent
+  /// with the paper's Fig. 9(d), where even different subjects' echo PSDs
+  /// correlate above 90% (impossible if subject-specific multipath
+  /// interference shaped the band).
+  AcousticPath direct{0.0015, 0.012};
+  /// Canal-wall reflections (distances < length_m, modest gains).
+  std::vector<AcousticPath> wall_paths;
+  /// Pressure gain of the eardrum path excluding the drum reflectance itself
+  /// (spreading + canal absorption losses).
+  double eardrum_path_gain = 0.42;
+};
+
+/// Draws a subject-specific canal: length uniform in the anatomical range,
+/// 2-4 wall paths with decreasing gain at random depths, slight gain jitter.
+EarCanal sample_ear_canal(earsonar::Rng& rng);
+
+/// Validates geometric invariants (paths inside the canal, positive gains).
+void validate(const EarCanal& canal);
+
+}  // namespace earsonar::sim

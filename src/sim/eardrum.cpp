@@ -1,0 +1,115 @@
+#include "sim/eardrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+
+namespace earsonar::sim {
+
+DrumAnatomy sample_drum_anatomy(earsonar::Rng& rng, double ripple_sigma,
+                                std::size_t ripple_knots) {
+  require(ripple_knots >= 2, "sample_drum_anatomy: need >= 2 ripple knots");
+  DrumAnatomy anatomy;
+  anatomy.clear_resonance_hz = 26000.0 * rng.normal(1.0, 0.015);
+  anatomy.surface_density = 2.0e-3 * rng.normal(1.0, 0.05);
+  anatomy.resistance_rayl = std::max(20.0, 60.0 * rng.normal(1.0, 0.05));
+  anatomy.ripple.resize(ripple_knots);
+  for (double& g : anatomy.ripple) g = std::max(0.5, rng.normal(1.0, ripple_sigma));
+  return anatomy;
+}
+
+EardrumModel::EardrumModel(DrumAnatomy anatomy, EffusionState state, double fill)
+    : anatomy_(std::move(anatomy)), state_(state), fill_(fill) {
+  require_in_range("EardrumModel fill", fill, 0.0, 1.0);
+  require_nonempty("DrumAnatomy ripple", anatomy_.ripple.size());
+  const DrumMechanics clear = drum_with_resonance(
+      anatomy_.clear_resonance_hz, anatomy_.surface_density, anatomy_.resistance_rayl);
+  loaded_ = load_with_effusion(clear, state, fill);
+}
+
+double EardrumModel::ripple_gain(double frequency_hz) const {
+  const auto& knots = anatomy_.ripple;
+  if (knots.size() == 1) return knots.front();
+  const double lo = anatomy_.ripple_low_hz;
+  const double hi = anatomy_.ripple_high_hz;
+  if (frequency_hz <= lo) return knots.front();
+  if (frequency_hz >= hi) return knots.back();
+  const double pos = (frequency_hz - lo) / (hi - lo) * static_cast<double>(knots.size() - 1);
+  const std::size_t i = static_cast<std::size_t>(pos);
+  const double t = pos - static_cast<double>(i);
+  const std::size_t j = std::min(i + 1, knots.size() - 1);
+  // Smoothstep blend keeps the fingerprint ripple differentiable.
+  const double s = t * t * (3.0 - 2.0 * t);
+  return knots[i] * (1.0 - s) + knots[j] * s;
+}
+
+double EardrumModel::reflectance(double frequency_hz) const {
+  require_positive("frequency_hz", frequency_hz);
+  const double base = drum_reflectance_magnitude(loaded_, frequency_hz);
+  return std::clamp(base * ripple_gain(frequency_hz), 0.0, 1.0);
+}
+
+std::vector<double> EardrumModel::reflectance_curve(double low_hz, double high_hz,
+                                                    std::size_t points) const {
+  require(points >= 2, "reflectance_curve: need >= 2 points");
+  require(low_hz > 0.0 && low_hz < high_hz, "reflectance_curve: bad band");
+  std::vector<double> curve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double f = low_hz + (high_hz - low_hz) * static_cast<double>(i) /
+                                  static_cast<double>(points - 1);
+    curve[i] = reflectance(f);
+  }
+  return curve;
+}
+
+std::vector<double> EardrumModel::fir_kernel(std::size_t taps, double sample_rate) const {
+  require_positive("sample_rate", sample_rate);
+  // Sample the reflectance on a coarse grid up to Nyquist and fit an FIR.
+  constexpr std::size_t kGridPoints = 48;
+  std::vector<double> freqs(kGridPoints), mags(kGridPoints);
+  const double nyquist = sample_rate / 2.0;
+  for (std::size_t i = 0; i < kGridPoints; ++i) {
+    const double f = nyquist * static_cast<double>(i + 1) / static_cast<double>(kGridPoints);
+    freqs[i] = f;
+    mags[i] = reflectance(f);
+  }
+  return dsp::fir_from_magnitude(freqs, mags, taps, sample_rate);
+}
+
+EardrumModel::ReflectedPulse EardrumModel::reflect(std::span<const double> tx,
+                                                   double sample_rate) const {
+  require_nonempty("reflect tx", tx.size());
+  require_positive("sample_rate", sample_rate);
+  // Zero-phase spectral multiplication: exact |R(f)|, no design smearing.
+  // Zero-phase wraps half the impulse response to negative time, so the
+  // buffer is rotated by half its length and that rotation reported as group
+  // delay.
+  const std::size_t n = dsp::next_power_of_two(2 * tx.size() + 256);
+  std::vector<dsp::Complex> spec(n, dsp::Complex{0.0, 0.0});
+  for (std::size_t i = 0; i < tx.size(); ++i) spec[i] = dsp::Complex{tx[i], 0.0};
+  dsp::fft_radix2_inplace(spec);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t mirror = k <= n / 2 ? k : n - k;
+    const double f = static_cast<double>(mirror) * sample_rate / static_cast<double>(n);
+    const double r = f > 0.0 ? reflectance(f) : reflectance(1.0);
+    spec[k] *= r;
+  }
+  std::vector<dsp::Complex> time = dsp::ifft(spec);
+
+  ReflectedPulse pulse;
+  const std::size_t half = n / 2;
+  pulse.samples.resize(n);
+  // Rotate so the (acausal) zero-phase response becomes causal with a known
+  // half-buffer delay.
+  for (std::size_t i = 0; i < n; ++i)
+    pulse.samples[i] = time[(i + n - half) % n].real();
+  pulse.group_delay = static_cast<double>(half);
+  return pulse;
+}
+
+double EardrumModel::notch_frequency_hz() const { return drum_resonance_hz(loaded_); }
+
+}  // namespace earsonar::sim

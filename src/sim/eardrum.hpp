@@ -1,0 +1,82 @@
+// Frequency-dependent eardrum reflectance and its FIR realization.
+//
+// Combines the fluid-loaded drum oscillator (sim/impedance) with a fixed
+// per-subject spectral "fingerprint" ripple (Fig. 9 of the paper shows the
+// same subject's echo spectrum is highly repeatable across sessions while
+// different subjects differ slightly), and renders the resulting |R(f)| curve
+// as a linear-phase FIR kernel the channel simulator convolves echoes with.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/effusion.hpp"
+#include "sim/impedance.hpp"
+
+namespace earsonar::sim {
+
+/// Per-subject anatomical variation of the drum model.
+struct DrumAnatomy {
+  double clear_resonance_hz = 26000.0;  ///< unloaded high-frequency drum mode
+  double surface_density = 2.0e-3;      ///< kg/m^2
+  double resistance_rayl = 60.0;        ///< clear-drum damping
+  /// Smooth multiplicative ripple samples applied to |R(f)| across the band;
+  /// fixed per subject (their spectral fingerprint).
+  std::vector<double> ripple;            ///< one gain per ripple knot
+  double ripple_low_hz = 14000.0;
+  double ripple_high_hz = 22000.0;
+};
+
+/// Draws subject-to-subject anatomy variation (resonance +-3%, density and
+/// damping +-8%, ripple +-`ripple_sigma` around 1.0 at `ripple_knots` knots).
+DrumAnatomy sample_drum_anatomy(earsonar::Rng& rng, double ripple_sigma = 0.035,
+                                std::size_t ripple_knots = 9);
+
+/// The full eardrum reflectance model for one subject in one effusion state.
+class EardrumModel {
+ public:
+  EardrumModel(DrumAnatomy anatomy, EffusionState state, double fill);
+
+  /// |R(f)| including fluid loading and the subject fingerprint, in [0, ~1].
+  [[nodiscard]] double reflectance(double frequency_hz) const;
+
+  /// Samples reflectance on a uniform grid [low_hz, high_hz].
+  [[nodiscard]] std::vector<double> reflectance_curve(double low_hz, double high_hz,
+                                                      std::size_t points) const;
+
+  /// Linear-phase FIR kernel (odd `taps`) whose magnitude approximates the
+  /// reflectance across [0, Nyquist]; group delay = (taps-1)/2 samples.
+  /// NOTE: windowed FIR design smears deep narrow notches; the channel
+  /// simulator uses the exact spectral method `reflect` instead.
+  [[nodiscard]] std::vector<double> fir_kernel(std::size_t taps, double sample_rate) const;
+
+  /// The reflected pulse for a transmitted pulse `tx`: multiplies the pulse
+  /// spectrum by the exact |R(f)| (zero-phase) in the frequency domain.
+  /// Returns the reflected samples and the group delay (samples) that the
+  /// caller must subtract when placing the pulse, so arrival time stays
+  /// physical.
+  struct ReflectedPulse {
+    std::vector<double> samples;
+    double group_delay = 0.0;
+  };
+  [[nodiscard]] ReflectedPulse reflect(std::span<const double> tx, double sample_rate) const;
+
+  /// The loaded oscillator's resonance (== expected notch position).
+  [[nodiscard]] double notch_frequency_hz() const;
+
+  [[nodiscard]] EffusionState state() const { return state_; }
+  [[nodiscard]] double fill() const { return fill_; }
+  [[nodiscard]] const DrumAnatomy& anatomy() const { return anatomy_; }
+
+ private:
+  [[nodiscard]] double ripple_gain(double frequency_hz) const;
+
+  DrumAnatomy anatomy_;
+  EffusionState state_;
+  double fill_;
+  DrumMechanics loaded_;
+};
+
+}  // namespace earsonar::sim

@@ -1,0 +1,77 @@
+#include "sim/earphone.hpp"
+
+#include "common/error.hpp"
+#include "dsp/fir.hpp"
+
+namespace earsonar::sim {
+
+std::vector<double> Earphone::response_kernel(std::size_t taps, double sample_rate) const {
+  require(response_freqs_hz.size() == response_gains.size() && !response_freqs_hz.empty(),
+          "Earphone: response tables must match and be non-empty");
+  return dsp::fir_from_magnitude(response_freqs_hz, response_gains, taps, sample_rate);
+}
+
+Earphone reference_earphone() { return Earphone{}; }
+
+Earphone earphone_ck35051() {
+  Earphone e;
+  e.name = "CK35051";
+  // Budget driver: pronounced high-band ripple and early roll-off.
+  e.response_gains = {0.95, 1.05, 0.88, 0.80, 0.70};
+  e.mic_snr_db = 70.0;
+  e.isolation_db = 22.0;
+  e.mic_self_noise_spl = 31.0;
+  return e;
+}
+
+Earphone earphone_ath_cks550xis() {
+  Earphone e;
+  e.name = "ATH-CKS550XIS";
+  // Bass-tuned consumer driver: modest treble shelf.
+  e.response_gains = {1.02, 0.98, 0.92, 0.88, 0.82};
+  e.mic_snr_db = 72.0;
+  e.isolation_db = 24.0;
+  e.mic_self_noise_spl = 30.0;
+  return e;
+}
+
+Earphone earphone_ie100pro() {
+  Earphone e;
+  e.name = "IE 100 PRO";
+  // Studio monitor: flattest response, best capsule.
+  e.response_gains = {1.0, 1.0, 0.98, 0.96, 0.92};
+  e.mic_snr_db = 76.0;
+  e.isolation_db = 26.0;
+  e.mic_self_noise_spl = 27.0;
+  return e;
+}
+
+Earphone earphone_bose_qc20() {
+  Earphone e;
+  e.name = "BOSE QC20";
+  // Sealed ANC tip: strong isolation, slight treble dip.
+  e.response_gains = {1.0, 0.97, 0.90, 0.86, 0.80};
+  e.mic_snr_db = 74.0;
+  e.isolation_db = 30.0;
+  e.mic_self_noise_spl = 28.0;
+  return e;
+}
+
+Earphone smartphone_funnel() {
+  Earphone e;
+  e.name = "Smartphone+funnel";
+  // Phone speakers roll off hard approaching 20 kHz.
+  e.response_gains = {0.92, 0.88, 0.75, 0.60, 0.45};
+  e.mic_snr_db = 64.0;
+  e.isolation_db = 8.0;        // the cone blocks some room noise, far from a seal
+  e.mic_self_noise_spl = 33.0;
+  e.leak_multiplier = 5.0;     // funnel walls reflect part of the probe back
+  return e;
+}
+
+std::vector<Earphone> commercial_earphones() {
+  return {earphone_ck35051(), earphone_ath_cks550xis(), earphone_ie100pro(),
+          earphone_bose_qc20()};
+}
+
+}  // namespace earsonar::sim

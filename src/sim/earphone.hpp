@@ -1,0 +1,53 @@
+// Earphone device models (paper §VI-C4, Fig. 15a).
+//
+// The prototype embeds an extra microphone in commodity earbuds; the paper
+// evaluates four models (CK35051, ATH-CKS550XIS, IE 100 PRO, BOSE QC20).
+// Devices differ in speaker frequency-response ripple across the probe band,
+// microphone SNR, and passive ambient isolation from the silicone tips.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace earsonar::sim {
+
+struct Earphone {
+  std::string name = "Reference";
+  /// Speaker magnitude response sampled at `response_freqs_hz` (linear gain);
+  /// applied to the transmitted chirp by FIR approximation.
+  std::vector<double> response_freqs_hz{12000.0, 15000.0, 18000.0, 21000.0, 24000.0};
+  std::vector<double> response_gains{1.0, 1.0, 1.0, 1.0, 1.0};
+  double mic_snr_db = 74.0;        ///< microphone SNR (paper: generally > 70 dB)
+  double isolation_db = 25.0;      ///< passive attenuation of room noise
+  double mic_self_noise_spl = 28.0;///< equivalent input noise of the capsule
+  /// Multiplier on the speaker-to-mic direct leak. 1.0 for the prototype's
+  /// shadowed in-ear microphone; large for open-coupling setups (the
+  /// smartphone-plus-paper-funnel rig of the Chan et al. baseline).
+  double leak_multiplier = 1.0;
+
+  /// Linear-phase FIR approximating the speaker response.
+  [[nodiscard]] std::vector<double> response_kernel(std::size_t taps,
+                                                    double sample_rate) const;
+};
+
+/// The idealized flat device used when device effects are not under study.
+Earphone reference_earphone();
+
+/// The four commercial devices of Fig. 15(a), with plausible response
+/// ripple / SNR / isolation differences (budget CK35051 roughest, IE 100 PRO
+/// cleanest).
+Earphone earphone_ck35051();
+Earphone earphone_ath_cks550xis();
+Earphone earphone_ie100pro();
+Earphone earphone_bose_qc20();
+
+/// All four commercial presets in Fig. 15(a) order.
+std::vector<Earphone> commercial_earphones();
+
+/// The prior-work acquisition rig (Chan et al., Sci. Transl. Med. 2019): a
+/// smartphone speaker/mic coupled to the ear with a folded paper funnel — no
+/// seal (ambient passes through), strong speaker-to-mic leak off the funnel
+/// walls, phone-grade capsule, drooping high-band response.
+Earphone smartphone_funnel();
+
+}  // namespace earsonar::sim

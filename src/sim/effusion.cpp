@@ -1,0 +1,70 @@
+#include "sim/effusion.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace earsonar::sim {
+
+std::array<EffusionState, kEffusionStateCount> all_effusion_states() {
+  return {EffusionState::kClear, EffusionState::kSerous, EffusionState::kMucoid,
+          EffusionState::kPurulent};
+}
+
+std::string to_string(EffusionState state) {
+  switch (state) {
+    case EffusionState::kClear: return "Clear";
+    case EffusionState::kSerous: return "Serous";
+    case EffusionState::kMucoid: return "Mucoid";
+    case EffusionState::kPurulent: return "Purulent";
+  }
+  throw std::invalid_argument("to_string: bad EffusionState");
+}
+
+EffusionState effusion_state_from_string(const std::string& label) {
+  std::string lower(label);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "clear") return EffusionState::kClear;
+  if (lower == "serous") return EffusionState::kSerous;
+  if (lower == "mucoid") return EffusionState::kMucoid;
+  if (lower == "purulent") return EffusionState::kPurulent;
+  throw std::invalid_argument("effusion_state_from_string: unknown label '" + label + "'");
+}
+
+std::size_t state_index(EffusionState state) { return static_cast<std::size_t>(state); }
+
+EffusionState state_from_index(std::size_t index) {
+  require(index < kEffusionStateCount, "state_from_index: index out of range");
+  return static_cast<EffusionState>(index);
+}
+
+EffusionProperties effusion_properties(EffusionState state) {
+  switch (state) {
+    case EffusionState::kClear:
+      // Air-filled middle ear: no fluid load.
+      return {1.204, 343.0, 1.8e-5, 0.0, 0.0};
+    case EffusionState::kSerous:
+      // Thin transudate, close to water.
+      return {1005.0, 1490.0, 5e-3, 0.35, 0.06};
+    case EffusionState::kMucoid:
+      // "Glue ear": viscous mucus.
+      return {1030.0, 1520.0, 0.5, 0.55, 0.07};
+    case EffusionState::kPurulent:
+      // Pus: densest and most viscous.
+      return {1060.0, 1540.0, 5.0, 0.78, 0.07};
+  }
+  throw std::invalid_argument("effusion_properties: bad EffusionState");
+}
+
+double sample_fill_fraction(EffusionState state, earsonar::Rng& rng) {
+  if (!has_fluid(state)) return 0.0;
+  const EffusionProperties props = effusion_properties(state);
+  const double fill = rng.normal(props.fill_mean, props.fill_sigma);
+  return std::clamp(fill, 0.05, 1.0);
+}
+
+bool has_fluid(EffusionState state) { return state != EffusionState::kClear; }
+
+}  // namespace earsonar::sim

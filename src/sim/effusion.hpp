@@ -1,0 +1,56 @@
+// Middle-ear effusion states and their physical fluid properties.
+//
+// The paper grades MEE into four states — Clear (healthy), Serous (thin,
+// watery), Mucoid (thick, glue-ear), Purulent (pus) — and shows the reflected
+// spectrum separates them (Fig. 11). Density/sound-speed/viscosity values
+// below are drawn from the tissue-acoustics literature the paper cites
+// (Ludwig 1950) and standard fluid references.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace earsonar::sim {
+
+enum class EffusionState { kClear = 0, kSerous = 1, kMucoid = 2, kPurulent = 3 };
+
+inline constexpr std::size_t kEffusionStateCount = 4;
+
+/// All four states in severity order (Clear -> Purulent).
+std::array<EffusionState, kEffusionStateCount> all_effusion_states();
+
+/// Human-readable label ("Clear", "Serous", ...).
+std::string to_string(EffusionState state);
+
+/// Parses a label produced by to_string (case-insensitive); throws on junk.
+EffusionState effusion_state_from_string(const std::string& label);
+
+/// Stable index (0..3) used for confusion matrices and cluster mapping.
+std::size_t state_index(EffusionState state);
+
+/// Inverse of state_index; throws when index > 3.
+EffusionState state_from_index(std::size_t index);
+
+/// Bulk physical properties of the effusion fluid.
+struct EffusionProperties {
+  double density_kg_m3 = 0.0;    ///< mass density of the fluid
+  double sound_speed_m_s = 0.0;  ///< longitudinal sound speed in the fluid
+  double viscosity_pa_s = 0.0;   ///< dynamic viscosity (drives damping width)
+  double fill_mean = 0.0;        ///< typical middle-ear fill fraction [0,1]
+  double fill_sigma = 0.0;       ///< patient-to-patient spread of the fill
+};
+
+/// Canonical properties for a state. Clear returns zero fill and air-like
+/// placeholders (no fluid behind the drum).
+EffusionProperties effusion_properties(EffusionState state);
+
+/// Draws a patient-specific fill fraction for the state (clamped to [0, 1];
+/// Clear always yields 0).
+double sample_fill_fraction(EffusionState state, earsonar::Rng& rng);
+
+/// True for any state with fluid behind the drum.
+bool has_fluid(EffusionState state);
+
+}  // namespace earsonar::sim

@@ -1,0 +1,68 @@
+// Acoustic impedance theory (paper §II-A, Eq. 1-3).
+//
+// Implements the interface-reflection and thickness-impedance relations the
+// paper builds its sensing principle on, plus the one-degree-of-freedom
+// eardrum oscillator whose fluid loading produces the in-band absorption
+// notch near 18 kHz that EarSonar keys off.
+#pragma once
+
+#include <complex>
+
+#include "sim/effusion.hpp"
+
+namespace earsonar::sim {
+
+/// Eq. 1 (with the standard sign convention — the paper's denominator has a
+/// typo): pressure reflection coefficient at a z1 -> z2 interface,
+/// R = (z2 - z1) / (z2 + z1). Symmetric inputs must be positive.
+double interface_reflectance(double z1_rayl, double z2_rayl);
+
+/// Fraction of incident power transmitted across the interface, 1 - R^2.
+double interface_transmittance(double z1_rayl, double z2_rayl);
+
+/// Eq. 2: layer impedance as a function of thickness d,
+/// Z(d) = sqrt(mu/xi) * tanh(2*pi*d*sqrt(xi*mu) / lambda).
+/// Monotonically increasing in d; saturates at sqrt(mu/xi).
+double layer_impedance(double mu, double xi, double thickness_m, double lambda_m);
+
+/// Characteristic impedance rho*c of the given effusion state's fluid (rayl).
+double effusion_characteristic_impedance(EffusionState state);
+
+/// Parameters of the damped 1-DOF eardrum oscillator (per unit area):
+///   Z_drum(w) = r + j*(w*m - s/w)
+/// terminated against the ear-canal air column (z_air ~= 415 rayl). A clear
+/// drum resonates above the probe band; fluid mass-loading pulls the
+/// resonance into the 16-20 kHz band and viscous damping widens/deepens the
+/// resulting reflectance notch.
+struct DrumMechanics {
+  double resistance_rayl = 62.0;     ///< r, viscous resistance per unit area
+  double surface_density = 2.0e-3;   ///< m, kg/m^2 (drum + coupled ossicles)
+  double stiffness = 0.0;            ///< s, N/m^3; set via with_resonance()
+};
+
+/// Builds DrumMechanics whose undamped resonance sits at `resonance_hz`.
+DrumMechanics drum_with_resonance(double resonance_hz, double surface_density,
+                                  double resistance_rayl);
+
+/// Complex specific impedance of the oscillator at frequency f (Hz).
+std::complex<double> drum_impedance(const DrumMechanics& drum, double frequency_hz);
+
+/// Complex pressure reflection coefficient of the drum seen from the air
+/// column: (Z_drum - z_air) / (Z_drum + z_air).
+std::complex<double> drum_reflection(const DrumMechanics& drum, double frequency_hz,
+                                     double z_air_rayl = 415.0);
+
+/// |drum_reflection| — the quantity the probe spectrum measures.
+double drum_reflectance_magnitude(const DrumMechanics& drum, double frequency_hz,
+                                  double z_air_rayl = 415.0);
+
+/// Applies effusion loading to a clear-drum model: added surface density from
+/// the fluid column and added resistance from viscous losses. `fill` is the
+/// middle-ear fill fraction in [0, 1]. Returns the loaded mechanics.
+DrumMechanics load_with_effusion(const DrumMechanics& clear_drum, EffusionState state,
+                                 double fill);
+
+/// Resonance frequency sqrt(s/m)/(2*pi) of the oscillator.
+double drum_resonance_hz(const DrumMechanics& drum);
+
+}  // namespace earsonar::sim

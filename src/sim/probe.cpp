@@ -1,0 +1,143 @@
+#include "sim/probe.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/interpolate.hpp"
+
+namespace earsonar::sim {
+
+void ProbeConfig::validate() const {
+  chirp.validate();
+  require(chirp_count >= 1, "ProbeConfig: need >= 1 chirp");
+  require(drum_kernel_taps >= 3 && drum_kernel_taps % 2 == 1,
+          "ProbeConfig: drum_kernel_taps must be odd >= 3");
+  require(speaker_kernel_taps >= 3 && speaker_kernel_taps % 2 == 1,
+          "ProbeConfig: speaker_kernel_taps must be odd >= 3");
+}
+
+EarProbe::EarProbe(ProbeConfig config) : config_(config) { config_.validate(); }
+
+void add_pulse_at(std::vector<double>& out, std::span<const double> pulse, double start,
+                  double gain) {
+  // Negative starts clip the leading pulse samples (used when a filter's
+  // group-delay compensation pushes the nominal start before the record).
+  const std::ptrdiff_t first =
+      std::max<std::ptrdiff_t>(0, static_cast<std::ptrdiff_t>(std::floor(start)));
+  // One extra sample covers the fractional tail.
+  const std::ptrdiff_t last =
+      std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(out.size()),
+                               first + static_cast<std::ptrdiff_t>(pulse.size()) + 1);
+  for (std::ptrdiff_t i = first; i < last; ++i) {
+    const double src = static_cast<double>(i) - start;
+    out[static_cast<std::size_t>(i)] += gain * dsp::sample_fractional_sinc(pulse, src);
+  }
+}
+
+audio::Waveform EarProbe::record(const Subject& subject, const EardrumModel& eardrum,
+                                 const Earphone& earphone,
+                                 const RecordingCondition& condition,
+                                 earsonar::Rng& rng) const {
+  condition.validate();
+  validate(subject.canal);
+  const double fs = config_.chirp.sample_rate;
+
+  // Transmitted pulse after the speaker's frequency response.
+  const audio::Waveform raw_pulse = audio::make_chirp(config_.chirp);
+  const std::vector<double> speaker_fir =
+      earphone.response_kernel(config_.speaker_kernel_taps, fs);
+  const std::vector<double> tx = dsp::fir_filter_same(raw_pulse.view(), speaker_fir);
+
+  // The eardrum echo pulse: tx shaped by the exact drum reflectance in the
+  // frequency domain (FIR designs smear the deep fluid notch). The spectral
+  // method's half-buffer group delay is compensated at placement.
+  const EardrumModel::ReflectedPulse reflected = eardrum.reflect(tx, fs);
+  const std::vector<double>& drum_pulse = reflected.samples;
+  const double drum_group_delay = reflected.group_delay;
+
+  const MovementProfile movement = movement_profile(condition.movement);
+  // Motion re-seats the ear tip: one random coupling factor per recording.
+  const double session_gain =
+      std::max(0.2, 1.0 + rng.normal(0.0, movement.gain_drift));
+  const double echo_gain_angle = angle_echo_gain(condition.angle_deg);
+  const double misalign_gain = angle_extra_multipath_gain(condition.angle_deg);
+  const double angle_jitter = angle_delay_jitter(condition.angle_deg);
+  const double delay_sigma =
+      std::hypot(movement.delay_jitter_samples, angle_jitter);
+
+  const std::size_t total =
+      config_.chirp_count * config_.chirp.interval_samples() + config_.tail_samples;
+  std::vector<double> mix(total, 0.0);
+
+  // Fixed path delays (in samples).
+  const auto one_way = [&](double d_m) { return d_m / kSpeedOfSoundAir * fs; };
+  const auto round_trip = [&](double d_m) { return 2.0 * d_m / kSpeedOfSoundAir * fs; };
+  const double direct_delay = one_way(subject.canal.direct.distance_m);
+  const double drum_delay = round_trip(subject.canal.length_m);
+  const double misalign_delay = round_trip(subject.canal.length_m * 0.7);
+
+  for (std::size_t k = 0; k < config_.chirp_count; ++k) {
+    const double base =
+        static_cast<double>(audio::chirp_start_sample(config_.chirp, k));
+    const double jitter = rng.normal(0.0, delay_sigma);
+    const double gain_wobble = 1.0 + rng.normal(0.0, movement.gain_jitter);
+
+    // Speaker-to-mic leak: tight coupling, barely affected by movement.
+    add_pulse_at(mix, tx, base + direct_delay,
+                 subject.canal.direct.gain * earphone.leak_multiplier);
+
+    // Canal-wall multipath.
+    for (const AcousticPath& wall : subject.canal.wall_paths) {
+      add_pulse_at(mix, tx, base + round_trip(wall.distance_m) + jitter,
+                   wall.gain * gain_wobble);
+    }
+
+    // Misalignment path appears when the bud is worn off-axis.
+    if (misalign_gain > 0.0)
+      add_pulse_at(mix, tx, base + misalign_delay + jitter, misalign_gain * gain_wobble);
+
+    // The eardrum echo itself.
+    double drum_gain =
+        subject.canal.eardrum_path_gain * echo_gain_angle * gain_wobble * session_gain;
+    if (movement.dropout_probability > 0.0 && rng.bernoulli(movement.dropout_probability))
+      drum_gain *= 0.2;  // contact shift momentarily decouples the echo
+    add_pulse_at(mix, drum_pulse, base + drum_delay + jitter - drum_group_delay,
+                 drum_gain);
+  }
+
+  audio::Waveform out(std::move(mix), fs);
+
+  // Ambient noise attenuated by the ear-tip seal, then capsule self-noise,
+  // then broadband electronic noise at the mic's SNR rating. Room noise is
+  // modeled as the configured color (speech-band energy) plus a broadband
+  // white component 5 dB below it — clinics with crying children have real
+  // energy in the probe band, and that component is what degrades sensing.
+  const double in_canal_spl =
+      std::max(0.0, condition.noise_spl_db - earphone.isolation_db);
+  if (in_canal_spl > 0.0)
+    audio::add_noise_at_spl(out, condition.noise_color, in_canal_spl, rng);
+  // Broadband component flanking the seal: passive isolation ratings hold in
+  // the speech band, but high-frequency room noise leaks through the device
+  // body and microphone port at roughly half the rated attenuation. This is
+  // the component that actually reaches the 16-20 kHz sensing band.
+  const double flanking_spl =
+      condition.noise_spl_db - 0.35 * earphone.isolation_db - 4.0;
+  if (flanking_spl > 0.0)
+    audio::add_noise_at_spl(out, audio::NoiseColor::kWhite, flanking_spl, rng);
+  audio::add_noise_at_spl(out, audio::NoiseColor::kWhite, earphone.mic_self_noise_spl, rng);
+  audio::add_noise_at_snr(out, earphone.mic_snr_db, rng);
+
+  return out;
+}
+
+audio::Waveform EarProbe::record_state(const Subject& subject, EffusionState state,
+                                       const Earphone& earphone,
+                                       const RecordingCondition& condition,
+                                       earsonar::Rng& rng, std::uint64_t session) const {
+  const EardrumModel drum = subject.eardrum(state, -1.0, session);
+  return record(subject, drum, earphone, condition, rng);
+}
+
+}  // namespace earsonar::sim

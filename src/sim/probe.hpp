@@ -1,0 +1,65 @@
+// End-to-end acoustic recording simulation.
+//
+// EarProbe plays the FMCW chirp train through an earphone model into a
+// subject's ear and synthesizes what the in-ear microphone captures: the
+// speaker-to-mic direct leak, canal-wall multipath, the eardrum echo shaped
+// by the (possibly fluid-loaded) drum reflectance, wearing-angle and movement
+// perturbations, ambient noise through the ear-tip isolation, and microphone
+// self-noise. This is the substitute for the paper's modified-earbud
+// hardware and clinical recordings.
+#pragma once
+
+#include <cstddef>
+
+#include "audio/chirp.hpp"
+#include "audio/waveform.hpp"
+#include "common/rng.hpp"
+#include "sim/conditions.hpp"
+#include "sim/eardrum.hpp"
+#include "sim/earphone.hpp"
+#include "sim/subject.hpp"
+
+namespace earsonar::sim {
+
+struct ProbeConfig {
+  audio::FmcwConfig chirp;          ///< paper defaults: 16-20 kHz, 0.5 ms / 5 ms
+  std::size_t chirp_count = 40;     ///< chirps per recording (0.2 s by default)
+  std::size_t drum_kernel_taps = 63;  ///< long enough to keep the notch ringing
+  std::size_t speaker_kernel_taps = 21;
+  std::size_t tail_samples = 512;   ///< room for the last echo to decay
+
+  void validate() const;
+};
+
+class EarProbe {
+ public:
+  explicit EarProbe(ProbeConfig config = {});
+
+  /// Records one session: the given subject with the given eardrum state
+  /// under the given device and conditions. Each call draws fresh noise and
+  /// per-chirp jitter from `rng`.
+  [[nodiscard]] audio::Waveform record(const Subject& subject, const EardrumModel& eardrum,
+                                       const Earphone& earphone,
+                                       const RecordingCondition& condition,
+                                       earsonar::Rng& rng) const;
+
+  /// Convenience: state-typical fill drawn from the subject seed + session.
+  [[nodiscard]] audio::Waveform record_state(const Subject& subject, EffusionState state,
+                                             const Earphone& earphone,
+                                             const RecordingCondition& condition,
+                                             earsonar::Rng& rng,
+                                             std::uint64_t session = 0) const;
+
+  [[nodiscard]] const ProbeConfig& config() const { return config_; }
+
+ private:
+  ProbeConfig config_;
+};
+
+/// Adds `gain * pulse` into `out` starting at fractional sample position
+/// `start` (may be negative: leading samples clip); samples past the end of
+/// `out` are dropped. Exposed for tests.
+void add_pulse_at(std::vector<double>& out, std::span<const double> pulse, double start,
+                  double gain);
+
+}  // namespace earsonar::sim

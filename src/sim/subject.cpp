@@ -1,0 +1,50 @@
+#include "sim/subject.hpp"
+
+#include <algorithm>
+
+namespace earsonar::sim {
+
+EardrumModel Subject::eardrum(EffusionState state, double fill, std::uint64_t session) const {
+  if (fill < 0.0) {
+    // Session-specific but reproducible fill draw.
+    Rng rng(splitmix64(seed ^ splitmix64(0xf111ULL + session * 7919ULL +
+                                         static_cast<std::uint64_t>(state_index(state)))));
+    fill = sample_fill_fraction(state, rng);
+  }
+  return EardrumModel(drum, state, fill);
+}
+
+SubjectFactory::SubjectFactory(std::uint64_t cohort_seed) : cohort_seed_(cohort_seed) {}
+
+Subject contralateral_ear(const Subject& subject) {
+  Subject other = subject;
+  other.seed = splitmix64(subject.seed ^ 0x077e4ULL);
+  Rng rng(other.seed);
+  // Small within-person anatomical differences.
+  other.canal.length_m = std::clamp(subject.canal.length_m * rng.normal(1.0, 0.03),
+                                    kMinCanalLengthM, kMaxCanalLengthM);
+  other.canal.eardrum_path_gain =
+      std::clamp(subject.canal.eardrum_path_gain * rng.normal(1.0, 0.03), 0.3, 0.55);
+  other.drum.clear_resonance_hz = subject.drum.clear_resonance_hz * rng.normal(1.0, 0.008);
+  other.drum.surface_density = subject.drum.surface_density * rng.normal(1.0, 0.02);
+  other.drum.resistance_rayl =
+      std::max(20.0, subject.drum.resistance_rayl * rng.normal(1.0, 0.02));
+  // The fingerprint ripple is mostly shared, perturbed slightly per knot.
+  for (double& g : other.drum.ripple) g = std::max(0.5, g * rng.normal(1.0, 0.01));
+  return other;
+}
+
+Subject SubjectFactory::make(std::uint32_t subject_id) const {
+  Subject subject;
+  subject.id = subject_id;
+  subject.seed = splitmix64(cohort_seed_ ^ splitmix64(0x5b6ec7 + subject_id));
+  Rng rng(subject.seed);
+  subject.canal = sample_ear_canal(rng);
+  subject.drum = sample_drum_anatomy(rng);
+  subject.age_years = static_cast<int>(rng.uniform_int(4, 6));
+  // Paper cohort: 60 male / 52 female out of 112.
+  subject.male = rng.bernoulli(60.0 / 112.0);
+  return subject;
+}
+
+}  // namespace earsonar::sim

@@ -1,0 +1,435 @@
+// Unit tests for the common substrate: contracts, RNG, units, statistics,
+// CSV/table formatting, logging.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace earsonar {
+namespace {
+
+// ---------------------------------------------------------------- error.hpp
+
+TEST(ErrorTest, RequirePassesOnTrue) { EXPECT_NO_THROW(require(true, "ok")); }
+
+TEST(ErrorTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(require(false, "bad"), std::invalid_argument);
+}
+
+TEST(ErrorTest, EnsureThrowsLogicError) {
+  EXPECT_THROW(ensure(false, "bug"), std::logic_error);
+}
+
+TEST(ErrorTest, FailThrowsRuntimeError) {
+  EXPECT_THROW(fail("io"), std::runtime_error);
+}
+
+TEST(ErrorTest, RangeMessageMentionsNameAndBounds) {
+  const std::string msg = range_message("alpha", 5.0, 0.0, 1.0);
+  EXPECT_NE(msg.find("alpha"), std::string::npos);
+  EXPECT_NE(msg.find("5"), std::string::npos);
+}
+
+TEST(ErrorTest, RequireInRangeAcceptsBoundaries) {
+  EXPECT_NO_THROW(require_in_range("x", 0.0, 0.0, 1.0));
+  EXPECT_NO_THROW(require_in_range("x", 1.0, 0.0, 1.0));
+}
+
+TEST(ErrorTest, RequireInRangeRejectsOutside) {
+  EXPECT_THROW(require_in_range("x", -0.001, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(require_in_range("x", 1.001, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(ErrorTest, RequirePositiveRejectsZeroAndNegative) {
+  EXPECT_THROW(require_positive("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(require_positive("x", -1.0), std::invalid_argument);
+  EXPECT_NO_THROW(require_positive("x", 1e-12));
+}
+
+TEST(ErrorTest, RequireNonemptyRejectsZero) {
+  EXPECT_THROW(require_nonempty("v", 0), std::invalid_argument);
+  EXPECT_NO_THROW(require_nonempty("v", 1));
+}
+
+// ------------------------------------------------------------------ rng.hpp
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntCoversBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(RngTest, NormalMatchesMoments) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal(5.0, 2.0);
+  EXPECT_NEAR(mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(RngTest, NormalZeroSigmaIsDeterministic) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.normal(3.0, 0.0), 3.0);
+}
+
+TEST(RngTest, NormalRejectsNegativeSigma) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, BernoulliRejectsOutOfRangeP) {
+  Rng rng(1);
+  EXPECT_THROW(rng.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW(rng.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  const std::vector<double> weights{0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) counts[rng.weighted_index(weights)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[1]), 3.0, 0.4);
+}
+
+TEST(RngTest, WeightedIndexRejectsAllZero) {
+  Rng rng(1);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(RngTest, WeightedIndexRejectsNegative) {
+  Rng rng(1);
+  const std::vector<double> weights{1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(19);
+  const std::vector<std::size_t> p = rng.permutation(64);
+  std::set<std::size_t> unique(p.begin(), p.end());
+  EXPECT_EQ(unique.size(), 64u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 63u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctSorted) {
+  Rng rng(23);
+  const std::vector<std::size_t> s = rng.sample_without_replacement(50, 10);
+  EXPECT_EQ(s.size(), 10u);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1], s[i]);
+}
+
+TEST(RngTest, SampleWithoutReplacementRejectsTooMany) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(RngTest, ForkStreamsAreIndependent) {
+  Rng parent(31);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  EXPECT_NE(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng p1(31), p2(31);
+  Rng a = p1.fork(5);
+  Rng b = p2.fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(RngTest, SplitMixIsStable) {
+  // Known-answer: splitmix64 of 0 is a published constant.
+  EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafULL);
+}
+
+// ---------------------------------------------------------------- units.hpp
+
+TEST(UnitsTest, DbAmplitudeRoundTrip) {
+  for (double db : {-40.0, -6.0, 0.0, 6.0, 20.0})
+    EXPECT_NEAR(amplitude_to_db(db_to_amplitude(db)), db, 1e-9);
+}
+
+TEST(UnitsTest, DbPowerRoundTrip) {
+  for (double db : {-30.0, 0.0, 10.0})
+    EXPECT_NEAR(power_to_db(db_to_power(db)), db, 1e-9);
+}
+
+TEST(UnitsTest, SixDbDoublesAmplitude) {
+  EXPECT_NEAR(db_to_amplitude(6.0206), 2.0, 1e-3);
+}
+
+TEST(UnitsTest, SplReferencePoint) {
+  // 94 dB SPL is ~1 Pa (the reference is exactly 20 uPa, so 94 dB = 1.0024 Pa).
+  EXPECT_NEAR(spl_to_pressure_pa(94.0), 1.0, 5e-3);
+  EXPECT_NEAR(pressure_pa_to_spl(1.0), 94.0, 0.05);
+}
+
+TEST(UnitsTest, EchoDelayMatchesHandComputation) {
+  // 3.43 m round trip at 343 m/s is exactly 20 ms.
+  EXPECT_NEAR(echo_delay_seconds(1.715), 0.01, 1e-12);
+}
+
+TEST(UnitsTest, EchoDelaySamplesAt48k) {
+  // 2.7 cm canal: 2*0.027/343*48000 = 7.557 -> rounds to 8.
+  EXPECT_EQ(echo_delay_samples(0.027, 48000.0), 8u);
+}
+
+TEST(UnitsTest, SamplesToDistanceInvertsDelay) {
+  const double d = 0.0301;
+  const double samples = echo_delay_seconds(d) * 48000.0;
+  EXPECT_NEAR(samples_to_distance_m(samples, 48000.0), d, 1e-12);
+}
+
+TEST(UnitsTest, CharacteristicImpedanceAir) {
+  EXPECT_NEAR(characteristic_impedance(kAirDensity, kSpeedOfSoundAir), 413.0, 1.0);
+}
+
+TEST(UnitsTest, CharacteristicImpedanceWater) {
+  const double z = characteristic_impedance(kWaterDensity, kSpeedOfSoundWater);
+  EXPECT_NEAR(z, 1.48e6, 0.02e6);
+}
+
+TEST(UnitsTest, RejectsNonPositiveInputs) {
+  EXPECT_THROW(amplitude_to_db(0.0), std::invalid_argument);
+  EXPECT_THROW(echo_delay_seconds(-1.0), std::invalid_argument);
+  EXPECT_THROW(characteristic_impedance(0.0, 343.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- stats.hpp
+
+TEST(StatsTest, MeanOfKnownSequence) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(StatsTest, VarianceIsPopulation) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<double> xs{3, -1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1);
+  EXPECT_DOUBLE_EQ(max_value(xs), 5);
+}
+
+TEST(StatsTest, SkewnessOfSymmetricDataIsZero) {
+  const std::vector<double> xs{-2, -1, 0, 1, 2};
+  EXPECT_NEAR(skewness(xs), 0.0, 1e-12);
+}
+
+TEST(StatsTest, SkewnessSignMatchesTail) {
+  const std::vector<double> right{1, 1, 1, 1, 10};
+  const std::vector<double> left{-10, 1, 1, 1, 1};
+  EXPECT_GT(skewness(right), 0.5);
+  EXPECT_LT(skewness(left), -0.5);
+}
+
+TEST(StatsTest, ConstantInputHasZeroSkewAndKurtosis) {
+  const std::vector<double> xs{3, 3, 3};
+  EXPECT_DOUBLE_EQ(skewness(xs), 0.0);
+  EXPECT_DOUBLE_EQ(kurtosis_excess(xs), 0.0);
+}
+
+TEST(StatsTest, GaussianKurtosisNearZero) {
+  Rng rng(3);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.normal(0, 1);
+  EXPECT_NEAR(kurtosis_excess(xs), 0.0, 0.15);
+}
+
+TEST(StatsTest, RmsAndEnergy) {
+  const std::vector<double> xs{3, 4};
+  EXPECT_DOUBLE_EQ(energy(xs), 25.0);
+  EXPECT_NEAR(rms(xs), std::sqrt(12.5), 1e-12);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  const std::vector<double> odd{5, 1, 3};
+  const std::vector<double> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonAnticorrelation) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{3, 2, 1};
+  EXPECT_NEAR(pearson_correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantInputIsZero) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson_correlation(xs, ys), 0.0);
+}
+
+TEST(StatsTest, SummarizeMatchesPieces) {
+  const std::vector<double> xs{1, 2, 2, 3, 8};
+  const SummaryStats s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, mean(xs));
+  EXPECT_DOUBLE_EQ(s.stddev, stddev(xs));
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 8);
+  EXPECT_DOUBLE_EQ(s.skewness, skewness(xs));
+  EXPECT_DOUBLE_EQ(s.kurtosis_excess, kurtosis_excess(xs));
+}
+
+TEST(StatsTest, ArgmaxArgmin) {
+  const std::vector<double> xs{3, 9, -2, 9};
+  EXPECT_EQ(argmax(xs), 1u);  // first maximum wins
+  EXPECT_EQ(argmin(xs), 2u);
+}
+
+TEST(StatsTest, EmptyInputThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(mean(xs), std::invalid_argument);
+  EXPECT_THROW(median(xs), std::invalid_argument);
+  EXPECT_THROW(argmax(xs), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ csv.hpp
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  const std::string path = std::filesystem::temp_directory_path() / "earsonar_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"name", "value"});
+    csv.row("alpha", {1.5});
+    csv.row({"beta", "x,y"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha,1.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "beta,\"x,y\"");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, EscapeQuotesAndNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvTest, FormatUsesCompactPrecision) {
+  EXPECT_EQ(CsvWriter::format(1.0), "1");
+  EXPECT_EQ(CsvWriter::format(0.25), "0.25");
+}
+
+TEST(CsvTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- table.hpp
+
+TEST(TableTest, RendersAlignedColumns) {
+  AsciiTable table({"metric", "value"});
+  table.add_row("accuracy", {0.928}, 3);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("metric"), std::string::npos);
+  EXPECT_NE(out.find("0.928"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(TableTest, PadsShortRows) {
+  AsciiTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NO_THROW(table.to_string());
+}
+
+TEST(TableTest, FormatRespectsDecimals) {
+  EXPECT_EQ(AsciiTable::format(1.23456, 2), "1.23");
+  EXPECT_EQ(AsciiTable::format(1.0, 0), "1");
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ log.hpp
+
+TEST(LogTest, LevelFiltering) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  log_info("this should be suppressed");  // no crash, no assertion
+  set_log_level(old);
+}
+
+TEST(LogTest, OffSuppressesEverything) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kOff);
+  log_error("suppressed");
+  set_log_level(old);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace earsonar

@@ -1,0 +1,615 @@
+// Simulator tests: effusion properties, impedance theory (paper Eq. 1-2),
+// drum mechanics, reflectance curves, canal/earphone/subject generation,
+// recording conditions, the channel simulator, and dataset synthesis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/goertzel.hpp"
+#include "sim/conditions.hpp"
+#include "sim/dataset.hpp"
+#include "sim/ear_canal.hpp"
+#include "sim/eardrum.hpp"
+#include "sim/earphone.hpp"
+#include "sim/effusion.hpp"
+#include "sim/impedance.hpp"
+#include "sim/probe.hpp"
+#include "sim/subject.hpp"
+
+namespace earsonar::sim {
+namespace {
+
+// --------------------------------------------------------------- effusion
+
+TEST(EffusionTest, FourStatesRoundTripStrings) {
+  for (EffusionState s : all_effusion_states()) {
+    EXPECT_EQ(effusion_state_from_string(to_string(s)), s);
+  }
+}
+
+TEST(EffusionTest, FromStringIsCaseInsensitive) {
+  EXPECT_EQ(effusion_state_from_string("mucoid"), EffusionState::kMucoid);
+  EXPECT_EQ(effusion_state_from_string("SEROUS"), EffusionState::kSerous);
+}
+
+TEST(EffusionTest, UnknownLabelThrows) {
+  EXPECT_THROW(effusion_state_from_string("gloopy"), std::invalid_argument);
+}
+
+TEST(EffusionTest, IndexRoundTrip) {
+  for (std::size_t i = 0; i < kEffusionStateCount; ++i)
+    EXPECT_EQ(state_index(state_from_index(i)), i);
+  EXPECT_THROW(state_from_index(4), std::invalid_argument);
+}
+
+TEST(EffusionTest, ViscosityOrdering) {
+  // Serous < mucoid < purulent in viscosity; densities likewise.
+  const auto s = effusion_properties(EffusionState::kSerous);
+  const auto m = effusion_properties(EffusionState::kMucoid);
+  const auto p = effusion_properties(EffusionState::kPurulent);
+  EXPECT_LT(s.viscosity_pa_s, m.viscosity_pa_s);
+  EXPECT_LT(m.viscosity_pa_s, p.viscosity_pa_s);
+  EXPECT_LT(s.density_kg_m3, m.density_kg_m3);
+  EXPECT_LT(m.density_kg_m3, p.density_kg_m3);
+}
+
+TEST(EffusionTest, FillOrdering) {
+  const auto s = effusion_properties(EffusionState::kSerous);
+  const auto m = effusion_properties(EffusionState::kMucoid);
+  const auto p = effusion_properties(EffusionState::kPurulent);
+  EXPECT_LT(s.fill_mean, m.fill_mean);
+  EXPECT_LT(m.fill_mean, p.fill_mean);
+}
+
+TEST(EffusionTest, ClearHasNoFluid) {
+  EXPECT_FALSE(has_fluid(EffusionState::kClear));
+  EXPECT_TRUE(has_fluid(EffusionState::kPurulent));
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(sample_fill_fraction(EffusionState::kClear, rng), 0.0);
+}
+
+TEST(EffusionTest, SampledFillStaysInRange) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double fill = sample_fill_fraction(EffusionState::kPurulent, rng);
+    EXPECT_GE(fill, 0.05);
+    EXPECT_LE(fill, 1.0);
+  }
+}
+
+// -------------------------------------------------------------- impedance
+
+TEST(ImpedanceTest, InterfaceReflectanceAirToWater) {
+  const double z_air = characteristic_impedance(kAirDensity, kSpeedOfSoundAir);
+  const double z_water = characteristic_impedance(kWaterDensity, kSpeedOfSoundWater);
+  const double r = interface_reflectance(z_air, z_water);
+  EXPECT_GT(r, 0.999);  // nearly total reflection at an air/water interface
+  EXPECT_LT(r, 1.0);
+}
+
+TEST(ImpedanceTest, MatchedImpedanceNoReflection) {
+  EXPECT_DOUBLE_EQ(interface_reflectance(415.0, 415.0), 0.0);
+  EXPECT_DOUBLE_EQ(interface_transmittance(415.0, 415.0), 1.0);
+}
+
+TEST(ImpedanceTest, ReflectanceAntisymmetric) {
+  const double r12 = interface_reflectance(400.0, 1000.0);
+  const double r21 = interface_reflectance(1000.0, 400.0);
+  EXPECT_NEAR(r12, -r21, 1e-12);
+}
+
+TEST(ImpedanceTest, LayerImpedanceIncreasesWithThickness) {
+  // Paper Eq. 2: Z grows monotonically in d and saturates at sqrt(mu/xi).
+  const double mu = 1.0, xi = 2.0, lambda = 0.02;
+  double prev = -1.0;
+  for (double d = 0.0; d <= 0.02; d += 0.002) {
+    const double z = layer_impedance(mu, xi, d, lambda);
+    EXPECT_GE(z, prev);
+    prev = z;
+  }
+  EXPECT_NEAR(layer_impedance(mu, xi, 10.0, lambda), std::sqrt(mu / xi), 1e-9);
+}
+
+TEST(ImpedanceTest, LayerImpedanceZeroAtZeroThickness) {
+  EXPECT_DOUBLE_EQ(layer_impedance(1.0, 1.0, 0.0, 0.02), 0.0);
+}
+
+TEST(ImpedanceTest, EffusionImpedanceOrdering) {
+  EXPECT_LT(effusion_characteristic_impedance(EffusionState::kClear),
+            effusion_characteristic_impedance(EffusionState::kSerous));
+  EXPECT_LT(effusion_characteristic_impedance(EffusionState::kSerous),
+            effusion_characteristic_impedance(EffusionState::kPurulent));
+}
+
+TEST(DrumMechanicsTest, ResonanceConstruction) {
+  const DrumMechanics drum = drum_with_resonance(26000.0, 2e-3, 60.0);
+  EXPECT_NEAR(drum_resonance_hz(drum), 26000.0, 1.0);
+}
+
+TEST(DrumMechanicsTest, ImpedanceIsResistiveAtResonance) {
+  const DrumMechanics drum = drum_with_resonance(18000.0, 2e-3, 100.0);
+  const auto z = drum_impedance(drum, 18000.0);
+  EXPECT_NEAR(z.imag(), 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(z.real(), 100.0);
+}
+
+TEST(DrumMechanicsTest, ReflectionMinimalAtMatchedResonance) {
+  // r == z_air at resonance means total absorption.
+  const DrumMechanics matched = drum_with_resonance(18000.0, 2e-3, 415.0);
+  EXPECT_NEAR(drum_reflectance_magnitude(matched, 18000.0), 0.0, 1e-9);
+  // Far below resonance the stiffness reactance dominates and reflection
+  // returns.
+  EXPECT_GT(drum_reflectance_magnitude(matched, 8000.0), 0.3);
+}
+
+TEST(DrumMechanicsTest, FluidLoadingLowersResonance) {
+  const DrumMechanics clear = drum_with_resonance(26000.0, 2e-3, 60.0);
+  for (EffusionState s :
+       {EffusionState::kSerous, EffusionState::kMucoid, EffusionState::kPurulent}) {
+    const DrumMechanics loaded =
+        load_with_effusion(clear, s, effusion_properties(s).fill_mean);
+    EXPECT_LT(drum_resonance_hz(loaded), 26000.0) << to_string(s);
+    EXPECT_GT(drum_resonance_hz(loaded), 12000.0) << to_string(s);
+    EXPECT_GT(loaded.resistance_rayl, clear.resistance_rayl) << to_string(s);
+  }
+}
+
+TEST(DrumMechanicsTest, MoreFillMeansLowerResonance) {
+  const DrumMechanics clear = drum_with_resonance(26000.0, 2e-3, 60.0);
+  const auto at_fill = [&](double fill) {
+    return drum_resonance_hz(load_with_effusion(clear, EffusionState::kMucoid, fill));
+  };
+  EXPECT_GT(at_fill(0.2), at_fill(0.5));
+  EXPECT_GT(at_fill(0.5), at_fill(0.9));
+}
+
+TEST(DrumMechanicsTest, ClearLoadingIsIdentity) {
+  const DrumMechanics clear = drum_with_resonance(26000.0, 2e-3, 60.0);
+  const DrumMechanics loaded = load_with_effusion(clear, EffusionState::kClear, 0.0);
+  EXPECT_DOUBLE_EQ(loaded.surface_density, clear.surface_density);
+  EXPECT_DOUBLE_EQ(loaded.resistance_rayl, clear.resistance_rayl);
+}
+
+TEST(DrumMechanicsTest, DampingOrderingAcrossStates) {
+  // Viscosity ordering must translate into damping ordering.
+  const DrumMechanics clear = drum_with_resonance(26000.0, 2e-3, 60.0);
+  const double rs =
+      load_with_effusion(clear, EffusionState::kSerous, 0.35).resistance_rayl;
+  const double rm =
+      load_with_effusion(clear, EffusionState::kMucoid, 0.35).resistance_rayl;
+  const double rp =
+      load_with_effusion(clear, EffusionState::kPurulent, 0.35).resistance_rayl;
+  EXPECT_LT(rs, rm);
+  EXPECT_LT(rm, rp);
+}
+
+// ---------------------------------------------------------------- eardrum
+
+TEST(EardrumTest, ClearReflectanceHighAndFlat) {
+  Rng rng(3);
+  const DrumAnatomy anatomy = sample_drum_anatomy(rng);
+  const EardrumModel drum(anatomy, EffusionState::kClear, 0.0);
+  const auto curve = drum.reflectance_curve(16000.0, 20000.0, 41);
+  EXPECT_GT(min_value(curve), 0.55);
+  EXPECT_LT(max_value(curve) - min_value(curve), 0.35);
+}
+
+TEST(EardrumTest, FluidStatesAbsorbMore) {
+  Rng rng(4);
+  const DrumAnatomy anatomy = sample_drum_anatomy(rng);
+  const EardrumModel clear(anatomy, EffusionState::kClear, 0.0);
+  for (EffusionState s :
+       {EffusionState::kSerous, EffusionState::kMucoid, EffusionState::kPurulent}) {
+    const EardrumModel fluid(anatomy, s, effusion_properties(s).fill_mean);
+    const auto rc = clear.reflectance_curve(16000.0, 20000.0, 17);
+    const auto rf = fluid.reflectance_curve(16000.0, 20000.0, 17);
+    EXPECT_LT(mean(rf), mean(rc)) << to_string(s);
+  }
+}
+
+TEST(EardrumTest, MucoidIsDeepestAbsorber) {
+  Rng rng(5);
+  const DrumAnatomy anatomy = sample_drum_anatomy(rng);
+  const EardrumModel mucoid(anatomy, EffusionState::kMucoid, 0.55);
+  const EardrumModel serous(anatomy, EffusionState::kSerous, 0.35);
+  const auto rm = mucoid.reflectance_curve(16000.0, 20000.0, 17);
+  const auto rs = serous.reflectance_curve(16000.0, 20000.0, 17);
+  EXPECT_LT(mean(rm), mean(rs));
+}
+
+TEST(EardrumTest, NotchFrequencyInOrAroundBandForFluid) {
+  Rng rng(6);
+  const DrumAnatomy anatomy = sample_drum_anatomy(rng);
+  for (EffusionState s :
+       {EffusionState::kSerous, EffusionState::kMucoid, EffusionState::kPurulent}) {
+    const EardrumModel drum(anatomy, s, effusion_properties(s).fill_mean);
+    EXPECT_GT(drum.notch_frequency_hz(), 14000.0) << to_string(s);
+    EXPECT_LT(drum.notch_frequency_hz(), 22000.0) << to_string(s);
+  }
+}
+
+TEST(EardrumTest, ReflectanceBounded) {
+  Rng rng(7);
+  const DrumAnatomy anatomy = sample_drum_anatomy(rng);
+  for (EffusionState s : all_effusion_states()) {
+    const EardrumModel drum(anatomy, s, has_fluid(s) ? 0.5 : 0.0);
+    for (double f = 1000.0; f <= 23000.0; f += 1000.0) {
+      const double r = drum.reflectance(f);
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(EardrumTest, ReflectExactSpectralMethod) {
+  // The reflected pulse's band power must track |R(f)|^2 of the model.
+  Rng rng(8);
+  const DrumAnatomy anatomy = sample_drum_anatomy(rng, /*ripple_sigma=*/0.0);
+  const EardrumModel drum(anatomy, EffusionState::kMucoid, 0.55);
+  // Long probing tone at 18 kHz.
+  std::vector<double> tone(512);
+  for (std::size_t i = 0; i < tone.size(); ++i)
+    tone[i] = std::sin(2 * 3.14159265358979 * 18000.0 * i / 48000.0);
+  const auto pulse = drum.reflect(tone, 48000.0);
+  const double in = dsp::goertzel_magnitude(tone, 18000.0, 48000.0);
+  // Measure over the same window length within the reflected buffer.
+  std::span<const double> mid(pulse.samples.data() + static_cast<std::size_t>(pulse.group_delay),
+                              tone.size());
+  const double out = dsp::goertzel_magnitude(mid, 18000.0, 48000.0);
+  EXPECT_NEAR(out / in, drum.reflectance(18000.0), 0.08);
+}
+
+TEST(EardrumTest, FirKernelApproximatesClearReflectance) {
+  Rng rng(9);
+  const DrumAnatomy anatomy = sample_drum_anatomy(rng, 0.0);
+  const EardrumModel drum(anatomy, EffusionState::kClear, 0.0);
+  const auto kernel = drum.fir_kernel(63, 48000.0);
+  // Flat-ish clear reflectance is realizable by a short FIR.
+  for (double f : {16000.0, 18000.0, 20000.0})
+    EXPECT_NEAR(dsp::fir_magnitude_at(kernel, f, 48000.0), drum.reflectance(f), 0.15);
+}
+
+TEST(EardrumTest, InvalidFillRejected) {
+  Rng rng(10);
+  const DrumAnatomy anatomy = sample_drum_anatomy(rng);
+  EXPECT_THROW(EardrumModel(anatomy, EffusionState::kMucoid, 1.5), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- ear canal
+
+TEST(EarCanalTest, SampledCanalsAreAnatomical) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const EarCanal canal = sample_ear_canal(rng);
+    EXPECT_GE(canal.length_m, kMinCanalLengthM);
+    EXPECT_LE(canal.length_m, kMaxCanalLengthM);
+    EXPECT_NO_THROW(validate(canal));
+    for (const AcousticPath& p : canal.wall_paths) {
+      EXPECT_LT(p.distance_m, canal.length_m);
+      EXPECT_LT(p.gain, canal.eardrum_path_gain);  // walls weaker than drum
+    }
+  }
+}
+
+TEST(EarCanalTest, WallPathsSortedByDistance) {
+  Rng rng(12);
+  const EarCanal canal = sample_ear_canal(rng);
+  for (std::size_t i = 1; i < canal.wall_paths.size(); ++i)
+    EXPECT_LE(canal.wall_paths[i - 1].distance_m, canal.wall_paths[i].distance_m);
+}
+
+TEST(EarCanalTest, ValidateCatchesBadGeometry) {
+  EarCanal canal;
+  canal.length_m = 0.05;  // outside anatomical range
+  EXPECT_THROW(validate(canal), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- earphone
+
+TEST(EarphoneTest, FourCommercialPresets) {
+  const auto phones = commercial_earphones();
+  ASSERT_EQ(phones.size(), 4u);
+  std::set<std::string> names;
+  for (const auto& p : phones) names.insert(p.name);
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(EarphoneTest, ReferenceIsFlat) {
+  const Earphone ref = reference_earphone();
+  const auto kernel = ref.response_kernel(21, 48000.0);
+  for (double f : {15000.0, 18000.0, 21000.0})
+    EXPECT_NEAR(dsp::fir_magnitude_at(kernel, f, 48000.0), 1.0, 0.05);
+}
+
+TEST(EarphoneTest, BudgetDeviceRollsOff) {
+  const Earphone ck = earphone_ck35051();
+  const auto kernel = ck.response_kernel(21, 48000.0);
+  EXPECT_LT(dsp::fir_magnitude_at(kernel, 21000.0, 48000.0),
+            dsp::fir_magnitude_at(kernel, 15000.0, 48000.0));
+}
+
+TEST(EarphoneTest, FunnelRigHasStrongLeakAndPoorIsolation) {
+  const Earphone funnel = smartphone_funnel();
+  EXPECT_GT(funnel.leak_multiplier, 2.0);
+  EXPECT_LT(funnel.isolation_db, reference_earphone().isolation_db);
+}
+
+// -------------------------------------------------------------- conditions
+
+TEST(ConditionsTest, MovementSeverityOrdering) {
+  const auto sit = movement_profile(BodyMovement::kSit);
+  const auto head = movement_profile(BodyMovement::kHeadMovement);
+  const auto walk = movement_profile(BodyMovement::kWalking);
+  const auto nod = movement_profile(BodyMovement::kNodding);
+  EXPECT_LT(sit.delay_jitter_samples, head.delay_jitter_samples);
+  EXPECT_LT(head.delay_jitter_samples, walk.delay_jitter_samples);
+  EXPECT_LT(walk.delay_jitter_samples, nod.delay_jitter_samples);
+  EXPECT_LT(sit.gain_drift, walk.gain_drift);
+  EXPECT_LT(walk.dropout_probability, nod.dropout_probability);
+}
+
+TEST(ConditionsTest, MovementNames) {
+  EXPECT_EQ(to_string(BodyMovement::kSit), "Sit");
+  EXPECT_EQ(to_string(BodyMovement::kNodding), "Nodding");
+}
+
+TEST(ConditionsTest, AngleEchoGainDecreasesMonotonically) {
+  double prev = 2.0;
+  for (double a = 0.0; a <= 40.0; a += 5.0) {
+    const double g = angle_echo_gain(a);
+    EXPECT_LE(g, prev);
+    EXPECT_GT(g, 0.0);
+    prev = g;
+  }
+  EXPECT_DOUBLE_EQ(angle_echo_gain(0.0), 1.0);
+}
+
+TEST(ConditionsTest, AngleMultipathGrowsFromZero) {
+  EXPECT_DOUBLE_EQ(angle_extra_multipath_gain(0.0), 0.0);
+  EXPECT_GT(angle_extra_multipath_gain(40.0), angle_extra_multipath_gain(10.0));
+}
+
+TEST(ConditionsTest, ConditionValidation) {
+  RecordingCondition bad;
+  bad.angle_deg = 90.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = RecordingCondition{};
+  bad.noise_spl_db = 200.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- subject
+
+TEST(SubjectTest, FactoryIsDeterministic) {
+  SubjectFactory f1(42), f2(42);
+  const Subject a = f1.make(7);
+  const Subject b = f2.make(7);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_DOUBLE_EQ(a.canal.length_m, b.canal.length_m);
+  EXPECT_DOUBLE_EQ(a.drum.clear_resonance_hz, b.drum.clear_resonance_hz);
+  EXPECT_EQ(a.age_years, b.age_years);
+}
+
+TEST(SubjectTest, DifferentIdsDiffer) {
+  SubjectFactory f(42);
+  const Subject a = f.make(0);
+  const Subject b = f.make(1);
+  EXPECT_NE(a.seed, b.seed);
+  EXPECT_NE(a.canal.length_m, b.canal.length_m);
+}
+
+TEST(SubjectTest, AgesInCohortRange) {
+  SubjectFactory f(42);
+  for (std::uint32_t id = 0; id < 50; ++id) {
+    const Subject s = f.make(id);
+    EXPECT_GE(s.age_years, 4);
+    EXPECT_LE(s.age_years, 6);
+  }
+}
+
+TEST(SubjectTest, EardrumSessionFillsVaryButReproduce) {
+  SubjectFactory f(42);
+  const Subject s = f.make(3);
+  const EardrumModel d1 = s.eardrum(EffusionState::kMucoid, -1.0, 0);
+  const EardrumModel d2 = s.eardrum(EffusionState::kMucoid, -1.0, 1);
+  const EardrumModel d1_again = s.eardrum(EffusionState::kMucoid, -1.0, 0);
+  EXPECT_NE(d1.fill(), d2.fill());
+  EXPECT_DOUBLE_EQ(d1.fill(), d1_again.fill());
+}
+
+TEST(SubjectTest, ExplicitFillIsHonored) {
+  SubjectFactory f(42);
+  const Subject s = f.make(3);
+  EXPECT_DOUBLE_EQ(s.eardrum(EffusionState::kSerous, 0.4).fill(), 0.4);
+}
+
+// ------------------------------------------------------------------- probe
+
+TEST(ProbeTest, AddPulseAtIntegerPosition) {
+  std::vector<double> out(16, 0.0);
+  const std::vector<double> pulse{1.0, 2.0, 3.0};
+  add_pulse_at(out, pulse, 5.0, 2.0);
+  EXPECT_NEAR(out[5], 2.0, 1e-9);
+  EXPECT_NEAR(out[6], 4.0, 1e-9);
+  EXPECT_NEAR(out[7], 6.0, 1e-9);
+  EXPECT_NEAR(out[4], 0.0, 1e-9);
+}
+
+TEST(ProbeTest, AddPulseClipsAtBufferEnd) {
+  std::vector<double> out(4, 0.0);
+  const std::vector<double> pulse{1.0, 1.0, 1.0};
+  EXPECT_NO_THROW(add_pulse_at(out, pulse, 2.0, 1.0));
+  EXPECT_NEAR(out[2], 1.0, 1e-9);
+  EXPECT_NEAR(out[3], 1.0, 1e-9);
+}
+
+TEST(ProbeTest, AddPulseNegativeStartClipsLeading) {
+  std::vector<double> out(8, 0.0);
+  const std::vector<double> pulse{1.0, 2.0, 3.0};
+  EXPECT_NO_THROW(add_pulse_at(out, pulse, -1.0, 1.0));
+  EXPECT_NEAR(out[0], 2.0, 1e-9);
+  EXPECT_NEAR(out[1], 3.0, 1e-9);
+}
+
+TEST(ProbeTest, RecordingHasExpectedLength) {
+  ProbeConfig cfg;
+  cfg.chirp_count = 10;
+  EarProbe probe(cfg);
+  SubjectFactory factory(42);
+  const Subject s = factory.make(0);
+  Rng rng(1);
+  const audio::Waveform w = probe.record_state(s, EffusionState::kClear,
+                                               reference_earphone(), {}, rng);
+  EXPECT_EQ(w.size(), 10u * cfg.chirp.interval_samples() + cfg.tail_samples);
+}
+
+TEST(ProbeTest, EnergyAtChirpSlots) {
+  ProbeConfig cfg;
+  cfg.chirp_count = 6;
+  EarProbe probe(cfg);
+  SubjectFactory factory(42);
+  const Subject s = factory.make(1);
+  Rng rng(2);
+  const audio::Waveform w =
+      probe.record_state(s, EffusionState::kClear, reference_earphone(), {}, rng);
+  for (std::size_t k = 0; k < 6; ++k) {
+    const std::size_t start = k * cfg.chirp.interval_samples();
+    const audio::Waveform chirp_zone = w.slice(start, 60);
+    const audio::Waveform quiet_zone = w.slice(start + 100, 100);
+    EXPECT_GT(chirp_zone.rms(), 5.0 * quiet_zone.rms()) << "chirp " << k;
+  }
+}
+
+TEST(ProbeTest, ClearEchoStrongerThanMucoid) {
+  ProbeConfig cfg;
+  cfg.chirp_count = 8;
+  EarProbe probe(cfg);
+  SubjectFactory factory(42);
+  const Subject s = factory.make(2);
+  Rng rng_a(3), rng_b(3);
+  const audio::Waveform clear =
+      probe.record_state(s, EffusionState::kClear, reference_earphone(), {}, rng_a);
+  const audio::Waveform mucoid =
+      probe.record_state(s, EffusionState::kMucoid, reference_earphone(), {}, rng_b);
+  EXPECT_GT(clear.rms(), mucoid.rms());
+}
+
+TEST(ProbeTest, NoiseRaisesFloor) {
+  ProbeConfig cfg;
+  cfg.chirp_count = 4;
+  EarProbe probe(cfg);
+  SubjectFactory factory(42);
+  const Subject s = factory.make(3);
+  RecordingCondition quiet, loud;
+  quiet.noise_spl_db = 20.0;
+  loud.noise_spl_db = 80.0;
+  Rng rng_a(4), rng_b(4);
+  const audio::Waveform wq =
+      probe.record_state(s, EffusionState::kClear, reference_earphone(), quiet, rng_a);
+  const audio::Waveform wl =
+      probe.record_state(s, EffusionState::kClear, reference_earphone(), loud, rng_b);
+  // Compare the quiet gaps between chirps.
+  const double floor_quiet = wq.slice(120, 80).rms();
+  const double floor_loud = wl.slice(120, 80).rms();
+  EXPECT_GT(floor_loud, 3.0 * floor_quiet);
+}
+
+TEST(ProbeTest, ReproducibleGivenSameRngSeed) {
+  ProbeConfig cfg;
+  cfg.chirp_count = 3;
+  EarProbe probe(cfg);
+  SubjectFactory factory(42);
+  const Subject s = factory.make(4);
+  Rng rng_a(9), rng_b(9);
+  const audio::Waveform a =
+      probe.record_state(s, EffusionState::kSerous, reference_earphone(), {}, rng_a);
+  const audio::Waveform b =
+      probe.record_state(s, EffusionState::kSerous, reference_earphone(), {}, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.samples()[i], b.samples()[i]);
+}
+
+// ----------------------------------------------------------------- dataset
+
+TEST(DatasetTest, CohortIsBalancedAcrossStates) {
+  CohortConfig cfg;
+  cfg.subject_count = 4;
+  cfg.sessions_per_state = 2;
+  cfg.probe.chirp_count = 4;
+  CohortGenerator gen(cfg);
+  const auto recs = gen.generate();
+  EXPECT_EQ(recs.size(), 4u * 4u * 2u);
+  std::map<EffusionState, int> counts;
+  for (const auto& r : recs) counts[r.state]++;
+  for (EffusionState s : all_effusion_states()) EXPECT_EQ(counts[s], 8) << to_string(s);
+}
+
+TEST(DatasetTest, SubjectsReturnsAllSubjects) {
+  CohortConfig cfg;
+  cfg.subject_count = 5;
+  CohortGenerator gen(cfg);
+  EXPECT_EQ(gen.subjects().size(), 5u);
+}
+
+TEST(DatasetTest, GenerateIsDeterministic) {
+  CohortConfig cfg;
+  cfg.subject_count = 2;
+  cfg.sessions_per_state = 1;
+  cfg.probe.chirp_count = 3;
+  const auto a = CohortGenerator(cfg).generate();
+  const auto b = CohortGenerator(cfg).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].state, b[i].state);
+    EXPECT_DOUBLE_EQ(a[i].fill, b[i].fill);
+    EXPECT_EQ(a[i].waveform.samples(), b[i].waveform.samples());
+  }
+}
+
+TEST(DatasetTest, RecoveryTrajectoryIsMonotone) {
+  // Purulent -> Mucoid -> Serous -> Clear, never worsening.
+  std::size_t prev = state_index(EffusionState::kPurulent);
+  for (std::size_t day = 0; day < 20; ++day) {
+    const EffusionState s = recovery_state_on_day(EffusionState::kPurulent, day, 20);
+    EXPECT_LE(state_index(s), prev);
+    prev = state_index(s);
+  }
+  EXPECT_EQ(recovery_state_on_day(EffusionState::kPurulent, 0, 20),
+            EffusionState::kPurulent);
+  EXPECT_EQ(recovery_state_on_day(EffusionState::kPurulent, 19, 20),
+            EffusionState::kClear);
+}
+
+TEST(DatasetTest, RecoveryFromSerousSkipsWorseStates) {
+  for (std::size_t day = 0; day < 10; ++day) {
+    const EffusionState s = recovery_state_on_day(EffusionState::kSerous, day, 10);
+    EXPECT_LE(state_index(s), state_index(EffusionState::kSerous));
+  }
+}
+
+TEST(DatasetTest, LongitudinalTwoPerDay) {
+  LongitudinalConfig cfg;
+  cfg.days = 5;
+  cfg.probe.chirp_count = 3;
+  const auto recs = generate_longitudinal(cfg);
+  EXPECT_EQ(recs.size(), 10u);
+  // Sessions within a day share the scheduled state.
+  for (std::size_t day = 0; day < 5; ++day)
+    EXPECT_EQ(recs[2 * day].state, recs[2 * day + 1].state);
+}
+
+TEST(DatasetTest, OutOfRangeSubjectThrows) {
+  CohortConfig cfg;
+  cfg.subject_count = 2;
+  CohortGenerator gen(cfg);
+  EXPECT_THROW(gen.generate_subject(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace earsonar::sim

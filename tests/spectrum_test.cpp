@@ -1,0 +1,213 @@
+// PSD estimation, band utilities, dip finding, spectrum resampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace earsonar::dsp {
+namespace {
+
+std::vector<double> sine(std::size_t n, double freq, double fs, double amp = 1.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = amp * std::sin(2.0 * std::numbers::pi * freq * i / fs);
+  return x;
+}
+
+TEST(PeriodogramTest, SinePeakAtItsFrequency) {
+  const auto x = sine(2048, 6000.0, 48000.0);
+  const Spectrum s = periodogram(x, 48000.0);
+  const std::size_t peak = argmax(s.psd);
+  EXPECT_NEAR(s.frequency_hz[peak], 6000.0, 50.0);
+}
+
+TEST(PeriodogramTest, WhiteNoiseDensityLevel) {
+  Rng rng(5);
+  std::vector<double> x(1 << 15);
+  for (double& v : x) v = rng.normal(0.0, 1.0);
+  const Spectrum s = periodogram(x, 48000.0, WindowType::kRectangular);
+  // Unit-variance white noise: one-sided density 2/fs.
+  const double expected = 2.0 / 48000.0;
+  std::vector<double> interior(s.psd.begin() + 10, s.psd.end() - 10);
+  EXPECT_NEAR(mean(interior), expected, 0.15 * expected);
+}
+
+TEST(PeriodogramTest, FrequencyAxisSpansToNyquist) {
+  const auto x = sine(1000, 440.0, 48000.0);
+  const Spectrum s = periodogram(x, 48000.0);
+  EXPECT_DOUBLE_EQ(s.frequency_hz.front(), 0.0);
+  EXPECT_NEAR(s.frequency_hz.back(), 24000.0, 48.0);
+}
+
+TEST(WelchTest, ReducesVarianceVsPeriodogram) {
+  Rng rng(11);
+  std::vector<double> x(1 << 14);
+  for (double& v : x) v = rng.normal(0.0, 1.0);
+  const Spectrum per = periodogram(x, 48000.0, WindowType::kRectangular);
+  const Spectrum wel = welch_psd(x, 48000.0, 512, WindowType::kHann);
+  const double per_cv = stddev(per.psd) / mean(per.psd);
+  const double wel_cv = stddev(wel.psd) / mean(wel.psd);
+  EXPECT_LT(wel_cv, per_cv * 0.5);
+}
+
+TEST(WelchTest, PreservesSinePeak) {
+  const auto x = sine(48000, 18000.0, 48000.0);
+  const Spectrum s = welch_psd(x, 48000.0, 1024);
+  EXPECT_NEAR(s.frequency_hz[argmax(s.psd)], 18000.0, 50.0);
+}
+
+TEST(WelchTest, SegmentLargerThanSignalThrows) {
+  const std::vector<double> x(100, 1.0);
+  EXPECT_THROW(welch_psd(x, 48000.0, 256), std::invalid_argument);
+}
+
+TEST(BandSliceTest, KeepsOnlyRequestedBand) {
+  const auto x = sine(4096, 10000.0, 48000.0);
+  const Spectrum s = periodogram(x, 48000.0);
+  const Spectrum band = band_slice(s, 16000.0, 20000.0);
+  for (double f : band.frequency_hz) {
+    EXPECT_GE(f, 16000.0);
+    EXPECT_LE(f, 20000.0);
+  }
+  EXPECT_GT(band.size(), 0u);
+}
+
+TEST(BandPowerTest, ConcentratedAtToneBand) {
+  const auto x = sine(8192, 18000.0, 48000.0);
+  const Spectrum s = periodogram(x, 48000.0);
+  const double in_band = band_power(s, 17000.0, 19000.0);
+  const double out_band = band_power(s, 2000.0, 10000.0);
+  EXPECT_GT(in_band, 100.0 * std::max(out_band, 1e-12));
+}
+
+TEST(NormalizePeakTest, PeakBecomesOne) {
+  Spectrum s;
+  s.frequency_hz = {1, 2, 3};
+  s.psd = {0.5, 2.0, 1.0};
+  const Spectrum n = normalize_peak(s);
+  EXPECT_DOUBLE_EQ(n.psd[1], 1.0);
+  EXPECT_DOUBLE_EQ(n.psd[0], 0.25);
+}
+
+TEST(NormalizePeakTest, AllZeroUnchanged) {
+  Spectrum s;
+  s.frequency_hz = {1, 2};
+  s.psd = {0.0, 0.0};
+  const Spectrum n = normalize_peak(s);
+  EXPECT_DOUBLE_EQ(n.psd[0], 0.0);
+}
+
+TEST(ResampleSpectrumTest, LinearInterpolationExactOnLine) {
+  Spectrum s;
+  for (int i = 0; i <= 10; ++i) {
+    s.frequency_hz.push_back(1000.0 * i);
+    s.psd.push_back(2.0 * i);  // linear in f
+  }
+  const Spectrum r = resample_spectrum(s, 0.0, 10000.0, 21);
+  for (std::size_t i = 0; i < r.size(); ++i)
+    EXPECT_NEAR(r.psd[i], r.frequency_hz[i] / 500.0, 1e-9);
+}
+
+TEST(ResampleSpectrumTest, ClampsOutsideKnots) {
+  Spectrum s;
+  s.frequency_hz = {5000.0, 6000.0};
+  s.psd = {1.0, 2.0};
+  const Spectrum r = resample_spectrum(s, 0.0, 10000.0, 11);
+  EXPECT_DOUBLE_EQ(r.psd.front(), 1.0);
+  EXPECT_DOUBLE_EQ(r.psd.back(), 2.0);
+}
+
+TEST(ResampleSpectrumTest, GridIsUniform) {
+  Spectrum s;
+  s.frequency_hz = {0.0, 24000.0};
+  s.psd = {1.0, 1.0};
+  const Spectrum r = resample_spectrum(s, 16000.0, 20000.0, 128);
+  EXPECT_EQ(r.size(), 128u);
+  EXPECT_DOUBLE_EQ(r.frequency_hz.front(), 16000.0);
+  EXPECT_DOUBLE_EQ(r.frequency_hz.back(), 20000.0);
+  const double step = r.frequency_hz[1] - r.frequency_hz[0];
+  for (std::size_t i = 1; i < r.size(); ++i)
+    EXPECT_NEAR(r.frequency_hz[i] - r.frequency_hz[i - 1], step, 1e-9);
+}
+
+TEST(FindDipTest, LocatesNotch) {
+  Spectrum s;
+  for (int i = 0; i < 100; ++i) {
+    const double f = 16000.0 + 40.0 * i;
+    double v = 1.0;
+    const double d = (f - 18000.0) / 400.0;
+    v -= 0.8 * std::exp(-d * d);  // notch at 18 kHz, depth 0.8
+    s.frequency_hz.push_back(f);
+    s.psd.push_back(v);
+  }
+  const SpectralDip dip = find_dip(s, 16000.0, 20000.0);
+  EXPECT_NEAR(dip.frequency_hz, 18000.0, 50.0);
+  EXPECT_NEAR(dip.depth, 0.8, 0.05);
+}
+
+TEST(FindDipTest, FlatSpectrumHasNoDip) {
+  Spectrum s;
+  for (int i = 0; i < 50; ++i) {
+    s.frequency_hz.push_back(16000.0 + 80.0 * i);
+    s.psd.push_back(1.0);
+  }
+  const SpectralDip dip = find_dip(s, 16000.0, 20000.0);
+  EXPECT_DOUBLE_EQ(dip.depth, 0.0);
+}
+
+TEST(FindDipTest, DeeperOfTwoDipsWins) {
+  Spectrum s;
+  for (int i = 0; i < 200; ++i) {
+    const double f = 16000.0 + 20.0 * i;
+    double v = 1.0;
+    const double d1 = (f - 17000.0) / 200.0;
+    const double d2 = (f - 19000.0) / 200.0;
+    v -= 0.3 * std::exp(-d1 * d1) + 0.7 * std::exp(-d2 * d2);
+    s.frequency_hz.push_back(f);
+    s.psd.push_back(v);
+  }
+  const SpectralDip dip = find_dip(s, 16000.0, 20000.0);
+  EXPECT_NEAR(dip.frequency_hz, 19000.0, 50.0);
+}
+
+TEST(CentroidTest, SymmetricSpectrumCentered) {
+  Spectrum s;
+  for (int i = 0; i <= 10; ++i) {
+    s.frequency_hz.push_back(1000.0 * i);
+    s.psd.push_back(1.0);
+  }
+  EXPECT_NEAR(spectral_centroid(s), 5000.0, 1e-9);
+}
+
+TEST(CentroidTest, WeightsTowardPower) {
+  Spectrum s;
+  s.frequency_hz = {1000.0, 9000.0};
+  s.psd = {1.0, 3.0};
+  EXPECT_NEAR(spectral_centroid(s), 7000.0, 1e-9);
+}
+
+TEST(SpectrumCorrelationTest, IdenticalSpectraCorrelateToOne) {
+  Spectrum a;
+  Rng rng(2);
+  for (int i = 0; i < 32; ++i) {
+    a.frequency_hz.push_back(i);
+    a.psd.push_back(rng.uniform(0, 1));
+  }
+  EXPECT_NEAR(spectrum_correlation(a, a), 1.0, 1e-12);
+}
+
+TEST(SpectrumCorrelationTest, GridMismatchThrows) {
+  Spectrum a, b;
+  a.frequency_hz = {1, 2};
+  a.psd = {1, 2};
+  b.frequency_hz = {1};
+  b.psd = {1};
+  EXPECT_THROW(spectrum_correlation(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace earsonar::dsp

@@ -1,0 +1,343 @@
+// DCT, mel filterbank / MFCC, and interpolation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "dsp/dct.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/interpolate.hpp"
+#include "dsp/mel.hpp"
+
+namespace earsonar::dsp {
+namespace {
+
+// ------------------------------------------------------------------- DCT
+
+TEST(DctTest, RoundTripRecoversInput) {
+  Rng rng(3);
+  std::vector<double> x(24);
+  for (double& v : x) v = rng.uniform(-2, 2);
+  const auto y = idct2(dct2(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-10);
+}
+
+TEST(DctTest, OrthonormalPreservesEnergy) {
+  Rng rng(4);
+  std::vector<double> x(16);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  const auto y = dct2(x);
+  double ex = 0, ey = 0;
+  for (double v : x) ex += v * v;
+  for (double v : y) ey += v * v;
+  EXPECT_NEAR(ex, ey, 1e-10);
+}
+
+TEST(DctTest, ConstantInputOnlyDcCoefficient) {
+  const std::vector<double> x(8, 3.0);
+  const auto y = dct2(x);
+  EXPECT_NEAR(y[0], 3.0 * std::sqrt(8.0), 1e-10);
+  for (std::size_t k = 1; k < y.size(); ++k) EXPECT_NEAR(y[k], 0.0, 1e-10);
+}
+
+TEST(DctTest, CosineInputConcentratesInOneCoefficient) {
+  const std::size_t n = 32;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::cos(std::numbers::pi / n * (i + 0.5) * 3.0);  // basis k=3
+  const auto y = dct2(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == 3) EXPECT_GT(std::abs(y[k]), 1.0);
+    else EXPECT_NEAR(y[k], 0.0, 1e-9);
+  }
+}
+
+TEST(DctTest, TruncationKeepsLeadingCoefficients) {
+  Rng rng(5);
+  std::vector<double> x(20);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  const auto full = dct2(x);
+  const auto trunc = dct2_truncated(x, 5);
+  ASSERT_EQ(trunc.size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k) EXPECT_DOUBLE_EQ(trunc[k], full[k]);
+}
+
+TEST(DctTest, TruncationBeyondSizeThrows) {
+  const std::vector<double> x(4, 1.0);
+  EXPECT_THROW(dct2_truncated(x, 5), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- mel
+
+TEST(MelTest, HzMelRoundTrip) {
+  for (double hz : {100.0, 1000.0, 8000.0, 18000.0})
+    EXPECT_NEAR(mel_to_hz(hz_to_mel(hz)), hz, 1e-6);
+}
+
+TEST(MelTest, MelScaleIsMonotone) {
+  double prev = -1.0;
+  for (double hz = 0.0; hz <= 22000.0; hz += 500.0) {
+    const double mel = hz_to_mel(hz);
+    EXPECT_GT(mel, prev);
+    prev = mel;
+  }
+}
+
+TEST(MelTest, KnownAnchor1000Hz) {
+  // 1000 Hz is ~1000 mel by construction of the scale.
+  EXPECT_NEAR(hz_to_mel(1000.0), 999.99, 0.5);
+}
+
+TEST(MelFilterbankTest, FiltersPartitionTheBand) {
+  MelFilterbankConfig cfg;
+  cfg.filter_count = 12;
+  MelFilterbank fb(cfg);
+  // Sum of all filter weights at in-band bins should be ~1 (triangles tile).
+  std::vector<double> column_sum(fb.bins(), 0.0);
+  for (const auto& row : fb.weights())
+    for (std::size_t b = 0; b < row.size(); ++b) column_sum[b] += row[b];
+  // Check interior of the band only.
+  const double lo = cfg.low_hz + 800.0, hi = cfg.high_hz - 800.0;
+  for (std::size_t b = 0; b < fb.bins(); ++b) {
+    const double f = bin_frequency(b, cfg.fft_size, cfg.sample_rate);
+    if (f > lo && f < hi) {
+      EXPECT_NEAR(column_sum[b], 1.0, 0.35) << f;
+    }
+  }
+}
+
+TEST(MelFilterbankTest, ApplySizeMismatchThrows) {
+  MelFilterbank fb(MelFilterbankConfig{});
+  const std::vector<double> wrong(10, 1.0);
+  EXPECT_THROW(fb.apply(wrong), std::invalid_argument);
+}
+
+TEST(MelFilterbankTest, EnergyInOneFilterForNarrowTone) {
+  MelFilterbankConfig cfg;
+  cfg.filter_count = 8;
+  MelFilterbank fb(cfg);
+  std::vector<double> power(fb.bins(), 0.0);
+  // Tone at the center of the band.
+  const std::size_t tone_bin = frequency_to_bin(18000.0, cfg.fft_size, cfg.sample_rate);
+  power[tone_bin] = 1.0;
+  const auto energies = fb.apply(power);
+  const double total = [&] {
+    double acc = 0;
+    for (double e : energies) acc += e;
+    return acc;
+  }();
+  EXPECT_GT(total, 0.5);
+  // At most two adjacent filters share a single bin.
+  int nonzero = 0;
+  for (double e : energies)
+    if (e > 1e-9) ++nonzero;
+  EXPECT_LE(nonzero, 2);
+}
+
+TEST(MfccTest, DeterministicAndRightSize) {
+  MfccConfig cfg;
+  MfccExtractor mfcc(cfg);
+  Rng rng(6);
+  std::vector<double> frame(256);
+  for (double& v : frame) v = rng.uniform(-1, 1);
+  const auto a = mfcc.compute(frame);
+  const auto b = mfcc.compute(frame);
+  ASSERT_EQ(a.size(), cfg.coefficient_count);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MfccTest, DifferentSpectraGiveDifferentCoefficients) {
+  MfccExtractor mfcc(MfccConfig{});
+  std::vector<double> tone_a(512), tone_b(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    tone_a[i] = std::sin(2 * std::numbers::pi * 16500.0 * i / 48000.0);
+    tone_b[i] = std::sin(2 * std::numbers::pi * 19500.0 * i / 48000.0);
+  }
+  const auto ca = mfcc.compute(tone_a);
+  const auto cb = mfcc.compute(tone_b);
+  double diff = 0;
+  for (std::size_t k = 0; k < ca.size(); ++k) diff += std::abs(ca[k] - cb[k]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(MfccTest, CoefficientCountBeyondFiltersThrows) {
+  MfccConfig cfg;
+  cfg.coefficient_count = cfg.filterbank.filter_count + 1;
+  EXPECT_THROW(MfccExtractor{cfg}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------- interpolation
+
+TEST(InterpLinearTest, ExactOnLinearData) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{0, 2, 4, 6};
+  const std::vector<double> q{0.5, 1.5, 2.25};
+  const auto r = interp_linear(x, y, q);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+  EXPECT_NEAR(r[1], 3.0, 1e-12);
+  EXPECT_NEAR(r[2], 4.5, 1e-12);
+}
+
+TEST(InterpLinearTest, ClampsOutOfRange) {
+  const std::vector<double> x{0, 1};
+  const std::vector<double> y{5, 7};
+  const std::vector<double> q{-1.0, 2.0};
+  const auto r = interp_linear(x, y, q);
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], 7.0);
+}
+
+TEST(InterpLinearTest, NonAscendingXThrows) {
+  const std::vector<double> x{0, 0};
+  const std::vector<double> y{1, 2};
+  const std::vector<double> q{0.5};
+  EXPECT_THROW(interp_linear(x, y, q), std::invalid_argument);
+}
+
+TEST(CubicSplineTest, InterpolatesKnotsExactly) {
+  const std::vector<double> x{0, 1, 2, 3, 4};
+  const std::vector<double> y{1, 3, 2, 5, 4};
+  CubicSpline s(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(s(x[i]), y[i], 1e-10);
+}
+
+TEST(CubicSplineTest, ReproducesStraightLine) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{1, 3, 5, 7};
+  CubicSpline s(x, y);
+  for (double q = 0.0; q <= 3.0; q += 0.1) EXPECT_NEAR(s(q), 1 + 2 * q, 1e-9);
+}
+
+TEST(CubicSplineTest, SmoothOnSine) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 40; ++i) {
+    x.push_back(i * 0.25);
+    y.push_back(std::sin(x.back()));
+  }
+  CubicSpline s(x, y);
+  // Natural end conditions are less accurate near the edges; test interior.
+  for (double q = 0.5; q <= 9.5; q += 0.05)
+    EXPECT_NEAR(s(q), std::sin(q), 1e-3);
+}
+
+TEST(ResampleToLengthTest, PreservesEndpoints) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const auto y = resample_to_length(x, 9);
+  ASSERT_EQ(y.size(), 9u);
+  EXPECT_NEAR(y.front(), 1.0, 1e-9);
+  EXPECT_NEAR(y.back(), 5.0, 1e-9);
+  EXPECT_NEAR(y[4], 3.0, 1e-9);  // midpoint
+}
+
+TEST(SampleFractionalTest, ExactAtIntegerIndices) {
+  const std::vector<double> x{1, 4, 9, 16, 25};
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(sample_fractional(x, static_cast<double>(i)), x[i], 1e-12);
+}
+
+TEST(SampleFractionalTest, OutOfRangeIsZero) {
+  const std::vector<double> x{1, 2, 3};
+  EXPECT_DOUBLE_EQ(sample_fractional(x, -0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sample_fractional(x, 2.5), 0.0);
+}
+
+TEST(SampleFractionalSincTest, ExactAtIntegerIndices) {
+  const std::vector<double> x{1, -2, 3, -4, 5};
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(sample_fractional_sinc(x, static_cast<double>(i)), x[i], 1e-9);
+}
+
+TEST(SampleFractionalSincTest, FlatResponseNearBandTop) {
+  // Sample an 19 kHz sine at half-sample offsets; windowed-sinc must keep the
+  // amplitude within a fraction of a dB (the Catmull-Rom version cannot).
+  const double fs = 48000.0, f = 19000.0;
+  std::vector<double> x(256);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2 * std::numbers::pi * f * i / fs);
+  double worst = 0.0;
+  for (std::size_t i = 100; i < 150; ++i) {
+    const double t = static_cast<double>(i) + 0.5;
+    const double expected = std::sin(2 * std::numbers::pi * f * t / fs);
+    worst = std::max(worst, std::abs(sample_fractional_sinc(x, t) - expected));
+  }
+  EXPECT_LT(worst, 0.03);
+}
+
+TEST(SampleFractionalSincTest, CubicIsWorseNearBandTop) {
+  const double fs = 48000.0, f = 19000.0;
+  std::vector<double> x(256);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2 * std::numbers::pi * f * i / fs);
+  double worst_sinc = 0.0, worst_cubic = 0.0;
+  for (std::size_t i = 100; i < 150; ++i) {
+    const double t = static_cast<double>(i) + 0.5;
+    const double expected = std::sin(2 * std::numbers::pi * f * t / fs);
+    worst_sinc = std::max(worst_sinc, std::abs(sample_fractional_sinc(x, t) - expected));
+    worst_cubic = std::max(worst_cubic, std::abs(sample_fractional(x, t) - expected));
+  }
+  EXPECT_LT(worst_sinc, worst_cubic * 0.5);
+}
+
+TEST(FractionalDelayTest, IntegerDelayShifts) {
+  std::vector<double> x(16, 0.0);
+  x[4] = 1.0;
+  const auto y = fractional_delay(x, 3.0);
+  EXPECT_NEAR(y[7], 1.0, 1e-9);
+  EXPECT_NEAR(y[4], 0.0, 1e-9);
+}
+
+TEST(FractionalDelayTest, NegativeDelayThrows) {
+  const std::vector<double> x(8, 1.0);
+  EXPECT_THROW(fractional_delay(x, -1.0), std::invalid_argument);
+}
+
+
+TEST(ResampleRateTest, IdentityWhenRatesMatch) {
+  const std::vector<double> x{1, 2, 3, 4};
+  EXPECT_EQ(resample_to_rate(x, 48000.0, 48000.0), x);
+}
+
+TEST(ResampleRateTest, OutputLengthScalesWithRatio) {
+  const std::vector<double> x(441, 0.0);
+  const auto y = resample_to_rate(x, 44100.0, 48000.0);
+  EXPECT_EQ(y.size(), 480u);
+  const auto z = resample_to_rate(x, 44100.0, 22050.0);
+  EXPECT_NEAR(static_cast<double>(z.size()), 220.5, 1.0);
+}
+
+TEST(ResampleRateTest, UpsamplingPreservesToneFrequency) {
+  // 5 kHz tone at 44.1 kHz, resampled to 48 kHz, must still be a 5 kHz tone.
+  std::vector<double> x(4410);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2 * std::numbers::pi * 5000.0 * i / 44100.0);
+  const auto y = resample_to_rate(x, 44100.0, 48000.0);
+  // Compare against the directly synthesized 48 kHz tone (skip edges).
+  double err = 0.0;
+  for (std::size_t i = 200; i + 200 < y.size(); ++i) {
+    const double expected = std::sin(2 * std::numbers::pi * 5000.0 * i / 48000.0);
+    err = std::max(err, std::abs(y[i] - expected));
+  }
+  EXPECT_LT(err, 0.02);
+}
+
+TEST(ResampleRateTest, DownsamplingSuppressesAliasedContent) {
+  // 20 kHz content cannot survive a move to a 32 kHz rate (Nyquist 16 kHz);
+  // without the anti-alias filter it would fold to 12 kHz.
+  std::vector<double> x(48000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2 * std::numbers::pi * 20000.0 * i / 48000.0);
+  const auto y = resample_to_rate(x, 48000.0, 32000.0);
+  double e = 0.0;
+  for (double v : y) e += v * v;
+  EXPECT_LT(e / static_cast<double>(y.size()), 0.01);  // alias suppressed
+}
+
+TEST(ResampleRateTest, InvalidRatesThrow) {
+  const std::vector<double> x(10, 1.0);
+  EXPECT_THROW(resample_to_rate(x, 0.0, 48000.0), std::invalid_argument);
+  EXPECT_THROW(resample_to_rate(x, 48000.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace earsonar::dsp
