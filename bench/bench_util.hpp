@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -18,6 +19,15 @@
 
 namespace earsonar::bench {
 
+/// True when EARSONAR_BENCH_SMOKE is set (to anything non-empty): the figure
+/// benches then run a drastically shrunken cohort so a full sweep finishes in
+/// seconds. Used by the `bench_smoke` ctest entries to keep the bench
+/// binaries from bit-rotting without paying the full reproduction cost.
+inline bool smoke_mode() {
+  const char* v = std::getenv("EARSONAR_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0';
+}
+
 /// Standard reproduction cohort: the paper's 112 participants, two sessions
 /// per effusion state, 30 chirps (0.15 s) per session under realistic
 /// session-to-session condition jitter.
@@ -26,6 +36,11 @@ inline sim::CohortConfig paper_cohort() {
   cc.subject_count = 112;
   cc.sessions_per_state = 2;
   cc.probe.chirp_count = 30;
+  if (smoke_mode()) {
+    cc.subject_count = 6;
+    cc.sessions_per_state = 1;
+    cc.probe.chirp_count = 6;
+  }
   return cc;
 }
 
@@ -37,6 +52,11 @@ inline sim::CohortConfig sweep_cohort(std::uint64_t seed = 42) {
   cc.sessions_per_state = 2;
   cc.probe.chirp_count = 30;
   cc.seed = seed;
+  if (smoke_mode()) {
+    cc.subject_count = 6;
+    cc.sessions_per_state = 1;
+    cc.probe.chirp_count = 6;
+  }
   return cc;
 }
 

@@ -1,0 +1,117 @@
+// Microbenchmarks for the planned-FFT engine at the sizes the pipeline
+// actually runs: the 512-point echo-window PSD, the Welch segments, the
+// cross-correlation convolutions, and the Bluestein fallback for
+// non-power-of-two lengths.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "dsp/convolution.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
+
+using namespace earsonar;
+
+namespace {
+
+std::vector<double> test_signal(std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(0.37 * static_cast<double>(i)) +
+           0.25 * std::cos(1.91 * static_cast<double>(i));
+  return x;
+}
+
+std::vector<dsp::Complex> test_complex(std::size_t n) {
+  const std::vector<double> x = test_signal(2 * n);
+  std::vector<dsp::Complex> z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = {x[2 * i], x[2 * i + 1]};
+  return z;
+}
+
+void BM_PlanComplexForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plan = dsp::FftPlan::get(n, dsp::FftPlan::Kind::kComplex);
+  dsp::FftScratch scratch;
+  const std::vector<dsp::Complex> in = test_complex(n);
+  std::vector<dsp::Complex> out(n);
+  for (auto _ : state) {
+    plan->forward(in, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+// 256 is the half-length transform behind the 512-point echo window; 8192
+// covers the recording-scale correlations. 173 and 600 exercise Bluestein
+// (prime and even-composite non-power-of-two).
+BENCHMARK(BM_PlanComplexForward)->Arg(256)->Arg(1024)->Arg(8192)->Arg(173)->Arg(600);
+
+void BM_PlanForwardReal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plan = dsp::FftPlan::get(n, dsp::FftPlan::Kind::kReal);
+  dsp::FftScratch scratch;
+  const std::vector<double> in = test_signal(n);
+  std::vector<dsp::Complex> out(plan->real_bins());
+  for (auto _ : state) {
+    plan->forward_real(in, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PlanForwardReal)->Arg(512)->Arg(4096);
+
+void BM_PlanPowerSpectrum(benchmark::State& state) {
+  // The echo-window hot path: one of these per chirp, hundreds per recording.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plan = dsp::FftPlan::get(n, dsp::FftPlan::Kind::kReal);
+  dsp::FftScratch scratch;
+  const std::vector<double> in = test_signal(n);
+  std::vector<double> psd(plan->real_bins());
+  for (auto _ : state) {
+    plan->power_spectrum(in, psd, 1.0 / static_cast<double>(n), scratch);
+    benchmark::DoNotOptimize(psd.data());
+  }
+}
+BENCHMARK(BM_PlanPowerSpectrum)->Arg(512)->Arg(2048);
+
+void BM_PlanRoundTripReal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plan = dsp::FftPlan::get(n, dsp::FftPlan::Kind::kReal);
+  dsp::FftScratch scratch;
+  const std::vector<double> in = test_signal(n);
+  std::vector<dsp::Complex> bins(plan->real_bins());
+  std::vector<double> back(n);
+  for (auto _ : state) {
+    plan->forward_real(in, bins, scratch);
+    plan->inverse_real(bins, back, scratch);
+    benchmark::DoNotOptimize(back.data());
+  }
+}
+BENCHMARK(BM_PlanRoundTripReal)->Arg(512)->Arg(4096);
+
+void BM_LibraryRfft(benchmark::State& state) {
+  // Public fft.hpp entry point, including its output allocation.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> in = test_signal(n);
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::rfft(in));
+}
+BENCHMARK(BM_LibraryRfft)->Arg(512)->Arg(4096);
+
+void BM_CrossCorrelate(benchmark::State& state) {
+  // Chirp-template correlation at recording scale (FFT path).
+  const std::vector<double> signal = test_signal(static_cast<std::size_t>(state.range(0)));
+  const std::vector<double> pulse = test_signal(240);
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::cross_correlate(signal, pulse));
+}
+BENCHMARK(BM_CrossCorrelate)->Arg(4800)->Arg(48000)->Unit(benchmark::kMillisecond);
+
+void BM_Convolve(benchmark::State& state) {
+  const std::vector<double> signal = test_signal(static_cast<std::size_t>(state.range(0)));
+  const std::vector<double> kernel = test_signal(101);
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::convolve(signal, kernel));
+}
+BENCHMARK(BM_Convolve)->Arg(4800)->Arg(48000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

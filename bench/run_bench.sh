@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Runs the latency-critical google-benchmark binaries and assembles one JSON
+# report. The committed BENCH_latency.json at the repo root is the baseline
+# this script's output is compared against.
+#
+# Usage: bench/run_bench.sh [build-dir] [output.json]
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_latency.json}
+MIN_TIME=${EARSONAR_BENCH_MIN_TIME:-0.4}
+
+for bin in bench_table2_latency bench_fft_plan; do
+  if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
+    echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR --target $bin)" >&2
+    exit 1
+  fi
+done
+
+TMP_DIR=$(mktemp -d)
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+echo "running bench_table2_latency ..." >&2
+"$BUILD_DIR/bench/bench_table2_latency" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json >"$TMP_DIR/table2.json.raw"
+echo "running bench_fft_plan ..." >&2
+"$BUILD_DIR/bench/bench_fft_plan" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json >"$TMP_DIR/fft_plan.json.raw"
+
+# bench_table2_latency prints a human banner line before benchmark::Initialize
+# takes over; strip everything before the first '{' so the remainder is JSON.
+for f in table2 fft_plan; do
+  sed -n '/^{/,$p' "$TMP_DIR/$f.json.raw" >"$TMP_DIR/$f.json"
+done
+
+{
+  printf '{\n"schema": "earsonar-bench-v1",\n'
+  printf '"table2_latency": '
+  cat "$TMP_DIR/table2.json"
+  printf ',\n"fft_plan": '
+  cat "$TMP_DIR/fft_plan.json"
+  printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT" >&2

@@ -1,0 +1,186 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace earsonar {
+
+namespace {
+
+std::atomic<std::size_t> g_thread_override{0};
+
+// True while the current thread is inside a parallel_for body; nested calls
+// run inline instead of re-entering the pool.
+thread_local bool t_in_parallel_region = false;
+
+std::size_t env_thread_count() {
+  const char* raw = std::getenv("EARSONAR_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || parsed <= 0) return 0;
+  return static_cast<std::size_t>(parsed);
+}
+
+// One shared pool for the whole process. Workers start lazily, only ever
+// grow, and block on a condition variable between batches, so an idle pool
+// costs nothing but memory. The pool object is a leaked singleton — workers
+// run until process exit, which sidesteps join-vs-static-destruction races.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Run body(i) for i in [0, count) on `workers` threads total (the calling
+  /// thread plus workers-1 pool threads). Concurrent run() calls from
+  /// different threads serialize on batch_mutex_.
+  void run(std::size_t count, const std::function<void(std::size_t)>& body,
+           std::size_t workers) {
+    std::unique_lock<std::mutex> batch_lock(batch_mutex_);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (threads_.size() < workers - 1) {
+        // A worker born mid-batch must not drain it: it starts having already
+        // "seen" the current generation and waits for the next one.
+        threads_.emplace_back(
+            [this, id = threads_.size(), seen = generation_]() mutable {
+              worker_loop(id, seen);
+            });
+      }
+      next_.store(0, std::memory_order_relaxed);
+      count_ = count;
+      body_ = &body;
+      error_ = nullptr;
+      error_index_ = std::numeric_limits<std::size_t>::max();
+      // Every pool thread wakes on notify_all; only ids < participants_ drain.
+      participants_ = workers - 1;
+      pending_ = threads_.size();
+      ++generation_;
+    }
+    wake_.notify_all();
+
+    drain();  // the calling thread participates
+
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_.wait(lock, [&] { return pending_ == 0; });
+      body_ = nullptr;
+      if (error_) {
+        std::exception_ptr err = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+      }
+    }
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void worker_loop(std::size_t id, std::uint64_t seen) {
+    t_in_parallel_region = true;  // workers never re-enter the pool
+    for (;;) {
+      bool participate = false;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        participate = id < participants_;
+      }
+      if (participate) drain();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) done_.notify_all();
+      }
+    }
+  }
+
+  /// Pull indices until the batch is exhausted. The first error by smallest
+  /// index wins, so a failing batch reports the same exception every run.
+  void drain() {
+    const auto* body = body_;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count_) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (i < error_index_) {
+          error_index_ = i;
+          error_ = std::current_exception();
+        }
+      }
+    }
+  }
+
+  std::mutex batch_mutex_;  ///< serializes run() calls
+
+  std::mutex mutex_;  ///< guards every field below except next_
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<std::thread> threads_;
+  std::uint64_t generation_ = 0;
+  std::size_t participants_ = 0;  ///< pool threads allowed to drain this batch
+  std::size_t pending_ = 0;       ///< pool threads yet to finish this batch
+
+  std::atomic<std::size_t> next_{0};
+  std::size_t count_ = 0;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::exception_ptr error_;
+  std::size_t error_index_ = std::numeric_limits<std::size_t>::max();
+};
+
+void run_inline(std::size_t count, const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = 0; i < count; ++i) body(i);
+}
+
+}  // namespace
+
+void set_parallel_thread_count(std::size_t threads) {
+  g_thread_override.store(threads, std::memory_order_relaxed);
+}
+
+std::size_t resolved_parallel_threads() {
+  const std::size_t override = g_thread_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  const std::size_t env = env_thread_count();
+  if (env > 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  if (count == 0) return;
+  const std::size_t workers =
+      std::min(count, threads > 0 ? threads : resolved_parallel_threads());
+  if (workers <= 1 || t_in_parallel_region) {
+    run_inline(count, body);
+    return;
+  }
+  t_in_parallel_region = true;
+  try {
+    ThreadPool::instance().run(count, body, workers);
+  } catch (...) {
+    t_in_parallel_region = false;
+    throw;
+  }
+  t_in_parallel_region = false;
+}
+
+}  // namespace earsonar

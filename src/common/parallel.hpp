@@ -1,0 +1,38 @@
+// Deterministic data-parallel helpers.
+//
+// parallel_for(count, body) runs body(i) for i in [0, count) on a shared
+// joinable thread pool. Work is handed out by an atomic index, so the
+// *execution* order is nondeterministic — callers make the *result*
+// deterministic by writing each index's output into its own pre-sized slot
+// and reducing serially afterwards. Every batch stage in this repo
+// (EarSonar::fit, cohort generation, cross-validation folds) follows that
+// pattern, which is why their outputs are bit-identical at any thread count.
+//
+// Thread count resolution, highest priority first:
+//   1. the `threads` argument when non-zero,
+//   2. set_parallel_thread_count() when non-zero,
+//   3. the EARSONAR_THREADS environment variable when set and positive,
+//   4. std::thread::hardware_concurrency().
+// A resolved count of 1 (or count <= 1 items) runs inline with no pool.
+// Nested parallel_for calls from worker threads also degrade to inline
+// execution rather than deadlocking the pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace earsonar {
+
+/// Global override for the worker count (0 = defer to env/hardware).
+void set_parallel_thread_count(std::size_t threads);
+
+/// The worker count parallel_for would use for `threads = 0`.
+std::size_t resolved_parallel_threads();
+
+/// Run body(i) for every i in [0, count). `threads` = 0 means auto.
+/// Exceptions thrown by the body are rethrown on the calling thread (the one
+/// thrown by the smallest index wins); remaining indices may or may not run.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace earsonar

@@ -75,14 +75,21 @@ double median(std::span<const double> xs) { return percentile(xs, 50.0); }
 double percentile(std::span<const double> xs, double p) {
   require_nonempty("percentile input", xs.size());
   require_in_range("percentile p", p, 0.0, 100.0);
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
-  if (sorted.size() == 1) return sorted.front();
-  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  std::vector<double> work(xs.begin(), xs.end());
+  if (work.size() == 1) return work.front();
+  const double pos = p / 100.0 * static_cast<double>(work.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const std::size_t hi = std::min(lo + 1, work.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  // Two order statistics instead of a full sort: nth_element places the lo-th
+  // value and partitions everything above it to the right, so the hi-th value
+  // (lo or lo+1) is the minimum of that right partition. Same values as the
+  // sort-based implementation in O(n).
+  auto nth = work.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(work.begin(), nth, work.end());
+  const double v_lo = *nth;
+  const double v_hi = hi == lo ? v_lo : *std::min_element(nth + 1, work.end());
+  return v_lo * (1.0 - frac) + v_hi * frac;
 }
 
 double pearson_correlation(std::span<const double> xs, std::span<const double> ys) {

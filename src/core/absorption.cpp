@@ -6,10 +6,32 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 #include "dsp/interpolate.hpp"
 #include "dsp/window.hpp"
 
 namespace earsonar::core {
+
+namespace {
+
+// Reused per-thread buffers for window_psd: the absorption stage runs one
+// window/FFT per chirp (hundreds per recording), so the steady state must
+// not allocate. The frequency axis is cached against (bins, rate) — every
+// echo of a recording shares it.
+struct WindowPsdScratch {
+  dsp::FftScratch fft;
+  std::vector<double> window;  ///< raw window samples
+  std::vector<double> dense;   ///< interpolated + zero-padded FFT input
+  dsp::Spectrum full;          ///< full-resolution PSD
+  double axis_fs = 0.0;        ///< effective rate the cached axis was built at
+};
+
+WindowPsdScratch& window_psd_scratch() {
+  thread_local WindowPsdScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 void SpectrumConfig::validate() const {
   require(pre_peak >= 2, "SpectrumConfig: pre_peak must be >= 2");
@@ -74,10 +96,21 @@ dsp::Spectrum EchoSpectrumExtractor::window_psd(const audio::Waveform& signal,
                                                 std::size_t center, std::size_t pre,
                                                 std::size_t post) const {
   const double fs = signal.sample_rate();
+  WindowPsdScratch& s = window_psd_scratch();
+
   // Fixed-length window zero-padded at the recording edges so every chirp
   // yields an identical analysis geometry.
-  std::vector<double> window_samples(pre + post + 1, 0.0);
-  for (std::size_t i = 0; i < window_samples.size(); ++i) {
+  const std::size_t window_len = pre + post + 1;
+  double* window_samples;
+  if (config_.interpolate || config_.hann_taper) {
+    s.window.assign(window_len, 0.0);
+    window_samples = s.window.data();
+  } else {
+    // Fast path: the raw window IS the FFT input head — fill it in place.
+    s.dense.assign(config_.fft_size, 0.0);
+    window_samples = s.dense.data();
+  }
+  for (std::size_t i = 0; i < window_len; ++i) {
     const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(center) -
                                static_cast<std::ptrdiff_t>(pre) +
                                static_cast<std::ptrdiff_t>(i);
@@ -87,30 +120,39 @@ dsp::Spectrum EchoSpectrumExtractor::window_psd(const audio::Waveform& signal,
 
   // Optionally interpolate onto a denser uniform grid (paper: "FFT
   // processing on the interpolated signal"), taper, zero-pad, transform.
-  std::vector<double> dense =
-      config_.interpolate
-          ? dsp::resample_to_length(window_samples, config_.interpolated_length)
-          : window_samples;
-  if (config_.hann_taper) {
-    const std::vector<double> taper = dsp::hann_window(dense.size());
-    dsp::apply_window_inplace(dense, taper);
+  std::size_t pre_pad = window_len;
+  if (config_.interpolate || config_.hann_taper) {
+    if (config_.interpolate) {
+      s.dense = dsp::resample_to_length(s.window, config_.interpolated_length);
+    } else {
+      s.dense = s.window;
+    }
+    if (config_.hann_taper) {
+      const std::vector<double> taper = dsp::hann_window(s.dense.size());
+      dsp::apply_window_inplace(s.dense, taper);
+    }
+    pre_pad = s.dense.size();
+    s.dense.resize(config_.fft_size, 0.0);
   }
-  const std::size_t pre_pad = dense.size();
-  dense.resize(config_.fft_size, 0.0);
 
   // Interpolation stretches the window in time, compressing the spectrum by
   // the same factor; use the effective rate to keep the axis physical.
   const double stretch =
-      static_cast<double>(pre_pad) / static_cast<double>(window_samples.size());
+      static_cast<double>(pre_pad) / static_cast<double>(window_len);
   const double effective_fs = fs * stretch;
 
-  dsp::Spectrum full;
-  full.psd = dsp::power_spectrum(dense);
-  full.frequency_hz.resize(full.psd.size());
-  for (std::size_t i = 0; i < full.psd.size(); ++i)
-    full.frequency_hz[i] = dsp::bin_frequency(i, config_.fft_size, effective_fs);
+  const auto plan = dsp::FftPlan::get(config_.fft_size, dsp::FftPlan::Kind::kReal);
+  s.full.psd.resize(plan->real_bins());
+  plan->power_spectrum(s.dense, s.full.psd,
+                       1.0 / static_cast<double>(config_.fft_size), s.fft);
+  if (s.axis_fs != effective_fs || s.full.frequency_hz.size() != s.full.psd.size()) {
+    s.full.frequency_hz.resize(s.full.psd.size());
+    for (std::size_t i = 0; i < s.full.psd.size(); ++i)
+      s.full.frequency_hz[i] = dsp::bin_frequency(i, config_.fft_size, effective_fs);
+    s.axis_fs = effective_fs;
+  }
 
-  return dsp::resample_spectrum(full, config_.band_low_hz, config_.band_high_hz,
+  return dsp::resample_spectrum(s.full, config_.band_low_hz, config_.band_high_hz,
                                 config_.band_bins);
 }
 
@@ -156,20 +198,28 @@ dsp::Spectrum EchoSpectrumExtractor::extract(const audio::Waveform& signal,
   return config_.peak_normalize ? dsp::normalize_peak(spectrum) : spectrum;
 }
 
+std::vector<dsp::Spectrum> EchoSpectrumExtractor::extract_all(
+    const audio::Waveform& signal, const std::vector<EchoSegment>& echoes) const {
+  std::vector<dsp::Spectrum> out;
+  out.reserve(echoes.size());
+  for (const EchoSegment& echo : echoes) out.push_back(extract(signal, echo));
+  return out;
+}
+
+dsp::Spectrum EchoSpectrumExtractor::average_of(
+    std::span<const dsp::Spectrum> spectra) const {
+  require_nonempty("average_of spectra", spectra.size());
+  dsp::Spectrum acc = spectra.front();
+  for (std::size_t s = 1; s < spectra.size(); ++s)
+    for (std::size_t i = 0; i < acc.psd.size(); ++i) acc.psd[i] += spectra[s].psd[i];
+  for (double& v : acc.psd) v /= static_cast<double>(spectra.size());
+  return config_.peak_normalize ? dsp::normalize_peak(acc) : acc;
+}
+
 dsp::Spectrum EchoSpectrumExtractor::average(
     const audio::Waveform& signal, const std::vector<EchoSegment>& echoes) const {
   require_nonempty("average echoes", echoes.size());
-  dsp::Spectrum acc;
-  for (const EchoSegment& echo : echoes) {
-    dsp::Spectrum one = extract(signal, echo);
-    if (acc.psd.empty()) {
-      acc = std::move(one);
-    } else {
-      for (std::size_t i = 0; i < acc.psd.size(); ++i) acc.psd[i] += one.psd[i];
-    }
-  }
-  for (double& v : acc.psd) v /= static_cast<double>(echoes.size());
-  return config_.peak_normalize ? dsp::normalize_peak(acc) : acc;
+  return average_of(extract_all(signal, echoes));
 }
 
 }  // namespace earsonar::core

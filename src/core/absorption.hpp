@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "audio/chirp.hpp"
@@ -89,6 +90,17 @@ class EchoSpectrumExtractor {
   /// configured.
   [[nodiscard]] dsp::Spectrum extract(const audio::Waveform& signal,
                                       const EchoSegment& echo) const;
+
+  /// extract() for every echo in one call. The per-echo PSDs feed several
+  /// downstream consumers (time-group averages, the whole-recording mean);
+  /// extracting them once and averaging subranges with average_of() avoids
+  /// re-running the window/FFT chain per consumer.
+  [[nodiscard]] std::vector<dsp::Spectrum> extract_all(
+      const audio::Waveform& signal, const std::vector<EchoSegment>& echoes) const;
+
+  /// Element-wise mean of already-extracted per-echo spectra, accumulated in
+  /// order — bit-identical to average() over the matching echoes.
+  [[nodiscard]] dsp::Spectrum average_of(std::span<const dsp::Spectrum> spectra) const;
 
   /// Average spectrum over many echoes of the same recording (element-wise
   /// mean of per-echo normalized PSDs, then re-normalized).

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -97,7 +99,17 @@ std::vector<double> FeatureExtractor::band_mfcc(const dsp::Spectrum& spectrum) c
 
 std::vector<double> FeatureExtractor::extract(
     const audio::Waveform& signal, const std::vector<EchoSegment>& echoes) const {
+  return extract_full(signal, echoes).features;
+}
+
+FeatureExtractor::Result FeatureExtractor::extract_full(
+    const audio::Waveform& signal, const std::vector<EchoSegment>& echoes) const {
   require_nonempty("FeatureExtractor echoes", echoes.size());
+
+  // One window/FFT pass per echo; the group averages and the mean spectrum
+  // below all reduce over these shared PSDs.
+  const std::vector<dsp::Spectrum> per_echo = extractor_.extract_all(signal, echoes);
+  const std::span<const dsp::Spectrum> all(per_echo);
 
   std::vector<double> features;
   features.reserve(dimension());
@@ -109,11 +121,7 @@ std::vector<double> FeatureExtractor::extract(
     const std::size_t lo = g * echoes.size() / groups;
     std::size_t hi = (g + 1) * echoes.size() / groups;
     if (hi <= lo) hi = std::min(lo + 1, echoes.size());
-    const std::vector<EchoSegment> group(echoes.begin() + static_cast<std::ptrdiff_t>(lo),
-                                         echoes.begin() + static_cast<std::ptrdiff_t>(hi));
-    const dsp::Spectrum spec =
-        group.empty() ? extractor_.average(signal, echoes)
-                      : extractor_.average(signal, group);
+    const dsp::Spectrum spec = extractor_.average_of(all.subspan(lo, hi - lo));
     const std::vector<double> mfcc = band_mfcc(spec);
     features.insert(features.end(), mfcc.begin(), mfcc.end());
   }
@@ -121,7 +129,7 @@ std::vector<double> FeatureExtractor::extract(
   // Whole-recording mean spectrum drives the remaining features. The
   // absolute level carries the absorbed-energy measurement; a peak-normalized
   // copy carries the band shape.
-  const dsp::Spectrum mean_spec = extractor_.average(signal, echoes);
+  dsp::Spectrum mean_spec = extractor_.average_of(all);
   const dsp::Spectrum shape = dsp::normalize_peak(mean_spec);
 
   // --- 2. Log sub-band powers (absolute: the absorption level).
@@ -169,7 +177,7 @@ std::vector<double> FeatureExtractor::extract(
   features.push_back(stats.kurtosis_excess);
 
   ensure(features.size() == dimension(), "FeatureExtractor: layout drift");
-  return features;
+  return {std::move(features), std::move(mean_spec)};
 }
 
 std::string feature_name(const FeatureConfig& config, std::size_t index) {

@@ -46,9 +46,23 @@ class FeatureExtractor {
   /// extractor (see EchoSpectrumExtractor::set_reference).
   void set_reference(const audio::FmcwConfig& chirp) { extractor_.set_reference(chirp); }
 
+  /// extract() plus the whole-recording mean echo spectrum it is built on.
+  struct Result {
+    std::vector<double> features;
+    dsp::Spectrum mean_spectrum;
+  };
+
   /// The full feature vector for one recording's segmented echoes.
   [[nodiscard]] std::vector<double> extract(const audio::Waveform& signal,
                                             const std::vector<EchoSegment>& echoes) const;
+
+  /// extract(), also returning the mean echo spectrum. Every per-echo PSD is
+  /// computed exactly once and shared between the time-group averages, the
+  /// mean spectrum, and the derived features, so this costs one extraction
+  /// pass where calling extract() + EchoSpectrumExtractor::average()
+  /// separately costs three. Outputs are bit-identical to those calls.
+  [[nodiscard]] Result extract_full(const audio::Waveform& signal,
+                                    const std::vector<EchoSegment>& echoes) const;
 
   /// MFCC-style coefficients of one band spectrum (mel triangles across the
   /// analysis band, log, DCT-II). Exposed for tests.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "dsp/interpolate.hpp"
@@ -23,13 +24,11 @@ EarSonar::EarSonar(PipelineConfig config)
       preprocessor_(config.preprocess),
       event_detector_(config.events),
       segmenter_(config.segmenter),
-      spectrum_extractor_(config.features.spectrum),
       extractor_(config.features),
       detector_(config.detector) {
   // The pipeline knows its own probe signal; use it as the transmit
   // reference so extracted spectra read the channel (eardrum) response
   // rather than the chirp's own spectrum.
-  spectrum_extractor_.set_reference(config_.chirp);
   extractor_.set_reference(config_.chirp);
 }
 
@@ -113,8 +112,11 @@ EchoAnalysis EarSonar::analyze(const audio::Waveform& recording) const {
   if (analysis.echoes.empty()) return analysis;
 
   t0 = Clock::now();
-  analysis.mean_spectrum = spectrum_extractor_.average(filtered, analysis.echoes);
-  analysis.features = extractor_.extract(filtered, analysis.echoes);
+  // One extraction pass yields both the feature vector and the mean echo
+  // spectrum; the per-echo PSDs inside are computed once and shared.
+  FeatureExtractor::Result extracted = extractor_.extract_full(filtered, analysis.echoes);
+  analysis.mean_spectrum = std::move(extracted.mean_spectrum);
+  analysis.features = std::move(extracted.features);
   analysis.timings.feature_ms = ms_since(t0);
   return analysis;
 }
@@ -122,12 +124,19 @@ EchoAnalysis EarSonar::analyze(const audio::Waveform& recording) const {
 void EarSonar::fit(const std::vector<audio::Waveform>& recordings,
                    const std::vector<std::size_t>& labels) {
   require(recordings.size() == labels.size(), "EarSonar::fit: size mismatch");
+  // The analyses are independent, so they fan out across the pool; each lands
+  // in its own slot and the collection below runs serially in recording
+  // order, making the fitted detector bit-identical at any thread count.
+  std::vector<EchoAnalysis> analyses(recordings.size());
+  parallel_for(
+      recordings.size(),
+      [&](std::size_t i) { analyses[i] = analyze(recordings[i]); },
+      config_.threads);
   ml::Matrix features;
   std::vector<std::size_t> usable_labels;
-  for (std::size_t i = 0; i < recordings.size(); ++i) {
-    EchoAnalysis analysis = analyze(recordings[i]);
-    if (!analysis.usable()) continue;
-    features.push_back(std::move(analysis.features));
+  for (std::size_t i = 0; i < analyses.size(); ++i) {
+    if (!analyses[i].usable()) continue;
+    features.push_back(std::move(analyses[i].features));
     usable_labels.push_back(labels[i]);
   }
   require(features.size() >= kMeeStateCount,

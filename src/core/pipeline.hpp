@@ -28,6 +28,10 @@ struct PipelineConfig {
   SegmenterConfig segmenter;
   FeatureConfig features;  ///< carries SpectrumConfig inside
   DetectorConfig detector;
+  /// Worker threads for batch stages (fit's per-recording analyses).
+  /// 0 = auto: EARSONAR_THREADS env var, else hardware concurrency. Results
+  /// are bit-identical at every thread count.
+  std::size_t threads = 0;
 };
 
 /// Wall-clock milliseconds spent in each stage of analyze()/diagnose().
@@ -88,7 +92,6 @@ class EarSonar {
   Preprocessor preprocessor_;
   AdaptiveEventDetector event_detector_;
   ParityEchoSegmenter segmenter_;
-  EchoSpectrumExtractor spectrum_extractor_;
   FeatureExtractor extractor_;
   MeeDetector detector_;
 };

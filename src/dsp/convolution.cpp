@@ -5,21 +5,40 @@
 
 #include "common/error.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 
 namespace earsonar::dsp {
 
 namespace {
 // Below this output size the direct algorithm beats FFT setup costs.
 constexpr std::size_t kDirectThreshold = 4096;
+
+bool prefer_direct(std::size_t a, std::size_t b) {
+  return a * b <= kDirectThreshold * 8 && std::min(a, b) <= 64;
+}
+
+// Per-thread buffers for the FFT paths: the segmenter auto-convolves one
+// event window per chirp (hundreds per recording), so steady state must not
+// allocate beyond the returned vector.
+struct ConvScratch {
+  FftScratch fft;
+  std::vector<double> padded;
+  std::vector<Complex> fa;
+  std::vector<Complex> fb;
+  std::vector<double> time;
+};
+
+ConvScratch& conv_scratch() {
+  thread_local ConvScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 std::vector<double> convolve(std::span<const double> a, std::span<const double> b) {
   require_nonempty("convolve a", a.size());
   require_nonempty("convolve b", b.size());
-  if (a.size() * b.size() <= kDirectThreshold * 8 &&
-      std::min(a.size(), b.size()) <= 64) {
-    return convolve_direct(a, b);
-  }
+  if (prefer_direct(a.size(), b.size())) return convolve_direct(a, b);
   return convolve_fft(a, b);
 }
 
@@ -37,18 +56,26 @@ std::vector<double> convolve_fft(std::span<const double> a, std::span<const doub
   require_nonempty("convolve b", b.size());
   const std::size_t out_len = a.size() + b.size() - 1;
   const std::size_t n = next_power_of_two(out_len);
+  const auto plan = FftPlan::get(n, FftPlan::Kind::kReal);
+  ConvScratch& s = conv_scratch();
+  const std::size_t bins = plan->real_bins();
 
-  std::vector<Complex> fa(n, Complex{0.0, 0.0});
-  std::vector<Complex> fb(n, Complex{0.0, 0.0});
-  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex{a[i], 0.0};
-  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex{b[i], 0.0};
-  fft_radix2_inplace(fa);
-  fft_radix2_inplace(fb);
-  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
-  std::vector<Complex> prod = ifft(fa);
-  std::vector<double> out(out_len);
-  for (std::size_t i = 0; i < out_len; ++i) out[i] = prod[i].real();
-  return out;
+  // Real inputs: two half-length forward transforms and one inverse replace
+  // the former three full-length complex transforms.
+  s.padded.assign(n, 0.0);
+  std::copy(a.begin(), a.end(), s.padded.begin());
+  s.fa.resize(bins);
+  plan->forward_real(s.padded, s.fa, s.fft);
+  s.padded.assign(n, 0.0);
+  std::copy(b.begin(), b.end(), s.padded.begin());
+  s.fb.resize(bins);
+  plan->forward_real(s.padded, s.fb, s.fft);
+
+  for (std::size_t i = 0; i < bins; ++i) s.fa[i] *= s.fb[i];
+  s.time.resize(n);
+  plan->inverse_real(s.fa, s.time, s.fft);
+  return std::vector<double>(s.time.begin(),
+                             s.time.begin() + static_cast<std::ptrdiff_t>(out_len));
 }
 
 std::vector<double> autoconvolve(std::span<const double> x) { return convolve(x, x); }
@@ -56,8 +83,43 @@ std::vector<double> autoconvolve(std::span<const double> x) { return convolve(x,
 std::vector<double> cross_correlate(std::span<const double> a, std::span<const double> b) {
   require_nonempty("cross_correlate a", a.size());
   require_nonempty("cross_correlate b", b.size());
-  std::vector<double> b_rev(b.rbegin(), b.rend());
-  return convolve(a, b_rev);
+  const std::size_t out_len = a.size() + b.size() - 1;
+
+  if (prefer_direct(a.size(), b.size())) {
+    // Direct path with reversed indexing — no reversed copy of b.
+    std::vector<double> out(out_len, 0.0);
+    const std::size_t last = b.size() - 1;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      for (std::size_t j = 0; j < b.size(); ++j) out[i + last - j] += a[i] * b[j];
+    return out;
+  }
+
+  // FFT path: the linear correlation is the circular correlation
+  // c = irfft(FA . conj(FB)) read out with a rotated index, so neither a
+  // reversed copy of b nor a per-bin phase ramp is needed.
+  const std::size_t n = next_power_of_two(out_len);
+  const auto plan = FftPlan::get(n, FftPlan::Kind::kReal);
+  ConvScratch& s = conv_scratch();
+  const std::size_t bins = plan->real_bins();
+
+  s.padded.assign(n, 0.0);
+  std::copy(a.begin(), a.end(), s.padded.begin());
+  s.fa.resize(bins);
+  plan->forward_real(s.padded, s.fa, s.fft);
+  s.padded.assign(n, 0.0);
+  std::copy(b.begin(), b.end(), s.padded.begin());
+  s.fb.resize(bins);
+  plan->forward_real(s.padded, s.fb, s.fft);
+
+  for (std::size_t i = 0; i < bins; ++i) s.fa[i] *= std::conj(s.fb[i]);
+  s.time.resize(n);
+  plan->inverse_real(s.fa, s.time, s.fft);
+
+  std::vector<double> out(out_len);
+  const std::size_t shift = b.size() - 1;  // out[m] = c[(m - (|b|-1)) mod n]
+  for (std::size_t m = 0; m < out_len; ++m)
+    out[m] = s.time[(m + n - shift) % n];
+  return out;
 }
 
 double normalized_correlation(std::span<const double> a, std::span<const double> b) {

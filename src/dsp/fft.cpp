@@ -1,55 +1,20 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
-#include <numbers>
 
 #include "common/error.hpp"
+#include "dsp/fft_plan.hpp"
 
 namespace earsonar::dsp {
 
 namespace {
 
-constexpr double kPi = std::numbers::pi;
-
-// Conjugate trick: IFFT(x) = conj(FFT(conj(x))) / N.
-std::vector<Complex> conjugate(std::span<const Complex> xs) {
-  std::vector<Complex> out(xs.size());
-  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = std::conj(xs[i]);
-  return out;
-}
-
-// Bluestein chirp-z: express an arbitrary-length DFT as a convolution, which
-// is evaluated with a zero-padded power-of-two FFT.
-std::vector<Complex> fft_bluestein(std::span<const Complex> input) {
-  const std::size_t n = input.size();
-  const std::size_t m = next_power_of_two(2 * n - 1);
-
-  std::vector<Complex> a(m, Complex{0.0, 0.0});
-  std::vector<Complex> b(m, Complex{0.0, 0.0});
-  std::vector<Complex> w(n);  // w[k] = exp(-i*pi*k^2/n)
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n keeps the angle argument small for large k.
-    const std::size_t k2 = (k * k) % (2 * n);
-    const double angle = -kPi * static_cast<double>(k2) / static_cast<double>(n);
-    w[k] = Complex{std::cos(angle), std::sin(angle)};
-    a[k] = input[k] * w[k];
-  }
-  b[0] = Complex{1.0, 0.0};
-  for (std::size_t k = 1; k < n; ++k) {
-    b[k] = std::conj(w[k]);
-    b[m - k] = b[k];
-  }
-
-  fft_radix2_inplace(a);
-  fft_radix2_inplace(b);
-  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
-  // Inverse transform of the product.
-  for (auto& v : a) v = std::conj(v);
-  fft_radix2_inplace(a);
-  const double scale = 1.0 / static_cast<double>(m);
-  std::vector<Complex> out(n);
-  for (std::size_t k = 0; k < n; ++k) out[k] = std::conj(a[k]) * scale * w[k];
-  return out;
+// Per-thread scratch for the convenience API: steady-state transforms reuse
+// these buffers, so repeated calls at the same size are allocation-free apart
+// from the returned vector itself.
+FftScratch& local_scratch() {
+  thread_local FftScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -66,77 +31,60 @@ std::size_t next_power_of_two(std::size_t n) {
 void fft_radix2_inplace(std::span<Complex> data) {
   const std::size_t n = data.size();
   require(is_power_of_two(n), "fft_radix2_inplace: size must be a power of two");
-  if (n == 1) return;
-
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-
-  // Butterfly stages.
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = -2.0 * kPi / static_cast<double>(len);
-    const Complex wlen{std::cos(angle), std::sin(angle)};
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w{1.0, 0.0};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = data[i + k];
-        const Complex v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
+  FftPlan::get(n, FftPlan::Kind::kComplex)->forward_inplace(data);
 }
 
 std::vector<Complex> fft(std::span<const Complex> input) {
   require_nonempty("fft input", input.size());
-  if (is_power_of_two(input.size())) {
-    std::vector<Complex> data(input.begin(), input.end());
-    fft_radix2_inplace(data);
-    return data;
-  }
-  return fft_bluestein(input);
+  const auto plan = FftPlan::get(input.size(), FftPlan::Kind::kComplex);
+  std::vector<Complex> out(input.size());
+  plan->forward(input, out, local_scratch());
+  return out;
 }
 
 std::vector<Complex> ifft(std::span<const Complex> input) {
   require_nonempty("ifft input", input.size());
-  std::vector<Complex> conj_in = conjugate(input);
-  std::vector<Complex> transformed = fft(conj_in);
-  const double scale = 1.0 / static_cast<double>(input.size());
-  for (auto& v : transformed) v = std::conj(v) * scale;
-  return transformed;
+  const auto plan = FftPlan::get(input.size(), FftPlan::Kind::kComplex);
+  std::vector<Complex> out(input.size());
+  // The plan conjugates inside its work buffers — no conjugated input copy.
+  plan->inverse(input, out, local_scratch());
+  return out;
 }
 
 std::vector<Complex> fft_real(std::span<const double> input) {
   require_nonempty("fft_real input", input.size());
-  std::vector<Complex> data(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) data[i] = Complex{input[i], 0.0};
-  return fft(data);
+  const std::size_t n = input.size();
+  const auto plan = FftPlan::get(n, FftPlan::Kind::kReal);
+  std::vector<Complex> out(n);
+  plan->forward_real(input, std::span<Complex>(out.data(), plan->real_bins()),
+                     local_scratch());
+  // Mirror the Hermitian half into the negative-frequency bins.
+  for (std::size_t k = plan->real_bins(); k < n; ++k) out[k] = std::conj(out[n - k]);
+  return out;
 }
 
 std::vector<Complex> rfft(std::span<const double> input) {
-  std::vector<Complex> full = fft_real(input);
-  full.resize(input.size() / 2 + 1);
-  return full;
+  require_nonempty("rfft input", input.size());
+  const auto plan = FftPlan::get(input.size(), FftPlan::Kind::kReal);
+  std::vector<Complex> out(plan->real_bins());
+  plan->forward_real(input, out, local_scratch());
+  return out;
 }
 
 std::vector<double> magnitude_spectrum(std::span<const double> input) {
-  std::vector<Complex> bins = rfft(input);
-  std::vector<double> mag(bins.size());
-  for (std::size_t i = 0; i < bins.size(); ++i) mag[i] = std::abs(bins[i]);
+  require_nonempty("magnitude_spectrum input", input.size());
+  const auto plan = FftPlan::get(input.size(), FftPlan::Kind::kReal);
+  std::vector<double> mag(plan->real_bins());
+  plan->magnitude_spectrum(input, mag, local_scratch());
   return mag;
 }
 
 std::vector<double> power_spectrum(std::span<const double> input) {
-  std::vector<Complex> bins = rfft(input);
-  std::vector<double> power(bins.size());
-  const double scale = 1.0 / static_cast<double>(input.size());
-  for (std::size_t i = 0; i < bins.size(); ++i) power[i] = std::norm(bins[i]) * scale;
+  require_nonempty("power_spectrum input", input.size());
+  const auto plan = FftPlan::get(input.size(), FftPlan::Kind::kReal);
+  std::vector<double> power(plan->real_bins());
+  plan->power_spectrum(input, power, 1.0 / static_cast<double>(input.size()),
+                       local_scratch());
   return power;
 }
 

@@ -1,9 +1,13 @@
-// Fast Fourier transforms.
+// Fast Fourier transforms (convenience API).
 //
 // Power-of-two sizes run through an iterative radix-2 Cooley-Tukey kernel;
 // every other size is handled by Bluestein's chirp-z algorithm, so callers may
 // transform arbitrary lengths (the echo windows the pipeline cuts are not
-// always powers of two).
+// always powers of two). All entry points execute through the planned engine
+// in fft_plan.hpp — twiddle tables, bit-reversal permutations, and Bluestein
+// kernels are computed once per size and cached; real-input transforms use
+// the half-length complex algorithm. Hot loops that transform the same size
+// repeatedly should hold an FftPlan + FftScratch directly.
 #pragma once
 
 #include <complex>

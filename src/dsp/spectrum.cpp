@@ -6,23 +6,29 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 
 namespace earsonar::dsp {
 
 namespace {
+
+FftScratch& spectrum_scratch() {
+  thread_local FftScratch scratch;
+  return scratch;
+}
 
 // Windowed periodogram of exactly one segment, appended into `acc`.
 std::vector<double> segment_periodogram(std::span<const double> seg,
                                         std::span<const double> window,
                                         double sample_rate) {
   std::vector<double> xw = apply_window(seg, window);
-  std::vector<Complex> bins = rfft(xw);
+  const auto plan = FftPlan::get(seg.size(), FftPlan::Kind::kReal);
   const double norm = 1.0 / (sample_rate * window_power(window));
-  std::vector<double> psd(bins.size());
-  for (std::size_t i = 0; i < bins.size(); ++i) {
-    psd[i] = std::norm(bins[i]) * norm;
+  std::vector<double> psd(plan->real_bins());
+  plan->power_spectrum(xw, psd, norm, spectrum_scratch());
+  for (std::size_t i = 0; i < psd.size(); ++i) {
     // One-sided spectrum: double everything except DC and Nyquist.
-    const bool is_edge = (i == 0) || (seg.size() % 2 == 0 && i == bins.size() - 1);
+    const bool is_edge = (i == 0) || (seg.size() % 2 == 0 && i == psd.size() - 1);
     if (!is_edge) psd[i] *= 2.0;
   }
   return psd;
@@ -112,6 +118,9 @@ Spectrum resample_spectrum(const Spectrum& spectrum, double low_hz, double high_
   Spectrum out;
   out.frequency_hz.resize(bins);
   out.psd.resize(bins);
+  // The target grid ascends, so the bracketing source bin only moves forward:
+  // one cursor sweep replaces a binary search per output bin.
+  std::size_t hi = 0;
   for (std::size_t i = 0; i < bins; ++i) {
     const double f = low_hz + (high_hz - low_hz) * static_cast<double>(i) /
                                   static_cast<double>(bins - 1);
@@ -122,9 +131,7 @@ Spectrum resample_spectrum(const Spectrum& spectrum, double low_hz, double high_
     } else if (f >= spectrum.frequency_hz.back()) {
       out.psd[i] = spectrum.psd.back();
     } else {
-      const auto it = std::lower_bound(spectrum.frequency_hz.begin(),
-                                       spectrum.frequency_hz.end(), f);
-      const std::size_t hi = static_cast<std::size_t>(it - spectrum.frequency_hz.begin());
+      while (spectrum.frequency_hz[hi] < f) ++hi;  // first bin with freq >= f
       const std::size_t lo = hi - 1;
       const double f0 = spectrum.frequency_hz[lo], f1 = spectrum.frequency_hz[hi];
       const double t = (f - f0) / (f1 - f0);

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 
 namespace earsonar::dsp {
 
@@ -27,16 +28,19 @@ Spectrogram stft(std::span<const double> signal, double sample_rate,
   for (std::size_t b = 0; b < out.frequency_hz.size(); ++b)
     out.frequency_hz[b] = bin_frequency(b, config.fft_size, sample_rate);
 
+  // One plan + scratch for every frame; the frame buffer is reused too.
+  const auto plan = FftPlan::get(config.fft_size, FftPlan::Kind::kReal);
+  thread_local FftScratch scratch;
+  const double norm = 1.0 / static_cast<double>(config.fft_size);
+  std::vector<double> frame(config.fft_size);
   for (std::size_t start = 0; start + config.hop <= signal.size();
        start += config.hop) {
-    std::vector<double> frame(config.fft_size, 0.0);
+    std::fill(frame.begin(), frame.end(), 0.0);
     const std::size_t take = std::min(config.window_length, signal.size() - start);
     for (std::size_t i = 0; i < take; ++i) frame[i] = signal[start + i] * win[i];
 
-    std::vector<Complex> bins = rfft(frame);
-    std::vector<double> power(bins.size());
-    const double norm = 1.0 / static_cast<double>(config.fft_size);
-    for (std::size_t b = 0; b < bins.size(); ++b) power[b] = std::norm(bins[b]) * norm;
+    std::vector<double> power(plan->real_bins());
+    plan->power_spectrum(frame, power, norm, scratch);
     out.power.push_back(std::move(power));
     out.time_s.push_back(
         (static_cast<double>(start) + config.window_length / 2.0) / sample_rate);

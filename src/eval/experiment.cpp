@@ -1,8 +1,10 @@
 #include "eval/experiment.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "ml/crossval.hpp"
 
 namespace earsonar::eval {
@@ -23,21 +25,30 @@ EvalDataset subset(const EvalDataset& dataset, const std::vector<std::size_t>& i
   return out;
 }
 
+// (truth, predicted) pairs from one CV fold, merged serially in fold order.
+using FoldOutcomes = std::vector<std::pair<std::size_t, std::size_t>>;
+
 }  // namespace
 
 EvalDataset build_earsonar_dataset(const std::vector<sim::SessionRecording>& recordings,
                                    const core::EarSonar& pipeline) {
   require_nonempty("build_earsonar_dataset recordings", recordings.size());
+  // analyze() is const and thread-safe: fan the recordings across the pool
+  // into per-index slots, then collect serially so the dataset order (and the
+  // skip counter) match the serial build exactly.
+  std::vector<core::EchoAnalysis> analyses(recordings.size());
+  parallel_for(recordings.size(), [&](std::size_t i) {
+    analyses[i] = pipeline.analyze(recordings[i].waveform);
+  });
   EvalDataset dataset;
-  for (const sim::SessionRecording& rec : recordings) {
-    core::EchoAnalysis analysis = pipeline.analyze(rec.waveform);
-    if (!analysis.usable()) {
+  for (std::size_t i = 0; i < recordings.size(); ++i) {
+    if (!analyses[i].usable()) {
       dataset.skipped++;
       continue;
     }
-    dataset.features.push_back(std::move(analysis.features));
-    dataset.labels.push_back(sim::state_index(rec.state));
-    dataset.groups.push_back(rec.subject_id);
+    dataset.features.push_back(std::move(analyses[i].features));
+    dataset.labels.push_back(sim::state_index(recordings[i].state));
+    dataset.groups.push_back(recordings[i].subject_id);
   }
   return dataset;
 }
@@ -57,28 +68,44 @@ EvalDataset build_chan_dataset(const std::vector<sim::SessionRecording>& recordi
 ml::ConfusionMatrix loocv_earsonar(const EvalDataset& dataset,
                                    const core::DetectorConfig& config) {
   require_nonempty("loocv dataset", dataset.size());
+  // Each fold trains its own detector, so folds run concurrently; outcomes
+  // merge in fold order below.
+  const auto outcomes = ml::map_splits(
+      ml::leave_one_group_out(dataset.groups), [&](const ml::Split& split) {
+        const EvalDataset train = subset(dataset, split.train);
+        core::MeeDetector detector(config);
+        detector.fit(train.features, train.labels);
+        FoldOutcomes fold;
+        fold.reserve(split.test.size());
+        for (std::size_t idx : split.test)
+          fold.emplace_back(dataset.labels[idx],
+                            detector.predict(dataset.features[idx]).state);
+        return fold;
+      });
   ml::ConfusionMatrix cm(core::kMeeStateCount);
-  for (const ml::Split& split : ml::leave_one_group_out(dataset.groups)) {
-    const EvalDataset train = subset(dataset, split.train);
-    core::MeeDetector detector(config);
-    detector.fit(train.features, train.labels);
-    for (std::size_t idx : split.test)
-      cm.add(dataset.labels[idx], detector.predict(dataset.features[idx]).state);
-  }
+  for (const FoldOutcomes& fold : outcomes)
+    for (const auto& [truth, predicted] : fold) cm.add(truth, predicted);
   return cm;
 }
 
 ml::ConfusionMatrix loocv_chan(const EvalDataset& dataset,
                                const baseline::ChanConfig& config) {
   require_nonempty("loocv dataset", dataset.size());
+  const auto outcomes = ml::map_splits(
+      ml::leave_one_group_out(dataset.groups), [&](const ml::Split& split) {
+        const EvalDataset train = subset(dataset, split.train);
+        baseline::ChanDetector detector(config);
+        detector.fit_features(train.features, train.labels);
+        FoldOutcomes fold;
+        fold.reserve(split.test.size());
+        for (std::size_t idx : split.test)
+          fold.emplace_back(dataset.labels[idx],
+                            detector.predict_features(dataset.features[idx]));
+        return fold;
+      });
   ml::ConfusionMatrix cm(core::kMeeStateCount);
-  for (const ml::Split& split : ml::leave_one_group_out(dataset.groups)) {
-    const EvalDataset train = subset(dataset, split.train);
-    baseline::ChanDetector detector(config);
-    detector.fit_features(train.features, train.labels);
-    for (std::size_t idx : split.test)
-      cm.add(dataset.labels[idx], detector.predict_features(dataset.features[idx]));
-  }
+  for (const FoldOutcomes& fold : outcomes)
+    for (const auto& [truth, predicted] : fold) cm.add(truth, predicted);
   return cm;
 }
 

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace earsonar::ml {
@@ -14,6 +15,18 @@ struct Split {
   std::vector<std::size_t> train;  ///< sample indices
   std::vector<std::size_t> test;
 };
+
+/// Runs fn(split) for every split on the shared thread pool and returns the
+/// results in split order — deterministic at every thread count, since each
+/// fold writes only its own slot. fn must be callable concurrently.
+template <typename Fn>
+auto map_splits(const std::vector<Split>& splits, Fn&& fn, std::size_t threads = 0) {
+  using Result = decltype(fn(splits.front()));
+  std::vector<Result> out(splits.size());
+  parallel_for(
+      splits.size(), [&](std::size_t i) { out[i] = fn(splits[i]); }, threads);
+  return out;
+}
 
 /// Leave-one-group-out: one split per distinct group id, testing that group.
 /// Groups are participant ids in the paper's LOOCV.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace earsonar::sim {
 
@@ -13,12 +14,21 @@ CohortGenerator::CohortGenerator(CohortConfig config)
 }
 
 std::vector<SessionRecording> CohortGenerator::generate() const {
+  // Each subject draws from its own RNG stream (seeded from the subject seed
+  // in generate_subject), so subjects synthesize in parallel and the flatten
+  // below reproduces the serial subject-major order bit for bit.
+  std::vector<std::vector<SessionRecording>> per_subject(config_.subject_count);
+  parallel_for(
+      config_.subject_count,
+      [&](std::size_t id) {
+        per_subject[id] = generate_subject(static_cast<std::uint32_t>(id));
+      },
+      config_.threads);
+
   std::vector<SessionRecording> all;
   all.reserve(config_.subject_count * kEffusionStateCount * config_.sessions_per_state);
-  for (std::uint32_t id = 0; id < config_.subject_count; ++id) {
-    std::vector<SessionRecording> one = generate_subject(id);
+  for (auto& one : per_subject)
     for (auto& rec : one) all.push_back(std::move(rec));
-  }
   return all;
 }
 

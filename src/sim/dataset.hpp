@@ -35,6 +35,10 @@ struct CohortConfig {
   /// movement (children do not sit perfectly still). Turn off to study one
   /// controlled condition (the Table I / Fig. 14 sweeps do).
   bool randomize_conditions = true;
+  /// Worker threads for generate() (0 = auto via EARSONAR_THREADS env var or
+  /// hardware concurrency). Each subject owns an independent RNG stream, so
+  /// the cohort is bit-identical at every thread count.
+  std::size_t threads = 0;
 };
 
 /// Generates a balanced cohort: every subject contributes

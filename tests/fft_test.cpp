@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 
 namespace earsonar::dsp {
 namespace {
@@ -185,6 +186,134 @@ TEST(BinMathTest, BinFrequencyAndInverse) {
 
 TEST(BinMathTest, FrequencyToBinRejectsAboveNyquist) {
   EXPECT_THROW(frequency_to_bin(25000.0, 512, 48000.0), std::invalid_argument);
+}
+
+// --- Planned-FFT engine --------------------------------------------------
+
+// Direct O(n^2) DFT oracle.
+std::vector<Complex> naive_dft(std::span<const Complex> x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> y(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0, 0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const double angle =
+          -2.0 * std::numbers::pi * static_cast<double>(k * i) / static_cast<double>(n);
+      acc += x[i] * Complex{std::cos(angle), std::sin(angle)};
+    }
+    y[k] = acc;
+  }
+  return y;
+}
+
+class FftPlanVsDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPlanVsDft, ForwardMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_complex(n, 1234 + n);
+  const auto oracle = naive_dft(x);
+  const auto plan = FftPlan::get(n, FftPlan::Kind::kComplex);
+  FftScratch scratch;
+  std::vector<Complex> y(n);
+  plan->forward(x, y, scratch);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(y[k] - oracle[k]), 0.0, 1e-7 * (1.0 + std::abs(oracle[k])))
+        << "n=" << n << " bin " << k;
+}
+
+TEST_P(FftPlanVsDft, InverseInvertsForward) {
+  const std::size_t n = GetParam();
+  const auto x = random_complex(n, 77 + n);
+  const auto plan = FftPlan::get(n, FftPlan::Kind::kComplex);
+  FftScratch scratch;
+  std::vector<Complex> y(n), back(n);
+  plan->forward(x, y, scratch);
+  plan->inverse(y, back, scratch);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 1e-8) << "n=" << n << " i=" << i;
+}
+
+// Powers of two (radix-2), odd composites and primes (Bluestein).
+INSTANTIATE_TEST_SUITE_P(Sizes, FftPlanVsDft,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 9, 15, 45, 7, 31, 73, 127));
+
+class FftPlanRealSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPlanRealSizes, ForwardRealMatchesFullFft) {
+  const std::size_t n = GetParam();
+  Rng rng(300 + n);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  const auto full = fft_real(x);
+  const auto plan = FftPlan::get(n, FftPlan::Kind::kReal);
+  FftScratch scratch;
+  std::vector<Complex> half(plan->real_bins());
+  plan->forward_real(x, half, scratch);
+  ASSERT_EQ(half.size(), n / 2 + 1);
+  for (std::size_t k = 0; k < half.size(); ++k)
+    EXPECT_NEAR(std::abs(half[k] - full[k]), 0.0, 1e-8 * (1.0 + std::abs(full[k])))
+        << "n=" << n << " bin " << k;
+}
+
+TEST_P(FftPlanRealSizes, InverseRealRoundTrips) {
+  const std::size_t n = GetParam();
+  Rng rng(400 + n);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  const auto plan = FftPlan::get(n, FftPlan::Kind::kReal);
+  FftScratch scratch;
+  std::vector<Complex> bins(plan->real_bins());
+  std::vector<double> back(n);
+  plan->forward_real(x, bins, scratch);
+  plan->inverse_real(bins, back, scratch);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(back[i], x[i], 1e-9) << "n=" << n << " i=" << i;
+}
+
+TEST_P(FftPlanRealSizes, PowerSpectrumMatchesNormOfBins) {
+  const std::size_t n = GetParam();
+  Rng rng(500 + n);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  const auto plan = FftPlan::get(n, FftPlan::Kind::kReal);
+  FftScratch scratch;
+  std::vector<Complex> bins(plan->real_bins());
+  std::vector<double> psd(plan->real_bins());
+  const double scale = 1.0 / static_cast<double>(n);
+  plan->forward_real(x, bins, scratch);
+  plan->power_spectrum(x, psd, scale, scratch);
+  for (std::size_t k = 0; k < psd.size(); ++k)
+    EXPECT_NEAR(psd[k], std::norm(bins[k]) * scale, 1e-10 * (1.0 + std::norm(bins[k])));
+}
+
+// Even (half-length complex path, incl. the 2k == h self-mirror bin), odd
+// (full-transform fallback), prime, and the pipeline's own 512.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftPlanRealSizes,
+                         ::testing::Values(2, 8, 12, 64, 512, 1, 9, 17, 45, 73));
+
+TEST(FftPlanCacheTest, GetReturnsSharedInstancePerSizeAndKind) {
+  const auto a = FftPlan::get(128, FftPlan::Kind::kComplex);
+  const auto b = FftPlan::get(128, FftPlan::Kind::kComplex);
+  const auto c = FftPlan::get(128, FftPlan::Kind::kReal);
+  const auto d = FftPlan::get(256, FftPlan::Kind::kComplex);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_NE(a.get(), d.get());
+  EXPECT_EQ(a->size(), 128u);
+  EXPECT_EQ(c->real_bins(), 65u);
+}
+
+TEST(FftPlanCacheTest, ForwardInplaceMatchesOutOfPlace) {
+  const std::size_t n = 64;
+  const auto x = random_complex(n, 999);
+  const auto plan = FftPlan::get(n, FftPlan::Kind::kComplex);
+  FftScratch scratch;
+  std::vector<Complex> out(n);
+  plan->forward(x, out, scratch);
+  std::vector<Complex> inplace = x;
+  plan->forward_inplace(inplace);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(inplace[k] - out[k]), 0.0, 1e-12);
 }
 
 }  // namespace

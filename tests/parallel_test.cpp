@@ -1,0 +1,128 @@
+// parallel_for correctness (coverage, exceptions, nesting) and the batch
+// determinism contract: cohort generation and EarSonar::fit produce
+// bit-identical results at every thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/pipeline.hpp"
+#include "sim/dataset.hpp"
+
+namespace earsonar {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  const std::size_t count = 1000;
+  std::vector<std::atomic<int>> hits(count);
+  parallel_for(count, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+}
+
+TEST(ParallelForTest, ZeroAndSingleCountsRunInline) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; }, 8);
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; }, 8);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, SmallestIndexExceptionWins) {
+  for (int round = 0; round < 4; ++round) {
+    try {
+      parallel_for(
+          64,
+          [&](std::size_t i) {
+            if (i % 7 == 3) throw std::runtime_error("fail@" + std::to_string(i));
+          },
+          4);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail@3");
+    }
+  }
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  std::vector<std::atomic<int>> hits(16 * 16);
+  parallel_for(
+      16,
+      [&](std::size_t i) {
+        parallel_for(16, [&](std::size_t j) { hits[16 * i + j].fetch_add(1); }, 4);
+      },
+      4);
+  for (std::size_t k = 0; k < hits.size(); ++k) EXPECT_EQ(hits[k].load(), 1);
+}
+
+TEST(ParallelForTest, ThreadCountResolutionOrder) {
+  set_parallel_thread_count(3);
+  EXPECT_EQ(resolved_parallel_threads(), 3u);
+  set_parallel_thread_count(0);
+  EXPECT_GE(resolved_parallel_threads(), 1u);
+}
+
+sim::CohortConfig small_cohort(std::size_t threads) {
+  sim::CohortConfig cc;
+  cc.subject_count = 4;
+  cc.sessions_per_state = 1;
+  cc.probe.chirp_count = 6;
+  cc.threads = threads;
+  return cc;
+}
+
+TEST(ParallelDeterminismTest, CohortGenerationBitIdenticalAcrossThreadCounts) {
+  const auto serial = sim::CohortGenerator(small_cohort(1)).generate();
+  const auto parallel = sim::CohortGenerator(small_cohort(4)).generate();
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(serial[r].subject_id, parallel[r].subject_id);
+    EXPECT_EQ(serial[r].session, parallel[r].session);
+    EXPECT_EQ(serial[r].state, parallel[r].state);
+    ASSERT_EQ(serial[r].waveform.size(), parallel[r].waveform.size());
+    for (std::size_t i = 0; i < serial[r].waveform.size(); ++i)
+      ASSERT_EQ(serial[r].waveform.samples()[i], parallel[r].waveform.samples()[i])
+          << "recording " << r << " sample " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, FitBitIdenticalAcrossThreadCounts) {
+  const auto recs = sim::CohortGenerator(small_cohort(1)).generate();
+  std::vector<audio::Waveform> waves;
+  std::vector<std::size_t> labels;
+  for (const auto& r : recs) {
+    waves.push_back(r.waveform);
+    labels.push_back(sim::state_index(r.state));
+  }
+
+  const auto fit_with = [&](std::size_t threads) {
+    core::PipelineConfig pc;
+    pc.threads = threads;
+    core::EarSonar pipeline(pc);
+    pipeline.fit(waves, labels);
+    return pipeline;
+  };
+  const core::EarSonar serial = fit_with(1);
+  const core::EarSonar parallel = fit_with(4);
+
+  const core::MeeDetector& a = serial.detector();
+  const core::MeeDetector& b = parallel.detector();
+  EXPECT_EQ(a.selected_features(), b.selected_features());
+  EXPECT_EQ(a.cluster_to_state(), b.cluster_to_state());
+  ASSERT_EQ(a.scaler_means().size(), b.scaler_means().size());
+  for (std::size_t i = 0; i < a.scaler_means().size(); ++i) {
+    ASSERT_EQ(a.scaler_means()[i], b.scaler_means()[i]) << "mean " << i;
+    ASSERT_EQ(a.scaler_stds()[i], b.scaler_stds()[i]) << "std " << i;
+  }
+  ASSERT_EQ(a.centroids().size(), b.centroids().size());
+  for (std::size_t c = 0; c < a.centroids().size(); ++c) {
+    ASSERT_EQ(a.centroids()[c].size(), b.centroids()[c].size());
+    for (std::size_t i = 0; i < a.centroids()[c].size(); ++i)
+      ASSERT_EQ(a.centroids()[c][i], b.centroids()[c][i])
+          << "centroid " << c << " dim " << i;
+  }
+}
+
+}  // namespace
+}  // namespace earsonar
