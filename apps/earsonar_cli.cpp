@@ -9,14 +9,22 @@
 //   earsonar inspect WAV
 //       Show events, segmented echoes, the echo spectrum, and the chirp
 //       frequency track of a recording.
+//   earsonar serve --model FILE --watch DIR
+//       Run the streaming serving engine over a watched directory, diagnosing
+//       WAVs as they appear and hot-swapping the model file when it changes.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "audio/wav.hpp"
@@ -25,6 +33,7 @@
 #include "core/model_io.hpp"
 #include "core/pipeline.hpp"
 #include "dsp/stft.hpp"
+#include "serve/engine.hpp"
 #include "sim/dataset.hpp"
 
 using namespace earsonar;
@@ -39,18 +48,35 @@ struct Args {
   std::vector<std::string> positional;
 };
 
+/// Options that are flags: present or absent, never followed by a value.
+/// (Before this set existed, `earsonar diagnose --help` died with
+/// "missing value for --help".)
+const std::set<std::string> kBooleanFlags = {"help", "verbose", "once"};
+
 Args parse_args(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
-      if (i + 1 >= argc) throw std::invalid_argument("missing value for " + arg);
-      args.options[arg.substr(2)] = argv[++i];
+      const std::string body = arg.substr(2);
+      const std::size_t eq = body.find('=');
+      if (eq != std::string::npos) {
+        args.options[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (kBooleanFlags.count(body) > 0) {
+        args.options[body] = "1";
+      } else {
+        if (i + 1 >= argc) throw std::invalid_argument("missing value for " + arg);
+        args.options[body] = argv[++i];
+      }
     } else {
       args.positional.push_back(arg);
     }
   }
   return args;
+}
+
+bool flag_set(const Args& args, const std::string& key) {
+  return args.options.count(key) > 0;
 }
 
 std::string option_or(const Args& args, const std::string& key,
@@ -66,9 +92,73 @@ std::string require_option(const Args& args, const std::string& key) {
   return it->second;
 }
 
+// ----------------------------------------------------------- per-command help
+
+void print_simulate_usage() {
+  std::printf(
+      "usage: earsonar simulate --out DIR [--subjects N] [--seed S]\n"
+      "\n"
+      "Generate a labeled synthetic cohort of WAV recordings + labels.csv.\n"
+      "\n"
+      "  --out DIR       output directory (created if missing)\n"
+      "  --subjects N    subjects per effusion state   [16]\n"
+      "  --seed S        cohort RNG seed               [42]\n");
+}
+
+void print_train_usage() {
+  std::printf(
+      "usage: earsonar train --data DIR --model FILE\n"
+      "\n"
+      "Train the detection head from DIR/labels.csv and save the model.\n"
+      "\n"
+      "  --data DIR      directory holding WAVs + labels.csv (see simulate)\n"
+      "  --model FILE    where to write the fitted detector model\n");
+}
+
+void print_diagnose_usage() {
+  std::printf(
+      "usage: earsonar diagnose --model FILE WAV...\n"
+      "\n"
+      "Diagnose one or more recordings with a saved model.\n"
+      "\n"
+      "  --model FILE    fitted detector model (see train)\n");
+}
+
+void print_inspect_usage() {
+  std::printf(
+      "usage: earsonar inspect WAV\n"
+      "\n"
+      "Show events, segmented echoes, the echo spectrum, the chirp frequency\n"
+      "track, and per-stage timings of one recording.\n");
+}
+
+void print_serve_usage() {
+  std::printf(
+      "usage: earsonar serve --model FILE --watch DIR [options]\n"
+      "\n"
+      "Run the streaming serving engine: WAV files appearing in DIR are fed\n"
+      "chunk-by-chunk through streaming sessions on a worker pool and\n"
+      "diagnosed with the model, which is hot-swapped in place whenever FILE\n"
+      "changes on disk. Requests beyond the queue capacity are rejected (and\n"
+      "retried on the next scan) rather than buffered without bound.\n"
+      "\n"
+      "  --model FILE      fitted detector model; reloaded when its mtime changes\n"
+      "  --watch DIR       directory to scan for incoming .wav files\n"
+      "  --threads N       request workers leased from the pool  [2]\n"
+      "  --queue N         request queue capacity                [64]\n"
+      "  --chunk N         ingestion chunk size in samples       [480]\n"
+      "  --interval-ms M   directory scan period                 [500]\n"
+      "  --once            single scan pass, drain, and exit\n"
+      "  --verbose         print the metrics snapshot on exit\n");
+}
+
 // ------------------------------------------------------------- subcommands
 
 int cmd_simulate(const Args& args) {
+  if (flag_set(args, "help")) {
+    print_simulate_usage();
+    return 0;
+  }
   const fs::path out_dir = require_option(args, "out");
   const std::size_t subjects =
       static_cast<std::size_t>(std::stoul(option_or(args, "subjects", "16")));
@@ -99,6 +189,10 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
+  if (flag_set(args, "help")) {
+    print_train_usage();
+    return 0;
+  }
   const fs::path data_dir = require_option(args, "data");
   const std::string model_path = require_option(args, "model");
 
@@ -143,6 +237,10 @@ int cmd_train(const Args& args) {
 }
 
 int cmd_diagnose(const Args& args) {
+  if (flag_set(args, "help")) {
+    print_diagnose_usage();
+    return 0;
+  }
   const core::DetectorModel model =
       core::load_detector_file(require_option(args, "model"));
   if (args.positional.empty()) {
@@ -168,6 +266,10 @@ int cmd_diagnose(const Args& args) {
 }
 
 int cmd_inspect(const Args& args) {
+  if (flag_set(args, "help")) {
+    print_inspect_usage();
+    return 0;
+  }
   if (args.positional.empty()) {
     std::fprintf(stderr, "error: no WAV file given\n");
     return 1;
@@ -219,6 +321,113 @@ int cmd_inspect(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  if (flag_set(args, "help")) {
+    print_serve_usage();
+    return 0;
+  }
+  const std::string model_path = require_option(args, "model");
+  const fs::path watch_dir = require_option(args, "watch");
+  const bool once = flag_set(args, "once");
+  const bool verbose = flag_set(args, "verbose");
+  const auto interval =
+      std::chrono::milliseconds(std::stol(option_or(args, "interval-ms", "500")));
+
+  serve::EngineConfig cfg;
+  cfg.workers = static_cast<std::size_t>(std::stoul(option_or(args, "threads", "2")));
+  cfg.queue_capacity =
+      static_cast<std::size_t>(std::stoul(option_or(args, "queue", "64")));
+  cfg.chunk_samples =
+      static_cast<std::size_t>(std::stoul(option_or(args, "chunk", "480")));
+  // Streaming ingestion is causal by construction; the default pipeline's
+  // zero-phase filtering has no chunked form.
+  cfg.session.pipeline.preprocess.zero_phase = false;
+
+  serve::ServingEngine engine(cfg);
+  const std::uint64_t v0 = engine.registry().load_file(model_path);
+  std::printf("model v%llu loaded from %s\n",
+              static_cast<unsigned long long>(v0), model_path.c_str());
+  engine.start();
+  std::printf("serving %s with %zu workers (queue %zu, chunk %zu samples)\n",
+              watch_dir.string().c_str(), cfg.workers, cfg.queue_capacity,
+              cfg.chunk_samples);
+
+  std::error_code ec;
+  fs::file_time_type model_mtime = fs::last_write_time(model_path, ec);
+  std::set<std::string> seen;
+  std::vector<std::pair<std::string, std::future<serve::ServeResult>>> pending;
+
+  const auto report = [](const serve::ServeResult& r) {
+    if (!r.error.empty()) {
+      std::printf("%-24s error: %s\n", r.id.c_str(), r.error.c_str());
+    } else if (!r.diagnosis) {
+      std::printf("%-24s (no echo)  events=%zu  total=%.1f ms\n", r.id.c_str(),
+                  r.events, r.total_ms);
+    } else {
+      std::printf("%-24s %-8s conf=%.2f  echoes=%zu  model=v%llu  total=%.1f ms\n",
+                  r.id.c_str(), core::kMeeStateNames[r.diagnosis->state],
+                  r.diagnosis->confidence, r.echoes,
+                  static_cast<unsigned long long>(r.model_version), r.total_ms);
+    }
+  };
+
+  for (;;) {
+    // Hot swap: a changed model file is reloaded in place; a bad file keeps
+    // the current model serving.
+    const fs::file_time_type mtime = fs::last_write_time(model_path, ec);
+    if (!ec && mtime != model_mtime) {
+      model_mtime = mtime;
+      try {
+        const std::uint64_t v = engine.registry().load_file(model_path);
+        std::printf("model hot-swapped to v%llu\n",
+                    static_cast<unsigned long long>(v));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "model reload failed (%s); keeping v%llu\n", e.what(),
+                     static_cast<unsigned long long>(engine.registry().version()));
+      }
+    }
+
+    for (const fs::directory_entry& entry : fs::directory_iterator(watch_dir)) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".wav") continue;
+      const std::string name = entry.path().filename().string();
+      if (seen.count(name) > 0) continue;
+      seen.insert(name);
+      serve::ServeRequest request;
+      request.id = name;
+      try {
+        request.recording = audio::read_wav(entry.path().string());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: unreadable (%s)\n", name.c_str(), e.what());
+        continue;
+      }
+      serve::Submission sub = engine.submit(std::move(request));
+      if (!sub.accepted) {
+        // Backpressure: leave the file unseen so the next scan retries it.
+        std::fprintf(stderr, "%s: rejected (%s), will retry\n", name.c_str(),
+                     sub.reason.c_str());
+        seen.erase(name);
+        continue;
+      }
+      pending.emplace_back(name, std::move(sub.result));
+    }
+
+    std::erase_if(pending, [&](auto& entry) {
+      if (entry.second.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+        return false;
+      report(entry.second.get());
+      return true;
+    });
+
+    if (once) break;
+    std::this_thread::sleep_for(interval);
+  }
+
+  for (auto& [name, future] : pending) report(future.get());
+  engine.stop();
+  if (verbose) std::printf("\n%s", engine.metrics_snapshot().c_str());
+  return 0;
+}
+
 void print_usage() {
   std::printf(
       "earsonar — acoustic middle-ear-effusion screening (ICDCS'23 reproduction)\n"
@@ -227,7 +436,11 @@ void print_usage() {
       "  earsonar simulate --out DIR [--subjects N] [--seed S]\n"
       "  earsonar train    --data DIR --model FILE\n"
       "  earsonar diagnose --model FILE WAV...\n"
-      "  earsonar inspect  WAV\n");
+      "  earsonar inspect  WAV\n"
+      "  earsonar serve    --model FILE --watch DIR [--threads N] [--queue N]\n"
+      "                    [--chunk N] [--interval-ms M] [--once] [--verbose]\n"
+      "\n"
+      "`earsonar COMMAND --help` describes each command's options.\n");
 }
 
 }  // namespace
@@ -244,6 +457,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "diagnose") return cmd_diagnose(args);
     if (command == "inspect") return cmd_inspect(args);
+    if (command == "serve") return cmd_serve(args);
     print_usage();
     return command == "help" || command == "--help" ? 0 : 1;
   } catch (const std::exception& e) {

@@ -10,7 +10,7 @@ BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_latency.json}
 MIN_TIME=${EARSONAR_BENCH_MIN_TIME:-0.4}
 
-for bin in bench_table2_latency bench_fft_plan; do
+for bin in bench_table2_latency bench_fft_plan bench_serve; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR --target $bin)" >&2
     exit 1
@@ -28,6 +28,8 @@ echo "running bench_fft_plan ..." >&2
 "$BUILD_DIR/bench/bench_fft_plan" \
     --benchmark_min_time="$MIN_TIME" \
     --benchmark_format=json >"$TMP_DIR/fft_plan.json.raw"
+echo "running bench_serve ..." >&2
+"$BUILD_DIR/bench/bench_serve" --json >"$TMP_DIR/serve.json"
 
 # bench_table2_latency prints a human banner line before benchmark::Initialize
 # takes over; strip everything before the first '{' so the remainder is JSON.
@@ -41,6 +43,8 @@ done
   cat "$TMP_DIR/table2.json"
   printf ',\n"fft_plan": '
   cat "$TMP_DIR/fft_plan.json"
+  printf ',\n"serve": '
+  cat "$TMP_DIR/serve.json"
   printf '}\n'
 } >"$OUT"
 

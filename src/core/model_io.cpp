@@ -111,10 +111,25 @@ DetectorModel load_detector(std::istream& in) {
     for (double& v : row)
       if (!(in >> v)) fail("load_detector: truncated centroid matrix");
   model.cluster_to_state = read_index_vector(in, "mapping");
+  validate_model(model);
+  return model;
+}
 
-  // Consistency checks.
+void validate_model(const DetectorModel& model) {
+  const auto all_finite = [](const std::vector<double>& xs) {
+    return std::all_of(xs.begin(), xs.end(),
+                       [](double x) { return std::isfinite(x); });
+  };
   if (model.scaler_mean.size() != model.scaler_std.size())
     fail("load_detector: scaler mean/std size mismatch");
+  // A NaN/Inf anywhere in the learned state poisons every later prediction
+  // silently (distances go NaN, the argmin picks cluster 0); reject up front.
+  if (!all_finite(model.scaler_mean) || !all_finite(model.scaler_std))
+    fail("load_detector: non-finite scaler moments");
+  for (double s : model.scaler_std)
+    if (s < 0.0) fail("load_detector: negative scaler std");
+  for (const auto& row : model.centroids)
+    if (!all_finite(row)) fail("load_detector: non-finite centroid");
   for (std::size_t idx : model.selected_features)
     if (idx >= model.scaler_mean.size())
       fail("load_detector: selected feature index out of range");
@@ -125,7 +140,6 @@ DetectorModel load_detector(std::istream& in) {
     fail("load_detector: mapping size mismatch");
   for (std::size_t state : model.cluster_to_state)
     if (state >= kMeeStateCount) fail("load_detector: state index out of range");
-  return model;
 }
 
 DetectorModel load_detector_file(const std::string& path) {

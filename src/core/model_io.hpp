@@ -37,9 +37,15 @@ struct DetectorModel {
   [[nodiscard]] std::size_t feature_dimension() const { return scaler_mean.size(); }
 };
 
+/// Rejects a structurally broken model: mismatched dimensions, out-of-range
+/// indices, or non-finite learned values (a single NaN centroid silently
+/// poisons every later prediction). Throws std::runtime_error. Called by
+/// load_detector; also the gate for programmatically installed models.
+void validate_model(const DetectorModel& model);
+
 /// Parses a model previously written by save_detector. Throws
 /// std::runtime_error on malformed input (bad magic, version, truncation,
-/// inconsistent dimensions).
+/// inconsistent dimensions, non-finite values).
 DetectorModel load_detector(std::istream& in);
 
 /// Reads load_detector input from `path`.

@@ -32,36 +32,8 @@ EarSonar::EarSonar(PipelineConfig config)
   extractor_.set_reference(config_.chirp);
 }
 
-namespace {
-
-// Re-anchors an event at the chirp onset: the first sample whose smoothed
-// envelope crosses 10% of the event's peak envelope. Event detection opens on
-// an adaptive threshold whose exact crossing moves with the noise floor; this
-// re-alignment pins every analysis window to the same point of the chirp.
-std::size_t align_event_start(const audio::Waveform& signal, const Event& event) {
-  constexpr std::size_t kSmooth = 4;
-  constexpr double kOnsetFraction = 0.1;
-  const std::vector<double>& x = signal.samples();
-  double peak = 0.0;
-  for (std::size_t i = event.start; i < event.end; ++i)
-    peak = std::max(peak, std::abs(x[i]));
-  if (peak <= 0.0) return event.start;
-  double run = 0.0;
-  for (std::size_t i = event.start; i < event.end; ++i) {
-    run += std::abs(x[i]);
-    if (i >= event.start + kSmooth) run -= std::abs(x[i - kSmooth]);
-    const double env = run / static_cast<double>(std::min(i - event.start + 1, kSmooth));
-    if (env >= kOnsetFraction * peak)
-      return i > event.start + 2 ? i - 2 : event.start;
-  }
-  return event.start;
-}
-
-}  // namespace
-
 EchoAnalysis EarSonar::analyze(const audio::Waveform& recording) const {
   require_nonempty("EarSonar::analyze recording", recording.size());
-  EchoAnalysis analysis;
 
   auto t0 = Clock::now();
   // Every downstream constant (band edges, chirp grid, echo-distance math)
@@ -77,11 +49,21 @@ EchoAnalysis EarSonar::analyze(const audio::Waveform& recording) const {
     input = &resampled;
   }
   const audio::Waveform filtered = preprocessor_.process(*input);
-  analysis.timings.bandpass_ms = ms_since(t0);
+  const double bandpass_ms = ms_since(t0);
 
-  t0 = Clock::now();
+  EchoAnalysis analysis = analyze_filtered(filtered);
+  analysis.timings.bandpass_ms = bandpass_ms;
+  return analysis;
+}
+
+EchoAnalysis EarSonar::analyze_filtered(const audio::Waveform& filtered) const {
+  require_nonempty("EarSonar::analyze_filtered signal", filtered.size());
+  EchoAnalysis analysis;
+
+  auto t0 = Clock::now();
   analysis.events = event_detector_.detect(filtered);
-  for (Event& event : analysis.events) event.start = align_event_start(filtered, event);
+  for (Event& event : analysis.events)
+    event.start = aligned_event_start(filtered.view(), event);
   analysis.timings.event_detect_ms = ms_since(t0);
 
   t0 = Clock::now();

@@ -67,6 +67,14 @@ class EarSonar {
   /// echo could be segmented (caller decides how to handle the dropout).
   [[nodiscard]] EchoAnalysis analyze(const audio::Waveform& recording) const;
 
+  /// analyze() minus resampling and band-pass filtering, for callers that
+  /// already hold the preprocessed signal at the probe sample rate — the
+  /// streaming serving path filters incrementally as chunks arrive and
+  /// finalizes through this entry point, which is what makes chunked
+  /// ingestion bit-identical to the batch pipeline. `timings.bandpass_ms`
+  /// stays zero.
+  [[nodiscard]] EchoAnalysis analyze_filtered(const audio::Waveform& filtered) const;
+
   /// Trains the detection head on labeled recordings (label indices follow
   /// kMeeStateNames). Recordings whose analysis fails are skipped; at least
   /// four usable recordings are required.

@@ -24,6 +24,16 @@ class Preprocessor {
   /// Band-pass-filters the recording; the output keeps the sample rate.
   [[nodiscard]] audio::Waveform process(const audio::Waveform& input) const;
 
+  /// The designed cascade with fresh state, for chunk-at-a-time (streaming)
+  /// callers. Feeding chunks through BiquadCascade::process, state carried
+  /// across calls, is bit-identical to process() with zero_phase = false on
+  /// the concatenated signal — causal IIR filtering is a pure per-sample
+  /// recurrence. Zero-phase filtering has no streaming form (it runs the
+  /// signal backwards), so streaming deployments configure zero_phase = false.
+  [[nodiscard]] dsp::BiquadCascade streaming_filter(double sample_rate) const {
+    return design(sample_rate);
+  }
+
   [[nodiscard]] const PreprocessConfig& config() const { return config_; }
 
   /// Magnitude response of the designed filter at `frequency_hz` (for tests).

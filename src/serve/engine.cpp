@@ -1,0 +1,178 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "dsp/interpolate.hpp"
+
+namespace earsonar::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+}  // namespace
+
+void EngineConfig::validate() const {
+  require(workers >= 1, "EngineConfig: workers must be >= 1");
+  require(queue_capacity >= 1, "EngineConfig: queue_capacity must be >= 1");
+  require(chunk_samples >= 1, "EngineConfig: chunk_samples must be >= 1");
+  session.validate();
+}
+
+ServingEngine::ServingEngine(EngineConfig config)
+    : config_(std::move(config)), queue_(config_.queue_capacity) {
+  config_.validate();
+}
+
+ServingEngine::~ServingEngine() { stop(); }
+
+void ServingEngine::start() {
+  if (running_.exchange(true)) return;
+  queue_.reopen();
+  // One coordinator thread leases `workers` pool threads through a single
+  // long-running parallel_for batch; each index runs one worker loop until
+  // the queue closes. The pool's batch mutex is held for the lease's
+  // lifetime, so other parallel_for callers wait — a serving process is not
+  // also training (see file comment in engine.hpp).
+  coordinator_ = std::thread([this] {
+    parallel_for(
+        config_.workers, [this](std::size_t) { worker_loop(); }, config_.workers);
+  });
+}
+
+void ServingEngine::stop() {
+  if (!running_.exchange(false)) return;
+  // close() wakes every worker; they drain the remaining accepted jobs before
+  // pop() returns false, so no accepted request is dropped.
+  queue_.close();
+  if (coordinator_.joinable()) coordinator_.join();
+}
+
+Submission ServingEngine::submit(ServeRequest request) {
+  Submission submission;
+  if (!running_.load()) {
+    metrics_.rejected_stopped.fetch_add(1, std::memory_order_relaxed);
+    submission.reason = "engine not running";
+    return submission;
+  }
+  Job job{std::move(request), {}, Clock::now()};
+  submission.result = job.promise.get_future();
+  if (!queue_.try_push(std::move(job))) {
+    submission.result = {};
+    if (!running_.load() || queue_.closed()) {
+      metrics_.rejected_stopped.fetch_add(1, std::memory_order_relaxed);
+      submission.reason = "engine not running";
+    } else {
+      metrics_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+      std::ostringstream reason;
+      reason << "queue full (capacity " << config_.queue_capacity << ")";
+      submission.reason = reason.str();
+    }
+    return submission;
+  }
+  metrics_.accepted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  submission.accepted = true;
+  return submission;
+}
+
+void ServingEngine::worker_loop() {
+  Job job;
+  while (queue_.pop(job)) {
+    metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    const double queue_ms = ms_since(job.enqueued);
+    metrics_.latency.queue_wait.record(queue_ms);
+    ServeResult result;
+    try {
+      result = process(job.request, queue_ms);
+    } catch (const std::exception& e) {
+      result.id = job.request.id;
+      result.error = e.what();
+    } catch (...) {
+      result.id = job.request.id;
+      result.error = "unknown error";
+    }
+    result.queue_ms = queue_ms;
+    result.total_ms = ms_since(job.enqueued);
+    metrics_.latency.total.record(result.total_ms);
+    if (!result.error.empty()) {
+      metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+      if (!result.usable) metrics_.no_echo.fetch_add(1, std::memory_order_relaxed);
+    }
+    job.promise.set_value(std::move(result));
+  }
+}
+
+ServeResult ServingEngine::process(const ServeRequest& request, double /*queue_ms*/) {
+  ServeResult result;
+  result.id = request.id;
+
+  StreamingSession session(config_.session);
+  const double rate = config_.session.pipeline.chirp.sample_rate;
+
+  // Streaming sessions ingest at the probe rate; resample other captures up
+  // front (the batch path does the same inside analyze()).
+  std::span<const double> samples = request.recording.view();
+  std::vector<double> resampled;
+  auto t0 = Clock::now();
+  if (request.recording.sample_rate() != rate) {
+    resampled = dsp::resample_to_rate(samples, request.recording.sample_rate(), rate);
+    samples = resampled;
+  }
+  const double resample_ms = ms_since(t0);
+
+  const std::size_t chunk =
+      request.chunk_samples > 0 ? request.chunk_samples : config_.chunk_samples;
+  for (std::size_t pos = 0; pos < samples.size(); pos += chunk) {
+    if (pos > 0 && request.chunk_period_s > 0.0) {
+      // Real-time pacing: the next chunk has not arrived from the device yet.
+      std::this_thread::sleep_for(std::chrono::duration<double>(request.chunk_period_s));
+    }
+    const std::size_t len = std::min(chunk, samples.size() - pos);
+    session.feed(samples.subspan(pos, len));
+    metrics_.chunks_fed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  core::EchoAnalysis analysis = session.finish();
+  result.usable = analysis.usable();
+  result.events = analysis.events.size();
+  result.echoes = analysis.echoes.size();
+  result.timings = analysis.timings;
+  result.timings.bandpass_ms = resample_ms;  // chunk filtering folds into feed()
+
+  metrics_.latency.bandpass.record(result.timings.bandpass_ms);
+  metrics_.latency.event_detect.record(result.timings.event_detect_ms);
+  metrics_.latency.segment.record(result.timings.segment_ms);
+  metrics_.latency.feature.record(result.timings.feature_ms);
+
+  if (result.usable) {
+    if (std::shared_ptr<const core::DetectorModel> model = registry_.current()) {
+      t0 = Clock::now();
+      result.diagnosis = model->predict(analysis.features);
+      result.timings.inference_ms = ms_since(t0);
+      metrics_.latency.inference.record(result.timings.inference_ms);
+      result.model_version = registry_.version();
+    }
+  }
+  return result;
+}
+
+std::string ServingEngine::metrics_snapshot() const {
+  std::ostringstream out;
+  out << "earsonar_serve_workers " << config_.workers << "\n";
+  out << "earsonar_serve_queue_capacity " << config_.queue_capacity << "\n";
+  out << "earsonar_serve_model_version " << registry_.version() << "\n";
+  out << metrics_.text_snapshot();
+  return out.str();
+}
+
+}  // namespace earsonar::serve

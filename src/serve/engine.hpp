@@ -1,0 +1,135 @@
+// Concurrent serving engine: many recordings, many devices, one process.
+//
+// Architecture (see DESIGN.md §"Serving architecture"):
+//
+//   submit() ──try_push──▶ BoundedQueue ──pop──▶ worker_loop × N ──▶ promise
+//                 │                                   │
+//            reject with                     StreamingSession per request
+//            reason when full                (chunked feed, finish, predict
+//                                             against ModelRegistry::current)
+//
+// Backpressure is explicit: a full queue rejects the submission immediately
+// with a reason (never blocks the caller, never drops accepted work), so an
+// upstream load balancer can retry elsewhere. Workers run on the repo-wide
+// `common/parallel` pool — start() leases `workers` pool threads through one
+// long-running parallel_for batch until stop(); the engine therefore owns
+// the pool while serving (batch stages like EarSonar::fit queue behind it),
+// which matches the deployment shape: a process is either serving or
+// training, never both at once.
+//
+// Each worker feeds its request through a StreamingSession in `chunk_samples`
+// slices. Requests may carry `chunk_period_s` to replay the device's real
+// arrival cadence (the worker waits between chunks as a live session would);
+// bench_serve uses that to measure how many concurrent real-time sessions a
+// worker count sustains.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "audio/waveform.hpp"
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/registry.hpp"
+#include "serve/streaming.hpp"
+
+namespace earsonar::serve {
+
+struct EngineConfig {
+  std::size_t workers = 2;          ///< request workers leased from the pool
+  std::size_t queue_capacity = 64;  ///< pending requests before rejection
+  std::size_t chunk_samples = 480;  ///< default ingestion slice (10 ms @ 48 kHz)
+  StreamingConfig session;          ///< per-request streaming configuration
+
+  void validate() const;
+};
+
+struct ServeRequest {
+  std::string id;                 ///< caller's tag, echoed in the result
+  audio::Waveform recording;      ///< any sample rate; resampled like analyze()
+  std::size_t chunk_samples = 0;  ///< 0 = engine default
+  /// Seconds between chunk arrivals (0 = backlogged upload, feed immediately).
+  /// Real-time device streaming = chunk_samples / sample_rate.
+  double chunk_period_s = 0.0;
+};
+
+struct ServeResult {
+  std::string id;
+  bool usable = false;  ///< an echo was segmented and features extracted
+  std::optional<core::Diagnosis> diagnosis;  ///< set when usable and a model is loaded
+  std::size_t events = 0;
+  std::size_t echoes = 0;
+  core::StageTimings timings;   ///< per-stage pipeline latency
+  double queue_ms = 0.0;        ///< time spent waiting in the queue
+  double total_ms = 0.0;        ///< queue wait + processing
+  std::uint64_t model_version = 0;
+  std::string error;            ///< non-empty when processing threw
+};
+
+/// Outcome of submit(): either a future for the result, or a rejection with
+/// the reason (queue full / engine stopped).
+struct Submission {
+  bool accepted = false;
+  std::string reason;
+  std::future<ServeResult> result;
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(EngineConfig config = {});
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Leases worker threads from the shared pool and begins draining the
+  /// queue. Idempotent while running.
+  void start();
+
+  /// Closes the queue, drains every accepted request, and releases the pool.
+  /// Safe to call repeatedly; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  /// Never blocks: accepted requests get a future, a full queue or stopped
+  /// engine gets a reason. Accepted requests are always completed (their
+  /// future becomes ready) even when stop() races the submission.
+  Submission submit(ServeRequest request);
+
+  /// The hot-swappable model store shared by all workers.
+  [[nodiscard]] ModelRegistry& registry() { return registry_; }
+
+  [[nodiscard]] const ServeMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// metrics().text_snapshot() plus engine-level gauges (queue capacity,
+  /// worker count, model version/source).
+  [[nodiscard]] std::string metrics_snapshot() const;
+
+ private:
+  struct Job {
+    ServeRequest request;
+    std::promise<ServeResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  [[nodiscard]] ServeResult process(const ServeRequest& request, double queue_ms);
+
+  EngineConfig config_;
+  ModelRegistry registry_;
+  ServeMetrics metrics_;
+  BoundedQueue<Job> queue_;
+  std::thread coordinator_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace earsonar::serve

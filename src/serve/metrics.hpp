@@ -1,0 +1,71 @@
+// Serving metrics: lock-free counters and latency histograms, exportable as
+// a text snapshot (Prometheus exposition style). The histograms extend the
+// pipeline's per-stage StageTimings to the serving path: every request
+// records its band-pass / event / segmentation / feature / inference stage
+// times plus queue wait and end-to-end latency, so a saturating stage shows
+// up in the snapshot rather than only in offline benches.
+//
+// All mutation is relaxed atomics — recording a latency never takes a lock,
+// so the hot serving path stays wait-free and the types are safe to share
+// across worker threads (exercised under TSan by the `serve` test label).
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace earsonar::serve {
+
+/// Log2-bucketed latency histogram. Bucket b covers [2^(b-10), 2^(b-9)) ms,
+/// i.e. ~1 us resolution at the bottom and ~16 s at the top; out-of-range
+/// samples clamp to the edge buckets. Percentiles are read from the bucket
+/// geometry (geometric midpoint), good to a factor of sqrt(2) — plenty to
+/// spot a saturated stage, without per-sample storage.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 36;
+
+  void record(double ms);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double mean_ms() const;
+  /// Latency below which `quantile` (in [0, 1]) of samples fall; 0 when empty.
+  [[nodiscard]] double percentile_ms(double quantile) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// Per-stage latency histograms for the serving path: the five StageTimings
+/// stages, plus the two the engine adds (queue wait, end-to-end).
+struct StageLatencies {
+  LatencyHistogram bandpass;
+  LatencyHistogram event_detect;
+  LatencyHistogram segment;
+  LatencyHistogram feature;
+  LatencyHistogram inference;
+  LatencyHistogram queue_wait;
+  LatencyHistogram total;
+};
+
+/// Counters + histograms for one ServingEngine.
+struct ServeMetrics {
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected_queue_full{0};
+  std::atomic<std::uint64_t> rejected_stopped{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};    ///< processing threw
+  std::atomic<std::uint64_t> no_echo{0};   ///< completed but unusable recording
+  std::atomic<std::uint64_t> chunks_fed{0};
+  std::atomic<std::int64_t> queue_depth{0};
+  StageLatencies latency;
+
+  /// Prometheus-style exposition text of every counter and histogram.
+  [[nodiscard]] std::string text_snapshot() const;
+};
+
+}  // namespace earsonar::serve

@@ -1,0 +1,76 @@
+// Bounded multi-producer/multi-consumer request queue with explicit
+// backpressure: try_push on a full queue returns false immediately (the
+// engine converts that into a rejected request with a reason) instead of
+// blocking the producer or silently dropping work. close() wakes every
+// blocked consumer; items already queued are still drained, so a graceful
+// engine stop never loses accepted requests.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+
+#include "serve/ring_buffer.hpp"
+
+namespace earsonar::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : items_(capacity) {}
+
+  /// False when the queue is full or closed; the caller keeps the rejection.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || !items_.push(std::move(item))) return false;
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed *and* drained.
+  /// Returns false only in the latter case.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = items_.pop();
+    return true;
+  }
+
+  /// Re-arms a closed queue (engine restart). Must not race concurrent
+  /// producers/consumers; the engine calls it before leasing workers.
+  void reopen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = false;
+  }
+
+  /// Stops accepting new items and wakes all consumers.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return items_.capacity(); }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  RingBuffer<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace earsonar::serve

@@ -1,0 +1,39 @@
+#include "serve/registry.hpp"
+
+#include <mutex>
+#include <utility>
+
+namespace earsonar::serve {
+
+std::uint64_t ModelRegistry::install(core::DetectorModel model, std::string source) {
+  // A broken model must never become `current()` — same gate as load_file's
+  // parser, applied to programmatic installs.
+  core::validate_model(model);
+  auto next = std::make_shared<const core::DetectorModel>(std::move(model));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  model_ = std::move(next);
+  source_ = std::move(source);
+  return ++version_;
+}
+
+std::uint64_t ModelRegistry::load_file(const std::string& path) {
+  // Parse outside the lock: a slow or failing load must not block readers.
+  return install(core::load_detector_file(path), path);
+}
+
+std::shared_ptr<const core::DetectorModel> ModelRegistry::current() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return model_;
+}
+
+std::uint64_t ModelRegistry::version() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return version_;
+}
+
+std::string ModelRegistry::source() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return source_;
+}
+
+}  // namespace earsonar::serve

@@ -1,0 +1,46 @@
+// Hot-swappable detector-model registry.
+//
+// A long-running serving engine outlives any single model: clinics retrain
+// nightly, a bad model gets rolled back, an A/B candidate gets promoted. The
+// registry holds the active DetectorModel behind a shared_mutex; readers
+// (request workers) take a shared lock only long enough to copy the
+// shared_ptr, so in-flight requests keep the model they started with while a
+// swap installs the next one — no request ever observes a half-written model
+// and no swap waits for inference to drain.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "core/model_io.hpp"
+
+namespace earsonar::serve {
+
+class ModelRegistry {
+ public:
+  /// Installs a model; returns the new version number (1 for the first
+  /// install, monotonically increasing).
+  std::uint64_t install(core::DetectorModel model, std::string source);
+
+  /// Loads a model file via core/model_io and installs it. Throws (and keeps
+  /// the current model) when the file is missing or malformed — a bad reload
+  /// never takes down serving.
+  std::uint64_t load_file(const std::string& path);
+
+  /// The active model, or nullptr before the first install. The returned
+  /// pointer stays valid for the caller's lifetime regardless of later swaps.
+  [[nodiscard]] std::shared_ptr<const core::DetectorModel> current() const;
+
+  [[nodiscard]] std::uint64_t version() const;
+  [[nodiscard]] std::string source() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::shared_ptr<const core::DetectorModel> model_;
+  std::uint64_t version_ = 0;
+  std::string source_;
+};
+
+}  // namespace earsonar::serve

@@ -1,0 +1,56 @@
+// Fixed-capacity ring buffer — the storage primitive of the serving layer's
+// bounded queues. Capacity is set once at construction and never grows;
+// push() on a full ring fails instead of reallocating, which is what turns
+// overload into explicit backpressure rather than unbounded memory growth.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace earsonar::serve {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : items_(capacity) {
+    require_nonempty("RingBuffer capacity", capacity);
+  }
+
+  /// False (item untouched beyond the move) when the ring is full.
+  bool push(T item) {
+    if (count_ == items_.size()) return false;
+    items_[(head_ + count_) % items_.size()] = std::move(item);
+    ++count_;
+    return true;
+  }
+
+  /// Removes and returns the oldest item; the ring must not be empty.
+  T pop() {
+    require(count_ > 0, "RingBuffer::pop on empty buffer");
+    T item = std::move(items_[head_]);
+    head_ = (head_ + 1) % items_.size();
+    --count_;
+    return item;
+  }
+
+  /// The i-th oldest item (0 = front); i must be < size().
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    require(i < count_, "RingBuffer: index out of range");
+    return items_[(head_ + i) % items_.size()];
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool full() const { return count_ == items_.size(); }
+
+ private:
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace earsonar::serve

@@ -1,0 +1,107 @@
+#include "serve/streaming.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/preprocess.hpp"
+
+namespace earsonar::serve {
+
+void StreamingConfig::validate() const {
+  require(!pipeline.preprocess.zero_phase,
+          "StreamingConfig: zero-phase (filtfilt) preprocessing has no "
+          "streaming form; set pipeline.preprocess.zero_phase = false");
+  require(max_buffered_samples >= 1024,
+          "StreamingConfig: max_buffered_samples must be >= 1024");
+}
+
+StreamingSession::StreamingSession(StreamingConfig config)
+    : config_(std::move(config)),
+      pipeline_(config_.pipeline),
+      filter_(core::Preprocessor(config_.pipeline.preprocess)
+                  .streaming_filter(config_.pipeline.chirp.sample_rate)),
+      detector_(config_.pipeline.events),
+      segmenter_(config_.pipeline.segmenter),
+      extractor_(config_.pipeline.features) {
+  config_.validate();
+  extractor_.set_reference(config_.pipeline.chirp);
+  filtered_.reserve(std::min<std::size_t>(config_.max_buffered_samples, 1 << 20));
+}
+
+FeedStatus StreamingSession::feed(std::span<const double> chunk) {
+  require(!finished_, "StreamingSession: feed after finish");
+  if (chunk.empty()) return FeedStatus::kAccepted;
+
+  if (config_.overflow == StreamingConfig::OverflowPolicy::kReject &&
+      filtered_.size() + chunk.size() > config_.max_buffered_samples) {
+    // Reject *before* touching the filter, so the accepted stream stays
+    // contiguous and a later finish() is still exact for everything accepted.
+    ++rejected_chunks_;
+    return FeedStatus::kRejected;
+  }
+
+  const std::vector<double> out = filter_.process(chunk);
+  samples_fed_ += chunk.size();
+  filtered_.insert(filtered_.end(), out.begin(), out.end());
+  if (filtered_.size() > config_.max_buffered_samples) {
+    // kEvictOldest: the detector still sees every sample (its state is O(1));
+    // only the stored prefix is lost, taking finish()'s exactness with it.
+    const std::size_t drop = filtered_.size() - config_.max_buffered_samples;
+    filtered_.erase(filtered_.begin(),
+                    filtered_.begin() + static_cast<std::ptrdiff_t>(drop));
+    base_ += drop;
+  }
+  for (const core::Event& event : detector_.push(out)) ingest_event(event);
+  return FeedStatus::kAccepted;
+}
+
+void StreamingSession::ingest_event(const core::Event& event) {
+  // Absolute indices; an event whose samples were already evicted (possible
+  // only with a capacity close to one event length) cannot be segmented.
+  if (event.start < base_ || event.end > base_ + filtered_.size()) return;
+  // Mirror the batch path per chirp: onset-align the event, then segment.
+  core::Event aligned{event.start - base_, event.end - base_};
+  aligned.start = core::aligned_event_start(filtered_, aligned);
+  core::Event absolute{aligned.start + base_, event.end};
+  events_.push_back(absolute);
+  if (std::optional<core::EchoSegment> echo =
+          segmenter_.segment(filtered_, absolute, base_))
+    echoes_.push_back(*echo);
+}
+
+core::EchoAnalysis StreamingSession::finish() {
+  require(!finished_, "StreamingSession: finish twice");
+  require(samples_fed_ > 0, "StreamingSession: finish with no audio fed");
+  finished_ = true;
+  for (const core::Event& event : detector_.flush()) ingest_event(event);
+  audio::Waveform wave(std::move(filtered_), config_.pipeline.chirp.sample_rate);
+  filtered_.clear();
+  return pipeline_.analyze_filtered(wave);
+}
+
+core::EchoAnalysis StreamingSession::partial_analysis() const {
+  core::EchoAnalysis analysis;
+  analysis.events = events_;
+  analysis.echoes = echoes_;
+  if (echoes_.empty() || filtered_.empty()) return analysis;
+
+  // Shift echo anchors into the retained window; echoes whose event has been
+  // evicted can no longer be re-windowed and drop out of the snapshot.
+  std::vector<core::EchoSegment> usable;
+  usable.reserve(echoes_.size());
+  for (core::EchoSegment echo : echoes_) {
+    if (echo.event_start < base_) continue;
+    echo.event_start -= base_;
+    echo.peak_index -= base_;
+    echo.direct_peak_index -= base_;
+    usable.push_back(echo);
+  }
+  if (usable.empty()) return analysis;
+  const audio::Waveform window(filtered_, config_.pipeline.chirp.sample_rate);
+  core::FeatureExtractor::Result extracted = extractor_.extract_full(window, usable);
+  analysis.mean_spectrum = std::move(extracted.mean_spectrum);
+  analysis.features = std::move(extracted.features);
+  return analysis;
+}
+
+}  // namespace earsonar::serve

@@ -1,0 +1,111 @@
+// Streaming ingestion: chunk-at-a-time analysis sessions.
+//
+// Every batch entry point needs the complete recording in memory; a deployed
+// screener receives audio as a stream of small chunks from the earbud. A
+// StreamingSession accepts arbitrary-size chunks and runs the pipeline's
+// front half incrementally as they arrive:
+//
+//   * band-pass filtering is stateful (`dsp::BiquadCascade` carried across
+//     chunks) — bit-identical to filtering the concatenated signal, so the
+//     session stores only *filtered* samples;
+//   * a `core::StreamingEventDetector` scans the filtered stream causally and
+//     finalizes chirp events with bounded latency;
+//   * each finalized event is onset-aligned and parity-segmented immediately,
+//     so per-chirp echoes (and, on demand, features over the echoes so far)
+//     are available while audio is still arriving — `partial_analysis()`.
+//
+// finish() then produces the *authoritative* result by re-running the exact
+// whole-signal pass (`EarSonar::analyze_filtered`) over the buffered filtered
+// samples. Because causal filtering commutes with chunking, finish() is
+// bit-identical — same features, same diagnosis — to `EarSonar::analyze` on
+// the whole recording with the same (causal) configuration, at every chunk
+// size. The incremental results are provisional: the whole-signal event
+// detector gates against recording-global statistics that only exist at
+// stream end (see StreamingEventDetector docs).
+//
+// The sample store is bounded. When a chunk would overflow it, the session
+// either rejects the chunk (kReject — the backpressure signal a serving
+// engine propagates to the device) or drops the oldest samples (kEvictOldest
+// — continuous-monitoring mode, where finish() degrades to a best-effort
+// analysis of the retained tail and truncated() reports the loss).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/event_detect.hpp"
+#include "core/pipeline.hpp"
+#include "core/segment.hpp"
+#include "dsp/biquad.hpp"
+
+namespace earsonar::serve {
+
+struct StreamingConfig {
+  core::PipelineConfig pipeline;  ///< must have preprocess.zero_phase = false
+  /// Bound on buffered (filtered) samples: 20 s at the probe rate by default.
+  std::size_t max_buffered_samples = 20UL * 48000UL;
+  /// What to do with a chunk that would overflow the buffer.
+  enum class OverflowPolicy {
+    kReject,       ///< refuse the chunk; feed() returns kRejected
+    kEvictOldest,  ///< drop oldest samples; finish() analyzes the tail only
+  };
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+
+  void validate() const;
+};
+
+enum class FeedStatus { kAccepted, kRejected };
+
+class StreamingSession {
+ public:
+  explicit StreamingSession(StreamingConfig config = {});
+
+  /// Ingests one chunk at the pipeline sample rate (any size, including
+  /// empty). Returns kRejected — with no state change — when the buffer is
+  /// full under OverflowPolicy::kReject.
+  FeedStatus feed(std::span<const double> chunk);
+
+  /// Exact finalization: the same events / echoes / spectrum / features /
+  /// diagnosis-input the batch pipeline computes for everything fed (see the
+  /// file comment for the evict-mode caveat). Ends the session.
+  core::EchoAnalysis finish();
+
+  /// Provisional snapshot from the incremental path: events and echoes
+  /// finalized so far, plus the feature vector over those echoes (computed
+  /// on demand; empty until an echo has been segmented). Unlike finish(),
+  /// this does not apply whole-recording consensus re-anchoring.
+  [[nodiscard]] core::EchoAnalysis partial_analysis() const;
+
+  [[nodiscard]] std::size_t samples_fed() const { return samples_fed_; }
+  [[nodiscard]] std::size_t samples_buffered() const { return filtered_.size(); }
+  [[nodiscard]] std::size_t samples_dropped() const { return base_; }
+  [[nodiscard]] std::size_t rejected_chunks() const { return rejected_chunks_; }
+  [[nodiscard]] bool truncated() const { return base_ > 0; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] std::size_t provisional_event_count() const { return events_.size(); }
+  [[nodiscard]] const std::vector<core::EchoSegment>& provisional_echoes() const {
+    return echoes_;
+  }
+  [[nodiscard]] const StreamingConfig& config() const { return config_; }
+
+ private:
+  void ingest_event(const core::Event& event);
+
+  StreamingConfig config_;
+  core::EarSonar pipeline_;  ///< finish() runs its analyze_filtered
+  dsp::BiquadCascade filter_;
+  core::StreamingEventDetector detector_;
+  core::ParityEchoSegmenter segmenter_;
+  core::FeatureExtractor extractor_;
+
+  std::vector<double> filtered_;  ///< filtered_[i] = absolute sample base_ + i
+  std::size_t base_ = 0;
+  std::size_t samples_fed_ = 0;
+  std::size_t rejected_chunks_ = 0;
+  std::vector<core::Event> events_;       ///< provisional, absolute indices
+  std::vector<core::EchoSegment> echoes_; ///< provisional, absolute indices
+  bool finished_ = false;
+};
+
+}  // namespace earsonar::serve

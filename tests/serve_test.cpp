@@ -1,0 +1,449 @@
+// Serving-layer tests: streaming-vs-batch equivalence, backpressure,
+// hot-swapping, and the concurrency primitives underneath. Built with the
+// `serve` ctest label so the suite can be re-run under ThreadSanitizer
+// (EARSONAR_SANITIZE=thread) to certify the engine's locking.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/model_io.hpp"
+#include "core/pipeline.hpp"
+#include "serve/engine.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/registry.hpp"
+#include "serve/ring_buffer.hpp"
+#include "serve/streaming.hpp"
+#include "sim/dataset.hpp"
+#include "sim/probe.hpp"
+
+namespace earsonar {
+namespace {
+
+// A short but realistic recording (10 chirps, ~55 ms) shared by the suite.
+audio::Waveform test_recording(std::uint64_t seed = 7) {
+  sim::SubjectFactory factory(42);
+  sim::ProbeConfig pc;
+  pc.chirp_count = 10;
+  sim::EarProbe probe(pc);
+  Rng rng(seed);
+  return probe.record_state(factory.make(0), sim::EffusionState::kClear,
+                            sim::reference_earphone(), {}, rng);
+}
+
+// Streaming sessions require causal filtering; the batch reference uses the
+// same configuration so both paths run the identical pipeline.
+core::PipelineConfig causal_config() {
+  core::PipelineConfig cfg;
+  cfg.preprocess.zero_phase = false;
+  return cfg;
+}
+
+// A tiny valid model over the pipeline's 105-dim feature space.
+core::DetectorModel tiny_model(double shift = 0.0) {
+  core::DetectorModel model;
+  const std::size_t dim = core::EarSonar(causal_config()).feature_dimension();
+  model.scaler_mean.assign(dim, shift);
+  model.scaler_std.assign(dim, 1.0);
+  model.selected_features = {0, 1};
+  model.centroids = {{-1.0, -1.0}, {1.0, 1.0}};
+  model.cluster_to_state = {0, 2};
+  return model;
+}
+
+// ------------------------------------------------------------ ring / queue
+
+TEST(RingBufferTest, FifoOrderAndCapacity) {
+  serve::RingBuffer<int> ring(3);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_TRUE(ring.push(3));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.push(4));  // full: rejected, not resized
+  EXPECT_EQ(ring[0], 1);
+  EXPECT_EQ(ring[2], 3);
+  EXPECT_EQ(ring.pop(), 1);
+  EXPECT_TRUE(ring.push(4));  // wraps around
+  EXPECT_EQ(ring.pop(), 2);
+  EXPECT_EQ(ring.pop(), 3);
+  EXPECT_EQ(ring.pop(), 4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.pop(), std::exception);
+}
+
+TEST(BoundedQueueTest, TryPushRejectsWhenFull) {
+  serve::BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenStops) {
+  serve::BoundedQueue<int> queue(4);
+  queue.try_push(1);
+  queue.try_push(2);
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3));  // closed: no new work
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));  // ...but queued work still drains
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.pop(out));  // closed and drained
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  serve::BoundedQueue<int> queue(1);
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(queue.pop(out));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(LatencyHistogramTest, CountMeanPercentile) {
+  serve::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_ms(0.5), 0.0);
+  for (int i = 0; i < 100; ++i) h.record(1.0);
+  h.record(1000.0);
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_NEAR(h.mean_ms(), (100.0 + 1000.0) / 101.0, 0.5);
+  // Bucketed percentiles are exact to a factor of sqrt(2).
+  EXPECT_NEAR(h.percentile_ms(0.5), 1.0, 1.0);
+  EXPECT_GT(h.percentile_ms(0.999), 500.0);
+}
+
+TEST(ServeMetricsTest, SnapshotListsEveryCounter) {
+  serve::ServeMetrics metrics;
+  metrics.accepted.fetch_add(3);
+  metrics.latency.total.record(2.0);
+  const std::string text = metrics.text_snapshot();
+  EXPECT_NE(text.find("earsonar_serve_requests_accepted_total 3"), std::string::npos);
+  EXPECT_NE(text.find("queue_full"), std::string::npos);
+  EXPECT_NE(text.find("earsonar_serve_latency_count{stage=\"total\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("earsonar_serve_latency_ms{stage=\"total\",stat=\"p50\"}"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(ModelRegistryTest, InstallSwapAndSnapshotIsolation) {
+  serve::ModelRegistry registry;
+  EXPECT_EQ(registry.current(), nullptr);
+  EXPECT_EQ(registry.version(), 0u);
+  EXPECT_EQ(registry.install(tiny_model(), "v1"), 1u);
+  const auto held = registry.current();
+  EXPECT_EQ(registry.install(tiny_model(1.0), "v2"), 2u);
+  EXPECT_EQ(registry.version(), 2u);
+  EXPECT_EQ(registry.source(), "v2");
+  // The pointer taken before the swap still reads the old model.
+  EXPECT_EQ(held->scaler_mean[0], 0.0);
+  EXPECT_EQ(registry.current()->scaler_mean[0], 1.0);
+}
+
+TEST(ModelRegistryTest, BrokenInstallKeepsCurrentModel) {
+  serve::ModelRegistry registry;
+  registry.install(tiny_model(), "good");
+  core::DetectorModel bad = tiny_model();
+  bad.centroids[0][0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(registry.install(std::move(bad), "bad"), std::runtime_error);
+  EXPECT_EQ(registry.version(), 1u);
+  ASSERT_NE(registry.current(), nullptr);
+  EXPECT_EQ(registry.source(), "good");
+}
+
+// ---------------------------------------------- streaming/batch equivalence
+
+TEST(StreamingSessionTest, BitIdenticalToBatchAtEveryChunkSize) {
+  const audio::Waveform recording = test_recording();
+  const core::EarSonar batch_pipeline(causal_config());
+  const core::EchoAnalysis batch = batch_pipeline.analyze(recording);
+  ASSERT_TRUE(batch.usable());
+
+  const std::size_t chunks[] = {1, 64, 480, 4800, recording.size()};
+  for (std::size_t chunk : chunks) {
+    SCOPED_TRACE("chunk size " + std::to_string(chunk));
+    serve::StreamingConfig sc;
+    sc.pipeline = causal_config();
+    serve::StreamingSession session(sc);
+    std::span<const double> samples = recording.view();
+    for (std::size_t pos = 0; pos < samples.size(); pos += chunk) {
+      const std::size_t len = std::min(chunk, samples.size() - pos);
+      ASSERT_EQ(session.feed(samples.subspan(pos, len)),
+                serve::FeedStatus::kAccepted);
+    }
+    const core::EchoAnalysis stream = session.finish();
+
+    // Same events, same echoes, bit-identical features: chunked causal
+    // filtering commutes with concatenation, and finalization shares the
+    // batch code path.
+    ASSERT_EQ(stream.events.size(), batch.events.size());
+    for (std::size_t i = 0; i < batch.events.size(); ++i) {
+      EXPECT_EQ(stream.events[i].start, batch.events[i].start);
+      EXPECT_EQ(stream.events[i].end, batch.events[i].end);
+    }
+    ASSERT_EQ(stream.echoes.size(), batch.echoes.size());
+    for (std::size_t i = 0; i < batch.echoes.size(); ++i) {
+      EXPECT_EQ(stream.echoes[i].peak_index, batch.echoes[i].peak_index);
+      EXPECT_EQ(stream.echoes[i].direct_peak_index,
+                batch.echoes[i].direct_peak_index);
+    }
+    ASSERT_EQ(stream.features.size(), batch.features.size());
+    for (std::size_t i = 0; i < batch.features.size(); ++i)
+      EXPECT_EQ(stream.features[i], batch.features[i]) << "feature " << i;
+
+    // Identical features imply the identical diagnosis under any model.
+    const core::DetectorModel model = tiny_model();
+    const core::Diagnosis a = model.predict(batch.features);
+    const core::Diagnosis b = model.predict(stream.features);
+    EXPECT_EQ(a.state, b.state);
+    EXPECT_EQ(a.distance, b.distance);
+  }
+}
+
+TEST(StreamingSessionTest, ProvisionalResultsArriveBeforeFinish) {
+  const audio::Waveform recording = test_recording();
+  serve::StreamingConfig sc;
+  sc.pipeline = causal_config();
+  serve::StreamingSession session(sc);
+  std::span<const double> samples = recording.view();
+  // Feed the first ~half; several chirp events should already be settled.
+  session.feed(samples.subspan(0, samples.size() / 2));
+  EXPECT_GT(session.provisional_event_count(), 0u);
+  EXPECT_FALSE(session.provisional_echoes().empty());
+  const core::EchoAnalysis partial = session.partial_analysis();
+  EXPECT_FALSE(partial.features.empty());
+  session.feed(samples.subspan(samples.size() / 2));
+  const core::EchoAnalysis final_analysis = session.finish();
+  EXPECT_GE(final_analysis.events.size(), partial.events.size());
+}
+
+TEST(StreamingSessionTest, RejectPolicyRefusesOverflowWithoutStateChange) {
+  serve::StreamingConfig sc;
+  sc.pipeline = causal_config();
+  sc.max_buffered_samples = 2048;
+  serve::StreamingSession session(sc);
+  const std::vector<double> chunk(1500, 0.0);
+  EXPECT_EQ(session.feed(chunk), serve::FeedStatus::kAccepted);
+  EXPECT_EQ(session.feed(chunk), serve::FeedStatus::kRejected);
+  EXPECT_EQ(session.samples_fed(), 1500u);
+  EXPECT_EQ(session.rejected_chunks(), 1u);
+  EXPECT_FALSE(session.truncated());
+}
+
+TEST(StreamingSessionTest, EvictPolicyKeepsTail) {
+  serve::StreamingConfig sc;
+  sc.pipeline = causal_config();
+  sc.max_buffered_samples = 2048;
+  sc.overflow = serve::StreamingConfig::OverflowPolicy::kEvictOldest;
+  serve::StreamingSession session(sc);
+  const std::vector<double> chunk(1500, 0.0);
+  EXPECT_EQ(session.feed(chunk), serve::FeedStatus::kAccepted);
+  EXPECT_EQ(session.feed(chunk), serve::FeedStatus::kAccepted);
+  EXPECT_EQ(session.samples_fed(), 3000u);
+  EXPECT_EQ(session.samples_buffered(), 2048u);
+  EXPECT_EQ(session.samples_dropped(), 952u);
+  EXPECT_TRUE(session.truncated());
+}
+
+TEST(StreamingSessionTest, LifecycleErrors) {
+  serve::StreamingConfig sc;  // defaults keep zero_phase = true
+  EXPECT_THROW(serve::StreamingSession{sc}, std::exception);
+
+  sc.pipeline = causal_config();
+  serve::StreamingSession session(sc);
+  EXPECT_THROW(session.finish(), std::exception);  // nothing fed
+  session.feed(std::vector<double>(64, 0.0));
+  session.finish();
+  EXPECT_THROW(session.feed(std::vector<double>(1, 0.0)), std::exception);
+  EXPECT_THROW(session.finish(), std::exception);  // finish twice
+}
+
+// ------------------------------------------------------------------ engine
+
+serve::EngineConfig small_engine(std::size_t workers, std::size_t queue) {
+  serve::EngineConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = queue;
+  cfg.session.pipeline = causal_config();
+  return cfg;
+}
+
+TEST(ServingEngineTest, DiagnosesMatchDirectPrediction) {
+  const audio::Waveform recording = test_recording();
+  const core::EarSonar batch_pipeline(causal_config());
+  const core::EchoAnalysis batch = batch_pipeline.analyze(recording);
+  const core::DetectorModel model = tiny_model();
+  const core::Diagnosis direct = model.predict(batch.features);
+
+  serve::ServingEngine engine(small_engine(2, 8));
+  engine.registry().install(tiny_model(), "test");
+  engine.start();
+  serve::Submission sub = engine.submit({"r0", recording});
+  ASSERT_TRUE(sub.accepted) << sub.reason;
+  const serve::ServeResult result = sub.result.get();
+  engine.stop();
+
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  ASSERT_TRUE(result.usable);
+  ASSERT_TRUE(result.diagnosis.has_value());
+  EXPECT_EQ(result.diagnosis->state, direct.state);
+  EXPECT_EQ(result.diagnosis->distance, direct.distance);
+  EXPECT_EQ(result.model_version, 1u);
+  EXPECT_EQ(engine.metrics().completed.load(), 1u);
+}
+
+TEST(ServingEngineTest, FullQueueRejectsWithReasonAndDropsNothing) {
+  const audio::Waveform recording = test_recording();
+  serve::ServingEngine engine(small_engine(1, 2));
+  engine.registry().install(tiny_model(), "test");
+  engine.start();
+
+  // Slow, paced requests so the single worker falls behind: each request
+  // sleeps between chunks like a live device upload.
+  std::vector<std::future<serve::ServeResult>> accepted;
+  std::size_t rejected = 0;
+  std::string reason;
+  for (int i = 0; i < 10; ++i) {
+    serve::ServeRequest request;
+    request.id = "r" + std::to_string(i);
+    request.recording = recording;
+    request.chunk_samples = recording.size() / 4 + 1;
+    request.chunk_period_s = 0.02;
+    serve::Submission sub = engine.submit(std::move(request));
+    if (sub.accepted) {
+      accepted.push_back(std::move(sub.result));
+    } else {
+      ++rejected;
+      reason = sub.reason;
+    }
+  }
+  ASSERT_GT(rejected, 0u);
+  EXPECT_NE(reason.find("queue full"), std::string::npos) << reason;
+
+  // Every accepted request completes — backpressure rejects, never drops.
+  for (auto& future : accepted) {
+    const serve::ServeResult result = future.get();
+    EXPECT_TRUE(result.error.empty()) << result.error;
+  }
+  engine.stop();
+  EXPECT_EQ(engine.metrics().accepted.load(), accepted.size());
+  EXPECT_EQ(engine.metrics().completed.load(), accepted.size());
+  EXPECT_EQ(engine.metrics().rejected_queue_full.load(), rejected);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+}
+
+TEST(ServingEngineTest, SubmitWhileStoppedIsRejected) {
+  serve::ServingEngine engine(small_engine(1, 4));
+  serve::Submission sub = engine.submit({"r0", test_recording()});
+  EXPECT_FALSE(sub.accepted);
+  EXPECT_NE(sub.reason.find("not running"), std::string::npos);
+  EXPECT_EQ(engine.metrics().rejected_stopped.load(), 1u);
+}
+
+TEST(ServingEngineTest, HotSwapChangesModelForLaterRequests) {
+  const audio::Waveform recording = test_recording();
+  serve::ServingEngine engine(small_engine(2, 8));
+  engine.registry().install(tiny_model(), "v1");
+  engine.start();
+
+  serve::Submission first = engine.submit({"r0", recording});
+  ASSERT_TRUE(first.accepted);
+  const serve::ServeResult r0 = first.result.get();
+  EXPECT_EQ(r0.model_version, 1u);
+
+  EXPECT_EQ(engine.registry().install(tiny_model(1.0), "v2"), 2u);
+  serve::Submission second = engine.submit({"r1", recording});
+  ASSERT_TRUE(second.accepted);
+  const serve::ServeResult r1 = second.result.get();
+  EXPECT_EQ(r1.model_version, 2u);
+  engine.stop();
+}
+
+TEST(ServingEngineTest, ConcurrentSubmittersAndSwapsStayConsistent) {
+  // Stress the registry + queue + metrics under concurrency (the TSan
+  // target): 3 submitter threads race a hot-swapper.
+  const audio::Waveform recording = test_recording();
+  serve::ServingEngine engine(small_engine(2, 16));
+  engine.registry().install(tiny_model(), "v1");
+  engine.start();
+
+  std::vector<std::future<serve::ServeResult>> futures;
+  std::mutex futures_mutex;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < 4; ++i) {
+        serve::Submission sub =
+            engine.submit({"t" + std::to_string(t) + "-" + std::to_string(i),
+                           recording});
+        if (sub.accepted) {
+          std::lock_guard<std::mutex> lock(futures_mutex);
+          futures.push_back(std::move(sub.result));
+        }
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int i = 0; i < 5; ++i) {
+      engine.registry().install(tiny_model(static_cast<double>(i)), "swap");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (std::thread& t : submitters) t.join();
+  swapper.join();
+
+  std::size_t completed = 0;
+  for (auto& future : futures) {
+    const serve::ServeResult result = future.get();
+    EXPECT_TRUE(result.error.empty()) << result.error;
+    EXPECT_GE(result.model_version, 1u);
+    ++completed;
+  }
+  engine.stop();
+  EXPECT_EQ(engine.metrics().completed.load(), completed);
+  const std::string snapshot = engine.metrics_snapshot();
+  EXPECT_NE(snapshot.find("earsonar_serve_workers 2"), std::string::npos);
+  EXPECT_NE(snapshot.find("earsonar_serve_model_version 6"), std::string::npos);
+}
+
+TEST(ServingEngineTest, StopDrainsAcceptedWorkAndRestarts) {
+  const audio::Waveform recording = test_recording();
+  serve::ServingEngine engine(small_engine(1, 8));
+  engine.registry().install(tiny_model(), "test");
+  engine.start();
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    serve::Submission sub = engine.submit({"r" + std::to_string(i), recording});
+    if (sub.accepted) futures.push_back(std::move(sub.result));
+  }
+  engine.stop();  // must drain, not drop
+  for (auto& future : futures)
+    EXPECT_TRUE(future.get().error.empty());
+
+  engine.start();  // restart works
+  serve::Submission sub = engine.submit({"again", recording});
+  ASSERT_TRUE(sub.accepted) << sub.reason;
+  EXPECT_TRUE(sub.result.get().error.empty());
+  engine.stop();
+}
+
+}  // namespace
+}  // namespace earsonar
