@@ -9,9 +9,16 @@
 //   earsonar inspect WAV
 //       Show events, segmented echoes, the echo spectrum, and the chirp
 //       frequency track of a recording.
+//   earsonar analyze [WAV...] [--simulate] [--model FILE]
+//       Run the full pipeline and report per-stage timings; the entry point
+//       for trace capture (--trace-out).
 //   earsonar serve --model FILE --watch DIR
 //       Run the streaming serving engine over a watched directory, diagnosing
 //       WAVs as they appear and hot-swapping the model file when it changes.
+//
+// Global options (every subcommand): --log-level LVL routes the leveled
+// narration (common/log.hpp), --trace-out FILE enables obs tracing and
+// writes Chrome-trace/Perfetto JSON on exit. See docs/cli.md.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -29,10 +36,12 @@
 
 #include "audio/wav.hpp"
 #include "common/csv.hpp"
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/model_io.hpp"
 #include "core/pipeline.hpp"
 #include "dsp/stft.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "sim/dataset.hpp"
 
@@ -51,7 +60,7 @@ struct Args {
 /// Options that are flags: present or absent, never followed by a value.
 /// (Before this set existed, `earsonar diagnose --help` died with
 /// "missing value for --help".)
-const std::set<std::string> kBooleanFlags = {"help", "verbose", "once"};
+const std::set<std::string> kBooleanFlags = {"help", "verbose", "once", "simulate"};
 
 Args parse_args(int argc, char** argv, int first) {
   Args args;
@@ -132,6 +141,23 @@ void print_inspect_usage() {
       "track, and per-stage timings of one recording.\n");
 }
 
+void print_analyze_usage() {
+  std::printf(
+      "usage: earsonar analyze [WAV...] [--simulate] [--model FILE] [--seed S]\n"
+      "\n"
+      "Run the full signal pipeline (band-pass, event detection, per-chirp\n"
+      "segmentation, feature extraction, optional inference) on each input\n"
+      "and report events, echoes, and per-stage timings. The natural entry\n"
+      "point for profiling: combine with the global --trace-out FILE to\n"
+      "capture a Chrome-trace/Perfetto span timeline of every stage.\n"
+      "\n"
+      "  --simulate      analyze one simulated recording (no WAV needed)\n"
+      "  --model FILE    also diagnose with a fitted detector model\n"
+      "  --seed S        RNG seed for --simulate                 [42]\n"
+      "  --trace-out F   write a Chrome-trace JSON profile to F (global)\n"
+      "  --log-level L   debug|info|warn|error|off              [info]\n");
+}
+
 void print_serve_usage() {
   std::printf(
       "usage: earsonar serve --model FILE --watch DIR [options]\n"
@@ -149,7 +175,9 @@ void print_serve_usage() {
       "  --chunk N         ingestion chunk size in samples       [480]\n"
       "  --interval-ms M   directory scan period                 [500]\n"
       "  --once            single scan pass, drain, and exit\n"
-      "  --verbose         print the metrics snapshot on exit\n");
+      "  --verbose         print the metrics snapshot on exit\n"
+      "  --trace-out FILE  write a Chrome-trace JSON profile on exit (global)\n"
+      "  --log-level LVL   debug|info|warn|error|off             [info]\n");
 }
 
 // ------------------------------------------------------------- subcommands
@@ -198,8 +226,7 @@ int cmd_train(const Args& args) {
 
   std::ifstream labels_file(data_dir / "labels.csv");
   if (!labels_file) {
-    std::fprintf(stderr, "error: cannot open %s/labels.csv\n",
-                 data_dir.string().c_str());
+    log_error("cannot open ", data_dir.string(), "/labels.csv");
     return 1;
   }
   std::string line;
@@ -244,7 +271,7 @@ int cmd_diagnose(const Args& args) {
   const core::DetectorModel model =
       core::load_detector_file(require_option(args, "model"));
   if (args.positional.empty()) {
-    std::fprintf(stderr, "error: no WAV files given\n");
+    log_error("no WAV files given");
     return 1;
   }
   core::EarSonar pipeline;
@@ -271,7 +298,7 @@ int cmd_inspect(const Args& args) {
     return 0;
   }
   if (args.positional.empty()) {
-    std::fprintf(stderr, "error: no WAV file given\n");
+    log_error("no WAV file given");
     return 1;
   }
   const audio::Waveform wav = audio::read_wav(args.positional.front());
@@ -321,6 +348,85 @@ int cmd_inspect(const Args& args) {
   return 0;
 }
 
+int cmd_analyze(const Args& args) {
+  if (flag_set(args, "help")) {
+    print_analyze_usage();
+    return 0;
+  }
+  const bool simulate = flag_set(args, "simulate");
+  if (args.positional.empty() && !simulate) {
+    log_error("no WAV files given (pass --simulate to analyze a synthetic recording)");
+    return 1;
+  }
+
+  std::optional<core::DetectorModel> model;
+  if (args.options.count("model") > 0) {
+    model = core::load_detector_file(args.options.at("model"));
+    log_info("model loaded from ", args.options.at("model"));
+  }
+
+  std::vector<std::pair<std::string, audio::Waveform>> inputs;
+  for (const std::string& path : args.positional)
+    inputs.emplace_back(fs::path(path).filename().string(), audio::read_wav(path));
+
+  if (simulate) {
+    const std::uint64_t seed = std::stoull(option_or(args, "seed", "42"));
+    sim::CohortConfig cfg;
+    cfg.subject_count = 2;  // 2 subjects x 4 states = 8 recordings
+    cfg.sessions_per_state = 1;
+    cfg.probe.chirp_count = 30;
+    cfg.seed = seed;
+    log_info("simulating recordings (seed ", seed, ")");
+    const auto cohort = sim::CohortGenerator(cfg).generate();
+    inputs.emplace_back("simulated", cohort.front().waveform);
+    if (!model) {
+      // Fit a throwaway detector on the tiny cohort so the report (and a
+      // --trace-out capture) covers the inference stage too.
+      log_info("fitting a throwaway detector on ", cohort.size(),
+               " simulated recordings");
+      std::vector<audio::Waveform> waves;
+      std::vector<std::size_t> labels;
+      for (const auto& rec : cohort) {
+        waves.push_back(rec.waveform);
+        labels.push_back(sim::state_index(rec.state));
+      }
+      core::EarSonar trainer;
+      trainer.fit(waves, labels);
+      model = core::snapshot(trainer.detector());
+    }
+  }
+
+  core::EarSonar pipeline;
+  AsciiTable table({"recording", "events", "echoes", "bandpass ms", "detect ms",
+                    "segment ms", "features ms", "infer ms", "diagnosis"});
+  for (const auto& [name, wav] : inputs) {
+    const core::EchoAnalysis analysis = pipeline.analyze(wav);
+    std::string diagnosis = "(no echo)";
+    double inference_ms = 0.0;
+    if (model && analysis.usable()) {
+      obs::Span inference_span("inference", "pipeline");
+      const core::Diagnosis d = model->predict(analysis.features);
+      inference_span.end();
+      inference_ms = inference_span.elapsed_ms();
+      std::ostringstream label;
+      label << core::kMeeStateNames[d.state] << " (" << AsciiTable::format(d.confidence, 2)
+            << ")";
+      diagnosis = label.str();
+    } else if (analysis.usable()) {
+      diagnosis = "-";
+    }
+    table.add_row({name, std::to_string(analysis.events.size()),
+                   std::to_string(analysis.echoes.size()),
+                   AsciiTable::format(analysis.timings.bandpass_ms, 2),
+                   AsciiTable::format(analysis.timings.event_detect_ms, 2),
+                   AsciiTable::format(analysis.timings.segment_ms, 2),
+                   AsciiTable::format(analysis.timings.feature_ms, 2),
+                   AsciiTable::format(inference_ms, 2), diagnosis});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_serve(const Args& args) {
   if (flag_set(args, "help")) {
     print_serve_usage();
@@ -345,12 +451,11 @@ int cmd_serve(const Args& args) {
 
   serve::ServingEngine engine(cfg);
   const std::uint64_t v0 = engine.registry().load_file(model_path);
-  std::printf("model v%llu loaded from %s\n",
-              static_cast<unsigned long long>(v0), model_path.c_str());
+  log_info("model v", v0, " loaded from ", model_path);
   engine.start();
-  std::printf("serving %s with %zu workers (queue %zu, chunk %zu samples)\n",
-              watch_dir.string().c_str(), cfg.workers, cfg.queue_capacity,
-              cfg.chunk_samples);
+  log_info("serving ", watch_dir.string(), " with ", cfg.workers,
+           " workers (queue ", cfg.queue_capacity, ", chunk ", cfg.chunk_samples,
+           " samples)");
 
   std::error_code ec;
   fs::file_time_type model_mtime = fs::last_write_time(model_path, ec);
@@ -379,11 +484,10 @@ int cmd_serve(const Args& args) {
       model_mtime = mtime;
       try {
         const std::uint64_t v = engine.registry().load_file(model_path);
-        std::printf("model hot-swapped to v%llu\n",
-                    static_cast<unsigned long long>(v));
+        log_info("model hot-swapped to v", v);
       } catch (const std::exception& e) {
-        std::fprintf(stderr, "model reload failed (%s); keeping v%llu\n", e.what(),
-                     static_cast<unsigned long long>(engine.registry().version()));
+        log_warn("model reload failed (", e.what(), "); keeping v",
+                 engine.registry().version());
       }
     }
 
@@ -397,14 +501,13 @@ int cmd_serve(const Args& args) {
       try {
         request.recording = audio::read_wav(entry.path().string());
       } catch (const std::exception& e) {
-        std::fprintf(stderr, "%s: unreadable (%s)\n", name.c_str(), e.what());
+        log_warn(name, ": unreadable (", e.what(), ")");
         continue;
       }
       serve::Submission sub = engine.submit(std::move(request));
       if (!sub.accepted) {
         // Backpressure: leave the file unseen so the next scan retries it.
-        std::fprintf(stderr, "%s: rejected (%s), will retry\n", name.c_str(),
-                     sub.reason.c_str());
+        log_warn(name, ": rejected (", sub.reason, "), will retry");
         seen.erase(name);
         continue;
       }
@@ -437,10 +540,28 @@ void print_usage() {
       "  earsonar train    --data DIR --model FILE\n"
       "  earsonar diagnose --model FILE WAV...\n"
       "  earsonar inspect  WAV\n"
+      "  earsonar analyze  [WAV...] [--simulate] [--model FILE] [--seed S]\n"
       "  earsonar serve    --model FILE --watch DIR [--threads N] [--queue N]\n"
       "                    [--chunk N] [--interval-ms M] [--once] [--verbose]\n"
       "\n"
-      "`earsonar COMMAND --help` describes each command's options.\n");
+      "global options (every command):\n"
+      "  --trace-out FILE  capture an obs trace of the run and write it as\n"
+      "                    Chrome-trace/Perfetto JSON on exit\n"
+      "  --log-level LVL   narration verbosity: debug|info|warn|error|off [info]\n"
+      "\n"
+      "`earsonar COMMAND --help` describes each command's options; docs/cli.md\n"
+      "is the full reference.\n");
+}
+
+int dispatch(const std::string& command, const Args& args) {
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "train") return cmd_train(args);
+  if (command == "diagnose") return cmd_diagnose(args);
+  if (command == "inspect") return cmd_inspect(args);
+  if (command == "analyze") return cmd_analyze(args);
+  if (command == "serve") return cmd_serve(args);
+  print_usage();
+  return command == "help" || command == "--help" ? 0 : 1;
 }
 
 }  // namespace
@@ -451,17 +572,35 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string command = argv[1];
+  std::string trace_out;
+  int rc = 1;
   try {
     const Args args = parse_args(argc, argv, 2);
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "diagnose") return cmd_diagnose(args);
-    if (command == "inspect") return cmd_inspect(args);
-    if (command == "serve") return cmd_serve(args);
-    print_usage();
-    return command == "help" || command == "--help" ? 0 : 1;
+    if (args.options.count("log-level") > 0) {
+      const std::string& name = args.options.at("log-level");
+      const std::optional<LogLevel> level = parse_log_level(name);
+      if (!level) throw std::invalid_argument("unknown --log-level '" + name + "'");
+      set_log_level(*level);
+    }
+    trace_out = option_or(args, "trace-out", "");
+    if (!trace_out.empty()) obs::TraceRecorder::instance().enable();
+    rc = dispatch(command, args);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    log_error(e.what());
+    rc = 1;
   }
+  if (!trace_out.empty()) {
+    // Flush the trace even when the command failed: a profile of the failing
+    // run is exactly what the operator wants to look at.
+    try {
+      obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+      recorder.write_chrome_json(trace_out);
+      log_info("trace written to ", trace_out, " (", recorder.size(),
+               " spans); open in chrome://tracing or https://ui.perfetto.dev");
+    } catch (const std::exception& e) {
+      log_error("trace export failed: ", e.what());
+      rc = 1;
+    }
+  }
+  return rc;
 }

@@ -49,3 +49,16 @@ done
 } >"$OUT"
 
 echo "wrote $OUT" >&2
+
+# Optional trace capture: set EARSONAR_BENCH_TRACE=path/to/trace.json to also
+# profile one full pipeline run (spans documented in docs/observability.md).
+if [ -n "${EARSONAR_BENCH_TRACE:-}" ]; then
+  if [ -x "$BUILD_DIR/apps/earsonar" ]; then
+    echo "capturing pipeline trace ..." >&2
+    "$BUILD_DIR/apps/earsonar" analyze --simulate \
+        --trace-out "$EARSONAR_BENCH_TRACE" --log-level warn >/dev/null
+    echo "wrote $EARSONAR_BENCH_TRACE" >&2
+  else
+    echo "warning: $BUILD_DIR/apps/earsonar not built; skipping trace capture" >&2
+  fi
+fi

@@ -1,0 +1,83 @@
+#!/bin/sh
+# check_docs.sh REPO_ROOT [EARSONAR_BIN]
+#
+# Documentation consistency gate (registered as the `docs`-labeled ctest):
+#   1. Every repo path referenced in README.md, DESIGN.md, and docs/*.md
+#      must exist on disk.
+#   2. docs/cli.md must have a `## earsonar <cmd>` section for every
+#      subcommand, and must mention every --flag that the subcommand's
+#      `--help` output advertises (skipped when the binary is not built).
+#   3. docs/observability.md must enumerate every earsonar_serve_* metric
+#      name exported by src/serve/metrics.cpp and src/serve/engine.cpp.
+set -eu
+
+ROOT=${1:?usage: check_docs.sh REPO_ROOT [EARSONAR_BIN]}
+BIN=${2:-}
+fail=0
+
+err() {
+  echo "check_docs: $*" >&2
+  fail=1
+}
+
+# ---- 1. path references -------------------------------------------------
+DOC_FILES="$ROOT/README.md $ROOT/DESIGN.md"
+for f in "$ROOT"/docs/*.md; do
+  [ -f "$f" ] && DOC_FILES="$DOC_FILES $f"
+done
+
+for doc in $DOC_FILES; do
+  [ -f "$doc" ] || { err "missing documentation file: $doc"; continue; }
+  # Backtick-quoted repo-relative file paths, e.g. `src/obs/trace.hpp`.
+  paths=$(grep -oE '`(src|apps|bench|tests|examples|docs|scripts)/[A-Za-z0-9_./-]+\.[A-Za-z0-9]+`' "$doc" \
+            | tr -d '`' | sort -u) || true
+  for p in $paths; do
+    [ -e "$ROOT/$p" ] || err "$(basename "$doc") references missing path: $p"
+  done
+done
+
+# ---- 2. CLI docs vs --help ---------------------------------------------
+CLI_DOC="$ROOT/docs/cli.md"
+[ -f "$CLI_DOC" ] || err "docs/cli.md is missing"
+
+COMMANDS="simulate train diagnose inspect analyze serve"
+if [ -f "$CLI_DOC" ]; then
+  for cmd in $COMMANDS; do
+    grep -q "^## earsonar $cmd" "$CLI_DOC" \
+      || err "docs/cli.md lacks a '## earsonar $cmd' section"
+  done
+fi
+
+if [ -n "$BIN" ] && [ -x "$BIN" ] && [ -f "$CLI_DOC" ]; then
+  for cmd in $COMMANDS; do
+    help_out=$("$BIN" "$cmd" --help 2>&1) || err "'$cmd --help' exited non-zero"
+    flags=$(printf '%s\n' "$help_out" | grep -oE -- '--[a-z][a-z-]*' | sort -u) || true
+    for flag in $flags; do
+      grep -qF -- "$flag" "$CLI_DOC" \
+        || err "docs/cli.md does not mention '$flag' from '$cmd --help'"
+    done
+  done
+else
+  echo "check_docs: earsonar binary not available; skipping --help comparison"
+fi
+
+# ---- 3. metric names vs observability docs ------------------------------
+OBS_DOC="$ROOT/docs/observability.md"
+[ -f "$OBS_DOC" ] || err "docs/observability.md is missing"
+
+if [ -f "$OBS_DOC" ]; then
+  metrics=$(grep -ohE 'earsonar_serve_[a-z_]+' \
+              "$ROOT/src/serve/metrics.cpp" "$ROOT/src/serve/engine.cpp" \
+              | sort -u) || true
+  [ -n "$metrics" ] || err "no exported metric names found in src/serve/"
+  for m in $metrics; do
+    grep -qF "$m" "$OBS_DOC" \
+      || err "docs/observability.md does not document metric '$m'"
+  done
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: OK"

@@ -1,16 +1,19 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <iostream>
 #include <mutex>
+#include <utility>
 
 namespace earsonar {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mutex;
+LogSink g_sink;  // empty = stderr default; guarded by g_mutex
 
-const char* level_name(LogLevel level) {
+const char* banner_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO ";
@@ -20,15 +23,51 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  const std::string n = lower(name);
+  if (n == "debug") return LogLevel::kDebug;
+  if (n == "info") return LogLevel::kInfo;
+  if (n == "warn" || n == "warning") return LogLevel::kWarn;
+  if (n == "error") return LogLevel::kError;
+  if (n == "off" || n == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_message(LogLevel level, std::string_view message) {
   if (level < g_level.load() || level == LogLevel::kOff) return;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[earsonar " << level_name(level) << "] " << message << '\n';
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::cerr << "[earsonar " << banner_name(level) << "] " << message << '\n';
 }
 
 }  // namespace earsonar

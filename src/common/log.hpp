@@ -2,6 +2,8 @@
 // verbosity is controlled in one place (and silenced entirely in tests).
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -14,7 +16,20 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits `message` to stderr when `level` >= the global level.
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive);
+/// nullopt for anything else. The accepted spelling of `--log-level`.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Lower-case canonical name ("debug", ..., "off") of a level.
+const char* log_level_name(LogLevel level);
+
+/// Destination for messages that pass the level filter. The default (and an
+/// empty sink) writes "[earsonar LEVEL] message" lines to stderr; tests
+/// install a capturing sink to assert on filtering.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void set_log_sink(LogSink sink);
+
+/// Emits `message` through the sink when `level` >= the global level.
 void log_message(LogLevel level, std::string_view message);
 
 namespace detail {

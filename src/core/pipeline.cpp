@@ -1,6 +1,5 @@
 #include "core/pipeline.hpp"
 
-#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -8,16 +7,9 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "dsp/interpolate.hpp"
+#include "obs/trace.hpp"
 
 namespace earsonar::core {
-
-namespace {
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
-}  // namespace
 
 EarSonar::EarSonar(PipelineConfig config)
     : config_(config),
@@ -35,13 +27,15 @@ EarSonar::EarSonar(PipelineConfig config)
 EchoAnalysis EarSonar::analyze(const audio::Waveform& recording) const {
   require_nonempty("EarSonar::analyze recording", recording.size());
 
-  auto t0 = Clock::now();
+  obs::Span analyze_span("analyze", "pipeline");
+  obs::Span bandpass_span("bandpass", "pipeline");
   // Every downstream constant (band edges, chirp grid, echo-distance math)
   // assumes the probe design's sample rate; transparently resample captures
   // that arrive at another rate (e.g., 44.1 kHz WAVs from a phone).
   const audio::Waveform* input = &recording;
   audio::Waveform resampled;
   if (recording.sample_rate() != config_.chirp.sample_rate) {
+    obs::Span resample_span("resample", "pipeline");
     resampled = audio::Waveform(
         dsp::resample_to_rate(recording.view(), recording.sample_rate(),
                               config_.chirp.sample_rate),
@@ -49,10 +43,10 @@ EchoAnalysis EarSonar::analyze(const audio::Waveform& recording) const {
     input = &resampled;
   }
   const audio::Waveform filtered = preprocessor_.process(*input);
-  const double bandpass_ms = ms_since(t0);
+  bandpass_span.end();
 
   EchoAnalysis analysis = analyze_filtered(filtered);
-  analysis.timings.bandpass_ms = bandpass_ms;
+  analysis.timings.bandpass_ms = bandpass_span.elapsed_ms();
   return analysis;
 }
 
@@ -60,15 +54,19 @@ EchoAnalysis EarSonar::analyze_filtered(const audio::Waveform& filtered) const {
   require_nonempty("EarSonar::analyze_filtered signal", filtered.size());
   EchoAnalysis analysis;
 
-  auto t0 = Clock::now();
+  obs::Span events_span("event_detect", "pipeline");
   analysis.events = event_detector_.detect(filtered);
   for (Event& event : analysis.events)
     event.start = aligned_event_start(filtered.view(), event);
-  analysis.timings.event_detect_ms = ms_since(t0);
+  events_span.end();
+  analysis.timings.event_detect_ms = events_span.elapsed_ms();
 
-  t0 = Clock::now();
-  for (const Event& event : analysis.events) {
-    if (std::optional<EchoSegment> echo = segmenter_.segment(filtered, event))
+  obs::Span segment_span("segment", "pipeline");
+  for (std::size_t i = 0; i < analysis.events.size(); ++i) {
+    obs::Span chirp_span("segment_chirp", "pipeline");
+    chirp_span.set_arg("chirp", static_cast<std::int64_t>(i));
+    if (std::optional<EchoSegment> echo =
+            segmenter_.segment(filtered, analysis.events[i]))
       analysis.echoes.push_back(*echo);
   }
   // Consensus re-anchoring: within one recording the eardrum does not move,
@@ -89,17 +87,19 @@ EchoAnalysis EarSonar::analyze_filtered(const audio::Waveform& filtered) const {
       e.distance_m = samples_to_distance_m(consensus, filtered.sample_rate());
     }
   }
-  analysis.timings.segment_ms = ms_since(t0);
+  segment_span.end();
+  analysis.timings.segment_ms = segment_span.elapsed_ms();
 
   if (analysis.echoes.empty()) return analysis;
 
-  t0 = Clock::now();
+  obs::Span feature_span("features", "pipeline");
   // One extraction pass yields both the feature vector and the mean echo
   // spectrum; the per-echo PSDs inside are computed once and shared.
   FeatureExtractor::Result extracted = extractor_.extract_full(filtered, analysis.echoes);
   analysis.mean_spectrum = std::move(extracted.mean_spectrum);
   analysis.features = std::move(extracted.features);
-  analysis.timings.feature_ms = ms_since(t0);
+  feature_span.end();
+  analysis.timings.feature_ms = feature_span.elapsed_ms();
   return analysis;
 }
 
@@ -135,11 +135,13 @@ std::optional<Diagnosis> EarSonar::diagnose(const audio::Waveform& recording) co
   require(fitted(), "EarSonar::diagnose before fit");
   EchoAnalysis analysis = analyze(recording);
   if (!analysis.usable()) return std::nullopt;
+  obs::Span inference_span("inference", "pipeline");
   return detector_.predict(analysis.features);
 }
 
 Diagnosis EarSonar::diagnose_features(const std::vector<double>& features) const {
   require(fitted(), "EarSonar::diagnose_features before fit");
+  obs::Span inference_span("inference", "pipeline");
   return detector_.predict(features);
 }
 

@@ -35,6 +35,10 @@ struct PipelineConfig {
 };
 
 /// Wall-clock milliseconds spent in each stage of analyze()/diagnose().
+/// The flat aggregate view of the `obs::Span` instrumentation: each field is
+/// the elapsed time of the matching trace span ("bandpass", "event_detect",
+/// "segment", "features", "inference" — see docs/observability.md), measured
+/// whether or not a trace is being captured.
 struct StageTimings {
   double bandpass_ms = 0.0;
   double event_detect_ms = 0.0;

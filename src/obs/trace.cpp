@@ -1,0 +1,167 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace earsonar::obs {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t us_between(Clock::time_point a, Clock::time_point b) {
+  if (b <= a) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, and control bytes.
+void append_escaped(std::ostringstream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(Clock::now()) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::record_complete(std::string_view name, std::string_view category,
+                                    Clock::time_point start, Clock::time_point end,
+                                    std::string_view arg_name,
+                                    std::int64_t arg_value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.ts_us = to_us(start);
+  event.dur_us = us_between(start, end);
+  event.tid = this_thread_id();
+  event.arg_name = std::string(arg_name);
+  event.arg_value = arg_value;
+  record(std::move(event));
+}
+
+std::uint64_t TraceRecorder::to_us(Clock::time_point tp) const {
+  return us_between(epoch_, tp);
+}
+
+std::uint32_t TraceRecorder::this_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string TraceRecorder::chrome_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Process-name metadata row so the viewer labels the single pid.
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"earsonar\"}}";
+  for (const TraceEvent& e : events) {
+    out << ",\n{\"name\":\"";
+    append_escaped(out, e.name);
+    out << "\",\"cat\":\"";
+    append_escaped(out, e.category);
+    out << "\",\"ph\":\"X\",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+        << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.arg_name.empty()) {
+      out << ",\"args\":{\"";
+      append_escaped(out, e.arg_name);
+      out << "\":" << e.arg_value << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) fail("TraceRecorder: cannot open " + path + " for writing");
+  file << chrome_json();
+  if (!file) fail("TraceRecorder: write to " + path + " failed");
+}
+
+Span::Span(std::string_view name, std::string_view category,
+           TraceRecorder& recorder)
+    : recorder_(&recorder), start_(Clock::now()), armed_(recorder.enabled()) {
+  if (armed_) {
+    name_ = std::string(name);
+    category_ = std::string(category);
+    tid_ = TraceRecorder::this_thread_id();
+  }
+}
+
+void Span::set_arg(std::string_view name, std::int64_t value) {
+  if (!armed_) return;
+  arg_name_ = std::string(name);
+  arg_value_ = value;
+}
+
+void Span::end() {
+  if (!open_) return;
+  open_ = false;
+  end_ = Clock::now();
+  if (!armed_) return;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.ts_us = recorder_->to_us(start_);
+  event.dur_us = us_between(start_, end_);
+  event.tid = tid_;
+  event.arg_name = std::move(arg_name_);
+  event.arg_value = arg_value_;
+  recorder_->record(std::move(event));
+}
+
+double Span::elapsed_ms() const {
+  const Clock::time_point stop = open_ ? Clock::now() : end_;
+  return std::chrono::duration<double, std::milli>(stop - start_).count();
+}
+
+}  // namespace earsonar::obs

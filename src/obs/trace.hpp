@@ -1,0 +1,133 @@
+// End-to-end tracing: scoped spans collected into a per-process recorder,
+// exportable as Chrome-trace / Perfetto JSON.
+//
+// The request path is instrumented with RAII `Span`s — `EarSonar::analyze`
+// stages, per-chirp segmentation, `StreamingSession` chunk ingestion, and
+// the serving engine's queue wait / worker / per-request execution — so one
+// `earsonar analyze --trace-out trace.json` (or `serve --trace-out`) yields
+// a timeline that chrome://tracing and https://ui.perfetto.dev open
+// directly. The flat `core::StageTimings` aggregate is *derived from* these
+// spans (`Span::elapsed_ms`), not timed separately.
+//
+// Cost model: tracing is off by default. A span on the disabled path does
+// two steady_clock reads and nothing else — no lock, no allocation, no
+// branch into the recorder — so instrumentation can stay on hot paths
+// (per-chirp, per-chunk) permanently. When enabled, each span closure takes
+// one mutex-guarded vector push; the recorder is a sink for profiling runs,
+// not a telemetry pipeline.
+//
+// Threading: spans may open and close on any thread; every span records the
+// id of the thread that *created* it (`TraceRecorder::this_thread_id`, a
+// small stable per-thread ordinal), which is what groups rows in the trace
+// viewer. Cross-thread intervals (queue wait measured from producer enqueue
+// to consumer dequeue) use `record_complete` with explicit endpoints.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace earsonar::obs {
+
+/// One completed span, timestamped in microseconds since the recorder epoch.
+struct TraceEvent {
+  std::string name;      ///< span name, e.g. "segment_chirp"
+  std::string category;  ///< span category: "pipeline" | "stream" | "serve"
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  std::string arg_name;       ///< optional argument ("" = none)
+  std::int64_t arg_value = 0;
+};
+
+/// Collects spans for one process. `instance()` is the sink every Span uses
+/// by default; tests may construct private recorders. All methods are
+/// thread-safe.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  static TraceRecorder& instance();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one event; dropped (cheaply) when tracing is disabled.
+  void record(TraceEvent event);
+
+  /// Records a span with explicit endpoints — for intervals that do not fit
+  /// a scoped lifetime, e.g. queue wait measured across threads.
+  void record_complete(std::string_view name, std::string_view category,
+                       std::chrono::steady_clock::time_point start,
+                       std::chrono::steady_clock::time_point end,
+                       std::string_view arg_name = {}, std::int64_t arg_value = 0);
+
+  /// Microseconds between the recorder epoch and `tp` (0 if `tp` precedes it).
+  [[nodiscard]] std::uint64_t to_us(std::chrono::steady_clock::time_point tp) const;
+
+  /// Small stable ordinal of the calling thread (1, 2, ... in first-use
+  /// order); shared across all recorders so a process traces consistently.
+  static std::uint32_t this_thread_id();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}, "X" complete events,
+  /// ts/dur in microseconds) — the format chrome://tracing and Perfetto load.
+  [[nodiscard]] std::string chrome_json() const;
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII scoped span. Arms itself against the recorder's enabled flag at
+/// construction: a span created while tracing is disabled never touches the
+/// recorder (and never allocates), but still measures wall time so callers
+/// can read `elapsed_ms()` for aggregate timings (core::StageTimings,
+/// serve::ServeMetrics) whether or not a trace is being captured.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view category = "pipeline",
+                TraceRecorder& recorder = TraceRecorder::instance());
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches one integer argument shown in the viewer (e.g. chirp index).
+  void set_arg(std::string_view name, std::int64_t value);
+
+  /// Closes the span and (when armed) records it; idempotent, called by the
+  /// destructor. After end(), elapsed_ms() is frozen.
+  void end();
+
+  /// Wall milliseconds since construction, or the final duration once ended.
+  [[nodiscard]] double elapsed_ms() const;
+
+ private:
+  TraceRecorder* recorder_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point end_{};
+  std::string name_;
+  std::string category_;
+  std::string arg_name_;
+  std::int64_t arg_value_ = 0;
+  std::uint32_t tid_ = 0;  ///< creating thread, captured when armed
+  bool armed_ = false;     ///< recorder was enabled when the span opened
+  bool open_ = true;
+};
+
+}  // namespace earsonar::obs

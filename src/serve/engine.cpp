@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "dsp/interpolate.hpp"
+#include "obs/trace.hpp"
 
 namespace earsonar::serve {
 
@@ -84,11 +85,21 @@ Submission ServingEngine::submit(ServeRequest request) {
 }
 
 void ServingEngine::worker_loop() {
+  // One span per worker lease: its row in the trace viewer shows the
+  // worker's occupancy between start() and stop().
+  obs::Span worker_span("worker", "serve");
   Job job;
   while (queue_.pop(job)) {
     metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
-    const double queue_ms = ms_since(job.enqueued);
+    const auto dequeued = Clock::now();
+    const double queue_ms =
+        std::chrono::duration<double, std::milli>(dequeued - job.enqueued).count();
     metrics_.latency.queue_wait.record(queue_ms);
+    // Queue wait spans submit() on one thread to pop() on another; record it
+    // with explicit endpoints on the consuming worker's row.
+    obs::TraceRecorder::instance().record_complete("queue_wait", "serve",
+                                                   job.enqueued, dequeued);
+    obs::Span request_span("serve_request", "serve");
     ServeResult result;
     try {
       result = process(job.request, queue_ms);
@@ -123,15 +134,21 @@ ServeResult ServingEngine::process(const ServeRequest& request, double /*queue_m
   // front (the batch path does the same inside analyze()).
   std::span<const double> samples = request.recording.view();
   std::vector<double> resampled;
-  auto t0 = Clock::now();
+  obs::Span resample_span("resample", "serve");
   if (request.recording.sample_rate() != rate) {
     resampled = dsp::resample_to_rate(samples, request.recording.sample_rate(), rate);
     samples = resampled;
   }
-  const double resample_ms = ms_since(t0);
+  resample_span.end();
+  const double resample_ms = resample_span.elapsed_ms();
 
   const std::size_t chunk =
       request.chunk_samples > 0 ? request.chunk_samples : config_.chunk_samples;
+  // The ingest span covers arrival pacing too: with chunk_period_s set its
+  // length is the session's wall-clock lifetime, not CPU time.
+  obs::Span ingest_span("stream_ingest", "serve");
+  ingest_span.set_arg("chunks",
+                      static_cast<std::int64_t>((samples.size() + chunk - 1) / chunk));
   for (std::size_t pos = 0; pos < samples.size(); pos += chunk) {
     if (pos > 0 && request.chunk_period_s > 0.0) {
       // Real-time pacing: the next chunk has not arrived from the device yet.
@@ -141,6 +158,7 @@ ServeResult ServingEngine::process(const ServeRequest& request, double /*queue_m
     session.feed(samples.subspan(pos, len));
     metrics_.chunks_fed.fetch_add(1, std::memory_order_relaxed);
   }
+  ingest_span.end();
 
   core::EchoAnalysis analysis = session.finish();
   result.usable = analysis.usable();
@@ -153,13 +171,17 @@ ServeResult ServingEngine::process(const ServeRequest& request, double /*queue_m
   metrics_.latency.event_detect.record(result.timings.event_detect_ms);
   metrics_.latency.segment.record(result.timings.segment_ms);
   metrics_.latency.feature.record(result.timings.feature_ms);
+  metrics_.events_detected.fetch_add(result.events, std::memory_order_relaxed);
+  metrics_.echoes_segmented.fetch_add(result.echoes, std::memory_order_relaxed);
 
   if (result.usable) {
     if (std::shared_ptr<const core::DetectorModel> model = registry_.current()) {
-      t0 = Clock::now();
+      obs::Span inference_span("inference", "serve");
       result.diagnosis = model->predict(analysis.features);
-      result.timings.inference_ms = ms_since(t0);
+      inference_span.end();
+      result.timings.inference_ms = inference_span.elapsed_ms();
       metrics_.latency.inference.record(result.timings.inference_ms);
+      metrics_.inferences.fetch_add(1, std::memory_order_relaxed);
       result.model_version = registry_.version();
     }
   }
@@ -171,6 +193,9 @@ std::string ServingEngine::metrics_snapshot() const {
   out << "earsonar_serve_workers " << config_.workers << "\n";
   out << "earsonar_serve_queue_capacity " << config_.queue_capacity << "\n";
   out << "earsonar_serve_model_version " << registry_.version() << "\n";
+  const obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  out << "earsonar_serve_trace_enabled " << (recorder.enabled() ? 1 : 0) << "\n";
+  out << "earsonar_serve_trace_spans_total " << recorder.size() << "\n";
   out << metrics_.text_snapshot();
   return out.str();
 }

@@ -88,6 +88,11 @@ std::string ServeMetrics::text_snapshot() const {
   emit_counter(out, "requests_failed_total", failed.load(std::memory_order_relaxed));
   emit_counter(out, "requests_no_echo_total", no_echo.load(std::memory_order_relaxed));
   emit_counter(out, "chunks_fed_total", chunks_fed.load(std::memory_order_relaxed));
+  emit_counter(out, "events_detected_total",
+               events_detected.load(std::memory_order_relaxed));
+  emit_counter(out, "echoes_segmented_total",
+               echoes_segmented.load(std::memory_order_relaxed));
+  emit_counter(out, "inferences_total", inferences.load(std::memory_order_relaxed));
   out << "earsonar_serve_queue_depth "
       << queue_depth.load(std::memory_order_relaxed) << '\n';
   emit_histogram(out, "bandpass", latency.bandpass);

@@ -62,6 +62,12 @@ struct ServeMetrics {
   std::atomic<std::uint64_t> no_echo{0};   ///< completed but unusable recording
   std::atomic<std::uint64_t> chunks_fed{0};
   std::atomic<std::int64_t> queue_depth{0};
+  // Per-stage throughput counters fed from the pipeline's trace spans: how
+  // much work each stage produced, complementing the latency histograms'
+  // how-long (docs/observability.md enumerates all exported names).
+  std::atomic<std::uint64_t> events_detected{0};   ///< chirp events, all requests
+  std::atomic<std::uint64_t> echoes_segmented{0};  ///< segmented eardrum echoes
+  std::atomic<std::uint64_t> inferences{0};        ///< detector predictions run
   StageLatencies latency;
 
   /// Prometheus-style exposition text of every counter and histogram.

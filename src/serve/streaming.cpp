@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "core/preprocess.hpp"
+#include "obs/trace.hpp"
 
 namespace earsonar::serve {
 
@@ -31,6 +32,8 @@ StreamingSession::StreamingSession(StreamingConfig config)
 FeedStatus StreamingSession::feed(std::span<const double> chunk) {
   require(!finished_, "StreamingSession: feed after finish");
   if (chunk.empty()) return FeedStatus::kAccepted;
+  obs::Span feed_span("stream_feed", "stream");
+  feed_span.set_arg("samples", static_cast<std::int64_t>(chunk.size()));
 
   if (config_.overflow == StreamingConfig::OverflowPolicy::kReject &&
       filtered_.size() + chunk.size() > config_.max_buffered_samples) {
@@ -72,6 +75,8 @@ void StreamingSession::ingest_event(const core::Event& event) {
 core::EchoAnalysis StreamingSession::finish() {
   require(!finished_, "StreamingSession: finish twice");
   require(samples_fed_ > 0, "StreamingSession: finish with no audio fed");
+  obs::Span finish_span("stream_finish", "stream");
+  finish_span.set_arg("samples", static_cast<std::int64_t>(samples_fed_));
   finished_ = true;
   for (const core::Event& event : detector_.flush()) ingest_event(event);
   audio::Waveform wave(std::move(filtered_), config_.pipeline.chirp.sample_rate);
@@ -80,6 +85,7 @@ core::EchoAnalysis StreamingSession::finish() {
 }
 
 core::EchoAnalysis StreamingSession::partial_analysis() const {
+  obs::Span partial_span("stream_partial", "stream");
   core::EchoAnalysis analysis;
   analysis.events = events_;
   analysis.echoes = echoes_;

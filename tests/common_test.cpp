@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
@@ -429,6 +431,76 @@ TEST(LogTest, OffSuppressesEverything) {
   log_error("suppressed");
   set_log_level(old);
   SUCCEED();
+}
+
+/// Installs a capturing sink for one test and restores the stderr default.
+struct CapturingSink {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  LogLevel saved_level = log_level();
+
+  CapturingSink() {
+    set_log_sink([this](LogLevel level, std::string_view message) {
+      lines.emplace_back(level, std::string(message));
+    });
+  }
+  ~CapturingSink() {
+    set_log_sink({});
+    set_log_level(saved_level);
+  }
+};
+
+TEST(LogTest, SinkReceivesOnlyMessagesAtOrAboveLevel) {
+  CapturingSink sink;
+  set_log_level(LogLevel::kWarn);
+  log_debug("dropped debug");
+  log_info("dropped info");
+  log_warn("kept warn");
+  log_error("kept error");
+  ASSERT_EQ(sink.lines.size(), 2u);
+  EXPECT_EQ(sink.lines[0].first, LogLevel::kWarn);
+  EXPECT_EQ(sink.lines[0].second, "kept warn");
+  EXPECT_EQ(sink.lines[1].first, LogLevel::kError);
+  EXPECT_EQ(sink.lines[1].second, "kept error");
+}
+
+TEST(LogTest, OffLevelReachesNoSink) {
+  CapturingSink sink;
+  set_log_level(LogLevel::kOff);
+  log_error("never seen");
+  EXPECT_TRUE(sink.lines.empty());
+}
+
+TEST(LogTest, DebugLevelPassesEverythingWithConcatenation) {
+  CapturingSink sink;
+  set_log_level(LogLevel::kDebug);
+  log_debug("x=", 42, " y=", 1.5);
+  ASSERT_EQ(sink.lines.size(), 1u);
+  EXPECT_EQ(sink.lines[0].second, "x=42 y=1.5");
+}
+
+TEST(LogTest, ParseLogLevelAcceptsCanonicalNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(LogTest, ParseLogLevelIsCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+}
+
+TEST(LogTest, ParseLogLevelRejectsUnknownNames) {
+  EXPECT_EQ(parse_log_level("loud"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(LogTest, LogLevelNameRoundTrips) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff})
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
 }
 
 }  // namespace
