@@ -174,6 +174,7 @@ void print_serve_usage() {
       "  --queue N         request queue capacity                [64]\n"
       "  --chunk N         ingestion chunk size in samples       [480]\n"
       "  --interval-ms M   directory scan period                 [500]\n"
+      "  --deadline-ms M   per-request deadline; 0 disables      [0]\n"
       "  --once            single scan pass, drain, and exit\n"
       "  --verbose         print the metrics snapshot on exit\n"
       "  --trace-out FILE  write a Chrome-trace JSON profile on exit (global)\n"
@@ -438,6 +439,7 @@ int cmd_serve(const Args& args) {
   const bool verbose = flag_set(args, "verbose");
   const auto interval =
       std::chrono::milliseconds(std::stol(option_or(args, "interval-ms", "500")));
+  const double deadline_ms = std::stod(option_or(args, "deadline-ms", "0"));
 
   serve::EngineConfig cfg;
   cfg.workers = static_cast<std::size_t>(std::stoul(option_or(args, "threads", "2")));
@@ -457,8 +459,12 @@ int cmd_serve(const Args& args) {
            " workers (queue ", cfg.queue_capacity, ", chunk ", cfg.chunk_samples,
            " samples)");
 
-  std::error_code ec;
-  fs::file_time_type model_mtime = fs::last_write_time(model_path, ec);
+  // Self-healing hot swap: the reloader watches the model file's mtime and,
+  // when a rewrite fails to parse, retries with exponential backoff while the
+  // engine keeps serving the last good model. Retries feed the
+  // `model_reload_retries` metric.
+  serve::ModelReloader reloader(engine.registry(), model_path, {},
+                                &engine.metrics().model_reload_retries);
   std::set<std::string> seen;
   std::vector<std::pair<std::string, std::future<serve::ServeResult>>> pending;
 
@@ -477,18 +483,18 @@ int cmd_serve(const Args& args) {
   };
 
   for (;;) {
-    // Hot swap: a changed model file is reloaded in place; a bad file keeps
-    // the current model serving.
-    const fs::file_time_type mtime = fs::last_write_time(model_path, ec);
-    if (!ec && mtime != model_mtime) {
-      model_mtime = mtime;
-      try {
-        const std::uint64_t v = engine.registry().load_file(model_path);
-        log_info("model hot-swapped to v", v);
-      } catch (const std::exception& e) {
-        log_warn("model reload failed (", e.what(), "); keeping v",
-                 engine.registry().version());
-      }
+    switch (reloader.poll()) {
+      case serve::ModelReloader::Status::kReloaded:
+        log_info("model hot-swapped to v", engine.registry().version());
+        break;
+      case serve::ModelReloader::Status::kFailedWillRetry:
+        log_warn("model reload failed (", reloader.last_error(), "); keeping v",
+                 engine.registry().version(), ", retrying in ",
+                 reloader.current_backoff_ms(), " ms");
+        break;
+      case serve::ModelReloader::Status::kUnchanged:
+      case serve::ModelReloader::Status::kBackingOff:
+        break;
     }
 
     for (const fs::directory_entry& entry : fs::directory_iterator(watch_dir)) {
@@ -498,6 +504,7 @@ int cmd_serve(const Args& args) {
       seen.insert(name);
       serve::ServeRequest request;
       request.id = name;
+      request.timeout_ms = deadline_ms;
       try {
         request.recording = audio::read_wav(entry.path().string());
       } catch (const std::exception& e) {
@@ -542,7 +549,8 @@ void print_usage() {
       "  earsonar inspect  WAV\n"
       "  earsonar analyze  [WAV...] [--simulate] [--model FILE] [--seed S]\n"
       "  earsonar serve    --model FILE --watch DIR [--threads N] [--queue N]\n"
-      "                    [--chunk N] [--interval-ms M] [--once] [--verbose]\n"
+      "                    [--chunk N] [--interval-ms M] [--deadline-ms M]\n"
+      "                    [--once] [--verbose]\n"
       "\n"
       "global options (every command):\n"
       "  --trace-out FILE  capture an obs trace of the run and write it as\n"

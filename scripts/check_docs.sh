@@ -9,6 +9,8 @@
 #      `--help` output advertises (skipped when the binary is not built).
 #   3. docs/observability.md must enumerate every earsonar_serve_* metric
 #      name exported by src/serve/metrics.cpp and src/serve/engine.cpp.
+#   4. docs/robustness.md must catalog every fault point registered in the
+#      source tree (each fault::point("...") call site).
 set -eu
 
 ROOT=${1:?usage: check_docs.sh REPO_ROOT [EARSONAR_BIN]}
@@ -73,6 +75,20 @@ if [ -f "$OBS_DOC" ]; then
   for m in $metrics; do
     grep -qF "$m" "$OBS_DOC" \
       || err "docs/observability.md does not document metric '$m'"
+  done
+fi
+
+# ---- 4. fault-point catalog vs robustness docs ---------------------------
+ROBUST_DOC="$ROOT/docs/robustness.md"
+[ -f "$ROBUST_DOC" ] || err "docs/robustness.md is missing"
+
+if [ -f "$ROBUST_DOC" ]; then
+  points=$(grep -rhoE 'fault::point\("[a-z_.]+"\)' "$ROOT/src" \
+             | sed 's/fault::point("//; s/")//' | sort -u) || true
+  [ -n "$points" ] || err "no fault::point call sites found in src/"
+  for p in $points; do
+    grep -qF "\`$p\`" "$ROBUST_DOC" \
+      || err "docs/robustness.md does not catalog fault point '$p'"
   done
 fi
 

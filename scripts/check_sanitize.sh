@@ -1,0 +1,43 @@
+#!/bin/sh
+# check_sanitize.sh [REPO_ROOT]
+#
+# Sanitizer sweep over the concurrency- and fault-heavy test surface. Two
+# fresh build trees, each running the `serve` and `fault` ctest labels (the
+# serving engine's chaos tests plus the fault-injection / degradation /
+# fuzz-replay suites):
+#
+#   1. EARSONAR_SANITIZE=address,undefined — memory errors and UB, including
+#      the hardened WAV chunk walking replayed over the crasher corpus.
+#   2. EARSONAR_SANITIZE=thread           — data races in the worker pool,
+#      metrics, registry hot-swap, and the fault registry's armed fast path.
+#
+# Usage: scripts/check_sanitize.sh [repo-root]   (default: script's parent)
+# Build trees live under build-san-{asan,tsan}/ and are reconfigured, not
+# deleted, on re-runs.
+set -eu
+
+ROOT=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+JOBS=$(nproc 2>/dev/null || echo 2)
+LABELS='serve|fault'
+
+run_flavor() {
+  flavor=$1
+  sanitize=$2
+  build="$ROOT/build-san-$flavor"
+  echo "== check_sanitize: $sanitize -> $build =="
+  cmake -B "$build" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DEARSONAR_SANITIZE="$sanitize" \
+        -DEARSONAR_BUILD_BENCH=OFF \
+        -DEARSONAR_BUILD_EXAMPLES=OFF
+  # Build only the binaries the serve|fault labels run — on a small box the
+  # full test suite would double the sweep's wall clock for nothing.
+  cmake --build "$build" -j "$JOBS" \
+        --target serve_test fault_test wav_fuzz_replay
+  ctest --test-dir "$build" -L "$LABELS" --output-on-failure -j "$JOBS"
+}
+
+run_flavor asan address,undefined
+run_flavor tsan thread
+
+echo "check_sanitize: OK (address,undefined + thread over ctest -L '$LABELS')"

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace earsonar::audio {
 
@@ -41,6 +42,7 @@ std::uint16_t get_u16(const std::uint8_t* p) {
 }  // namespace
 
 void write_wav(const std::string& path, const Waveform& waveform, WavEncoding encoding) {
+  if (fault::point("wav.write")) fail("injected fault: wav.write: " + path);
   require_nonempty("write_wav samples", waveform.size());
   const std::uint16_t format = encoding == WavEncoding::kPcm16 ? 1 : 3;
   const std::uint16_t bits = encoding == WavEncoding::kPcm16 ? 16 : 32;
@@ -85,43 +87,52 @@ void write_wav(const std::string& path, const Waveform& waveform, WavEncoding en
   if (!out) fail("write_wav: write failed for " + path);
 }
 
-Waveform read_wav(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) fail("read_wav: cannot open " + path);
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
-  if (bytes.size() < 44) fail("read_wav: file too short: " + path);
+Waveform parse_wav(std::span<const std::uint8_t> bytes, const std::string& name) {
+  if (bytes.size() < 44) fail("read_wav: file too short: " + name);
   if (std::memcmp(bytes.data(), "RIFF", 4) != 0 || std::memcmp(bytes.data() + 8, "WAVE", 4) != 0)
-    fail("read_wav: not a RIFF/WAVE file: " + path);
+    fail("read_wav: not a RIFF/WAVE file: " + name);
 
-  // Walk chunks to find fmt and data.
+  // Walk chunks to find fmt and data. All arithmetic is in std::size_t with
+  // the 32-bit chunk size widened first, so a hostile 0xFFFFFFFF size cannot
+  // wrap the position; each chunk is bounds-checked before it is advanced
+  // over or read.
   std::size_t pos = 12;
   std::uint16_t format = 0, channels = 0, bits = 0;
   std::uint32_t rate = 0;
+  bool have_fmt = false;
   const std::uint8_t* data = nullptr;
-  std::uint32_t data_bytes = 0;
+  std::size_t data_bytes = 0;
   while (pos + 8 <= bytes.size()) {
-    const std::uint32_t chunk_size = get_u32(bytes.data() + pos + 4);
+    const std::size_t chunk_size = get_u32(bytes.data() + pos + 4);
+    const std::size_t body = pos + 8;
+    const std::size_t available = bytes.size() - body;
     if (std::memcmp(bytes.data() + pos, "fmt ", 4) == 0) {
-      if (pos + 8 + 16 > bytes.size()) fail("read_wav: truncated fmt chunk");
-      format = get_u16(bytes.data() + pos + 8);
-      channels = get_u16(bytes.data() + pos + 10);
-      rate = get_u32(bytes.data() + pos + 12);
-      bits = get_u16(bytes.data() + pos + 22);
+      if (chunk_size < 16 || available < 16)
+        fail("read_wav: truncated fmt chunk: " + name);
+      format = get_u16(bytes.data() + body);
+      channels = get_u16(bytes.data() + body + 2);
+      rate = get_u32(bytes.data() + body + 4);
+      bits = get_u16(bytes.data() + body + 14);
+      have_fmt = true;
     } else if (std::memcmp(bytes.data() + pos, "data", 4) == 0) {
-      data = bytes.data() + pos + 8;
-      data_bytes = chunk_size;
+      data = bytes.data() + body;
+      // A data size beyond the bytes present means a truncated file; the
+      // frames that did arrive are still good, so cap rather than reject.
+      data_bytes = std::min(chunk_size, available);
     }
-    pos += 8 + chunk_size + (chunk_size & 1);  // chunks are word-aligned
+    if (chunk_size > available) {
+      if (data != nullptr) break;  // truncated trailing chunk after data
+      fail("read_wav: chunk size overruns file: " + name);
+    }
+    pos = body + chunk_size + (chunk_size & 1);  // chunks are word-aligned
   }
-  if (data == nullptr) fail("read_wav: no data chunk: " + path);
-  if (channels == 0 || rate == 0) fail("read_wav: no fmt chunk: " + path);
-  if (data + data_bytes > bytes.data() + bytes.size())
-    fail("read_wav: data chunk overruns file: " + path);
+  if (data == nullptr) fail("read_wav: no data chunk: " + name);
+  if (!have_fmt || channels == 0 || rate == 0)
+    fail("read_wav: no usable fmt chunk: " + name);
 
   const bool pcm16 = format == 1 && bits == 16;
   const bool f32 = format == 3 && bits == 32;
-  if (!pcm16 && !f32) fail("read_wav: unsupported encoding in " + path);
+  if (!pcm16 && !f32) fail("read_wav: unsupported encoding in " + name);
 
   const std::size_t bytes_per_sample = bits / 8;
   const std::size_t frame_bytes = bytes_per_sample * channels;
@@ -140,6 +151,15 @@ Waveform read_wav(const std::string& path) {
     }
   }
   return Waveform(std::move(samples), static_cast<double>(rate));
+}
+
+Waveform read_wav(const std::string& path) {
+  if (fault::point("wav.read")) fail("injected fault: wav.read: " + path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("read_wav: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return parse_wav(bytes, path);
 }
 
 }  // namespace earsonar::audio

@@ -3,6 +3,8 @@
 // for the phone-app capture files the paper's prototype uploads to a laptop.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 
 #include "audio/waveform.hpp"
@@ -19,5 +21,14 @@ void write_wav(const std::string& path, const Waveform& waveform,
 /// Reads a mono (or first-channel-of-interleaved) WAV file written in PCM16
 /// or float32. Throws std::runtime_error on malformed input.
 Waveform read_wav(const std::string& path);
+
+/// Decodes an in-memory WAV image (the body of read_wav, exposed for fuzzing
+/// and for callers that already hold the bytes). `name` labels error
+/// messages. Malformed input — truncated header, chunk sizes overflowing the
+/// buffer, missing fmt/data — throws std::runtime_error; no input may crash
+/// or read out of bounds. A data chunk whose declared size exceeds the bytes
+/// actually present is capped to what is there (truncated uploads are
+/// recoverable); any other overflowing chunk is rejected.
+Waveform parse_wav(std::span<const std::uint8_t> bytes, const std::string& name);
 
 }  // namespace earsonar::audio

@@ -1,0 +1,85 @@
+// Request deadlines and cooperative cancellation.
+//
+// A serving engine must be able to give up on work whose caller has already
+// timed out: finishing a 150 ms analysis for a request that was shed upstream
+// burns a worker for nothing. A CancelToken carries an optional absolute
+// deadline plus an optional shared cancel flag; long-running code checks it
+// at stage boundaries (EarSonar::analyze between pipeline stages, the serving
+// engine between ingestion chunks) and aborts with CancelledError — a
+// std::runtime_error whose message starts with the grep-able prefix
+// "deadline_exceeded" — when it has expired.
+//
+// Tokens are cheap to copy (a time_point and a shared_ptr) and expired() is
+// lock-free, so checking one per pipeline stage costs a clock read. A
+// default-constructed token never expires, which keeps every existing call
+// path unchanged.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+
+namespace earsonar {
+
+/// Thrown when a CancelToken check fails. Message format:
+/// "deadline_exceeded: <stage>".
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(std::string_view stage)
+      : std::runtime_error("deadline_exceeded: " + std::string(stage)) {}
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires; the default for every call path that predates deadlines.
+  CancelToken() = default;
+
+  /// A token that expires at an absolute time point.
+  static CancelToken with_deadline(Clock::time_point deadline) {
+    CancelToken token;
+    token.deadline_ = deadline;
+    return token;
+  }
+
+  /// A token that expires `timeout_ms` from now.
+  static CancelToken after_ms(double timeout_ms) {
+    return with_deadline(Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                            std::chrono::duration<double, std::milli>(
+                                                timeout_ms)));
+  }
+
+  /// A token that expires when `cancel()` is called on it (or on a copy).
+  static CancelToken cancellable() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// Flips the shared cancel flag; no-op on tokens without one.
+  void cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool expired() const {
+    if (flag_ && flag_->load(std::memory_order_relaxed)) return true;
+    return deadline_.has_value() && Clock::now() >= *deadline_;
+  }
+
+  /// Throws CancelledError("deadline_exceeded: <stage>") when expired.
+  void check(std::string_view stage) const {
+    if (expired()) throw CancelledError(stage);
+  }
+
+  [[nodiscard]] std::optional<Clock::time_point> deadline() const { return deadline_; }
+
+ private:
+  std::optional<Clock::time_point> deadline_;
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace earsonar

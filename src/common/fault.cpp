@@ -1,0 +1,214 @@
+#include "common/fault.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace earsonar::fault {
+
+namespace detail {
+std::atomic<std::uint32_t> g_armed{0};
+}  // namespace detail
+
+namespace {
+
+struct Entry {
+  Policy policy;
+  std::uint64_t calls = 0;
+  std::uint64_t fires = 0;
+  std::uint64_t rng_state = 0;  ///< xorshift64* state for kProbability
+};
+
+// xorshift64*: tiny, seedable, plenty for fire/no-fire decisions. Not the
+// repo-wide Rng on purpose — the registry must stay dependency-free so any
+// layer (dsp, audio, serve) can host a fault point without a cycle.
+double next_uniform(std::uint64_t& state) {
+  std::uint64_t x = state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state = x;
+  return static_cast<double>((x * 0x2545f4914f6cdd1dULL) >> 11) * 0x1.0p-53;
+}
+
+struct State {
+  mutable std::mutex mutex;
+  std::map<std::string, Entry, std::less<>> points;
+  std::atomic<std::uint64_t> injected_total{0};
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+std::invalid_argument bad_spec(std::string_view spec) {
+  return std::invalid_argument("fault: malformed policy spec '" + std::string(spec) +
+                               "' (expect always | nth:N | every:K | prob:P[:SEED])");
+}
+
+std::uint64_t parse_count(std::string_view text, std::string_view spec) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(std::string(text), &used);
+    if (used != text.size() || value == 0) throw bad_spec(spec);
+    return value;
+  } catch (const std::invalid_argument&) {
+    throw bad_spec(spec);
+  } catch (const std::out_of_range&) {
+    throw bad_spec(spec);
+  }
+}
+
+}  // namespace
+
+Policy parse_policy(std::string_view spec) {
+  Policy policy;
+  if (spec == "always") {
+    policy.mode = Policy::Mode::kAlways;
+    return policy;
+  }
+  const std::size_t colon = spec.find(':');
+  const std::string_view head = spec.substr(0, colon);
+  if (colon == std::string_view::npos || colon + 1 >= spec.size()) throw bad_spec(spec);
+  std::string_view rest = spec.substr(colon + 1);
+  if (head == "nth") {
+    policy.mode = Policy::Mode::kNth;
+    policy.n = parse_count(rest, spec);
+  } else if (head == "every") {
+    policy.mode = Policy::Mode::kEveryK;
+    policy.n = parse_count(rest, spec);
+  } else if (head == "prob") {
+    policy.mode = Policy::Mode::kProbability;
+    const std::size_t colon2 = rest.find(':');
+    const std::string_view prob_text = rest.substr(0, colon2);
+    try {
+      std::size_t used = 0;
+      policy.probability = std::stod(std::string(prob_text), &used);
+      if (used != prob_text.size()) throw bad_spec(spec);
+    } catch (const std::invalid_argument&) {
+      throw bad_spec(spec);
+    } catch (const std::out_of_range&) {
+      throw bad_spec(spec);
+    }
+    if (!(policy.probability >= 0.0 && policy.probability <= 1.0)) throw bad_spec(spec);
+    if (colon2 != std::string_view::npos)
+      policy.seed = parse_count(rest.substr(colon2 + 1), spec);
+  } else {
+    throw bad_spec(spec);
+  }
+  return policy;
+}
+
+Registry::Registry() {
+  if (const char* env = std::getenv("EARSONAR_FAULTS"); env != nullptr && *env != '\0')
+    arm_spec(env);
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+// point()'s fast path never touches instance() while g_armed is zero — which
+// is exactly the state EARSONAR_FAULTS is supposed to change. Force the
+// registry (and with it the env parse) into existence at program start so
+// env-armed points are live before any fault point is reached.
+[[maybe_unused]] Registry& g_env_bootstrap = Registry::instance();
+}  // namespace
+
+void Registry::arm(std::string name, Policy policy) {
+  if (name.empty()) throw std::invalid_argument("fault: empty point name");
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  Entry entry;
+  entry.policy = policy;
+  // Seed the per-point RNG so prob sequences are reproducible per arm().
+  entry.rng_state = policy.seed != 0 ? policy.seed : 0x9e3779b97f4a7c15ULL;
+  const bool inserted = s.points.insert_or_assign(std::move(name), entry).second;
+  if (inserted) detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Registry::arm_spec(std::string_view spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+      throw std::invalid_argument("fault: malformed spec entry '" + std::string(item) +
+                                  "' (expect point=policy)");
+    arm(std::string(item.substr(0, eq)), parse_policy(item.substr(eq + 1)));
+    if (end == spec.size()) break;
+  }
+}
+
+void Registry::disarm(std::string_view name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.points.erase(std::string(name)) > 0)
+    detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Registry::disarm_all() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.points.empty())
+    detail::g_armed.fetch_sub(static_cast<std::uint32_t>(s.points.size()),
+                              std::memory_order_relaxed);
+  s.points.clear();
+}
+
+bool Registry::fire(std::string_view name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.points.find(name);
+  if (it == s.points.end()) return false;
+  Entry& entry = it->second;
+  ++entry.calls;
+  bool fires = false;
+  switch (entry.policy.mode) {
+    case Policy::Mode::kAlways:
+      fires = true;
+      break;
+    case Policy::Mode::kNth:
+      fires = entry.calls == entry.policy.n;
+      break;
+    case Policy::Mode::kEveryK:
+      fires = entry.calls % entry.policy.n == 0;
+      break;
+    case Policy::Mode::kProbability:
+      fires = next_uniform(entry.rng_state) < entry.policy.probability;
+      break;
+  }
+  if (fires) {
+    ++entry.fires;
+    s.injected_total.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fires;
+}
+
+std::uint64_t Registry::armed_count() const {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::injected_total() const {
+  return state().injected_total.load(std::memory_order_relaxed);
+}
+
+std::vector<PointStats> Registry::stats() const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<PointStats> out;
+  out.reserve(s.points.size());
+  for (const auto& [name, entry] : s.points)
+    out.push_back({name, entry.calls, entry.fires});
+  return out;
+}
+
+}  // namespace earsonar::fault

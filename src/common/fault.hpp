@@ -1,0 +1,115 @@
+// Deterministic fault injection for chaos testing.
+//
+// Production failure modes — a truncated WAV upload, an FFT that dies on a
+// poisoned buffer, a model file half-written during a hot swap — are nearly
+// impossible to reproduce on demand, so the error paths that handle them
+// bit-rot. This registry lets a test (or an operator, via the
+// EARSONAR_FAULTS environment variable) arm *named fault points* compiled
+// into the library and force each failure deterministically:
+//
+//   if (fault::point("wav.read"))
+//     fail("read_wav: injected fault");
+//
+// A point that is not armed costs one relaxed atomic load and a predictable
+// branch — nothing else: no lock, no string hashing, no map lookup — so the
+// hooks stay compiled into hot paths (per-chirp, per-FFT) permanently, the
+// same bargain obs::Span makes. Only when at least one point is armed does
+// point() take the registry mutex to evaluate its trigger policy.
+//
+// Trigger policies (see parse_policy for the spec syntax):
+//   always      fire on every call
+//   nth:N       fire on exactly the Nth call (1-based), once
+//   every:K     fire on every Kth call (K, 2K, 3K, ...)
+//   prob:P      fire with probability P per call, seeded xorshift RNG
+//   prob:P:S    same, with explicit seed S (deterministic sequences)
+//
+// EARSONAR_FAULTS holds a ';'-separated list of point=policy pairs, e.g.
+//   EARSONAR_FAULTS="wav.read=nth:1;pipeline.segment_chirp=every:10"
+// parsed once, lazily, when the registry is first touched. Programmatic
+// arm()/disarm_all() is what tests use. The full point catalog lives in
+// docs/robustness.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace earsonar::fault {
+
+/// How an armed fault point decides whether a given call fires.
+struct Policy {
+  enum class Mode { kAlways, kNth, kEveryK, kProbability };
+  Mode mode = Mode::kAlways;
+  std::uint64_t n = 1;        ///< kNth: the call that fires; kEveryK: the period
+  double probability = 0.0;   ///< kProbability: per-call fire chance in [0, 1]
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;  ///< kProbability RNG seed
+};
+
+/// Parses one policy spec ("always", "nth:3", "every:10", "prob:0.25",
+/// "prob:0.25:7"). Throws std::invalid_argument on malformed specs.
+Policy parse_policy(std::string_view spec);
+
+/// Counters of one armed point, for assertions and the metrics snapshot.
+struct PointStats {
+  std::string name;
+  std::uint64_t calls = 0;  ///< times point() reached this armed entry
+  std::uint64_t fires = 0;  ///< times it returned true (fault injected)
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every fault::point() consults. First use
+  /// parses EARSONAR_FAULTS (if set). Thread-safe.
+  static Registry& instance();
+
+  /// Arms (or re-arms, resetting counters) one point with a policy.
+  void arm(std::string name, Policy policy);
+
+  /// Arms a ';'- or ','-separated "point=policy" list (the EARSONAR_FAULTS
+  /// syntax). Throws std::invalid_argument on malformed entries.
+  void arm_spec(std::string_view spec);
+
+  void disarm(std::string_view name);
+  void disarm_all();
+
+  /// Slow path behind fault::point(); prefer calling that.
+  bool fire(std::string_view name);
+
+  [[nodiscard]] std::uint64_t armed_count() const;
+  /// Total faults injected (fires across all points) since process start.
+  /// Monotonic: disarming does not reset it.
+  [[nodiscard]] std::uint64_t injected_total() const;
+  [[nodiscard]] std::vector<PointStats> stats() const;
+
+ private:
+  Registry();
+};
+
+namespace detail {
+/// Count of currently armed points; point()'s fast-path gate.
+extern std::atomic<std::uint32_t> g_armed;
+}  // namespace detail
+
+/// True when the named fault point should inject its failure now. The caller
+/// owns what "failure" means at that site (throw, reject, return an error).
+inline bool point(std::string_view name) {
+  if (detail::g_armed.load(std::memory_order_relaxed) == 0) return false;
+  return Registry::instance().fire(name);
+}
+
+/// RAII helper for tests: arms points on construction, restores a fully
+/// disarmed registry on destruction (even on test failure).
+class ScopedFault {
+ public:
+  ScopedFault(std::string name, Policy policy) {
+    Registry::instance().arm(std::move(name), policy);
+  }
+  explicit ScopedFault(std::string_view spec) { Registry::instance().arm_spec(spec); }
+  ~ScopedFault() { Registry::instance().disarm_all(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace earsonar::fault

@@ -1,11 +1,12 @@
 #include "core/pipeline.hpp"
 
 #include <cmath>
+#include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
-#include "common/stats.hpp"
-#include "common/units.hpp"
 #include "dsp/interpolate.hpp"
 #include "obs/trace.hpp"
 
@@ -24,8 +25,10 @@ EarSonar::EarSonar(PipelineConfig config)
   extractor_.set_reference(config_.chirp);
 }
 
-EchoAnalysis EarSonar::analyze(const audio::Waveform& recording) const {
+EchoAnalysis EarSonar::analyze(const audio::Waveform& recording,
+                               const CancelToken& cancel) const {
   require_nonempty("EarSonar::analyze recording", recording.size());
+  cancel.check("analyze");
 
   obs::Span analyze_span("analyze", "pipeline");
   obs::Span bandpass_span("bandpass", "pipeline");
@@ -45,59 +48,126 @@ EchoAnalysis EarSonar::analyze(const audio::Waveform& recording) const {
   const audio::Waveform filtered = preprocessor_.process(*input);
   bandpass_span.end();
 
-  EchoAnalysis analysis = analyze_filtered(filtered);
+  EchoAnalysis analysis = analyze_filtered(filtered, cancel);
   analysis.timings.bandpass_ms = bandpass_span.elapsed_ms();
   return analysis;
 }
 
-EchoAnalysis EarSonar::analyze_filtered(const audio::Waveform& filtered) const {
+namespace {
+
+[[noreturn]] void throw_degraded(const AnalysisQuality& quality) {
+  std::ostringstream os;
+  os << "EarSonar::analyze: degraded below min_usable_chirps: " << quality.chirps_used
+     << " of " << quality.chirps_total << " chirps usable (floor "
+     << quality.min_usable << ")";
+  if (!quality.drops.empty())
+    os << "; first error [" << quality.drops.front().stage
+       << "]: " << quality.drops.front().reason;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace
+
+EchoAnalysis EarSonar::analyze_filtered(const audio::Waveform& filtered,
+                                        const CancelToken& cancel) const {
   require_nonempty("EarSonar::analyze_filtered signal", filtered.size());
   EchoAnalysis analysis;
+  AnalysisQuality& quality = analysis.quality;
+  quality.min_usable = config_.min_usable_chirps;
 
   obs::Span events_span("event_detect", "pipeline");
-  analysis.events = event_detector_.detect(filtered);
-  for (Event& event : analysis.events)
-    event.start = aligned_event_start(filtered.view(), event);
+  try {
+    if (fault::point("pipeline.event_detect"))
+      fail("injected fault: pipeline.event_detect");
+    analysis.events = event_detector_.detect(filtered);
+    for (Event& event : analysis.events)
+      event.start = aligned_event_start(filtered.view(), event);
+  } catch (const std::exception& e) {
+    // Event detection is a whole-recording stage: when it fails, no chirp is
+    // recoverable. Record the casualty and fall through to the floor check
+    // below, which throws with this reason attached.
+    quality.drops.push_back({ChirpDrop::kWholeStage, "event_detect", e.what()});
+    analysis.events.clear();
+  }
   events_span.end();
   analysis.timings.event_detect_ms = events_span.elapsed_ms();
+  quality.chirps_total = analysis.events.size();
+  cancel.check("segment");
 
   obs::Span segment_span("segment", "pipeline");
   for (std::size_t i = 0; i < analysis.events.size(); ++i) {
+    cancel.check("segment_chirp");
     obs::Span chirp_span("segment_chirp", "pipeline");
     chirp_span.set_arg("chirp", static_cast<std::int64_t>(i));
-    if (std::optional<EchoSegment> echo =
-            segmenter_.segment(filtered, analysis.events[i]))
-      analysis.echoes.push_back(*echo);
-  }
-  // Consensus re-anchoring: within one recording the eardrum does not move,
-  // so the echo offset behind the direct pulse is re-set to the per-recording
-  // median. This suppresses chirp-to-chirp anchor jitter from movement or a
-  // wall reflection occasionally outscoring the drum echo.
-  if (analysis.echoes.size() >= 3) {
-    std::vector<double> offsets;
-    offsets.reserve(analysis.echoes.size());
-    for (const EchoSegment& e : analysis.echoes)
-      offsets.push_back(static_cast<double>(e.peak_index) -
-                        static_cast<double>(e.direct_peak_index));
-    const double consensus = median(offsets);
-    const auto offset = static_cast<std::ptrdiff_t>(std::lround(consensus));
-    for (EchoSegment& e : analysis.echoes) {
-      e.peak_index = static_cast<std::size_t>(
-          static_cast<std::ptrdiff_t>(e.direct_peak_index) + offset);
-      e.distance_m = samples_to_distance_m(consensus, filtered.sample_rate());
+    // Per-chirp isolation: one clipped or corrupted chirp out of 200 must
+    // not discard the recording. An exception drops this chirp (recorded in
+    // `quality`); a nullopt is the pre-existing benign no-echo miss.
+    try {
+      if (fault::point("pipeline.segment_chirp"))
+        fail("injected fault: pipeline.segment_chirp");
+      if (std::optional<EchoSegment> echo =
+              segmenter_.segment(filtered, analysis.events[i]))
+        analysis.echoes.push_back(*echo);
+    } catch (const std::exception& e) {
+      quality.drops.push_back({i, "segment", e.what()});
     }
   }
+  reanchor_echoes(analysis.echoes, filtered.sample_rate());
   segment_span.end();
   analysis.timings.segment_ms = segment_span.elapsed_ms();
-
+  quality.chirps_used = analysis.echoes.size();
+  quality.chirps_dropped = quality.drops.size();
+  quality.degraded = !quality.drops.empty();
+  if (quality.degraded && quality.chirps_used < quality.min_usable)
+    throw_degraded(quality);
   if (analysis.echoes.empty()) return analysis;
+  cancel.check("features");
 
   obs::Span feature_span("features", "pipeline");
   // One extraction pass yields both the feature vector and the mean echo
   // spectrum; the per-echo PSDs inside are computed once and shared.
-  FeatureExtractor::Result extracted = extractor_.extract_full(filtered, analysis.echoes);
-  analysis.mean_spectrum = std::move(extracted.mean_spectrum);
-  analysis.features = std::move(extracted.features);
+  try {
+    if (fault::point("pipeline.features")) fail("injected fault: pipeline.features");
+    FeatureExtractor::Result extracted =
+        extractor_.extract_full(filtered, analysis.echoes);
+    analysis.mean_spectrum = std::move(extracted.mean_spectrum);
+    analysis.features = std::move(extracted.features);
+  } catch (const CancelledError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // An FFT/PSD failure usually poisons one echo, not the stage: probe each
+    // echo alone to partition survivors from casualties, then re-extract over
+    // the survivors — the same result as if only they had been segmented.
+    std::vector<EchoSegment> survivors;
+    survivors.reserve(analysis.echoes.size());
+    for (std::size_t i = 0; i < analysis.echoes.size(); ++i) {
+      try {
+        (void)extractor_.extract_full(filtered, {analysis.echoes[i]});
+        survivors.push_back(analysis.echoes[i]);
+      } catch (const std::exception& probe_error) {
+        quality.drops.push_back({i, "features", probe_error.what()});
+      }
+    }
+    if (quality.drops.empty() || quality.drops.back().stage != "features")
+      quality.drops.push_back({ChirpDrop::kWholeStage, "features", e.what()});
+    try {
+      if (!survivors.empty()) {
+        FeatureExtractor::Result extracted = extractor_.extract_full(filtered, survivors);
+        analysis.mean_spectrum = std::move(extracted.mean_spectrum);
+        analysis.features = std::move(extracted.features);
+        analysis.echoes = std::move(survivors);
+      }
+    } catch (const std::exception& retry_error) {
+      // The retry failed too (e.g. an every-k fault still firing): give up on
+      // the stage, keep the segmentation products, return an unusable result.
+      quality.drops.push_back({ChirpDrop::kWholeStage, "features", retry_error.what()});
+      analysis.features.clear();
+    }
+    quality.chirps_used = analysis.features.empty() ? 0 : analysis.echoes.size();
+    quality.chirps_dropped = quality.drops.size();
+    quality.degraded = true;
+    if (quality.chirps_used < quality.min_usable) throw_degraded(quality);
+  }
   feature_span.end();
   analysis.timings.feature_ms = feature_span.elapsed_ms();
   return analysis;

@@ -9,9 +9,11 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "audio/waveform.hpp"
+#include "common/cancel.hpp"
 #include "core/absorption.hpp"
 #include "core/detector.hpp"
 #include "core/event_detect.hpp"
@@ -32,6 +34,13 @@ struct PipelineConfig {
   /// 0 = auto: EARSONAR_THREADS env var, else hardware concurrency. Results
   /// are bit-identical at every thread count.
   std::size_t threads = 0;
+  /// Degradation floor: when per-chirp errors occur during analyze(), the
+  /// recording still produces a result as long as at least this many chirps
+  /// survive; below it analyze() throws (std::runtime_error, message prefix
+  /// "EarSonar::analyze: degraded"). Only *error* drops count against the
+  /// floor — chirps that are merely unsegmentable (no echo found) keep the
+  /// pre-existing empty-result behavior.
+  std::size_t min_usable_chirps = 1;
 };
 
 /// Wall-clock milliseconds spent in each stage of analyze()/diagnose().
@@ -51,6 +60,35 @@ struct StageTimings {
   }
 };
 
+/// One chirp lost to an error (not to a mere no-echo miss) during analyze().
+struct ChirpDrop {
+  /// Event index within the recording; kWholeStage for a failure that took
+  /// out an entire stage rather than one chirp.
+  static constexpr std::size_t kWholeStage = static_cast<std::size_t>(-1);
+  std::size_t chirp = kWholeStage;
+  std::string stage;   ///< "event_detect" | "segment" | "features"
+  std::string reason;  ///< the exception message
+};
+
+/// Per-recording degradation report: how many chirps went in, how many
+/// survived each stage, and why the casualties fell. `degraded` is the bit a
+/// serving layer surfaces — the result is still valid, but it was computed
+/// from a subset of the capture and a clinician may want a re-take.
+struct AnalysisQuality {
+  std::size_t chirps_total = 0;    ///< chirp events detected
+  std::size_t chirps_used = 0;     ///< chirps contributing to the features
+  std::size_t chirps_dropped = 0;  ///< chirps lost to *errors* (== drops.size())
+  std::size_t min_usable = 1;      ///< the floor analyze() enforced
+  std::vector<ChirpDrop> drops;
+  bool degraded = false;  ///< any error drop (or stream truncation) occurred
+
+  [[nodiscard]] double usable_fraction() const {
+    return chirps_total == 0 ? 0.0
+                             : static_cast<double>(chirps_used) /
+                                   static_cast<double>(chirps_total);
+  }
+};
+
 /// Everything analyze() learns about one recording.
 struct EchoAnalysis {
   std::vector<Event> events;
@@ -58,8 +96,9 @@ struct EchoAnalysis {
   dsp::Spectrum mean_spectrum;        ///< averaged eardrum-echo PSD
   std::vector<double> features;       ///< 105-dim vector
   StageTimings timings;
+  AnalysisQuality quality;            ///< per-chirp degradation report
 
-  [[nodiscard]] bool usable() const { return !echoes.empty(); }
+  [[nodiscard]] bool usable() const { return !features.empty(); }
 };
 
 class EarSonar {
@@ -69,7 +108,15 @@ class EarSonar {
   /// Signal-processing front half: preprocess, find events, segment echoes,
   /// build the echo spectrum and feature vector. `features` is empty when no
   /// echo could be segmented (caller decides how to handle the dropout).
-  [[nodiscard]] EchoAnalysis analyze(const audio::Waveform& recording) const;
+  ///
+  /// Error isolation: a chirp whose segmentation or PSD extraction throws is
+  /// dropped and recorded in `quality` instead of aborting the recording;
+  /// the result is computed from the surviving chirps exactly as if only
+  /// they had been detected. Throws only when fewer than
+  /// `config.min_usable_chirps` chirps survive an error, or when `cancel`
+  /// expires between stages (CancelledError).
+  [[nodiscard]] EchoAnalysis analyze(const audio::Waveform& recording,
+                                     const CancelToken& cancel = {}) const;
 
   /// analyze() minus resampling and band-pass filtering, for callers that
   /// already hold the preprocessed signal at the probe sample rate — the
@@ -77,7 +124,8 @@ class EarSonar {
   /// finalizes through this entry point, which is what makes chunked
   /// ingestion bit-identical to the batch pipeline. `timings.bandpass_ms`
   /// stays zero.
-  [[nodiscard]] EchoAnalysis analyze_filtered(const audio::Waveform& filtered) const;
+  [[nodiscard]] EchoAnalysis analyze_filtered(const audio::Waveform& filtered,
+                                              const CancelToken& cancel = {}) const;
 
   /// Trains the detection head on labeled recordings (label indices follow
   /// kMeeStateNames). Recordings whose analysis fails are skipped; at least

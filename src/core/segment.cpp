@@ -166,4 +166,20 @@ std::optional<EchoSegment> ParityEchoSegmenter::segment(std::span<const double> 
   return best;
 }
 
+void reanchor_echoes(std::vector<EchoSegment>& echoes, double sample_rate) {
+  if (echoes.size() < 3) return;
+  std::vector<double> offsets;
+  offsets.reserve(echoes.size());
+  for (const EchoSegment& e : echoes)
+    offsets.push_back(static_cast<double>(e.peak_index) -
+                      static_cast<double>(e.direct_peak_index));
+  const double consensus = median(offsets);
+  const auto offset = static_cast<std::ptrdiff_t>(std::lround(consensus));
+  for (EchoSegment& e : echoes) {
+    e.peak_index = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(e.direct_peak_index) + offset);
+    e.distance_m = samples_to_distance_m(consensus, sample_rate);
+  }
+}
+
 }  // namespace earsonar::core

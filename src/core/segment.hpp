@@ -89,4 +89,13 @@ struct ParityEnergies {
 };
 ParityEnergies parity_energies(std::span<const double> x, double n0);
 
+/// Consensus re-anchoring over one recording's echoes: within a recording the
+/// eardrum does not move, so each echo's offset behind its direct pulse is
+/// re-set to the per-recording median, suppressing chirp-to-chirp anchor
+/// jitter from movement or a wall reflection occasionally outscoring the drum
+/// echo. No-op for fewer than three echoes (no consensus to take). Exposed as
+/// a free function so callers that analyze a chirp *subset* (the degraded
+/// path, tests reproducing it) anchor exactly like the full pipeline.
+void reanchor_echoes(std::vector<EchoSegment>& echoes, double sample_rate);
+
 }  // namespace earsonar::core

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace earsonar::dsp {
 
@@ -26,6 +27,7 @@ FftPlan::FftPlan(std::size_t n, Kind kind)
 }
 
 std::shared_ptr<const FftPlan> FftPlan::get(std::size_t n, Kind kind) {
+  if (fault::point("fft.plan")) fail("injected fault: fft.plan");
   static std::mutex mutex;
   static std::unordered_map<std::uint64_t, std::shared_ptr<const FftPlan>> cache;
   const std::uint64_t key =
@@ -178,6 +180,7 @@ void FftPlan::forward_inplace(std::span<Complex> data) const {
 
 void FftPlan::forward(std::span<const Complex> in, std::span<Complex> out,
                       FftScratch& scratch) const {
+  if (fault::point("fft.execute")) fail("injected fault: fft.execute");
   require(kind_ == Kind::kComplex, "FftPlan::forward: complex plan required");
   require(in.size() == n_ && out.size() == n_, "FftPlan::forward: size mismatch");
   if (radix2_) {
@@ -288,6 +291,7 @@ void FftPlan::half_transform(std::span<const double> in, std::span<Complex> out,
 
 void FftPlan::forward_real(std::span<const double> in, std::span<Complex> out,
                            FftScratch& scratch) const {
+  if (fault::point("fft.execute")) fail("injected fault: fft.execute");
   require(kind_ == Kind::kReal, "FftPlan::forward_real: real plan required");
   require(in.size() == n_, "FftPlan::forward_real: input size mismatch");
   require(out.size() == real_bins(), "FftPlan::forward_real: output size mismatch");

@@ -63,7 +63,14 @@ Submission ServingEngine::submit(ServeRequest request) {
     submission.reason = "engine not running";
     return submission;
   }
-  Job job{std::move(request), {}, Clock::now()};
+  Job job{std::move(request), {}, Clock::now(), std::nullopt};
+  if (job.request.timeout_ms > 0.0) {
+    // The deadline clock starts at submission: queue wait counts against it,
+    // which is what lets workers shed stale jobs without touching them.
+    job.deadline = job.enqueued + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double, std::milli>(
+                                          job.request.timeout_ms));
+  }
   submission.result = job.promise.get_future();
   if (!queue_.try_push(std::move(job))) {
     submission.result = {};
@@ -99,10 +106,31 @@ void ServingEngine::worker_loop() {
     // with explicit endpoints on the consuming worker's row.
     obs::TraceRecorder::instance().record_complete("queue_wait", "serve",
                                                    job.enqueued, dequeued);
+    const CancelToken cancel = job.deadline
+                                   ? CancelToken::with_deadline(*job.deadline)
+                                   : CancelToken();
+    if (cancel.expired()) {
+      // Shed at dequeue: the caller's deadline passed while the job waited in
+      // the queue, so no pipeline work is worth doing. Counted separately
+      // from failures — the engine did nothing wrong, it was just too busy.
+      ServeResult shed;
+      shed.id = job.request.id;
+      shed.deadline_exceeded = true;
+      shed.error = "deadline_exceeded: shed at dequeue";
+      shed.queue_ms = queue_ms;
+      shed.total_ms = ms_since(job.enqueued);
+      metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      job.promise.set_value(std::move(shed));
+      continue;
+    }
     obs::Span request_span("serve_request", "serve");
     ServeResult result;
     try {
-      result = process(job.request, queue_ms);
+      result = process(job.request, cancel);
+    } catch (const CancelledError& e) {
+      result.id = job.request.id;
+      result.deadline_exceeded = true;
+      result.error = e.what();
     } catch (const std::exception& e) {
       result.id = job.request.id;
       result.error = e.what();
@@ -113,17 +141,22 @@ void ServingEngine::worker_loop() {
     result.queue_ms = queue_ms;
     result.total_ms = ms_since(job.enqueued);
     metrics_.latency.total.record(result.total_ms);
-    if (!result.error.empty()) {
+    if (result.deadline_exceeded) {
+      metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    } else if (!result.error.empty()) {
       metrics_.failed.fetch_add(1, std::memory_order_relaxed);
     } else {
       metrics_.completed.fetch_add(1, std::memory_order_relaxed);
       if (!result.usable) metrics_.no_echo.fetch_add(1, std::memory_order_relaxed);
+      if (result.quality.degraded)
+        metrics_.degraded.fetch_add(1, std::memory_order_relaxed);
     }
     job.promise.set_value(std::move(result));
   }
 }
 
-ServeResult ServingEngine::process(const ServeRequest& request, double /*queue_ms*/) {
+ServeResult ServingEngine::process(const ServeRequest& request,
+                                   const CancelToken& cancel) {
   ServeResult result;
   result.id = request.id;
 
@@ -150,6 +183,7 @@ ServeResult ServingEngine::process(const ServeRequest& request, double /*queue_m
   ingest_span.set_arg("chunks",
                       static_cast<std::int64_t>((samples.size() + chunk - 1) / chunk));
   for (std::size_t pos = 0; pos < samples.size(); pos += chunk) {
+    cancel.check("stream_ingest");
     if (pos > 0 && request.chunk_period_s > 0.0) {
       // Real-time pacing: the next chunk has not arrived from the device yet.
       std::this_thread::sleep_for(std::chrono::duration<double>(request.chunk_period_s));
@@ -160,10 +194,11 @@ ServeResult ServingEngine::process(const ServeRequest& request, double /*queue_m
   }
   ingest_span.end();
 
-  core::EchoAnalysis analysis = session.finish();
+  core::EchoAnalysis analysis = session.finish(cancel);
   result.usable = analysis.usable();
   result.events = analysis.events.size();
   result.echoes = analysis.echoes.size();
+  result.quality = analysis.quality;
   result.timings = analysis.timings;
   result.timings.bandpass_ms = resample_ms;  // chunk filtering folds into feed()
 

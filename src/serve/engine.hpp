@@ -58,6 +58,12 @@ struct ServeRequest {
   /// Seconds between chunk arrivals (0 = backlogged upload, feed immediately).
   /// Real-time device streaming = chunk_samples / sample_rate.
   double chunk_period_s = 0.0;
+  /// Request deadline in milliseconds from submit() (0 = none). An expired
+  /// request is shed at dequeue — before any pipeline work — and a request
+  /// that expires mid-pipeline is cancelled at the next stage boundary;
+  /// either way the result carries deadline_exceeded = true and the request
+  /// counts toward `requests_deadline_exceeded_total`, not `failed`.
+  double timeout_ms = 0.0;
 };
 
 struct ServeResult {
@@ -67,9 +73,11 @@ struct ServeResult {
   std::size_t events = 0;
   std::size_t echoes = 0;
   core::StageTimings timings;   ///< per-stage pipeline latency
+  core::AnalysisQuality quality;  ///< per-chirp degradation report
   double queue_ms = 0.0;        ///< time spent waiting in the queue
   double total_ms = 0.0;        ///< queue wait + processing
   std::uint64_t model_version = 0;
+  bool deadline_exceeded = false;  ///< shed at dequeue or cancelled mid-pipeline
   std::string error;            ///< non-empty when processing threw
 };
 
@@ -108,6 +116,10 @@ class ServingEngine {
   [[nodiscard]] ModelRegistry& registry() { return registry_; }
 
   [[nodiscard]] const ServeMetrics& metrics() const { return metrics_; }
+  /// Mutable access for collaborators that feed engine counters from outside
+  /// the request path (e.g. the CLI's model reloader incrementing
+  /// `model_reload_retries`).
+  [[nodiscard]] ServeMetrics& metrics() { return metrics_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
 
   /// metrics().text_snapshot() plus engine-level gauges (queue capacity,
@@ -119,10 +131,13 @@ class ServingEngine {
     ServeRequest request;
     std::promise<ServeResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Absolute deadline, fixed at submit() from request.timeout_ms.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
   };
 
   void worker_loop();
-  [[nodiscard]] ServeResult process(const ServeRequest& request, double queue_ms);
+  [[nodiscard]] ServeResult process(const ServeRequest& request,
+                                    const CancelToken& cancel);
 
   EngineConfig config_;
   ModelRegistry registry_;

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <sstream>
 
+#include "common/fault.hpp"
+
 namespace earsonar::serve {
 
 namespace {
@@ -87,6 +89,14 @@ std::string ServeMetrics::text_snapshot() const {
   emit_counter(out, "requests_completed_total", completed.load(std::memory_order_relaxed));
   emit_counter(out, "requests_failed_total", failed.load(std::memory_order_relaxed));
   emit_counter(out, "requests_no_echo_total", no_echo.load(std::memory_order_relaxed));
+  emit_counter(out, "requests_deadline_exceeded_total",
+               deadline_exceeded.load(std::memory_order_relaxed));
+  emit_counter(out, "requests_degraded_total",
+               degraded.load(std::memory_order_relaxed));
+  emit_counter(out, "model_reload_retries_total",
+               model_reload_retries.load(std::memory_order_relaxed));
+  emit_counter(out, "faults_injected_total",
+               fault::Registry::instance().injected_total());
   emit_counter(out, "chunks_fed_total", chunks_fed.load(std::memory_order_relaxed));
   emit_counter(out, "events_detected_total",
                events_detected.load(std::memory_order_relaxed));

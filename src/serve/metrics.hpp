@@ -60,6 +60,9 @@ struct ServeMetrics {
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> failed{0};    ///< processing threw
   std::atomic<std::uint64_t> no_echo{0};   ///< completed but unusable recording
+  std::atomic<std::uint64_t> deadline_exceeded{0};  ///< shed or cancelled on deadline
+  std::atomic<std::uint64_t> degraded{0};  ///< completed with a degraded quality report
+  std::atomic<std::uint64_t> model_reload_retries{0};  ///< --watch reload backoff retries
   std::atomic<std::uint64_t> chunks_fed{0};
   std::atomic<std::int64_t> queue_depth{0};
   // Per-stage throughput counters fed from the pipeline's trace spans: how

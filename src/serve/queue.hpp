@@ -11,6 +11,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/fault.hpp"
 #include "serve/ring_buffer.hpp"
 
 namespace earsonar::serve {
@@ -22,6 +23,9 @@ class BoundedQueue {
 
   /// False when the queue is full or closed; the caller keeps the rejection.
   bool try_push(T item) {
+    // Chaos hook: a fired fault looks exactly like a full queue, exercising
+    // the caller's rejection path without actually filling the queue.
+    if (fault::point("serve.queue.push")) return false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || !items_.push(std::move(item))) return false;

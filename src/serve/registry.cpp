@@ -1,7 +1,11 @@
 #include "serve/registry.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace earsonar::serve {
 
@@ -17,6 +21,8 @@ std::uint64_t ModelRegistry::install(core::DetectorModel model, std::string sour
 }
 
 std::uint64_t ModelRegistry::load_file(const std::string& path) {
+  if (fault::point("serve.registry.load"))
+    fail("injected fault: serve.registry.load");
   // Parse outside the lock: a slow or failing load must not block readers.
   return install(core::load_detector_file(path), path);
 }
@@ -34,6 +40,71 @@ std::uint64_t ModelRegistry::version() const {
 std::string ModelRegistry::source() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   return source_;
+}
+
+ModelReloader::ModelReloader(ModelRegistry& registry, std::string path,
+                             Config config,
+                             std::atomic<std::uint64_t>* retry_counter)
+    : registry_(registry),
+      path_(std::move(path)),
+      config_(config),
+      retry_counter_(retry_counter) {
+  require_positive("ModelReloader.initial_backoff_ms", config_.initial_backoff_ms);
+  require(config_.max_backoff_ms >= config_.initial_backoff_ms,
+          "ModelReloader: max_backoff_ms must be >= initial_backoff_ms");
+  require(config_.multiplier >= 1.0, "ModelReloader: multiplier must be >= 1");
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path_, ec);
+  if (!ec) {
+    last_mtime_ = mtime;
+    have_mtime_ = true;
+  }
+}
+
+ModelReloader::Status ModelReloader::poll(Clock::time_point now) {
+  if (retry_pending_) {
+    if (now < next_attempt_) return Status::kBackingOff;
+    return attempt(now);
+  }
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path_, ec);
+  // A missing file is not a failure: an atomic rename-into-place briefly has
+  // no file, and "serve the model you have" is the right behavior anyway.
+  if (ec) return Status::kUnchanged;
+  if (have_mtime_ && mtime == last_mtime_) return Status::kUnchanged;
+  last_mtime_ = mtime;
+  have_mtime_ = true;
+  return attempt(now);
+}
+
+ModelReloader::Status ModelReloader::attempt(Clock::time_point now) {
+  // Re-stat before a retry so a fixed file is picked up by this attempt.
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path_, ec);
+  if (!ec) {
+    last_mtime_ = mtime;
+    have_mtime_ = true;
+  }
+  try {
+    registry_.load_file(path_);
+  } catch (const std::exception& e) {
+    last_error_ = e.what();
+    ++retries_;
+    if (retry_counter_) retry_counter_->fetch_add(1, std::memory_order_relaxed);
+    backoff_ms_ = retry_pending_
+                      ? std::min(backoff_ms_ * config_.multiplier,
+                                 config_.max_backoff_ms)
+                      : config_.initial_backoff_ms;
+    retry_pending_ = true;
+    next_attempt_ = now + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(backoff_ms_));
+    return Status::kFailedWillRetry;
+  }
+  retry_pending_ = false;
+  backoff_ms_ = 0.0;
+  last_error_.clear();
+  ++reloads_;
+  return Status::kReloaded;
 }
 
 }  // namespace earsonar::serve

@@ -9,7 +9,10 @@
 // and no swap waits for inference to drain.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -41,6 +44,66 @@ class ModelRegistry {
   std::shared_ptr<const core::DetectorModel> model_;
   std::uint64_t version_ = 0;
   std::string source_;
+};
+
+/// Self-healing model-file watcher for the serving loop (`--watch`).
+///
+/// The registry already guarantees a bad reload never evicts the current
+/// model; the reloader adds *recovery*: when a rewrite of the watched file
+/// fails to parse (retrain job crashed mid-write, truncated copy), it retries
+/// with exponential backoff — serving the last good model throughout — until
+/// a load succeeds, then resets the backoff. poll() is cheap (one stat) and
+/// meant to be called from the serving loop's idle ticks; the overload taking
+/// an explicit `now` makes backoff timing deterministic in tests.
+struct ReloaderConfig {
+  double initial_backoff_ms = 100.0;  ///< delay after the first failure
+  double max_backoff_ms = 10000.0;    ///< backoff ceiling
+  double multiplier = 2.0;            ///< growth per consecutive failure
+};
+
+class ModelReloader {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Config = ReloaderConfig;
+
+  enum class Status {
+    kUnchanged,        ///< file not modified (or still missing); nothing done
+    kReloaded,         ///< new model parsed and installed
+    kBackingOff,       ///< a retry is pending but its backoff has not elapsed
+    kFailedWillRetry,  ///< a load attempt failed; retry scheduled
+  };
+
+  /// Watches `path` for `registry`. The file's current mtime (if it exists)
+  /// is taken as the already-loaded baseline — construct the reloader right
+  /// after the initial load. `retry_counter`, when given, is incremented on
+  /// every failed load attempt (the engine's `model_reload_retries` metric).
+  ModelReloader(ModelRegistry& registry, std::string path, Config config = {},
+                std::atomic<std::uint64_t>* retry_counter = nullptr);
+
+  Status poll() { return poll(Clock::now()); }
+  Status poll(Clock::time_point now);
+
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t reloads() const { return reloads_; }
+  [[nodiscard]] double current_backoff_ms() const { return backoff_ms_; }
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  Status attempt(Clock::time_point now);
+
+  ModelRegistry& registry_;
+  std::string path_;
+  Config config_;
+  std::atomic<std::uint64_t>* retry_counter_;
+  std::filesystem::file_time_type last_mtime_{};
+  bool have_mtime_ = false;
+  bool retry_pending_ = false;
+  Clock::time_point next_attempt_{};
+  double backoff_ms_ = 0.0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t reloads_ = 0;
+  std::string last_error_;
 };
 
 }  // namespace earsonar::serve

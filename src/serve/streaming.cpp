@@ -1,8 +1,10 @@
 #include "serve/streaming.hpp"
 
+#include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "core/preprocess.hpp"
 #include "obs/trace.hpp"
 
@@ -32,6 +34,7 @@ StreamingSession::StreamingSession(StreamingConfig config)
 FeedStatus StreamingSession::feed(std::span<const double> chunk) {
   require(!finished_, "StreamingSession: feed after finish");
   if (chunk.empty()) return FeedStatus::kAccepted;
+  if (fault::point("serve.stream.feed")) fail("injected fault: serve.stream.feed");
   obs::Span feed_span("stream_feed", "stream");
   feed_span.set_arg("samples", static_cast<std::int64_t>(chunk.size()));
 
@@ -62,17 +65,25 @@ void StreamingSession::ingest_event(const core::Event& event) {
   // Absolute indices; an event whose samples were already evicted (possible
   // only with a capacity close to one event length) cannot be segmented.
   if (event.start < base_ || event.end > base_ + filtered_.size()) return;
-  // Mirror the batch path per chirp: onset-align the event, then segment.
-  core::Event aligned{event.start - base_, event.end - base_};
-  aligned.start = core::aligned_event_start(filtered_, aligned);
-  core::Event absolute{aligned.start + base_, event.end};
-  events_.push_back(absolute);
-  if (std::optional<core::EchoSegment> echo =
-          segmenter_.segment(filtered_, absolute, base_))
-    echoes_.push_back(*echo);
+  // Mirror the batch path per chirp — including its per-chirp error
+  // isolation: a chirp whose alignment or segmentation throws is recorded in
+  // the session's quality report, and the stream keeps flowing.
+  const std::size_t chirp = events_.size();
+  try {
+    core::Event aligned{event.start - base_, event.end - base_};
+    aligned.start = core::aligned_event_start(filtered_, aligned);
+    core::Event absolute{aligned.start + base_, event.end};
+    events_.push_back(absolute);
+    if (std::optional<core::EchoSegment> echo =
+            segmenter_.segment(filtered_, absolute, base_))
+      echoes_.push_back(*echo);
+  } catch (const std::exception& e) {
+    quality_.drops.push_back({chirp, "segment", e.what()});
+    quality_.degraded = true;
+  }
 }
 
-core::EchoAnalysis StreamingSession::finish() {
+core::EchoAnalysis StreamingSession::finish(const CancelToken& cancel) {
   require(!finished_, "StreamingSession: finish twice");
   require(samples_fed_ > 0, "StreamingSession: finish with no audio fed");
   obs::Span finish_span("stream_finish", "stream");
@@ -81,7 +92,17 @@ core::EchoAnalysis StreamingSession::finish() {
   for (const core::Event& event : detector_.flush()) ingest_event(event);
   audio::Waveform wave(std::move(filtered_), config_.pipeline.chirp.sample_rate);
   filtered_.clear();
-  return pipeline_.analyze_filtered(wave);
+  core::EchoAnalysis analysis = pipeline_.analyze_filtered(wave, cancel);
+  if (truncated()) {
+    // Evicted samples mean the authoritative pass only saw the retained
+    // tail: the result is valid but partial — surface that as degradation.
+    std::ostringstream os;
+    os << "stream evicted " << base_ << " of " << samples_fed_ << " samples";
+    analysis.quality.drops.push_back({core::ChirpDrop::kWholeStage, "stream", os.str()});
+    analysis.quality.chirps_dropped = analysis.quality.drops.size();
+    analysis.quality.degraded = true;
+  }
+  return analysis;
 }
 
 core::EchoAnalysis StreamingSession::partial_analysis() const {
@@ -89,6 +110,12 @@ core::EchoAnalysis StreamingSession::partial_analysis() const {
   core::EchoAnalysis analysis;
   analysis.events = events_;
   analysis.echoes = echoes_;
+  analysis.quality = quality_;
+  analysis.quality.chirps_total = events_.size();
+  analysis.quality.chirps_used = echoes_.size();
+  analysis.quality.chirps_dropped = quality_.drops.size();
+  analysis.quality.min_usable = config_.pipeline.min_usable_chirps;
+  analysis.quality.degraded = quality_.degraded || truncated();
   if (echoes_.empty() || filtered_.empty()) return analysis;
 
   // Shift echo anchors into the retained window; echoes whose event has been

@@ -68,13 +68,17 @@ class StreamingSession {
 
   /// Exact finalization: the same events / echoes / spectrum / features /
   /// diagnosis-input the batch pipeline computes for everything fed (see the
-  /// file comment for the evict-mode caveat). Ends the session.
-  core::EchoAnalysis finish();
+  /// file comment for the evict-mode caveat). Ends the session. The result's
+  /// `quality` is the batch pipeline's degradation report, with stream-level
+  /// truncation folded in; `cancel` aborts between pipeline stages with
+  /// CancelledError.
+  core::EchoAnalysis finish(const CancelToken& cancel = {});
 
   /// Provisional snapshot from the incremental path: events and echoes
   /// finalized so far, plus the feature vector over those echoes (computed
-  /// on demand; empty until an echo has been segmented). Unlike finish(),
-  /// this does not apply whole-recording consensus re-anchoring.
+  /// on demand; empty until an echo has been segmented) and the session's
+  /// incremental `quality` report. Unlike finish(), this does not apply
+  /// whole-recording consensus re-anchoring.
   [[nodiscard]] core::EchoAnalysis partial_analysis() const;
 
   [[nodiscard]] std::size_t samples_fed() const { return samples_fed_; }
@@ -105,6 +109,7 @@ class StreamingSession {
   std::size_t rejected_chunks_ = 0;
   std::vector<core::Event> events_;       ///< provisional, absolute indices
   std::vector<core::EchoSegment> echoes_; ///< provisional, absolute indices
+  core::AnalysisQuality quality_;         ///< incremental-path degradation report
   bool finished_ = false;
 };
 

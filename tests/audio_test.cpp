@@ -293,5 +293,137 @@ TEST(WavTest, EmptyWaveformRejected) {
   EXPECT_THROW(write_wav("/tmp/empty.wav", Waveform{}), std::invalid_argument);
 }
 
+// ------------------------------------------------- malformed-header hardening
+// Regression cases for parse_wav's chunk walking: every hostile header shape
+// either throws std::runtime_error or decodes the frames that are really
+// there — never reads out of bounds (certified by the ASan sweep in
+// scripts/check_sanitize.sh and fuzzed in tests/fuzz/).
+
+namespace wavbytes {
+
+void u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void tag(std::vector<std::uint8_t>& out, const char* t) {
+  out.insert(out.end(), t, t + 4);
+}
+
+// RIFF/WAVE prelude + a 16-byte PCM16 mono fmt chunk at 48 kHz.
+std::vector<std::uint8_t> header() {
+  std::vector<std::uint8_t> b;
+  tag(b, "RIFF");
+  u32(b, 0);  // RIFF size: unchecked by design (phones get it wrong)
+  tag(b, "WAVE");
+  tag(b, "fmt ");
+  u32(b, 16);
+  u16(b, 1);       // PCM
+  u16(b, 1);       // mono
+  u32(b, 48000);   // rate
+  u32(b, 96000);   // byte rate
+  u16(b, 2);       // block align
+  u16(b, 16);      // bits
+  return b;
+}
+
+void data_chunk(std::vector<std::uint8_t>& b, std::uint32_t declared,
+                std::size_t actual_samples) {
+  tag(b, "data");
+  u32(b, declared);
+  for (std::size_t i = 0; i < actual_samples; ++i)
+    u16(b, static_cast<std::uint16_t>(1000 + i));
+}
+
+}  // namespace wavbytes
+
+TEST(WavHardeningTest, OverflowingChunkSizeBeforeDataThrows) {
+  std::vector<std::uint8_t> b = wavbytes::header();
+  wavbytes::tag(b, "junk");
+  wavbytes::u32(b, 0xFFFFFFFFu);  // would wrap any unguarded position math
+  wavbytes::data_chunk(b, 8, 4);
+  EXPECT_THROW(
+      {
+        try {
+          (void)parse_wav(b, "overflow");
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("chunk size overruns file"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(WavHardeningTest, TruncatedDataChunkIsCappedToPresentBytes) {
+  std::vector<std::uint8_t> b = wavbytes::header();
+  // Declares 100 samples, ships 5: a truncated upload. The 5 real frames
+  // decode; nothing past the buffer is touched.
+  wavbytes::data_chunk(b, 200, 5);
+  const Waveform loaded = parse_wav(b, "truncated");
+  ASSERT_EQ(loaded.size(), 5u);
+  EXPECT_NEAR(loaded.samples()[0], 1000.0 / 32767.0, 1e-9);
+}
+
+TEST(WavHardeningTest, OddSizedChunkIsSkippedWithRiffPad) {
+  std::vector<std::uint8_t> b = wavbytes::header();
+  wavbytes::tag(b, "LIST");
+  wavbytes::u32(b, 3);           // odd size...
+  b.insert(b.end(), {1, 2, 3, 0});  // ...payload + RIFF pad byte
+  wavbytes::data_chunk(b, 8, 4);
+  const Waveform loaded = parse_wav(b, "odd-chunk");
+  EXPECT_EQ(loaded.size(), 4u);
+  EXPECT_DOUBLE_EQ(loaded.sample_rate(), 48000.0);
+}
+
+TEST(WavHardeningTest, ShortFmtChunkThrows) {
+  std::vector<std::uint8_t> b;
+  wavbytes::tag(b, "RIFF");
+  wavbytes::u32(b, 0);
+  wavbytes::tag(b, "WAVE");
+  wavbytes::tag(b, "fmt ");
+  wavbytes::u32(b, 8);  // too short to hold a fmt body
+  for (int i = 0; i < 8; ++i) b.push_back(0);
+  wavbytes::data_chunk(b, 8, 4);
+  while (b.size() < 44) b.push_back(0);
+  EXPECT_THROW((void)parse_wav(b, "short-fmt"), std::runtime_error);
+}
+
+TEST(WavHardeningTest, MissingDataChunkThrows) {
+  std::vector<std::uint8_t> b = wavbytes::header();
+  while (b.size() < 44) b.push_back(0);
+  EXPECT_THROW(
+      {
+        try {
+          (void)parse_wav(b, "no-data");
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("no data chunk"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(WavHardeningTest, TruncatedTrailingChunkAfterDataIsTolerated) {
+  std::vector<std::uint8_t> b = wavbytes::header();
+  wavbytes::data_chunk(b, 8, 4);
+  // A trailing metadata chunk cut off mid-write must not void the good data.
+  wavbytes::tag(b, "LIST");
+  wavbytes::u32(b, 1000);
+  b.push_back(7);
+  const Waveform loaded = parse_wav(b, "trailing");
+  EXPECT_EQ(loaded.size(), 4u);
+}
+
+TEST(WavHardeningTest, ChunkSizeMaxDoesNotWrapPositionArithmetic) {
+  // data declared 0xFFFFFFFF with 4 real samples: capped, not wrapped.
+  std::vector<std::uint8_t> b = wavbytes::header();
+  wavbytes::data_chunk(b, 0xFFFFFFFFu, 4);
+  const Waveform loaded = parse_wav(b, "max-size");
+  EXPECT_EQ(loaded.size(), 4u);
+}
+
 }  // namespace
 }  // namespace earsonar::audio

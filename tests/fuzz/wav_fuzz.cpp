@@ -1,0 +1,145 @@
+// Fuzz harness for the WAV parser and event detector.
+//
+// One entry point, two builds:
+//
+//  * `wav_fuzz` — a real libFuzzer target, built only when the project is
+//    configured with -DEARSONAR_FUZZ=ON under Clang (GCC has no libFuzzer
+//    runtime). Run it as `./wav_fuzz tests/fuzz/corpus/wav` to fuzz from the
+//    checked-in corpus.
+//
+//  * `wav_fuzz_replay` — an always-built regression runner registered in
+//    ctest (label `fault`). It replays every checked-in corpus file —
+//    including former crashers — through the identical harness, then runs a
+//    deterministic seeded-mutation smoke pass so each CI run probes a few
+//    thousand nearby byte strings without any fuzzer runtime.
+//
+// The invariant under test: no byte string makes parse_wav or the event
+// detector crash, hang, or read out of bounds. Throwing one of the documented
+// std::exception types is the *expected* rejection path and never a failure.
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <span>
+
+#include "audio/wav.hpp"
+#include "core/event_detect.hpp"
+
+namespace {
+
+// Bound detector work so pathological inputs (huge declared data chunks
+// capped to real bytes) cannot turn one fuzz iteration into seconds.
+constexpr std::size_t kMaxDetectorSamples = 1 << 16;
+
+void fuzz_one(std::span<const std::uint8_t> bytes) {
+  earsonar::audio::Waveform wave;
+  try {
+    wave = earsonar::audio::parse_wav(bytes, "fuzz");
+  } catch (const std::exception&) {
+    return;  // rejection is the contract for malformed input
+  }
+  if (wave.empty() || wave.size() > kMaxDetectorSamples) return;
+  try {
+    const earsonar::core::AdaptiveEventDetector detector;
+    (void)detector.detect(wave);
+  } catch (const std::exception&) {
+    // The detector may also reject (e.g. NaN-laden float32 payloads).
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_one({data, size});
+  return 0;
+}
+
+#ifdef EARSONAR_FUZZ_REPLAY_MAIN
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+// xorshift64* — deterministic across platforms, unlike std::mt19937's
+// distribution adapters.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+// Replay a corpus file, then hammer its neighborhood: flip/overwrite a few
+// bytes at seeded-random offsets, occasionally truncate. Every mutant must
+// also be crash-free.
+void replay_and_mutate(const std::vector<std::uint8_t>& seed_bytes,
+                       std::uint64_t seed, int mutants) {
+  fuzz_one(seed_bytes);
+  std::uint64_t state = seed | 1;
+  for (int m = 0; m < mutants; ++m) {
+    std::vector<std::uint8_t> mutant = seed_bytes;
+    if (mutant.empty()) continue;
+    const int edits = 1 + static_cast<int>(next_rand(state) % 4);
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = next_rand(state) % mutant.size();
+      mutant[pos] = static_cast<std::uint8_t>(next_rand(state));
+    }
+    if (next_rand(state) % 8 == 0)
+      mutant.resize(next_rand(state) % (mutant.size() + 1));
+    fuzz_one(mutant);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Usage: wav_fuzz_replay <corpus-dir>... — defaults to 200 mutants per
+  // file; EARSONAR_FUZZ_MUTANTS overrides (0 = replay only).
+  int mutants = 200;
+  if (const char* env = std::getenv("EARSONAR_FUZZ_MUTANTS"))
+    mutants = std::atoi(env);
+
+  std::size_t files = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path dir(argv[i]);
+    if (!std::filesystem::is_directory(dir)) {
+      std::fprintf(stderr, "wav_fuzz_replay: not a directory: %s\n", argv[i]);
+      return 2;
+    }
+    std::vector<std::filesystem::path> paths;
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+      if (entry.is_regular_file()) paths.push_back(entry.path());
+    std::sort(paths.begin(), paths.end());  // deterministic order
+    for (const auto& path : paths) {
+      // Per-file seed from the filename so adding corpus entries does not
+      // shift the mutation streams of existing ones.
+      std::uint64_t seed = 0xcbf29ce484222325ULL;
+      for (const char c : path.filename().string())
+        seed = (seed ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+      replay_and_mutate(read_bytes(path), seed, mutants);
+      ++files;
+    }
+  }
+  if (files == 0) {
+    std::fprintf(stderr, "wav_fuzz_replay: no corpus files found\n");
+    return 2;
+  }
+  std::printf("wav_fuzz_replay: %zu corpus files x %d mutants, no crashes\n",
+              files, mutants);
+  return 0;
+}
+
+#endif  // EARSONAR_FUZZ_REPLAY_MAIN

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "core/model_io.hpp"
 #include "core/pipeline.hpp"
@@ -443,6 +444,142 @@ TEST(ServingEngineTest, StopDrainsAcceptedWorkAndRestarts) {
   ASSERT_TRUE(sub.accepted) << sub.reason;
   EXPECT_TRUE(sub.result.get().error.empty());
   engine.stop();
+}
+
+// ------------------------------------------------------------- chaos: faults
+// and deadlines. These arm fault points / tight deadlines and assert the
+// engine degrades exactly as documented — sheds, isolates, keeps serving.
+
+TEST(ServingEngineChaosTest, ExpiredDeadlineIsShedWithoutPipelineWork) {
+  const audio::Waveform recording = test_recording();
+  serve::ServingEngine engine(small_engine(1, 8));
+  engine.registry().install(tiny_model(), "test");
+  engine.start();
+
+  // Occupy the lone worker with a paced request (~0.2 s of chunk arrivals)...
+  serve::ServeRequest slow;
+  slow.id = "slow";
+  slow.recording = recording;
+  slow.chunk_samples = 480;
+  slow.chunk_period_s = 0.04;
+  serve::Submission slow_sub = engine.submit(std::move(slow));
+  ASSERT_TRUE(slow_sub.accepted) << slow_sub.reason;
+
+  // ...so this 1 ms-deadline request is already stale when a worker finally
+  // pops it, and must be shed at dequeue: no events, no chunks, just the
+  // deadline_exceeded verdict.
+  serve::ServeRequest doomed;
+  doomed.id = "doomed";
+  doomed.recording = recording;
+  doomed.timeout_ms = 1.0;
+  serve::Submission doomed_sub = engine.submit(std::move(doomed));
+  ASSERT_TRUE(doomed_sub.accepted) << doomed_sub.reason;
+
+  const serve::ServeResult shed = doomed_sub.result.get();
+  EXPECT_TRUE(shed.deadline_exceeded);
+  EXPECT_NE(shed.error.find("shed at dequeue"), std::string::npos) << shed.error;
+  EXPECT_EQ(shed.events, 0u);
+  EXPECT_FALSE(shed.usable);
+
+  const serve::ServeResult slow_result = slow_sub.result.get();
+  EXPECT_TRUE(slow_result.error.empty()) << slow_result.error;
+  engine.stop();
+
+  EXPECT_EQ(engine.metrics().deadline_exceeded.load(), 1u);
+  EXPECT_EQ(engine.metrics().failed.load(), 0u);
+  EXPECT_EQ(engine.metrics().completed.load(), 1u);
+  const std::string snapshot = engine.metrics_snapshot();
+  EXPECT_NE(snapshot.find("earsonar_serve_requests_deadline_exceeded_total 1"),
+            std::string::npos);
+}
+
+TEST(ServingEngineChaosTest, MidIngestDeadlineCancelsBetweenChunks) {
+  const audio::Waveform recording = test_recording();
+  serve::ServingEngine engine(small_engine(1, 4));
+  engine.start();
+  // The deadline expires while chunks are still arriving; the worker must
+  // abandon the session at the next chunk boundary instead of finishing.
+  serve::ServeRequest request;
+  request.id = "late";
+  request.recording = recording;
+  request.chunk_samples = 480;
+  request.chunk_period_s = 0.03;
+  request.timeout_ms = 40.0;
+  serve::Submission sub = engine.submit(std::move(request));
+  ASSERT_TRUE(sub.accepted) << sub.reason;
+  const serve::ServeResult result = sub.result.get();
+  engine.stop();
+  EXPECT_TRUE(result.deadline_exceeded);
+  EXPECT_EQ(std::string(result.error).rfind("deadline_exceeded", 0), 0u)
+      << result.error;
+  EXPECT_EQ(engine.metrics().deadline_exceeded.load(), 1u);
+  EXPECT_EQ(engine.metrics().failed.load(), 0u);
+}
+
+TEST(ServingEngineChaosTest, StreamFeedFaultFailsOneRequestNotTheEngine) {
+  const audio::Waveform recording = test_recording();
+  serve::ServingEngine engine(small_engine(1, 4));
+  engine.registry().install(tiny_model(), "test");
+  engine.start();
+  {
+    fault::ScopedFault guard("serve.stream.feed=nth:1");
+    serve::Submission sub = engine.submit({"faulted", recording});
+    ASSERT_TRUE(sub.accepted) << sub.reason;
+    const serve::ServeResult result = sub.result.get();
+    EXPECT_NE(result.error.find("injected fault: serve.stream.feed"),
+              std::string::npos)
+        << result.error;
+  }
+  // The worker survives the injected failure and serves the next request.
+  serve::Submission sub = engine.submit({"healthy", recording});
+  ASSERT_TRUE(sub.accepted) << sub.reason;
+  const serve::ServeResult result = sub.result.get();
+  engine.stop();
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(engine.metrics().failed.load(), 1u);
+  EXPECT_EQ(engine.metrics().completed.load(), 1u);
+}
+
+TEST(ServingEngineChaosTest, QueuePushFaultLooksLikeBackpressure) {
+  const audio::Waveform recording = test_recording();
+  serve::ServingEngine engine(small_engine(1, 8));
+  engine.start();
+  {
+    fault::ScopedFault guard("serve.queue.push=always");
+    serve::Submission sub = engine.submit({"rejected", recording});
+    EXPECT_FALSE(sub.accepted);
+    EXPECT_NE(sub.reason.find("queue full"), std::string::npos) << sub.reason;
+  }
+  serve::Submission sub = engine.submit({"accepted", recording});
+  ASSERT_TRUE(sub.accepted) << sub.reason;
+  (void)sub.result.get();
+  engine.stop();
+  EXPECT_EQ(engine.metrics().rejected_queue_full.load(), 1u);
+}
+
+TEST(ServingEngineChaosTest, DegradedRequestCompletesAndIsCounted) {
+  const audio::Waveform recording = test_recording();
+  serve::ServingEngine engine(small_engine(1, 4));
+  engine.registry().install(tiny_model(), "test");
+  engine.start();
+  serve::ServeResult result;
+  {
+    // Every 5th per-chirp segmentation throws inside the authoritative
+    // finish() pass; the request must still complete, flagged degraded.
+    fault::ScopedFault guard("pipeline.segment_chirp=every:5");
+    serve::Submission sub = engine.submit({"degraded", recording});
+    ASSERT_TRUE(sub.accepted) << sub.reason;
+    result = sub.result.get();
+  }
+  engine.stop();
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.quality.degraded);
+  EXPECT_GT(result.quality.chirps_dropped, 0u);
+  EXPECT_GT(result.quality.chirps_used, 0u);
+  EXPECT_EQ(engine.metrics().degraded.load(), 1u);
+  const std::string snapshot = engine.metrics_snapshot();
+  EXPECT_NE(snapshot.find("earsonar_serve_requests_degraded_total 1"),
+            std::string::npos);
 }
 
 }  // namespace
