@@ -11,6 +11,8 @@
 #      name exported by src/serve/metrics.cpp and src/serve/engine.cpp.
 #   4. docs/robustness.md must catalog every fault point registered in the
 #      source tree (each fault::point("...") call site).
+#   5. docs/testing.md must catalog every differential-oracle pair registered
+#      in src/check/tolerance.cpp (each add_pair(t, "...") call site).
 set -eu
 
 ROOT=${1:?usage: check_docs.sh REPO_ROOT [EARSONAR_BIN]}
@@ -89,6 +91,27 @@ if [ -f "$ROBUST_DOC" ]; then
   for p in $points; do
     grep -qF "\`$p\`" "$ROBUST_DOC" \
       || err "docs/robustness.md does not catalog fault point '$p'"
+  done
+fi
+
+# ---- 5. oracle pair catalog vs testing docs ------------------------------
+TESTING_DOC="$ROOT/docs/testing.md"
+[ -f "$TESTING_DOC" ] || err "docs/testing.md is missing"
+
+if [ -f "$TESTING_DOC" ]; then
+  pairs=$(grep -ohE 'add_pair\(t, "[a-z0-9_.]+"' "$ROOT/src/check/tolerance.cpp" \
+            | sed 's/add_pair(t, "//; s/"$//' | sort -u) || true
+  [ -n "$pairs" ] || err "no add_pair call sites found in src/check/tolerance.cpp"
+  for p in $pairs; do
+    grep -qF "\`$p\`" "$TESTING_DOC" \
+      || err "docs/testing.md does not catalog oracle pair '$p'"
+  done
+  # And the reverse: a documented pair must exist in the policy table.
+  doc_pairs=$(grep -ohE '`(dsp|common|serve|audio|golden)\.[a-z0-9_.]+`' "$TESTING_DOC" \
+                | tr -d '`' | sort -u) || true
+  for p in $doc_pairs; do
+    printf '%s\n' "$pairs" | grep -qxF "$p" \
+      || err "docs/testing.md catalogs unknown oracle pair '$p'"
   done
 fi
 

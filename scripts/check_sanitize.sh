@@ -1,15 +1,20 @@
 #!/bin/sh
 # check_sanitize.sh [REPO_ROOT]
 #
-# Sanitizer sweep over the concurrency- and fault-heavy test surface. Two
-# fresh build trees, each running the `serve` and `fault` ctest labels (the
-# serving engine's chaos tests plus the fault-injection / degradation /
-# fuzz-replay suites):
+# Sanitizer sweep over the concurrency-, fault-, and numerics-heavy test
+# surface. Two fresh build trees:
 #
-#   1. EARSONAR_SANITIZE=address,undefined — memory errors and UB, including
-#      the hardened WAV chunk walking replayed over the crasher corpus.
+#   1. EARSONAR_SANITIZE=address,undefined — memory errors and UB over the
+#      `serve` and `fault` labels (engine chaos tests, fault injection,
+#      fuzz replay) plus the full `oracle` label: the differential oracle
+#      drives every optimized kernel through denormals, primes, and
+#      edge-case sizes, exactly where UB likes to hide.
 #   2. EARSONAR_SANITIZE=thread           — data races in the worker pool,
-#      metrics, registry hot-swap, and the fault registry's armed fast path.
+#      metrics, registry hot-swap, and the fault registry's armed fast
+#      path; of the oracle suite only the `oracle_stream` label (the
+#      streaming-vs-batch equivalence pairs) runs here, since the pure
+#      numeric pairs are single-threaded and O(n^2) references are slow
+#      under TSan.
 #
 # Usage: scripts/check_sanitize.sh [repo-root]   (default: script's parent)
 # Build trees live under build-san-{asan,tsan}/ and are reconfigured, not
@@ -18,26 +23,30 @@ set -eu
 
 ROOT=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
 JOBS=$(nproc 2>/dev/null || echo 2)
-LABELS='serve|fault'
 
 run_flavor() {
   flavor=$1
   sanitize=$2
+  labels=$3
+  shift 3
   build="$ROOT/build-san-$flavor"
-  echo "== check_sanitize: $sanitize -> $build =="
+  echo "== check_sanitize: $sanitize -> $build (ctest -L '$labels') =="
   cmake -B "$build" -S "$ROOT" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DEARSONAR_SANITIZE="$sanitize" \
         -DEARSONAR_BUILD_BENCH=OFF \
         -DEARSONAR_BUILD_EXAMPLES=OFF
-  # Build only the binaries the serve|fault labels run — on a small box the
+  # Build only the binaries the selected labels run — on a small box the
   # full test suite would double the sweep's wall clock for nothing.
-  cmake --build "$build" -j "$JOBS" \
-        --target serve_test fault_test wav_fuzz_replay
-  ctest --test-dir "$build" -L "$LABELS" --output-on-failure -j "$JOBS"
+  cmake --build "$build" -j "$JOBS" --target "$@"
+  ctest --test-dir "$build" -L "$labels" --output-on-failure -j "$JOBS"
 }
 
-run_flavor asan address,undefined
-run_flavor tsan thread
+run_flavor asan address,undefined 'serve|fault|oracle' \
+           serve_test fault_test wav_fuzz_replay \
+           oracle_fft_test oracle_dsp_test oracle_stats_test \
+           oracle_stream_test oracle_golden_test
+run_flavor tsan thread 'serve|fault|oracle_stream' \
+           serve_test fault_test wav_fuzz_replay oracle_stream_test
 
-echo "check_sanitize: OK (address,undefined + thread over ctest -L '$LABELS')"
+echo "check_sanitize: OK (address,undefined over serve|fault|oracle + thread over serve|fault|oracle_stream)"

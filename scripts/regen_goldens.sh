@@ -1,0 +1,35 @@
+#!/bin/sh
+# regen_goldens.sh [--force] [--check] [repo-root]
+#
+# Builds the oracle_golden_regen tool and (re)generates the golden-vector
+# fixtures under tests/oracle/fixtures/. Safe by default: an existing fixture
+# that drifts beyond its pair's tolerance (see src/check/tolerance.cpp and
+# docs/testing.md) makes the tool refuse with exit 1 — pass --force only when
+# the numeric change is intentional and reviewed, then commit the new JSON.
+#
+#   --check   report drift without writing anything (CI-friendly dry run)
+#   --force   overwrite drifted fixtures (a deliberate re-baseline)
+set -eu
+
+FORCE=
+CHECK=
+ROOT=
+for arg in "$@"; do
+  case "$arg" in
+    --force) FORCE=--force ;;
+    --check) CHECK=--check ;;
+    -h|--help)
+      sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) ROOT=$arg ;;
+  esac
+done
+[ -n "$ROOT" ] || ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+BUILD="$ROOT/build"
+cmake -B "$BUILD" -S "$ROOT" > /dev/null
+cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 2)" \
+      --target oracle_golden_regen
+
+"$BUILD/tests/oracle/oracle_golden_regen" \
+    --fixtures "$ROOT/tests/oracle/fixtures" $FORCE $CHECK

@@ -1,0 +1,98 @@
+#include "check/cases.hpp"
+
+#include <cmath>
+#include <iterator>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace earsonar::check {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+void add_case(std::vector<SignalCase>& out, std::size_t size, const char* shape,
+              std::vector<double> data) {
+  out.push_back({"n=" + std::to_string(size) + "/" + shape, std::move(data)});
+}
+
+}  // namespace
+
+std::vector<std::size_t> oracle_sizes(std::size_t max_size) {
+  static const std::size_t grid[] = {1,   2,   3,   4,   5,    6,    7,    8,
+                                     12,  13,  16,  17,  24,   31,   32,   61,
+                                     64,  97,  100, 127, 128,  251,  256,  509,
+                                     512, 768, 1021, 1024, 2048, 4096, 8191, 8192};
+  std::vector<std::size_t> sizes;
+  for (std::size_t n : grid)
+    if (n <= max_size) sizes.push_back(n);
+  return sizes;
+}
+
+std::vector<SignalCase> cases_for_size(std::size_t size, std::uint64_t seed) {
+  std::vector<SignalCase> out;
+  const auto n = static_cast<double>(size);
+
+  add_case(out, size, "constant", std::vector<double>(size, 1.0));
+  add_case(out, size, "impulse", [&] {
+    std::vector<double> x(size, 0.0);
+    x[0] = 1.0;
+    return x;
+  }());
+  add_case(out, size, "dc_plus_offset", std::vector<double>(size, -0.75));
+
+  if (size >= 2) {
+    std::vector<double> alt(size);
+    for (std::size_t i = 0; i < size; ++i) alt[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    add_case(out, size, "alternating_sign", std::move(alt));
+  }
+  if (size >= 2 && size % 2 == 0) {
+    // The alternating-sign sequence *is* the Nyquist tone; add the phase-
+    // shifted cosine form too so the imaginary bin path is exercised.
+    std::vector<double> nyq(size);
+    for (std::size_t i = 0; i < size; ++i) nyq[i] = 0.5 * std::cos(kPi * static_cast<double>(i));
+    add_case(out, size, "nyquist_tone", std::move(nyq));
+  }
+  if (size >= 4) {
+    // Bin-exact tone at roughly a third of the band, and an off-bin tone at a
+    // deliberately irrational fraction of the bin spacing.
+    const double bin = std::max(1.0, std::floor(n / 3.0));
+    std::vector<double> exact(size), off(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      exact[i] = std::sin(2.0 * kPi * bin * static_cast<double>(i) / n);
+      off[i] = std::sin(2.0 * kPi * (bin + 1.0 / std::numbers::sqrt2) *
+                        static_cast<double>(i) / n);
+    }
+    add_case(out, size, "bin_exact_tone", std::move(exact));
+    add_case(out, size, "off_bin_tone", std::move(off));
+  }
+
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (size + 1)));
+  std::vector<double> noise(size);
+  for (double& v : noise) v = rng.uniform(-1.0, 1.0);
+  add_case(out, size, "uniform_noise", noise);
+
+  std::vector<double> denormal(size);
+  for (std::size_t i = 0; i < size; ++i) denormal[i] = noise[i] * 1e-310;
+  add_case(out, size, "denormal_scale", std::move(denormal));
+
+  std::vector<double> wide(size);
+  for (std::size_t i = 0; i < size; ++i)
+    wide[i] = noise[i] * ((i % 3 == 0) ? 1e9 : ((i % 3 == 1) ? 1e-9 : 1.0));
+  add_case(out, size, "wide_dynamic_range", std::move(wide));
+
+  return out;
+}
+
+std::vector<SignalCase> standard_cases(std::uint64_t seed, std::size_t max_size) {
+  std::vector<SignalCase> out;
+  for (std::size_t size : oracle_sizes(max_size)) {
+    std::vector<SignalCase> cases = cases_for_size(size, seed);
+    out.insert(out.end(), std::make_move_iterator(cases.begin()),
+               std::make_move_iterator(cases.end()));
+  }
+  return out;
+}
+
+}  // namespace earsonar::check

@@ -1,0 +1,38 @@
+// Seeded deterministic case generator for the differential oracle.
+//
+// Every oracle test draws its inputs from here: a fixed grid of transform
+// sizes (1 through 8192, including primes so Bluestein's chirp-z path is
+// exercised, and the powers of two the radix-2 path takes) crossed with a
+// family of signal shapes chosen to hit DSP edge cases — DC and Nyquist
+// tones, bin-exact and off-bin tones, constant and alternating-sign inputs,
+// impulses, denormal-scale values, and seeded random noise. Everything is
+// derived from an explicit seed through earsonar::Rng; no wall clock, no
+// global RNG state, so a failing case reproduces bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace earsonar::check {
+
+/// One generated test input.
+struct SignalCase {
+  std::string name;           ///< e.g. "n=97/off_bin_tone" — stable across runs
+  std::vector<double> data;
+};
+
+/// The size grid: 1..8 densely, then selected composites, powers of two, and
+/// primes (13, 17, 31, 61, 97, 127, 251, 509, 1021, 8191) up to `max_size`.
+std::vector<std::size_t> oracle_sizes(std::size_t max_size);
+
+/// The full case family for one size, derived from `seed`. Shapes that need
+/// an even length (Nyquist tone) are skipped for odd sizes; single-sample
+/// sizes reduce to the shapes that remain meaningful.
+std::vector<SignalCase> cases_for_size(std::size_t size, std::uint64_t seed);
+
+/// cases_for_size over the whole size grid up to `max_size`.
+std::vector<SignalCase> standard_cases(std::uint64_t seed, std::size_t max_size);
+
+}  // namespace earsonar::check

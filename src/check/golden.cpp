@@ -1,0 +1,176 @@
+#include "check/golden.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "core/preprocess.hpp"
+#include "ml/laplacian.hpp"
+#include "sim/probe.hpp"
+#include "sim/subject.hpp"
+
+namespace earsonar::check {
+
+namespace {
+
+// Fixed generation parameters. Changing any of these is a fixture format
+// change and requires scripts/regen_goldens.sh --force.
+constexpr std::uint64_t kFactorySeed = 42;
+constexpr std::uint64_t kRecordingSeed = 7;
+constexpr std::size_t kChirpCount = 10;
+constexpr std::size_t kFilteredHead = 2048;  ///< samples kept of the filtered chirp
+constexpr std::size_t kCohortSubjects = 3;   ///< per effusion state
+constexpr std::size_t kSelectedFeatures = 25;
+
+audio::Waveform golden_recording(const sim::EarProbe& probe,
+                                 const sim::SubjectFactory& factory,
+                                 std::uint32_t subject, sim::EffusionState state,
+                                 std::uint64_t stream) {
+  Rng rng = Rng(kRecordingSeed).fork(stream);
+  return probe.record_state(factory.make(subject), state, sim::reference_earphone(), {},
+                            rng);
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<GoldenVector> generate_goldens() {
+  sim::SubjectFactory factory(kFactorySeed);
+  sim::ProbeConfig pc;
+  pc.chirp_count = kChirpCount;
+  const sim::EarProbe probe(pc);
+  const core::PipelineConfig cfg;  // the default batch pipeline
+  const core::EarSonar pipeline(cfg);
+
+  std::vector<GoldenVector> out;
+
+  // 1 + 2 + 3: one fixed recording through the batch pipeline.
+  const audio::Waveform recording =
+      golden_recording(probe, factory, 0, sim::EffusionState::kMucoid, 0);
+  const audio::Waveform filtered = core::Preprocessor(cfg.preprocess).process(recording);
+  require(filtered.size() >= kFilteredHead, "generate_goldens: recording too short");
+  out.push_back({"filtered_chirp", "golden.filtered_chirp",
+                 {filtered.samples().begin(),
+                  filtered.samples().begin() + static_cast<std::ptrdiff_t>(kFilteredHead)}});
+
+  const core::EchoAnalysis analysis = pipeline.analyze(recording);
+  require(analysis.usable(), "generate_goldens: golden recording produced no features");
+  out.push_back({"echo_psd", "golden.echo_psd", analysis.mean_spectrum.psd});
+  out.push_back({"feature_vector", "golden.features", analysis.features});
+
+  // 4: Laplacian top-25 selection over a small balanced cohort.
+  ml::Matrix features;
+  std::uint64_t stream = 1;
+  for (sim::EffusionState state : sim::all_effusion_states()) {
+    for (std::uint32_t subject = 0; subject < kCohortSubjects; ++subject) {
+      const audio::Waveform rec = golden_recording(probe, factory, subject, state, stream++);
+      const core::EchoAnalysis a = pipeline.analyze(rec);
+      require(a.usable(), "generate_goldens: cohort recording produced no features");
+      features.push_back(a.features);
+    }
+  }
+  const std::vector<double> scores = ml::laplacian_scores(features);
+  const std::vector<std::size_t> selected =
+      ml::select_best_features(scores, kSelectedFeatures);
+  std::vector<double> selected_as_doubles(selected.begin(), selected.end());
+  out.push_back({"laplacian_top25", "golden.laplacian_top25", std::move(selected_as_doubles)});
+
+  return out;
+}
+
+std::string golden_filename(const GoldenVector& golden) { return golden.name + ".json"; }
+
+std::string golden_to_json(const GoldenVector& golden) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"name\": \"" << golden.name << "\",\n";
+  os << "  \"pair\": \"" << golden.pair << "\",\n";
+  os << "  \"count\": " << golden.values.size() << ",\n";
+  os << "  \"values\": [";
+  for (std::size_t i = 0; i < golden.values.size(); ++i) {
+    if (i % 4 == 0) os << "\n    ";
+    os << format_double(golden.values[i]);
+    if (i + 1 < golden.values.size()) os << ", ";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+namespace {
+
+// Pulls the quoted value of `"key": "..."` out of the fixture text.
+std::string parse_string_field(const std::string& json, const std::string& key,
+                               const std::string& origin) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) fail("golden fixture " + origin + ": missing \"" + key + "\"");
+  const std::size_t open = json.find('"', at + needle.size());
+  const std::size_t close = open == std::string::npos ? std::string::npos
+                                                      : json.find('"', open + 1);
+  if (close == std::string::npos)
+    fail("golden fixture " + origin + ": malformed \"" + key + "\"");
+  return json.substr(open + 1, close - open - 1);
+}
+
+}  // namespace
+
+GoldenVector golden_from_json(const std::string& json, const std::string& origin) {
+  GoldenVector out;
+  out.name = parse_string_field(json, "name", origin);
+  out.pair = parse_string_field(json, "pair", origin);
+
+  const std::size_t values_at = json.find("\"values\":");
+  if (values_at == std::string::npos) fail("golden fixture " + origin + ": missing values");
+  const std::size_t open = json.find('[', values_at);
+  const std::size_t close = open == std::string::npos ? std::string::npos
+                                                      : json.find(']', open);
+  if (close == std::string::npos) fail("golden fixture " + origin + ": malformed values");
+
+  const char* p = json.c_str() + open + 1;
+  const char* end = json.c_str() + close;
+  while (p < end) {
+    char* next = nullptr;
+    const double v = std::strtod(p, &next);
+    if (next == p) {
+      ++p;  // separator / whitespace
+      continue;
+    }
+    out.values.push_back(v);
+    p = next;
+  }
+
+  const std::size_t count_at = json.find("\"count\":");
+  if (count_at != std::string::npos) {
+    const std::size_t declared = std::strtoull(json.c_str() + count_at + 8, nullptr, 10);
+    if (declared != out.values.size())
+      fail("golden fixture " + origin + ": count mismatch (declared " +
+           std::to_string(declared) + ", parsed " + std::to_string(out.values.size()) + ")");
+  }
+  return out;
+}
+
+GoldenVector load_golden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("load_golden: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return golden_from_json(buffer.str(), path);
+}
+
+void save_golden(const std::string& path, const GoldenVector& golden) {
+  std::ofstream out(path);
+  if (!out) fail("save_golden: cannot open " + path);
+  out << golden_to_json(golden);
+  if (!out) fail("save_golden: write failed for " + path);
+}
+
+}  // namespace earsonar::check

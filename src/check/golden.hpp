@@ -1,0 +1,52 @@
+// Golden-vector corpus for pipeline-level outputs.
+//
+// The kernel-level oracle pairs (reference.hpp) prove each optimized kernel
+// against its naive form; the golden corpus pins the *composition* — four
+// checked-in JSON fixtures capture end-to-end pipeline outputs for one fixed
+// simulated recording/cohort:
+//
+//   filtered_chirp   head of the band-pass-preprocessed recording
+//   echo_psd         whole-recording mean eardrum-echo PSD (128 band bins)
+//   feature_vector   the 105-dim feature vector
+//   laplacian_top25  Laplacian-score top-25 feature selection over a cohort
+//
+// tests/oracle/oracle_golden_test.cpp recomputes all four and compares them
+// under the golden.* tolerance entries (the drift gate);
+// scripts/regen_goldens.sh regenerates the fixtures through
+// tests/oracle/golden_regen_main.cpp, refusing to overwrite when the drift
+// exceeds tolerance unless forced. Generation is fully deterministic: fixed
+// seeds, no wall clock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace earsonar::check {
+
+/// One named fixture: `pair` selects its tolerance entry in the policy table.
+struct GoldenVector {
+  std::string name;
+  std::string pair;
+  std::vector<double> values;
+};
+
+/// The four pipeline-level golden vectors, freshly computed (slow: runs the
+/// full pipeline over a small simulated cohort).
+std::vector<GoldenVector> generate_goldens();
+
+/// Fixture file name for a golden vector ("<name>.json").
+std::string golden_filename(const GoldenVector& golden);
+
+/// Serializes a golden vector to its JSON fixture form (17 significant
+/// digits, so doubles round-trip bit-exactly).
+std::string golden_to_json(const GoldenVector& golden);
+
+/// Parses a fixture produced by golden_to_json; throws std::runtime_error on
+/// malformed input.
+GoldenVector golden_from_json(const std::string& json, const std::string& origin);
+
+/// Reads/writes a fixture file.
+GoldenVector load_golden(const std::string& path);
+void save_golden(const std::string& path, const GoldenVector& golden);
+
+}  // namespace earsonar::check

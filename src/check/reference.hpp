@@ -1,0 +1,79 @@
+// Deliberately naive reference implementations for the differential oracle.
+//
+// Each function here is the textbook form of an optimized kernel elsewhere in
+// the library: O(n^2) DFT sums instead of the planned FFT, a full sort
+// instead of nth_element, a per-sample direct-form-I recurrence instead of
+// the transposed cascade, the literal MFCC formula chain instead of the
+// planned extractor. They are written for obviousness, not speed, and share
+// no code with the implementations they check — that independence is the
+// point. tests/oracle/ drives each optimized/reference pair over the seeded
+// case generator (src/check/cases.hpp) under the tolerance policy table
+// (src/check/tolerance.hpp).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/biquad.hpp"
+#include "dsp/mel.hpp"
+
+namespace earsonar::check {
+
+using Complex = std::complex<double>;
+
+/// Textbook forward DFT: X[k] = sum_n x[n] e^{-2*pi*i*k*n/N}.
+std::vector<Complex> dft_naive(std::span<const Complex> input);
+
+/// Textbook inverse DFT (includes the 1/N normalization).
+std::vector<Complex> idft_naive(std::span<const Complex> input);
+
+/// dft_naive of a real signal, first N/2+1 bins (rfft's contract).
+std::vector<Complex> rdft_naive(std::span<const double> input);
+
+/// |X[k]|^2 / N over the non-negative-frequency bins (power_spectrum's
+/// contract), via the naive real DFT.
+std::vector<double> power_spectrum_naive(std::span<const double> input);
+
+/// Literal DTFT magnitude |sum_n x[n] e^{-2*pi*i*f*n/fs}| at one frequency —
+/// the reference for Goertzel at bin-exact *and* off-bin frequencies.
+double dtft_magnitude_naive(std::span<const double> signal, double frequency_hz,
+                            double sample_rate);
+
+/// Direct O(NM) convolution, gather form (out[k] = sum_i a[i] b[k-i]).
+std::vector<double> convolve_naive(std::span<const double> a, std::span<const double> b);
+
+/// Direct full cross-correlation with dsp::cross_correlate's lag layout.
+std::vector<double> cross_correlate_naive(std::span<const double> a,
+                                          std::span<const double> b);
+
+/// Literal orthonormal DCT-II.
+std::vector<double> dct2_naive(std::span<const double> input);
+
+/// Full-sort percentile with the same two-point linear interpolation contract
+/// as earsonar::percentile.
+double percentile_naive(std::span<const double> xs, double p);
+
+/// Per-sample direct-form-I cascade: each section filters the whole signal
+/// with the explicit difference equation before the next section runs.
+std::vector<double> biquad_cascade_df1_naive(const std::vector<dsp::Biquad>& sections,
+                                             std::span<const double> input);
+
+/// Literal triangular mel filterbank weights (filter_count x fft_size/2+1),
+/// including the documented nearest-bin fallback for filters narrower than
+/// one bin spacing.
+std::vector<std::vector<double>> mel_weights_naive(const dsp::MelFilterbankConfig& config);
+
+/// Literal MFCC chain: zero-pad/truncate to fft_size, symmetric Hann window,
+/// naive real DFT, |X|^2/N power, naive mel triangles, floored log, naive
+/// DCT-II, truncate to coefficient_count. Mirrors MfccExtractor::compute.
+std::vector<double> mfcc_naive(const dsp::MfccConfig& config, std::span<const double> frame);
+
+/// Naive Welch PSD: per-segment Hann periodogram via the naive DFT, 50%
+/// overlap, averaged — dsp::welch_psd's contract. `segment == signal.size()`
+/// degenerates to the single-window periodogram.
+std::vector<double> welch_psd_naive(std::span<const double> signal, double sample_rate,
+                                    std::size_t segment);
+
+}  // namespace earsonar::check

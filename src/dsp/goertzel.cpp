@@ -10,7 +10,7 @@ namespace earsonar::dsp {
 double goertzel_power(std::span<const double> signal, double frequency_hz,
                       double sample_rate) {
   const double mag = goertzel_magnitude(signal, frequency_hz, sample_rate);
-  return mag * mag;
+  return mag * mag / static_cast<double>(signal.size());
 }
 
 double goertzel_magnitude(std::span<const double> signal, double frequency_hz,
@@ -29,7 +29,7 @@ double goertzel_magnitude(std::span<const double> signal, double frequency_hz,
   }
   const double real = s1 - s2 * std::cos(w);
   const double imag = s2 * std::sin(w);
-  return std::sqrt(real * real + imag * imag) / static_cast<double>(signal.size());
+  return std::sqrt(real * real + imag * imag);
 }
 
 }  // namespace earsonar::dsp

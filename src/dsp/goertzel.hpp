@@ -1,17 +1,26 @@
 // Goertzel single-bin DFT — a cheap way to measure energy at one probe
 // frequency, used by tests and the simulator's calibration checks.
+//
+// Convention: Goertzel outputs match the dsp::fft spectrum helpers bin for
+// bin, so a Goertzel probe at bin_frequency(k, N, fs) can be compared
+// directly against magnitude_spectrum(x)[k] / power_spectrum(x)[k]. (An
+// earlier revision divided the magnitude by N, which silently disagreed with
+// every FFT-bin comparison by a factor of N; the oracle pair `dsp.goertzel`
+// in tests/oracle/ now pins this convention.)
 #pragma once
 
 #include <span>
 
 namespace earsonar::dsp {
 
-/// Power of `signal` at `frequency_hz` (normalized |X(f)|^2 / N^2 so a
-/// full-scale sine of that frequency reports ~0.25).
+/// Power |X(f)|^2 / N at `frequency_hz` — the same normalization as
+/// dsp::power_spectrum, so a full-scale bin-exact sine reports N/4.
 double goertzel_power(std::span<const double> signal, double frequency_hz,
                       double sample_rate);
 
-/// Magnitude |X(f)| / N at `frequency_hz` (full-scale sine reports ~0.5).
+/// Unnormalized magnitude |X(f)| = |sum_n x[n] e^{-2*pi*i*f*n/fs}| — the same
+/// scale as dsp::magnitude_spectrum bins; a full-scale bin-exact sine reports
+/// N/2. Valid at any frequency in [0, Nyquist], not just bin centers.
 double goertzel_magnitude(std::span<const double> signal, double frequency_hz,
                           double sample_rate);
 

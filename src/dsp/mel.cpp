@@ -41,12 +41,23 @@ MelFilterbank::MelFilterbank(const MelFilterbankConfig& config) : config_(config
   weights_.assign(config.filter_count, std::vector<double>(n_bins, 0.0));
   for (std::size_t f = 0; f < config.filter_count; ++f) {
     const double left = edges_hz[f], center = edges_hz[f + 1], right = edges_hz[f + 2];
+    double total = 0.0;
     for (std::size_t b = 0; b < n_bins; ++b) {
       const double freq = bin_frequency(b, config.fft_size, config.sample_rate);
       double w = 0.0;
       if (freq > left && freq < center) w = (freq - left) / (center - left);
       else if (freq >= center && freq < right) w = (right - freq) / (right - center);
       weights_[f][b] = w;
+      total += w;
+    }
+    if (total == 0.0) {
+      // A triangle narrower than one bin spacing can miss every bin center,
+      // which would pin the filter's log energy to log(log_floor) no matter
+      // the input. Collapse such a filter onto the bin nearest its center so
+      // every filter observes the spectrum.
+      const std::size_t nearest =
+          frequency_to_bin(center, config.fft_size, config.sample_rate);
+      weights_[f][std::min(nearest, n_bins - 1)] = 1.0;
     }
   }
 }

@@ -26,6 +26,12 @@ struct MelFilterbankConfig {
 };
 
 /// Triangular mel filterbank: filter_count rows of fft_size/2+1 weights.
+///
+/// Degenerate triangles: with a high filter_count relative to fft_size (or a
+/// narrow band), a triangle can fall entirely between two bin centers and
+/// collect zero weight everywhere — its band energy would then be stuck at
+/// the log floor. Such a filter is collapsed onto the single bin nearest its
+/// center frequency, so every row is guaranteed a positive weight sum.
 class MelFilterbank {
  public:
   explicit MelFilterbank(const MelFilterbankConfig& config);

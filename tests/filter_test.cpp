@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "dsp/butterworth.hpp"
+#include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/goertzel.hpp"
 #include "dsp/window.hpp"
@@ -189,10 +190,12 @@ TEST(ButterworthTest, FiltersSineMixture) {
     x[i] = std::sin(2 * std::numbers::pi * 18000 * i / 48000.0) +
            std::sin(2 * std::numbers::pi * 5000 * i / 48000.0);
   const auto y = f.process(x);
+  // Unnormalized |X(f)| over the 3000-sample window: the in-band tone keeps
+  // nearly its full N/2 line, the stop-band tone is crushed below 1% of N.
   const double in_band = goertzel_magnitude({y.data() + 1000, 3000}, 18000.0, 48000.0);
   const double out_band = goertzel_magnitude({y.data() + 1000, 3000}, 5000.0, 48000.0);
-  EXPECT_GT(in_band, 0.4);
-  EXPECT_LT(out_band, 0.01);
+  EXPECT_GT(in_band, 0.4 * 3000.0);
+  EXPECT_LT(out_band, 0.01 * 3000.0);
 }
 
 TEST(ButterworthTest, InvalidParametersThrow) {
@@ -277,21 +280,35 @@ TEST(FirTest, FilterSameAlignsWithInput) {
 
 // ---------------------------------------------------------------- goertzel
 
+// Convention: |X(f)| on the same scale as magnitude_spectrum bins, so a
+// full-scale bin-exact sine of length N reports N/2 (and power N/4).
 TEST(GoertzelTest, FullScaleSineMagnitude) {
   const auto x = sine(4800, 18000.0, 48000.0);
-  EXPECT_NEAR(goertzel_magnitude(x, 18000.0, 48000.0), 0.5, 0.01);
-  EXPECT_NEAR(goertzel_power(x, 18000.0, 48000.0), 0.25, 0.01);
+  EXPECT_NEAR(goertzel_magnitude(x, 18000.0, 48000.0), 2400.0, 2400.0 * 0.01);
+  EXPECT_NEAR(goertzel_power(x, 18000.0, 48000.0), 1200.0, 1200.0 * 0.01);
 }
 
 TEST(GoertzelTest, OffFrequencyIsSmall) {
   const auto x = sine(4800, 18000.0, 48000.0);
-  EXPECT_LT(goertzel_magnitude(x, 12000.0, 48000.0), 0.01);
+  EXPECT_LT(goertzel_magnitude(x, 12000.0, 48000.0), 0.01 * 4800);
 }
 
+// The satellite cross-check for the normalization fix: Goertzel must agree
+// with the FFT spectrum helpers bin for bin, at several bin-exact
+// frequencies. (The off-bin cross-check against the literal DTFT sum lives
+// in tests/oracle/oracle_dsp_test.cpp as pair dsp.goertzel.)
 TEST(GoertzelTest, MatchesFftBin) {
   const auto x = sine(512, 9000.0, 48000.0, 0.7);
-  const double g = goertzel_magnitude(x, 9000.0, 48000.0);
-  EXPECT_NEAR(g, 0.35, 0.01);  // amp/2
+  const auto mag = magnitude_spectrum(x);
+  const auto power = power_spectrum(x);
+  for (double f : {9000.0, 4500.0, 9375.0, 0.0, 24000.0}) {
+    const std::size_t bin = frequency_to_bin(f, 512, 48000.0);
+    const double gm = goertzel_magnitude(x, f, 48000.0);
+    const double gp = goertzel_power(x, f, 48000.0);
+    EXPECT_NEAR(gm, mag[bin], 1e-7 * (1.0 + mag[bin])) << "f=" << f;
+    EXPECT_NEAR(gp, power[bin], 1e-7 * (1.0 + power[bin])) << "f=" << f;
+  }
+  EXPECT_NEAR(goertzel_magnitude(x, 9000.0, 48000.0), 0.35 * 512.0, 0.01 * 512.0);
 }
 
 TEST(GoertzelTest, RejectsAboveNyquist) {

@@ -1,0 +1,113 @@
+// Golden-fixture (re)generation tool, driven by scripts/regen_goldens.sh.
+//
+//   oracle_golden_regen --fixtures DIR [--force] [--check]
+//
+// Missing fixtures are always written. An existing fixture that differs from
+// the freshly generated vector BEYOND its pair's tolerance is a drift: the
+// tool refuses to overwrite it (exit 1) unless --force is given, so a casual
+// regen run cannot silently re-baseline a numeric regression. Within-tolerance
+// fixtures are left byte-identical. --check reports drift without writing.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/golden.hpp"
+#include "check/tolerance.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --fixtures DIR [--force] [--check]\n"
+               "  --fixtures DIR  fixture directory (tests/oracle/fixtures)\n"
+               "  --force         overwrite fixtures even when drift exceeds tolerance\n"
+               "  --check         report drift only; write nothing\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fixtures;
+  bool force = false;
+  bool check_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fixtures") == 0 && i + 1 < argc) {
+      fixtures = argv[++i];
+    } else if (std::strcmp(argv[i], "--force") == 0) {
+      force = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check_only = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (fixtures.empty()) return usage(argv[0]);
+
+  try {
+    std::filesystem::create_directories(fixtures);
+    const std::vector<earsonar::check::GoldenVector> goldens =
+        earsonar::check::generate_goldens();
+    int drifted = 0;
+    for (const earsonar::check::GoldenVector& golden : goldens) {
+      const std::string path =
+          (std::filesystem::path(fixtures) / earsonar::check::golden_filename(golden))
+              .string();
+      if (!std::filesystem::exists(path)) {
+        if (check_only) {
+          std::printf("MISSING  %s\n", path.c_str());
+          ++drifted;
+          continue;
+        }
+        earsonar::check::save_golden(path, golden);
+        std::printf("WROTE    %s (%zu values, new)\n", path.c_str(),
+                    golden.values.size());
+        continue;
+      }
+      const earsonar::check::GoldenVector existing = earsonar::check::load_golden(path);
+      const earsonar::check::Tolerance tol =
+          earsonar::check::pair_policy(golden.pair).tol;
+      const bool same_shape = existing.values.size() == golden.values.size();
+      const earsonar::check::CompareResult r =
+          same_shape ? earsonar::check::compare_vectors(golden.values,
+                                                        existing.values, tol)
+                     : earsonar::check::CompareResult{false, 0, 0.0, 0.0, 0.0, 0.0};
+      if (r.ok) {
+        std::printf("OK       %s (within %s tolerance)\n", path.c_str(),
+                    golden.pair.c_str());
+        continue;
+      }
+      ++drifted;
+      if (!same_shape) {
+        std::printf("DRIFT    %s: length %zu -> %zu\n", path.c_str(),
+                    existing.values.size(), golden.values.size());
+      } else {
+        std::printf("DRIFT    %s: %s\n", path.c_str(),
+                    earsonar::check::describe_failure(golden.pair, r).c_str());
+      }
+      if (check_only) continue;
+      if (!force) {
+        std::fprintf(stderr,
+                     "refusing to overwrite %s: drift exceeds the %s tolerance.\n"
+                     "Fix the numeric regression, or re-baseline deliberately "
+                     "with --force.\n",
+                     path.c_str(), golden.pair.c_str());
+        return 1;
+      }
+      earsonar::check::save_golden(path, golden);
+      std::printf("WROTE    %s (forced re-baseline)\n", path.c_str());
+    }
+    if (check_only && drifted > 0) {
+      std::fprintf(stderr, "%d fixture(s) drifted or missing\n", drifted);
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "oracle_golden_regen: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Differential oracle: the planned FFT engine against textbook O(n^2) DFT
+// sums. Covers the radix-2 fast path, the Bluestein chirp-z path (prime and
+// other non-power-of-two sizes), the half-length real-input algorithm, and
+// the derived spectra — over the full seeded case family (DC/Nyquist tones,
+// constants, alternating signs, denormals, noise) from src/check/cases.hpp.
+//
+// Naive references cost O(n^2), so the dense sweep stops at n = 1024; the
+// sizes above that (2048, 4096, 8191, 8192 — including the prime) are pinned
+// by analytic single-line spectra, Parseval's identity, and round-trip
+// identity, which are exact references at any size.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "check/cases.hpp"
+#include "check/reference.hpp"
+#include "check/tolerance.hpp"
+#include "dsp/fft.hpp"
+
+namespace earsonar {
+namespace {
+
+using check::CompareResult;
+using check::Tolerance;
+using dsp::Complex;
+
+constexpr std::uint64_t kSeed = 0x0eac1e5eedULL;
+constexpr std::size_t kDenseMax = 1024;   // naive O(n^2) sweep bound
+constexpr std::size_t kLargeMax = 8192;   // analytic checks bound
+
+std::vector<double> flatten(const std::vector<Complex>& xs) {
+  std::vector<double> out;
+  out.reserve(xs.size() * 2);
+  for (const Complex& x : xs) {
+    out.push_back(x.real());
+    out.push_back(x.imag());
+  }
+  return out;
+}
+
+void expect_pair(const char* pair, const std::vector<double>& got,
+                 const std::vector<double>& want, const std::string& label) {
+  const Tolerance tol = check::pair_policy(pair).tol;
+  const CompareResult result = check::compare_vectors(got, want, tol);
+  EXPECT_TRUE(result.ok) << label << ": " << check::describe_failure(pair, result);
+}
+
+TEST(OracleFftTest, ForwardMatchesNaiveDft) {
+  for (const check::SignalCase& c : check::standard_cases(kSeed, kDenseMax)) {
+    std::vector<Complex> input(c.data.size());
+    for (std::size_t i = 0; i < c.data.size(); ++i)
+      input[i] = {c.data[i], -0.5 * c.data[i]};  // exercise both components
+    expect_pair("dsp.fft.forward", flatten(dsp::fft(input)),
+                flatten(check::dft_naive(input)), c.name);
+  }
+}
+
+TEST(OracleFftTest, InverseMatchesNaiveIdft) {
+  for (const check::SignalCase& c : check::standard_cases(kSeed ^ 1, kDenseMax)) {
+    std::vector<Complex> input(c.data.size());
+    for (std::size_t i = 0; i < c.data.size(); ++i)
+      input[i] = {c.data[i], c.data[c.data.size() - 1 - i]};
+    expect_pair("dsp.fft.inverse", flatten(dsp::ifft(input)),
+                flatten(check::idft_naive(input)), c.name);
+  }
+}
+
+TEST(OracleFftTest, RealTransformMatchesNaiveDft) {
+  for (const check::SignalCase& c : check::standard_cases(kSeed ^ 2, kDenseMax)) {
+    expect_pair("dsp.fft.real", flatten(dsp::rfft(c.data)),
+                flatten(check::rdft_naive(c.data)), c.name);
+  }
+}
+
+TEST(OracleFftTest, PowerSpectrumMatchesNaive) {
+  for (const check::SignalCase& c : check::standard_cases(kSeed ^ 3, kDenseMax)) {
+    expect_pair("dsp.fft.power_spectrum", dsp::power_spectrum(c.data),
+                check::power_spectrum_naive(c.data), c.name);
+  }
+}
+
+// ---- large sizes: analytic references -----------------------------------
+
+// A bin-exact complex exponential transforms to a single spectral line of
+// height N — exact at any size, including the prime 8191 (Bluestein).
+TEST(OracleFftTest, LargeSizesBinExactToneIsSingleLine) {
+  for (std::size_t n : {2048UL, 4096UL, 8191UL, 8192UL}) {
+    const std::size_t k0 = n / 3;
+    std::vector<Complex> tone(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double angle = 2.0 * std::numbers::pi * static_cast<double>(k0 * i % n) /
+                           static_cast<double>(n);
+      tone[i] = {std::cos(angle), std::sin(angle)};
+    }
+    const std::vector<Complex> spec = dsp::fft(tone);
+    std::vector<double> want(2 * n, 0.0);
+    want[2 * k0] = static_cast<double>(n);
+    expect_pair("dsp.fft.forward", flatten(spec), want, "n=" + std::to_string(n));
+  }
+}
+
+TEST(OracleFftTest, LargeSizesRoundTripAndParseval) {
+  for (std::size_t n : {2048UL, 4096UL, 8191UL, 8192UL}) {
+    for (const check::SignalCase& c : check::cases_for_size(n, kSeed ^ 4)) {
+      std::vector<Complex> input(c.data.size());
+      for (std::size_t i = 0; i < c.data.size(); ++i) input[i] = {c.data[i], 0.0};
+      const std::vector<Complex> spec = dsp::fft(input);
+      // Round trip: ifft(fft(x)) == x.
+      expect_pair("dsp.fft.inverse", flatten(dsp::ifft(spec)), flatten(input),
+                  c.name + "/roundtrip");
+      // Parseval: sum |X[k]|^2 == N * sum |x[n]|^2.
+      double time_energy = 0.0, freq_energy = 0.0;
+      for (const Complex& x : input) time_energy += std::norm(x);
+      for (const Complex& x : spec) freq_energy += std::norm(x);
+      const double want = static_cast<double>(n) * time_energy;
+      EXPECT_NEAR(freq_energy, want, 1e-9 * (1.0 + want)) << c.name << "/parseval";
+    }
+  }
+  EXPECT_GT(kLargeMax, kDenseMax);  // the two regimes must not silently collapse
+}
+
+// The ULP helper underpinning the policy table behaves sanely.
+TEST(OracleFftTest, UlpDistanceContract) {
+  EXPECT_EQ(check::ulp_distance(1.0, 1.0), 0u);
+  EXPECT_EQ(check::ulp_distance(1.0, std::nextafter(1.0, 2.0)), 1u);
+  EXPECT_EQ(check::ulp_distance(0.0, -0.0), 0u);
+  EXPECT_GT(check::ulp_distance(-1.0, 1.0), 1ull << 60);
+}
+
+}  // namespace
+}  // namespace earsonar

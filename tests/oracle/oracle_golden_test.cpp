@@ -1,0 +1,84 @@
+// Golden-vector drift gate: regenerates the four checked-in fixtures
+// (filtered chirp, echo-window PSD, 105-feature vector, Laplacian top-25)
+// from the fixed seeds in src/check/golden.cpp and compares each against the
+// JSON fixture under its golden.* tolerance. A failure here means a numeric
+// change reached the end-to-end pipeline: either fix the regression or
+// consciously re-baseline with scripts/regen_goldens.sh --force.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/golden.hpp"
+#include "check/tolerance.hpp"
+
+namespace earsonar {
+namespace {
+
+using check::CompareResult;
+using check::GoldenVector;
+
+std::string fixture_path(const GoldenVector& golden) {
+  return (std::filesystem::path(ORACLE_FIXTURE_DIR) /
+          check::golden_filename(golden)).string();
+}
+
+TEST(OracleGoldenTest, GeneratedVectorsMatchCheckedInFixtures) {
+  const std::vector<GoldenVector> generated = check::generate_goldens();
+  ASSERT_EQ(generated.size(), 4u);
+  for (const GoldenVector& golden : generated) {
+    SCOPED_TRACE(golden.name);
+    const std::string path = fixture_path(golden);
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << "missing fixture " << path << " — run scripts/regen_goldens.sh";
+    const GoldenVector fixture = check::load_golden(path);
+    EXPECT_EQ(fixture.name, golden.name);
+    EXPECT_EQ(fixture.pair, golden.pair);
+    ASSERT_EQ(fixture.values.size(), golden.values.size())
+        << "fixture length drifted — re-baseline deliberately with --force";
+    const CompareResult r = check::compare_vectors(
+        golden.values, fixture.values, check::pair_policy(golden.pair).tol);
+    EXPECT_TRUE(r.ok) << check::describe_failure(golden.pair, r);
+  }
+}
+
+TEST(OracleGoldenTest, GenerationIsDeterministic) {
+  const std::vector<GoldenVector> a = check::generate_goldens();
+  const std::vector<GoldenVector> b = check::generate_goldens();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].values.size(), b[i].values.size()) << a[i].name;
+    for (std::size_t j = 0; j < a[i].values.size(); ++j)
+      ASSERT_EQ(a[i].values[j], b[i].values[j]) << a[i].name << "[" << j << "]";
+  }
+}
+
+TEST(OracleGoldenTest, JsonRoundTripIsBitExact) {
+  GoldenVector golden;
+  golden.name = "roundtrip";
+  golden.pair = "golden.features";
+  golden.values = {0.0, -0.0, 1.0 / 3.0, -1e-310, 1e300, 0.1, -123456.789};
+  const GoldenVector back =
+      check::golden_from_json(check::golden_to_json(golden), "inline");
+  EXPECT_EQ(back.name, golden.name);
+  EXPECT_EQ(back.pair, golden.pair);
+  ASSERT_EQ(back.values.size(), golden.values.size());
+  for (std::size_t i = 0; i < golden.values.size(); ++i)
+    EXPECT_EQ(back.values[i], golden.values[i]) << "value " << i;  // %.17g round-trips
+}
+
+TEST(OracleGoldenTest, SelectedFeaturesAreValidIndices) {
+  for (const GoldenVector& golden : check::generate_goldens()) {
+    if (golden.name != "laplacian_top25") continue;
+    EXPECT_EQ(golden.values.size(), 25u);
+    for (double v : golden.values) {
+      EXPECT_EQ(v, static_cast<double>(static_cast<std::size_t>(v)));
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 105.0);  // the pipeline's feature dimension
+    }
+  }
+}
+
+}  // namespace
+}  // namespace earsonar

@@ -1,0 +1,162 @@
+// Differential oracle for the order-statistics fast path and the WAV
+// quantization round trip.
+//
+// earsonar::percentile extracts two order statistics with nth_element
+// instead of sorting; the pair common.percentile pins it bit-exact against a
+// full-sort reference across heavy-duplicate vectors, the degenerate
+// p in {0, 100} endpoints, interpolating percentiles like 99.9, and the
+// size-1/size-2 inputs where the interpolation indices collapse.
+//
+// The audio.wav.roundtrip_* pairs pin the float <-> int16 write/read chain:
+// in-range samples survive within one quantization step, +-1.0 round-trips
+// exactly, and out-of-range samples clamp to exactly +-1.0.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "audio/wav.hpp"
+#include "audio/waveform.hpp"
+#include "check/cases.hpp"
+#include "check/reference.hpp"
+#include "check/tolerance.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace earsonar {
+namespace {
+
+using check::CompareResult;
+using check::Tolerance;
+
+constexpr std::uint64_t kSeed = 0x0eac1e5eedULL;
+
+// ------------------------------------------------------- percentile
+
+TEST(OraclePercentileTest, MatchesFullSortAcrossCaseFamily) {
+  const Tolerance tol = check::pair_policy("common.percentile").tol;  // bit-exact
+  const double ps[] = {0.0, 100.0, 50.0, 99.9, 25.0, 73.2, 0.1};
+  for (const check::SignalCase& c : check::standard_cases(kSeed, 1024)) {
+    for (double p : ps) {
+      const double got = percentile(c.data, p);
+      const double want = check::percentile_naive(c.data, p);
+      const CompareResult r = check::compare_vectors({&got, 1}, {&want, 1}, tol);
+      EXPECT_TRUE(r.ok) << c.name << " p=" << p << ": "
+                        << check::describe_failure("common.percentile", r);
+    }
+  }
+}
+
+TEST(OraclePercentileTest, HeavyDuplicatesAndTinyInputs) {
+  Rng rng(kSeed);
+  // Heavy duplicates: values drawn from a 4-symbol alphabet, where
+  // nth_element's partition is full of ties on both sides.
+  for (std::size_t size : {2UL, 3UL, 10UL, 101UL, 1000UL}) {
+    std::vector<double> xs(size);
+    for (double& x : xs) x = static_cast<double>(rng.uniform_int(0, 3)) * 0.5 - 0.75;
+    for (double p : {0.0, 100.0, 50.0, 99.9}) {
+      EXPECT_DOUBLE_EQ(percentile(xs, p), check::percentile_naive(xs, p))
+          << "size=" << size << " p=" << p;
+    }
+  }
+  // Size-1: every percentile is the single element.
+  const std::vector<double> one = {3.25};
+  for (double p : {0.0, 50.0, 99.9, 100.0})
+    EXPECT_DOUBLE_EQ(percentile(one, p), 3.25) << "p=" << p;
+  // Size-2: the interpolation must walk linearly between the two values.
+  const std::vector<double> two = {-1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(two, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 99.9), check::percentile_naive(two, 99.9));
+  // Median is the 50th percentile by definition.
+  EXPECT_DOUBLE_EQ(median(two), percentile(two, 50.0));
+}
+
+// ---------------------------------------------------- wav round trip
+
+class WavRoundTripTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const char* name) {
+    const std::filesystem::path dir = std::filesystem::temp_directory_path();
+    return (dir / (std::string("earsonar_oracle_") + name)).string();
+  }
+  void TearDown() override {
+    for (const std::string& p : created_) std::remove(p.c_str());
+  }
+  std::string track(std::string path) {
+    created_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> created_;
+};
+
+// In-range signal: both encodings round-trip within their quantizer's step.
+TEST_F(WavRoundTripTest, InRangeSamplesSurviveBothEncodings) {
+  Rng rng(kSeed ^ 20);
+  std::vector<double> samples(4096);
+  for (double& s : samples) s = rng.uniform(-1.0, 1.0);
+  samples[0] = 1.0;       // exact full scale must survive exactly
+  samples[1] = -1.0;
+  samples[2] = 0.0;
+  const audio::Waveform wave(samples, 48000.0);
+
+  const std::string f32 = track(temp_path("roundtrip_f32.wav"));
+  audio::write_wav(f32, wave, audio::WavEncoding::kFloat32);
+  const audio::Waveform back_f32 = audio::read_wav(f32);
+  ASSERT_EQ(back_f32.size(), wave.size());
+  const Tolerance tol_f32 = check::pair_policy("audio.wav.roundtrip_f32").tol;
+  const CompareResult r32 = check::compare_vectors(back_f32.samples(), samples, tol_f32);
+  EXPECT_TRUE(r32.ok) << check::describe_failure("audio.wav.roundtrip_f32", r32);
+
+  const std::string pcm = track(temp_path("roundtrip_pcm16.wav"));
+  audio::write_wav(pcm, wave, audio::WavEncoding::kPcm16);
+  const audio::Waveform back_pcm = audio::read_wav(pcm);
+  ASSERT_EQ(back_pcm.size(), wave.size());
+  const Tolerance tol_pcm = check::pair_policy("audio.wav.roundtrip_pcm16").tol;
+  const CompareResult rp = check::compare_vectors(back_pcm.samples(), samples, tol_pcm);
+  EXPECT_TRUE(rp.ok) << check::describe_failure("audio.wav.roundtrip_pcm16", rp);
+}
+
+// The satellite edge case: exactly +-1.0 must round-trip exactly in both
+// encodings (the symmetric 32767 quantizer maps +-1.0 to +-32767 and back),
+// and anything beyond +-1.0 must clamp to exactly +-1.0, not wrap.
+TEST_F(WavRoundTripTest, FullScaleAndBeyondClampExactly) {
+  const std::vector<double> samples = {1.0,  -1.0, 1.0 + 1e-9, -1.0 - 1e-9,
+                                       2.5,  -7.0, 0.999999,   -0.999999};
+  const audio::Waveform wave(samples, 48000.0);
+  for (auto [encoding, name] :
+       {std::pair{audio::WavEncoding::kPcm16, "clamp_pcm16.wav"},
+        std::pair{audio::WavEncoding::kFloat32, "clamp_f32.wav"}}) {
+    const std::string path = track(temp_path(name));
+    audio::write_wav(path, wave, encoding);
+    const audio::Waveform back = audio::read_wav(path);
+    ASSERT_EQ(back.size(), samples.size());
+    for (std::size_t i = 0; i < 6; ++i) {
+      const double want = samples[i] > 0.0 ? 1.0 : -1.0;
+      EXPECT_DOUBLE_EQ(back.samples()[i], want)
+          << name << " sample " << i << " (in " << samples[i] << ")";
+    }
+  }
+}
+
+// PCM16 quantization must round, not truncate: the worst in-range error is
+// half a step of 1/32767.
+TEST_F(WavRoundTripTest, Pcm16QuantizationErrorIsHalfStep) {
+  std::vector<double> samples;
+  for (int i = -40; i <= 40; ++i) samples.push_back(static_cast<double>(i) / 40.5);
+  const audio::Waveform wave(samples, 48000.0);
+  const std::string path = track(temp_path("halfstep_pcm16.wav"));
+  audio::write_wav(path, wave, audio::WavEncoding::kPcm16);
+  const audio::Waveform back = audio::read_wav(path);
+  ASSERT_EQ(back.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_LE(std::abs(back.samples()[i] - samples[i]), 0.5 / 32767.0 + 1e-12)
+        << "sample " << i;
+  }
+}
+
+}  // namespace
+}  // namespace earsonar
