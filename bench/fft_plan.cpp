@@ -8,9 +8,11 @@
 #include <complex>
 #include <vector>
 
+#include "roofline.hpp"
 #include "dsp/convolution.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fft_plan.hpp"
+#include "dsp/simd.hpp"
 
 using namespace earsonar;
 
@@ -41,6 +43,10 @@ void BM_PlanComplexForward(benchmark::State& state) {
     plan->forward(in, out, scratch);
     benchmark::DoNotOptimize(out.data());
   }
+  // Bluestein sizes run three FFTs of the padded power-of-two length; the
+  // roofline model here covers only the radix-2 case and is omitted otherwise.
+  if ((n & (n - 1)) == 0)
+    bench::set_roofline(state, bench::fft_flops(n), bench::fft_bytes(n, 16));
 }
 // 256 is the half-length transform behind the 512-point echo window; 8192
 // covers the recording-scale correlations. 173 and 600 exercise Bluestein
@@ -57,6 +63,10 @@ void BM_PlanForwardReal(benchmark::State& state) {
     plan->forward_real(in, out, scratch);
     benchmark::DoNotOptimize(out.data());
   }
+  // Half-length complex transform plus the O(n) untangling pass.
+  bench::set_roofline(state,
+                      bench::fft_flops(n / 2) + 8.0 * static_cast<double>(n),
+                      bench::fft_bytes(n / 2, 16) + 32.0 * static_cast<double>(n));
 }
 BENCHMARK(BM_PlanForwardReal)->Arg(512)->Arg(4096);
 
@@ -71,6 +81,9 @@ void BM_PlanPowerSpectrum(benchmark::State& state) {
     plan->power_spectrum(in, psd, 1.0 / static_cast<double>(n), scratch);
     benchmark::DoNotOptimize(psd.data());
   }
+  bench::set_roofline(state,
+                      bench::fft_flops(n / 2) + 10.0 * static_cast<double>(n),
+                      bench::fft_bytes(n / 2, 16) + 48.0 * static_cast<double>(n));
 }
 BENCHMARK(BM_PlanPowerSpectrum)->Arg(512)->Arg(2048);
 
@@ -114,4 +127,14 @@ BENCHMARK(BM_Convolve)->Arg(4800)->Arg(48000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Report the effective SIMD dispatch in the benchmark context, so a JSON
+  // report records which kernel set produced the numbers.
+  benchmark::AddCustomContext("earsonar_simd_arch", dsp::simd::native_arch());
+  benchmark::AddCustomContext("earsonar_simd_level", dsp::simd::active().name);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

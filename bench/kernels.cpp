@@ -1,0 +1,204 @@
+// Per-kernel microbenchmarks for the SIMD dispatch layer (src/dsp/simd.hpp)
+// with roofline accounting: every benchmark reports GFLOP/s and GB/s from an
+// analytic work model (bench/roofline.hpp) so BENCH_latency.json carries
+// enough context to classify a regression as compute- or bandwidth-bound.
+//
+// Each kernel is measured through the *dispatched* entry point
+// (simd::active()), so EARSONAR_SIMD=scalar vs native quantifies the SIMD
+// speedup per kernel on the same build.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "roofline.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/butterworth.hpp"
+#include "dsp/fft_plan.hpp"
+#include "dsp/mel.hpp"
+#include "dsp/multibiquad.hpp"
+#include "dsp/simd.hpp"
+
+using namespace earsonar;
+
+namespace {
+
+std::vector<double> test_signal(std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(0.37 * static_cast<double>(i)) +
+           0.25 * std::cos(1.91 * static_cast<double>(i));
+  return x;
+}
+
+// Interleaved twiddles in FftPlan's layout (stage h at scalar offset 2h).
+template <class T>
+std::vector<T> twiddle_table(std::size_t n) {
+  std::vector<T> w(2 * n, T(0));
+  for (std::size_t h = 1; h < n; h <<= 1) {
+    for (std::size_t k = 0; k < h; ++k) {
+      const double a = -3.14159265358979323846 * static_cast<double>(k) /
+                       static_cast<double>(h);
+      w[2 * (h + k)] = static_cast<T>(std::cos(a));
+      w[2 * (h + k) + 1] = static_cast<T>(std::sin(a));
+    }
+  }
+  return w;
+}
+
+// ---------------------------------------------------------- FFT butterflies
+
+void BM_KernelButterfliesD(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> tw = twiddle_table<double>(n);
+  std::vector<double> data = test_signal(2 * n);
+  const auto& kernel = dsp::simd::active();
+  for (auto _ : state) {
+    kernel.butterflies_d(data.data(), tw.data(), n);
+    benchmark::DoNotOptimize(data.data());
+  }
+  bench::set_roofline(state, bench::fft_flops(n), bench::fft_bytes(n, 16));
+}
+BENCHMARK(BM_KernelButterfliesD)->Arg(256)->Arg(2048);
+
+void BM_KernelButterfliesF(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<float> tw = twiddle_table<float>(n);
+  const std::vector<double> seed = test_signal(2 * n);
+  std::vector<float> data(seed.begin(), seed.end());
+  const auto& kernel = dsp::simd::active();
+  for (auto _ : state) {
+    kernel.butterflies_f(data.data(), tw.data(), n);
+    benchmark::DoNotOptimize(data.data());
+  }
+  bench::set_roofline(state, bench::fft_flops(n), bench::fft_bytes(n, 8));
+}
+BENCHMARK(BM_KernelButterfliesF)->Arg(256)->Arg(2048);
+
+// ------------------------------------------------------------- power bins
+
+void BM_KernelPowerBins(benchmark::State& state) {
+  // |z|^2 * scale per bin: 4 flops; 2 scalars read + 1 written.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> bins = test_signal(2 * m);
+  std::vector<double> out(m);
+  const auto& kernel = dsp::simd::active();
+  for (auto _ : state) {
+    kernel.power_bins_d(bins.data(), out.data(), m, 0.125);
+    benchmark::DoNotOptimize(out.data());
+  }
+  bench::set_roofline(state, 4.0 * static_cast<double>(m),
+                      24.0 * static_cast<double>(m));
+}
+BENCHMARK(BM_KernelPowerBins)->Arg(257)->Arg(2049);
+
+// -------------------------------------------------------------- mel matvec
+
+void BM_MelMatvec(benchmark::State& state) {
+  dsp::MelFilterbankConfig cfg;
+  cfg.filter_count = 20;
+  cfg.fft_size = 512;
+  const dsp::MelFilterbank bank(cfg);
+  std::vector<double> spectrum = test_signal(cfg.fft_size / 2 + 1);
+  for (double& v : spectrum) v = v * v;
+  for (auto _ : state) benchmark::DoNotOptimize(bank.apply(spectrum));
+  // rows*bins multiply-adds over the flat weight matrix + the spectrum.
+  const double rows = static_cast<double>(cfg.filter_count);
+  const double bins = static_cast<double>(cfg.fft_size / 2 + 1);
+  bench::set_roofline(state, 2.0 * rows * bins,
+                      8.0 * (rows * bins + bins + rows));
+}
+BENCHMARK(BM_MelMatvec);
+
+// ---------------------------------------------------------- window multiply
+
+void BM_WindowMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // Separate destination: an in-place repeat would decay the frame into
+  // denormals across iterations and measure FPU assists, not the kernel.
+  const std::vector<double> win = test_signal(n);
+  const std::vector<double> frame = test_signal(n);
+  std::vector<double> out(n);
+  const auto& kernel = dsp::simd::active();
+  for (auto _ : state) {
+    kernel.mul_d(out.data(), frame.data(), win.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  bench::set_roofline(state, static_cast<double>(n), 24.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_WindowMul)->Arg(512)->Arg(4096);
+
+// ------------------------------------------------------------------ biquad
+
+void BM_BiquadBlock(benchmark::State& state) {
+  // The section-major single-channel cascade (the streaming filter's shape).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::BiquadCascade cascade =
+      dsp::butterworth_bandpass(4, 14000.0, 21000.0, 48000.0);
+  const std::vector<double> in = test_signal(n);
+  for (auto _ : state) benchmark::DoNotOptimize(cascade.process(in));
+  const double sections = static_cast<double>(cascade.section_count());
+  bench::set_roofline(state, 9.0 * sections * static_cast<double>(n),
+                      16.0 * sections * static_cast<double>(n));
+}
+BENCHMARK(BM_BiquadBlock)->Arg(4800)->Arg(48000);
+
+void BM_BiquadInterleaved(benchmark::State& state) {
+  // The multi-channel interleaved cascade at `channels` concurrent streams
+  // (what serve::StreamingSession::feed_many runs per group).
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 4800;
+  const dsp::BiquadCascade design =
+      dsp::butterworth_bandpass(4, 14000.0, 21000.0, 48000.0);
+  dsp::MultiBiquadCascade multi(design.sections(), channels);
+  std::vector<std::vector<double>> ins(channels, test_signal(n));
+  std::vector<std::vector<double>> outs(channels, std::vector<double>(n));
+  std::vector<std::span<const double>> in_spans(channels);
+  std::vector<std::span<double>> out_spans(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    in_spans[c] = ins[c];
+    out_spans[c] = outs[c];
+  }
+  for (auto _ : state) {
+    multi.process(in_spans, out_spans);
+    benchmark::DoNotOptimize(outs.data());
+  }
+  const double sections = static_cast<double>(design.section_count());
+  const double samples = static_cast<double>(channels * n);
+  bench::set_roofline(state, 9.0 * sections * samples, 16.0 * sections * samples);
+}
+BENCHMARK(BM_BiquadInterleaved)->Arg(2)->Arg(4)->Arg(8);
+
+// -------------------------------------------------------------- f32 PSD
+
+void BM_PowerSpectrumF32(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plan = dsp::FftPlan::get(n, dsp::FftPlan::Kind::kReal);
+  dsp::FftScratch scratch;
+  const std::vector<double> in = test_signal(n);
+  std::vector<double> psd(plan->real_bins());
+  for (auto _ : state) {
+    plan->power_spectrum_f32(in, psd, 1.0 / static_cast<double>(n), scratch);
+    benchmark::DoNotOptimize(psd.data());
+  }
+  // Half-length complex FFT + untangle + power, in float32.
+  bench::set_roofline(state, bench::fft_flops(n / 2) + 10.0 * static_cast<double>(n),
+                      bench::fft_bytes(n / 2, 8) + 24.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_PowerSpectrumF32)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Effective dispatch context, so the JSON report says which kernel set the
+  // numbers describe (native arch of this build/host + the level actually
+  // selected via EARSONAR_SIMD).
+  benchmark::AddCustomContext("earsonar_simd_arch", dsp::simd::native_arch());
+  benchmark::AddCustomContext("earsonar_simd_level", dsp::simd::active().name);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Roofline accounting for the kernel microbenchmarks.
+//
+// Each SIMD kernel benchmark declares an *analytic* work model — floating
+// point operations and bytes of memory traffic per iteration — and this
+// helper turns it into two google-benchmark rate counters:
+//
+//   GFLOP/s  — flops_per_iteration * iterations / wall_seconds / 1e9
+//   GB/s     — bytes_per_iteration * iterations / wall_seconds / 1e9
+//
+// Both appear per benchmark in the JSON report (BENCH_latency.json, schema
+// earsonar-bench-v2) so a regression can be classified as compute-bound or
+// bandwidth-bound against the machine's roofline without re-deriving the
+// models. The models are documented next to each benchmark and in
+// docs/performance.md; they count the algorithm's intrinsic work (e.g.
+// 5·n·log2(n) flops for a radix-2 FFT), not the instruction mix of any
+// particular SIMD level, so the counters stay comparable across
+// EARSONAR_SIMD settings and across machines.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+namespace earsonar::bench {
+
+/// Attaches GFLOP/s and GB/s rate counters computed from an analytic
+/// per-iteration work model. Call once after the timing loop.
+inline void set_roofline(benchmark::State& state, double flops_per_iteration,
+                         double bytes_per_iteration) {
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(flops_per_iteration * 1e-9,
+                         benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["GB/s"] =
+      benchmark::Counter(bytes_per_iteration * 1e-9,
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Analytic flop count for a radix-2 complex FFT of length n: the standard
+/// 5·n·log2(n) (each butterfly = one complex multiply + add/sub pair = 10
+/// flops per two points per stage).
+inline double fft_flops(std::size_t n) {
+  double log2n = 0.0;
+  for (std::size_t m = n; m > 1; m >>= 1) log2n += 1.0;
+  return 5.0 * static_cast<double>(n) * log2n;
+}
+
+/// Memory model for the in-place butterfly passes: every stage streams the
+/// whole 2n-scalar array once (read + write).
+inline double fft_bytes(std::size_t n, std::size_t scalar_size) {
+  double log2n = 0.0;
+  for (std::size_t m = n; m > 1; m >>= 1) log2n += 1.0;
+  return 2.0 * 2.0 * static_cast<double>(n * scalar_size) * log2n;
+}
+
+}  // namespace earsonar::bench

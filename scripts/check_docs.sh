@@ -13,6 +13,9 @@
 #      source tree (each fault::point("...") call site).
 #   5. docs/testing.md must catalog every differential-oracle pair registered
 #      in src/check/tolerance.cpp (each add_pair(t, "...") call site).
+#   6. docs/performance.md must document every top-level field bench/
+#      run_bench.sh emits, every roofline counter bench/roofline.hpp
+#      defines, and every benchmark context key the bench binaries set.
 set -eu
 
 ROOT=${1:?usage: check_docs.sh REPO_ROOT [EARSONAR_BIN]}
@@ -112,6 +115,36 @@ if [ -f "$TESTING_DOC" ]; then
   for p in $doc_pairs; do
     printf '%s\n' "$pairs" | grep -qxF "$p" \
       || err "docs/testing.md catalogs unknown oracle pair '$p'"
+  done
+fi
+
+# ---- 6. bench report fields vs performance docs --------------------------
+PERF_DOC="$ROOT/docs/performance.md"
+[ -f "$PERF_DOC" ] || err "docs/performance.md is missing"
+
+if [ -f "$PERF_DOC" ]; then
+  # Top-level JSON fields assembled by run_bench.sh ('"field": ' printfs).
+  fields=$(grep -ohE '"[a-z0-9_]+": ' "$ROOT/bench/run_bench.sh" \
+             | sed 's/"//g; s/: //' | sort -u) || true
+  [ -n "$fields" ] || err "no report fields found in bench/run_bench.sh"
+  for f in $fields; do
+    grep -qF "\`$f\`" "$PERF_DOC" \
+      || err "docs/performance.md does not document report field '$f'"
+  done
+  # Roofline counter names defined in bench/roofline.hpp.
+  counters=$(grep -ohE 'state\.counters\["[^"]+"\]' "$ROOT/bench/roofline.hpp" \
+               | sed 's/.*\["//; s/"\]//' | sort -u) || true
+  [ -n "$counters" ] || err "no counters found in bench/roofline.hpp"
+  for c in $counters; do
+    grep -qF "\`$c\`" "$PERF_DOC" \
+      || err "docs/performance.md does not document counter '$c'"
+  done
+  # Benchmark context keys set via AddCustomContext in the bench binaries.
+  keys=$(grep -rhoE 'AddCustomContext\("[a-z0-9_]+"' "$ROOT/bench" \
+           | sed 's/AddCustomContext("//; s/"$//' | sort -u) || true
+  for k in $keys; do
+    grep -qF "\`$k\`" "$PERF_DOC" \
+      || err "docs/performance.md does not document context field '$k'"
   done
 fi
 

@@ -6,9 +6,13 @@
 #
 #   1. EARSONAR_SANITIZE=address,undefined — memory errors and UB over the
 #      `serve` and `fault` labels (engine chaos tests, fault injection,
-#      fuzz replay) plus the full `oracle` label: the differential oracle
-#      drives every optimized kernel through denormals, primes, and
-#      edge-case sizes, exactly where UB likes to hide.
+#      fuzz replay) plus the full `oracle` and `simd` labels: the
+#      differential oracle drives every optimized kernel through denormals,
+#      primes, and edge-case sizes, exactly where UB likes to hide, and the
+#      simd suite covers the dispatch layer's intrinsics. This flavor's
+#      ctest pass runs TWICE — once with EARSONAR_SIMD=native and once with
+#      EARSONAR_SIMD=scalar — so both kernel sets (intrinsics and the Pack
+#      emulation) execute under the sanitizers.
 #   2. EARSONAR_SANITIZE=thread           — data races in the worker pool,
 #      metrics, registry hot-swap, and the fault registry's armed fast
 #      path; of the oracle suite only the `oracle_stream` label (the
@@ -28,7 +32,8 @@ run_flavor() {
   flavor=$1
   sanitize=$2
   labels=$3
-  shift 3
+  simd_levels=$4
+  shift 4
   build="$ROOT/build-san-$flavor"
   echo "== check_sanitize: $sanitize -> $build (ctest -L '$labels') =="
   cmake -B "$build" -S "$ROOT" \
@@ -39,14 +44,18 @@ run_flavor() {
   # Build only the binaries the selected labels run — on a small box the
   # full test suite would double the sweep's wall clock for nothing.
   cmake --build "$build" -j "$JOBS" --target "$@"
-  ctest --test-dir "$build" -L "$labels" --output-on-failure -j "$JOBS"
+  for simd in $simd_levels; do
+    echo "== ctest -L '$labels' under EARSONAR_SIMD=$simd =="
+    EARSONAR_SIMD=$simd ctest --test-dir "$build" -L "$labels" \
+        --output-on-failure -j "$JOBS"
+  done
 }
 
-run_flavor asan address,undefined 'serve|fault|oracle' \
-           serve_test fault_test wav_fuzz_replay \
+run_flavor asan address,undefined 'serve|fault|oracle|simd' 'native scalar' \
+           serve_test fault_test wav_fuzz_replay simd_test \
            oracle_fft_test oracle_dsp_test oracle_stats_test \
            oracle_stream_test oracle_golden_test
-run_flavor tsan thread 'serve|fault|oracle_stream' \
+run_flavor tsan thread 'serve|fault|oracle_stream' native \
            serve_test fault_test wav_fuzz_replay oracle_stream_test
 
-echo "check_sanitize: OK (address,undefined over serve|fault|oracle + thread over serve|fault|oracle_stream)"
+echo "check_sanitize: OK (address,undefined over serve|fault|oracle|simd at both SIMD levels + thread over serve|fault|oracle_stream)"

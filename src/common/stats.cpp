@@ -1,7 +1,10 @@
 #include "common/stats.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
 
@@ -14,6 +17,159 @@ double central_moment(std::span<const double> xs, double mu, int order) {
   double acc = 0.0;
   for (double x : xs) acc += std::pow(x - mu, order);
   return acc / static_cast<double>(xs.size());
+}
+
+// Maps a double to an unsigned key whose integer order matches the double
+// order: flip all bits of negatives, set the sign bit of non-negatives.
+std::uint64_t order_key(double x) {
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  return (bits & 0x8000000000000000ULL) ? ~bits : bits | 0x8000000000000000ULL;
+}
+
+// Values at ranks r0 and r1 (0-based order statistics, r1 in {r0, r0+1}) via
+// MSB radix selection: each round histograms an 11-bit digit of the order
+// key, keeps only the bucket range containing both ranks, and recurses on
+// the survivors. Selection never reorders across equal keys, so the returned
+// values match nth_element / a full sort exactly; only the work drops from
+// the selection network's data-dependent shuffling to a few sequential
+// counting passes.
+std::pair<double, double> two_order_stats_radix(std::span<const double> xs,
+                                                std::size_t r0, std::size_t r1) {
+  constexpr int kDigitBits = 11;
+  constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
+  constexpr std::size_t kSmall = 64;
+
+  // Two passes over the full input in total: one to histogram the leading
+  // digit, one to collect the surviving bucket range — which simultaneously
+  // histograms the *next* digit of the survivors, so every later round costs
+  // a single pass over an already much smaller working set. The input itself
+  // is never copied wholesale.
+  //
+  // The counting pass stripes across four interleaved histograms: the
+  // envelope this feeds is smooth, so consecutive samples hit the same
+  // bucket, and a single counter array would serialize on the
+  // store-to-load-forwarded increment. Four independent counters break that
+  // chain; their sum is order-independent (integer adds).
+  thread_local std::vector<double> buf_a, buf_b;
+  std::array<std::uint32_t, kBuckets> hist{};
+  int shift = 64 - kDigitBits;
+  {
+    thread_local std::vector<std::uint32_t> stripes;
+    stripes.assign(4 * kBuckets, 0);
+    std::uint32_t* h4 = stripes.data();
+    const std::size_t n = xs.size();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      ++h4[0 * kBuckets + ((order_key(xs[i]) >> shift) & (kBuckets - 1))];
+      ++h4[1 * kBuckets + ((order_key(xs[i + 1]) >> shift) & (kBuckets - 1))];
+      ++h4[2 * kBuckets + ((order_key(xs[i + 2]) >> shift) & (kBuckets - 1))];
+      ++h4[3 * kBuckets + ((order_key(xs[i + 3]) >> shift) & (kBuckets - 1))];
+    }
+    for (; i < n; ++i) ++h4[(order_key(xs[i]) >> shift) & (kBuckets - 1)];
+    for (std::size_t b = 0; b < kBuckets; ++b)
+      hist[b] = h4[b] + h4[kBuckets + b] + h4[2 * kBuckets + b] + h4[3 * kBuckets + b];
+  }
+
+  std::span<const double> cur = xs;
+  std::vector<double>* dst = &buf_a;
+  std::vector<double>* spare = &buf_b;
+
+  while (true) {
+    // Bucket range [b0, b1] holding ranks r0 and r1, the element count
+    // strictly below it, and the exact survivor count.
+    std::size_t below = 0, b0 = 0;
+    while (below + hist[b0] <= r0) below += hist[b0++];
+    std::size_t b1 = b0, upto = below + hist[b0];
+    while (upto <= r1) upto += hist[++b1];
+    const std::size_t keep = upto - below;
+    r0 -= below;
+    r1 -= below;
+
+    if (b0 != b1) {
+      // The two ranks straddle a bucket boundary: rank r0 closes bucket b0's
+      // cumulative count and rank r1 opens bucket b1's (buckets between are
+      // empty), so the order statistics are exactly that bucket's maximum and
+      // this bucket's minimum. Recursing on the next digit would be wrong
+      // here — survivors from different top digits don't sort by lower
+      // digits alone. Plain double max/min matches key order because a
+      // bucket fixes the key's top bits, sign included.
+      bool f0 = false, f1 = false;
+      double v0 = 0.0, v1 = 0.0;
+      for (double x : cur) {
+        const std::size_t b = (order_key(x) >> shift) & (kBuckets - 1);
+        if (b == b0) {
+          v0 = f0 ? std::max(v0, x) : x;
+          f0 = true;
+        } else if (b == b1) {
+          v1 = f1 ? std::min(v1, x) : x;
+          f1 = true;
+        }
+      }
+      return {v0, v1};
+    }
+
+    const int next_shift_if_skipping = shift - kDigitBits;
+    if (keep == cur.size() && next_shift_if_skipping >= 0 && keep > kSmall) {
+      // This digit failed to discriminate (every element shares the bucket
+      // range). Nothing to copy — re-histogram the next digit in place
+      // (two stripes, same reasoning as the first pass).
+      std::array<std::uint32_t, 2 * kBuckets> nh{};
+      const std::size_t m = cur.size();
+      std::size_t j = 0;
+      for (; j + 2 <= m; j += 2) {
+        ++nh[(order_key(cur[j]) >> next_shift_if_skipping) & (kBuckets - 1)];
+        ++nh[kBuckets +
+             ((order_key(cur[j + 1]) >> next_shift_if_skipping) & (kBuckets - 1))];
+      }
+      for (; j < m; ++j)
+        ++nh[(order_key(cur[j]) >> next_shift_if_skipping) & (kBuckets - 1)];
+      for (std::size_t b = 0; b < kBuckets; ++b) hist[b] = nh[b] + nh[kBuckets + b];
+      shift = next_shift_if_skipping;
+      continue;
+    }
+
+    // Collect the surviving bucket (b0 == b1 here, so the test is a single
+    // compare). The branch is data-dependent but the survivor set is one
+    // digit value, so runs of accept/reject dominate and predict well; a
+    // branchless variant measured no faster.
+    dst->resize(keep);
+    double* out = dst->data();
+    const int next_shift = shift - kDigitBits;
+
+    if (next_shift < 0 || keep <= kSmall) {
+      std::size_t w = 0;
+      for (double x : cur) {
+        const std::size_t b = (order_key(x) >> shift) & (kBuckets - 1);
+        if (b == b0) out[w++] = x;
+      }
+      const auto first = dst->begin();
+      const auto last = first + static_cast<std::ptrdiff_t>(keep);
+      const auto nth = first + static_cast<std::ptrdiff_t>(r0);
+      std::nth_element(first, nth, last);
+      const double v0 = *nth;
+      const double v1 = r1 == r0 ? v0 : *std::min_element(nth + 1, last);
+      return {v0, v1};
+    }
+
+    // Fold the next digit's histogram into the same pass so the survivors are
+    // only read once per round. Two stripes selected by write-cursor parity
+    // break the same-counter store-forwarding chain on smooth data.
+    std::array<std::uint32_t, 2 * kBuckets> nh{};
+    std::size_t w = 0;
+    for (double x : cur) {
+      const std::uint64_t key = order_key(x);
+      const std::size_t b = (key >> shift) & (kBuckets - 1);
+      if (b == b0) {
+        out[w] = x;
+        ++nh[(w & 1) * kBuckets + ((key >> next_shift) & (kBuckets - 1))];
+        ++w;
+      }
+    }
+    for (std::size_t b = 0; b < kBuckets; ++b) hist[b] = nh[b] + nh[kBuckets + b];
+    shift = next_shift;
+    cur = std::span<const double>(dst->data(), keep);
+    std::swap(dst, spare);
+  }
 }
 
 }  // namespace
@@ -75,20 +231,31 @@ double median(std::span<const double> xs) { return percentile(xs, 50.0); }
 double percentile(std::span<const double> xs, double p) {
   require_nonempty("percentile input", xs.size());
   require_in_range("percentile p", p, 0.0, 100.0);
-  std::vector<double> work(xs.begin(), xs.end());
-  if (work.size() == 1) return work.front();
-  const double pos = p / 100.0 * static_cast<double>(work.size() - 1);
+  if (xs.size() == 1) return xs.front();
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, work.size() - 1);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  // Two order statistics instead of a full sort: nth_element places the lo-th
-  // value and partitions everything above it to the right, so the hi-th value
-  // (lo or lo+1) is the minimum of that right partition. Same values as the
-  // sort-based implementation in O(n).
-  auto nth = work.begin() + static_cast<std::ptrdiff_t>(lo);
-  std::nth_element(work.begin(), nth, work.end());
-  const double v_lo = *nth;
-  const double v_hi = hi == lo ? v_lo : *std::min_element(nth + 1, work.end());
+  // Two order statistics instead of a full sort. Both paths return the exact
+  // lo-th and hi-th smallest values — identical to sorting — they differ only
+  // in how they find them: nth_element places the lo-th value and leaves
+  // everything above it to the right (the hi-th value is then the minimum of
+  // that right partition); the radix path counts its way down the key bits,
+  // which on large inputs beats introselect's shuffling by a wide margin
+  // (the event detector takes the median of a whole recording's envelope).
+  constexpr std::size_t kRadixThreshold = 2048;
+  double v_lo, v_hi;
+  if (xs.size() >= kRadixThreshold) {
+    const auto [v0, v1] = two_order_stats_radix(xs, lo, hi);
+    v_lo = v0;
+    v_hi = v1;
+  } else {
+    std::vector<double> work(xs.begin(), xs.end());
+    auto nth = work.begin() + static_cast<std::ptrdiff_t>(lo);
+    std::nth_element(work.begin(), nth, work.end());
+    v_lo = *nth;
+    v_hi = hi == lo ? v_lo : *std::min_element(nth + 1, work.end());
+  }
   return v_lo * (1.0 - frac) + v_hi * frac;
 }
 

@@ -21,6 +21,7 @@
 #include "audio/chirp.hpp"
 #include "audio/waveform.hpp"
 #include "core/segment.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/spectrum.hpp"
 
 namespace earsonar::core {
@@ -64,6 +65,12 @@ struct SpectrumConfig {
   /// Plotting code normalizes for display instead.
   bool peak_normalize = false;
   std::size_t interpolated_length = 256;  ///< spline-resampled window length
+  /// Run the window-PSD transform in float32 kernel arithmetic
+  /// (FftPlan::power_spectrum_f32) instead of exact float64. Opt-in; the
+  /// default follows EARSONAR_PRECISION=float32. The end-to-end error is
+  /// bounded by the dsp.fft.power_spectrum.f32 / dsp.features.f32 oracle
+  /// pairs (docs/testing.md).
+  bool float32_kernels = dsp::simd::float32_requested();
   std::size_t fft_size = 512;          ///< zero-padded transform length
   double band_low_hz = 16000.0;        ///< analysis band == the chirp band;
   double band_high_hz = 20000.0;       ///< outside it the ratio is noise/noise
@@ -114,6 +121,12 @@ class EchoSpectrumExtractor {
   [[nodiscard]] dsp::Spectrum window_psd(const audio::Waveform& signal,
                                          std::size_t center, std::size_t pre,
                                          std::size_t post) const;
+  /// Reference division, direct-pulse normalization, and peak normalization
+  /// applied to one echo's band PSD — the tail of extract(), shared with the
+  /// batched extract_all path.
+  [[nodiscard]] dsp::Spectrum finalize(dsp::Spectrum spectrum,
+                                       const audio::Waveform& signal,
+                                       const EchoSegment& echo) const;
   SpectrumConfig config_;
   dsp::Spectrum reference_;  ///< transmit-reference band PSD (may be empty)
 };

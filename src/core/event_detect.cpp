@@ -32,25 +32,33 @@ std::vector<Event> AdaptiveEventDetector::detect(const audio::Waveform& signal) 
 
   // Instantaneous power and its centered moving average A(i) over `smooth`
   // samples: the oscillating carrier makes raw |X(i)|^2 cross zero every half
-  // cycle, so thresholds act on the smoothed envelope.
-  std::vector<double> power(n);
-  for (std::size_t i = 0; i < n; ++i) power[i] = x[i] * x[i];
-
+  // cycle, so thresholds act on the smoothed envelope. One fused pass — the
+  // power term leaving the moving window is recomputed from x (bit-identical
+  // to re-reading it) so no per-sample power array is materialized, and the
+  // global-mean accumulation rides along in its own accumulator, in the same
+  // element order as a separate loop.
   const std::size_t s = std::min(config_.smooth, n);
   const std::size_t half = s / 2;
-  std::vector<double> envelope(n, 0.0);
+  // Reused per-thread buffer: a whole-recording envelope is ~400 KB, and a
+  // fresh allocation pays mmap + page-fault cost every call. The fused pass
+  // below writes every center in [0, n - half); only the last `half` centers
+  // never receive a completed moving average and must be zeroed explicitly.
+  thread_local std::vector<double> envelope;
+  envelope.resize(n);
+  std::fill(envelope.end() - static_cast<std::ptrdiff_t>(half), envelope.end(), 0.0);
   double run = 0.0;
+  double global_mean = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    run += power[i];
-    if (i >= s) run -= power[i - s];
+    const double p = x[i] * x[i];
+    global_mean += p;
+    run += p;
+    if (i >= s) run -= x[i - s] * x[i - s];
     const std::size_t count = std::min(i + 1, s);
     const std::size_t center = i >= half ? i - half : 0;
     envelope[center] = run / static_cast<double>(count);
   }
 
   // Global mean power: the closing threshold mu-bar of Eq. 6-7.
-  double global_mean = 0.0;
-  for (double p : power) global_mean += p;
   global_mean /= static_cast<double>(n);
 
   // Robust noise-floor estimate for the prominence gate.

@@ -25,6 +25,11 @@ struct Biquad {
 /// A cascade of biquads with per-instance state, processed in sequence.
 class BiquadCascade {
  public:
+  /// Transposed-DF2 delay line of one section.
+  struct State {
+    double z1 = 0.0, z2 = 0.0;
+  };
+
   BiquadCascade() = default;
   explicit BiquadCascade(std::vector<Biquad> sections);
 
@@ -51,10 +56,12 @@ class BiquadCascade {
   [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
   [[nodiscard]] const std::vector<Biquad>& sections() const { return sections_; }
 
+  /// Delay-line snapshot / restore — lets MultiBiquadCascade move a stream's
+  /// filter state into an interleaved lane and back without re-filtering.
+  [[nodiscard]] const std::vector<State>& state() const { return state_; }
+  void set_state(std::vector<State> state);
+
  private:
-  struct State {
-    double z1 = 0.0, z2 = 0.0;
-  };
   std::vector<Biquad> sections_;
   std::vector<State> state_;
 };

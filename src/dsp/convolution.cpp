@@ -78,7 +78,30 @@ std::vector<double> convolve_fft(std::span<const double> a, std::span<const doub
                              s.time.begin() + static_cast<std::ptrdiff_t>(out_len));
 }
 
-std::vector<double> autoconvolve(std::span<const double> x) { return convolve(x, x); }
+std::vector<double> autoconvolve(std::span<const double> x) {
+  require_nonempty("autoconvolve input", x.size());
+  if (prefer_direct(x.size(), x.size())) return convolve_direct(x, x);
+  // Same as convolve_fft(x, x), minus the second forward transform: both
+  // operands are the identical padded buffer, so FB would come out bit-equal
+  // to FA and FA[i] *= FA[i] reproduces the general path's product exactly.
+  // The segmenter auto-convolves one event window per chirp, making this the
+  // hottest convolution call in the pipeline.
+  const std::size_t out_len = 2 * x.size() - 1;
+  const std::size_t n = next_power_of_two(out_len);
+  const auto plan = FftPlan::get(n, FftPlan::Kind::kReal);
+  ConvScratch& s = conv_scratch();
+  const std::size_t bins = plan->real_bins();
+
+  s.padded.assign(n, 0.0);
+  std::copy(x.begin(), x.end(), s.padded.begin());
+  s.fa.resize(bins);
+  plan->forward_real(s.padded, s.fa, s.fft);
+  for (std::size_t i = 0; i < bins; ++i) s.fa[i] *= s.fa[i];
+  s.time.resize(n);
+  plan->inverse_real(s.fa, s.time, s.fft);
+  return std::vector<double>(s.time.begin(),
+                             s.time.begin() + static_cast<std::ptrdiff_t>(out_len));
+}
 
 std::vector<double> cross_correlate(std::span<const double> a, std::span<const double> b) {
   require_nonempty("cross_correlate a", a.size());

@@ -8,11 +8,139 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "dsp/simd.hpp"
 
 namespace earsonar::dsp {
 
 namespace {
 constexpr double kPi = std::numbers::pi;
+
+// Pair ranges the band [bin_lo, bin_hi] needs from the in-place untangle.
+// Each pair k covers bins k and h-k, so the pairs form at most two contiguous
+// k ranges — the band itself and its mirror, clamped to the pair domain
+// [1, h/2]. A full-range request degenerates to the single original [1, h/2]
+// loop. Overlapping ranges are merged so no pair executes twice (the untangle
+// is in place — re-running a pair would read already-untangled values).
+int untangle_pair_ranges(std::size_t h, std::size_t bin_lo, std::size_t bin_hi,
+                         std::size_t ra[2], std::size_t rb[2]) {
+  const std::size_t kmax = h / 2;
+  int nr = 0;
+  if (const std::size_t a = bin_lo < 1 ? 1 : bin_lo,
+      b = bin_hi < kmax ? bin_hi : kmax;
+      a <= b) {
+    ra[nr] = a;
+    rb[nr] = b;
+    ++nr;
+  }
+  if (const std::size_t a = h - bin_hi < 1 ? 1 : h - bin_hi,
+      b = h - bin_lo < kmax ? h - bin_lo : kmax;
+      a <= b) {
+    ra[nr] = a;
+    rb[nr] = b;
+    ++nr;
+  }
+  if (nr == 2) {
+    if (ra[0] > ra[1]) {
+      std::swap(ra[0], ra[1]);
+      std::swap(rb[0], rb[1]);
+    }
+    if (ra[1] <= rb[0] + 1) {
+      rb[0] = rb[0] > rb[1] ? rb[0] : rb[1];
+      nr = 1;
+    }
+  }
+  return nr;
+}
+
+// Even/odd untangling of the half-length real transform (see forward_real for
+// the derivation). Templated on the sample type so the float32 pipeline runs
+// the identical algorithm; o holds the h half-transform bins on entry and the
+// h+1 real-spectrum bins on exit, w is the interleaved twiddle table
+// exp(-2*pi*i*k/n) for k = 0..h.
+// The optional [bin_lo, bin_hi] range skips (k, h-k) pairs that produce no
+// bin inside it — the executed pairs run the identical arithmetic, so the
+// written bins match the full untangle bit for bit (power_spectrum_band
+// relies on this; everyone else passes the full range).
+template <class T>
+void untangle_real(T* o, const T* w, std::size_t h, std::size_t bin_lo = 0,
+                   std::size_t bin_hi = static_cast<std::size_t>(-1)) {
+  if (bin_hi > h) bin_hi = h;
+  if (bin_lo == 0 || bin_hi == h) {
+    const T z0r = o[0], z0i = o[1];
+    o[0] = z0r + z0i;
+    o[1] = T(0);
+    o[2 * h] = z0r - z0i;
+    o[2 * h + 1] = T(0);
+  }
+  // Iterating the pair ranges directly keeps the loop body branch-free (and
+  // vectorizable).
+  std::size_t ra[2], rb[2];
+  const int nr = untangle_pair_ranges(h, bin_lo, bin_hi, ra, rb);
+  for (int r = 0; r < nr; ++r) {
+    for (std::size_t k = ra[r]; k <= rb[r]; ++k) {
+      const T zkr = o[2 * k], zki = o[2 * k + 1];
+      const T zmr = o[2 * (h - k)], zmi = o[2 * (h - k) + 1];
+      // sum = (Z[k] + conj(Z[h-k]))/2, diff = -i/2 * W * (Z[k] - conj(Z[h-k]));
+      // -i/2 * W folds into the twiddle as {W.imag, -W.real}/2.
+      const T dr = zkr - zmr, di = zki + zmi;
+      const T tkr = T(0.5) * w[2 * k + 1], tki = -T(0.5) * w[2 * k];
+      const T tmr = T(0.5) * w[2 * (h - k) + 1], tmi = -T(0.5) * w[2 * (h - k)];
+      // For the mirror bin, Z[m] - conj(Z[h-m]) with m = h-k is (-dr, di).
+      o[2 * k] = T(0.5) * (zkr + zmr) + tkr * dr - tki * di;
+      o[2 * k + 1] = T(0.5) * (zki - zmi) + tkr * di + tki * dr;
+      o[2 * (h - k)] = T(0.5) * (zmr + zkr) - tmr * dr - tmi * di;
+      o[2 * (h - k) + 1] = T(0.5) * (zmi - zki) + tmr * di - tmi * dr;
+    }
+  }
+}
+
+// ------------------------------------------------- four-lane batched kernels
+//
+// Layout: complex index k of lane l lives at z[8k + l] (real part) and
+// z[8k + 4 + l] (imaginary part). A row of four same-index reals (or imags)
+// is one contiguous 4-double group, so every loop below is elementwise over
+// lanes and vectorizes without shuffles. The butterfly stages live in the
+// kernel dispatch (simd::KernelSet::butterflies_x4_d) so the AVX2 build
+// reaches this layout with full-width vectors; each lane runs the identical
+// per-element arithmetic sequence as the single-transform kernels, so the
+// batched bins equal four single transforms bit for bit at every level.
+
+// untangle_real over the lane-major buffer, same pair ranges and per-pair
+// arithmetic; w is the complex twiddle table exp(-2*pi*i*k/n) for k = 0..h.
+void untangle_x4(double* z, const Complex* w, std::size_t h, std::size_t bin_lo,
+                 std::size_t bin_hi) {
+  if (bin_hi > h) bin_hi = h;
+  if (bin_lo == 0 || bin_hi == h) {
+    double* s0 = z;
+    double* sh = z + 8 * h;
+    for (std::size_t l = 0; l < 4; ++l) {
+      const double z0r = s0[l], z0i = s0[4 + l];
+      s0[l] = z0r + z0i;
+      s0[4 + l] = 0.0;
+      sh[l] = z0r - z0i;
+      sh[4 + l] = 0.0;
+    }
+  }
+  std::size_t ra[2], rb[2];
+  const int nr = untangle_pair_ranges(h, bin_lo, bin_hi, ra, rb);
+  for (int r = 0; r < nr; ++r) {
+    for (std::size_t k = ra[r]; k <= rb[r]; ++k) {
+      const double tkr = 0.5 * w[k].imag(), tki = -0.5 * w[k].real();
+      const double tmr = 0.5 * w[h - k].imag(), tmi = -0.5 * w[h - k].real();
+      double* a = z + 8 * k;
+      double* b = z + 8 * (h - k);
+      for (std::size_t l = 0; l < 4; ++l) {
+        const double zkr = a[l], zki = a[4 + l];
+        const double zmr = b[l], zmi = b[4 + l];
+        const double dr = zkr - zmr, di = zki + zmi;
+        a[l] = 0.5 * (zkr + zmr) + tkr * dr - tki * di;
+        a[4 + l] = 0.5 * (zki - zmi) + tkr * di + tki * dr;
+        b[l] = 0.5 * (zmr + zkr) - tmr * dr - tmi * di;
+        b[4 + l] = 0.5 * (zmi - zki) + tmr * di - tmi * dr;
+      }
+    }
+  }
+}
 }  // namespace
 
 FftPlan::FftPlan(std::size_t n, Kind kind)
@@ -63,6 +191,12 @@ void FftPlan::build_radix2_tables() {
       twiddles_[h + k] = Complex{std::cos(a), std::sin(a)};
     }
   }
+  // Narrowed mirror for the float32 pipeline (same stage layout, interleaved).
+  twiddles_f_.resize(2 * twiddles_.size());
+  for (std::size_t i = 0; i < twiddles_.size(); ++i) {
+    twiddles_f_[2 * i] = static_cast<float>(twiddles_[i].real());
+    twiddles_f_[2 * i + 1] = static_cast<float>(twiddles_[i].imag());
+  }
 }
 
 void FftPlan::build_bluestein() {
@@ -94,6 +228,11 @@ void FftPlan::build_real() {
       const double a = -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n_);
       real_twiddles_[k] = Complex{std::cos(a), std::sin(a)};
     }
+    real_twiddles_f_.resize(2 * real_twiddles_.size());
+    for (std::size_t k = 0; k < real_twiddles_.size(); ++k) {
+      real_twiddles_f_[2 * k] = static_cast<float>(real_twiddles_[k].real());
+      real_twiddles_f_[2 * k + 1] = static_cast<float>(real_twiddles_[k].imag());
+    }
   } else {
     full_plan_ = get(n_, Kind::kComplex);
   }
@@ -104,56 +243,15 @@ void FftPlan::build_real() {
 // hoisted into a local first. Writing through the std::span<Complex> while
 // reading members makes GCC assume the stores may alias this->twiddles_ /
 // this->n_, so it reloads them every iteration and assembles each Complex
-// through a stack round-trip — measured ~10x slower than this form.
+// through a stack round-trip — measured ~10x slower than this form. The
+// butterfly stages themselves now live in the dispatched SIMD kernels
+// (src/dsp/kernel_impl.hpp) with the same per-element arithmetic, so results
+// are unchanged bit for bit (see simd.hpp for why that holds across levels).
 
 void FftPlan::butterflies(std::span<Complex> data) const {
-  double* d = reinterpret_cast<double*>(data.data());
-  const std::size_t n2 = 2 * n_;
-  // The first two stages need no multiplies: their twiddles are exactly 1 and
-  // {1, -i} (the table's cos(-pi/2) carries a ~6e-17 real part; the exact
-  // constants here are the mathematically correct values).
-  if (n_ >= 2) {
-    for (std::size_t i = 0; i < n2; i += 4) {
-      const double ur = d[i], ui = d[i + 1], vr = d[i + 2], vi = d[i + 3];
-      d[i] = ur + vr;
-      d[i + 1] = ui + vi;
-      d[i + 2] = ur - vr;
-      d[i + 3] = ui - vi;
-    }
-  }
-  if (n_ >= 4) {
-    for (std::size_t i = 0; i < n2; i += 8) {
-      const double u0r = d[i], u0i = d[i + 1], v0r = d[i + 4], v0i = d[i + 5];
-      d[i] = u0r + v0r;
-      d[i + 1] = u0i + v0i;
-      d[i + 4] = u0r - v0r;
-      d[i + 5] = u0i - v0i;
-      const double u1r = d[i + 2], u1i = d[i + 3];
-      const double v1r = d[i + 7], v1i = -d[i + 6];  // x * -i
-      d[i + 2] = u1r + v1r;
-      d[i + 3] = u1i + v1i;
-      d[i + 6] = u1r - v1r;
-      d[i + 7] = u1i - v1i;
-    }
-  }
-  for (std::size_t h = 4; h < n_; h <<= 1) {
-    const double* w = reinterpret_cast<const double*>(twiddles_.data() + h);
-    const std::size_t h2 = 2 * h;
-    for (std::size_t i = 0; i < n2; i += 2 * h2) {
-      for (std::size_t k = 0; k < h2; k += 2) {
-        const std::size_t p = i + k, q = p + h2;
-        const double ur = d[p], ui = d[p + 1];
-        const double xr = d[q], xi = d[q + 1];
-        const double wr = w[k], wi = w[k + 1];
-        const double vr = xr * wr - xi * wi;
-        const double vi = xr * wi + xi * wr;
-        d[p] = ur + vr;
-        d[p + 1] = ui + vi;
-        d[q] = ur - vr;
-        d[q + 1] = ui - vi;
-      }
-    }
-  }
+  simd::active().butterflies_d(reinterpret_cast<double*>(data.data()),
+                               reinterpret_cast<const double*>(twiddles_.data()),
+                               n_);
 }
 
 void FftPlan::permute_copy(std::span<const Complex> in, std::span<Complex> out) const {
@@ -318,27 +416,8 @@ void FftPlan::forward_real(std::span<const double> in, std::span<Complex> out,
   // (k, h-k) pairs so Z can live in the output buffer.
   const std::size_t h = n_ / 2;
   half_transform(in, out, scratch);
-  double* o = reinterpret_cast<double*>(out.data());
-  const double* w = reinterpret_cast<const double*>(real_twiddles_.data());
-  const double z0r = o[0], z0i = o[1];
-  o[0] = z0r + z0i;
-  o[1] = 0.0;
-  o[2 * h] = z0r - z0i;
-  o[2 * h + 1] = 0.0;
-  for (std::size_t k = 1; 2 * k <= h; ++k) {
-    const double zkr = o[2 * k], zki = o[2 * k + 1];
-    const double zmr = o[2 * (h - k)], zmi = o[2 * (h - k) + 1];
-    // sum = (Z[k] + conj(Z[h-k]))/2, diff = -i/2 * W * (Z[k] - conj(Z[h-k]));
-    // -i/2 * W folds into the twiddle as {W.imag, -W.real}/2.
-    const double dr = zkr - zmr, di = zki + zmi;
-    const double tkr = 0.5 * w[2 * k + 1], tki = -0.5 * w[2 * k];
-    const double tmr = 0.5 * w[2 * (h - k) + 1], tmi = -0.5 * w[2 * (h - k)];
-    // For the mirror bin, Z[m] - conj(Z[h-m]) with m = h-k is (-dr, di).
-    o[2 * k] = 0.5 * (zkr + zmr) + tkr * dr - tki * di;
-    o[2 * k + 1] = 0.5 * (zki - zmi) + tkr * di + tki * dr;
-    o[2 * (h - k)] = 0.5 * (zmr + zkr) - tmr * dr - tmi * di;
-    o[2 * (h - k) + 1] = 0.5 * (zmi - zki) + tmr * di - tmi * dr;
-  }
+  untangle_real<double>(reinterpret_cast<double*>(out.data()),
+                        reinterpret_cast<const double*>(real_twiddles_.data()), h);
 }
 
 void FftPlan::inverse_real(std::span<const Complex> spectrum, std::span<double> out,
@@ -410,17 +489,124 @@ void FftPlan::power_spectrum(std::span<const double> in, std::span<double> out,
     scratch.c.resize(real_bins());
     std::span<Complex> bins(scratch.c.data(), real_bins());
     forward_real(in, bins, scratch);
-    const double* b = reinterpret_cast<const double*>(bins.data());
-    double* o = out.data();
-    const std::size_t m = bins.size();
-    for (std::size_t k = 0; k < m; ++k)
-      o[k] = (b[2 * k] * b[2 * k] + b[2 * k + 1] * b[2 * k + 1]) * scale;
+    simd::active().power_bins_d(reinterpret_cast<const double*>(bins.data()),
+                                out.data(), bins.size(), scale);
     return;
   }
   // Odd sizes route forward_real through scratch.c already; use a local.
   std::vector<Complex> local(real_bins());
   forward_real(in, local, scratch);
   for (std::size_t k = 0; k < local.size(); ++k) out[k] = std::norm(local[k]) * scale;
+}
+
+void FftPlan::power_spectrum_band(std::span<const double> in, std::span<double> out,
+                                  double scale, FftScratch& scratch,
+                                  std::size_t bin_lo, std::size_t bin_hi) const {
+  require(kind_ == Kind::kReal, "FftPlan::power_spectrum_band: real plan required");
+  require(out.size() == real_bins(),
+          "FftPlan::power_spectrum_band: output size mismatch");
+  require(bin_lo <= bin_hi && bin_hi < real_bins(),
+          "FftPlan::power_spectrum_band: bin range out of order");
+  if (n_ == 1 || n_ % 2 != 0 || !half_plan_->radix2_) {
+    power_spectrum(in, out, scale, scratch);
+    return;
+  }
+  require(in.size() == n_, "FftPlan::power_spectrum_band: input size mismatch");
+  if (fault::point("fft.execute")) fail("injected fault: fft.execute");
+
+  // Full half-length transform (every untangle pair reads both Z[k] and
+  // Z[h-k], so no stage can be pruned), then only the pairs and |X|^2
+  // reductions the requested bins need.
+  const std::size_t h = n_ / 2;
+  scratch.c.resize(real_bins());
+  std::span<Complex> bins(scratch.c.data(), real_bins());
+  half_transform(in, bins, scratch);
+  untangle_real<double>(reinterpret_cast<double*>(bins.data()),
+                        reinterpret_cast<const double*>(real_twiddles_.data()), h,
+                        bin_lo, bin_hi);
+  simd::active().power_bins_d(
+      reinterpret_cast<const double*>(bins.data()) + 2 * bin_lo,
+      out.data() + bin_lo, bin_hi - bin_lo + 1, scale);
+}
+
+void FftPlan::power_spectrum_band_x4(const double* const in[4],
+                                     double* const out[4], double scale,
+                                     FftScratch& scratch, std::size_t bin_lo,
+                                     std::size_t bin_hi) const {
+  require(kind_ == Kind::kReal, "FftPlan::power_spectrum_band_x4: real plan required");
+  require(bin_lo <= bin_hi && bin_hi < real_bins(),
+          "FftPlan::power_spectrum_band_x4: bin range out of order");
+  if (n_ == 1 || n_ % 2 != 0 || !half_plan_->radix2_) {
+    for (std::size_t l = 0; l < 4; ++l)
+      power_spectrum_band(std::span<const double>(in[l], n_),
+                          std::span<double>(out[l], real_bins()), scale, scratch,
+                          bin_lo, bin_hi);
+    return;
+  }
+  if (fault::point("fft.execute")) fail("injected fault: fft.execute");
+
+  const std::size_t h = n_ / 2;
+  scratch.d.resize(8 * (h + 1));
+  double* z = scratch.d.data();
+
+  // Pack + bit-reverse all four inputs into the lane-major buffer in one pass.
+  const std::size_t* rev = half_plan_->bitrev_.data();
+  for (std::size_t i = 0; i < h; ++i) {
+    const std::size_t j = 2 * rev[i];
+    double* s = z + 8 * i;
+    for (std::size_t l = 0; l < 4; ++l) {
+      s[l] = in[l][j];
+      s[4 + l] = in[l][j + 1];
+    }
+  }
+  simd::active().butterflies_x4_d(
+      z, reinterpret_cast<const double*>(half_plan_->twiddles_.data()), h);
+  untangle_x4(z, real_twiddles_.data(), h, bin_lo, bin_hi);
+  for (std::size_t k = bin_lo; k <= bin_hi; ++k) {
+    const double* s = z + 8 * k;
+    for (std::size_t l = 0; l < 4; ++l)
+      out[l][k] = (s[l] * s[l] + s[4 + l] * s[4 + l]) * scale;
+  }
+}
+
+void FftPlan::power_spectrum_f32(std::span<const double> in, std::span<double> out,
+                                 double scale, FftScratch& scratch) const {
+  require(kind_ == Kind::kReal, "FftPlan::power_spectrum_f32: real plan required");
+  require(out.size() == real_bins(),
+          "FftPlan::power_spectrum_f32: output size mismatch");
+  if (n_ == 1 || n_ % 2 != 0 || !half_plan_->radix2_) {
+    // Odd / non-radix-2 sizes are off the hot path; keep them exact.
+    power_spectrum(in, out, scale, scratch);
+    return;
+  }
+  require(in.size() == n_, "FftPlan::power_spectrum_f32: input size mismatch");
+  if (fault::point("fft.execute")) fail("injected fault: fft.execute");
+  const auto& kernel = simd::active();
+  const std::size_t h = n_ / 2;
+  const std::size_t m = real_bins();
+
+  // Narrow + pack + bit-reverse in one pass, as in half_transform.
+  scratch.fa.resize(2 * h >= 2 * m ? 2 * h : 2 * m);
+  float* z = scratch.fa.data();
+  {
+    const std::size_t* rev = half_plan_->bitrev_.data();
+    const double* src = in.data();
+    for (std::size_t i = 0; i < h; ++i) {
+      const std::size_t j = 2 * rev[i];
+      z[2 * i] = static_cast<float>(src[j]);
+      z[2 * i + 1] = static_cast<float>(src[j + 1]);
+    }
+  }
+  kernel.butterflies_f(z, half_plan_->twiddles_f_.data(), h);
+
+  // Untangle needs bin h (one complex past the half transform); run it in the
+  // wider fb buffer, then reduce to |X|^2 in float and widen on store.
+  scratch.fb.resize(2 * m);
+  float* bins = scratch.fb.data();
+  for (std::size_t i = 0; i < 2 * h; ++i) bins[i] = z[i];
+  untangle_real<float>(bins, real_twiddles_f_.data(), h);
+  kernel.power_bins_f(bins, z, m, static_cast<float>(scale));
+  for (std::size_t k = 0; k < m; ++k) out[k] = static_cast<double>(z[k]);
 }
 
 void FftPlan::magnitude_spectrum(std::span<const double> in, std::span<double> out,

@@ -31,6 +31,9 @@ struct FftScratch {
   std::vector<Complex> a;
   std::vector<Complex> b;
   std::vector<Complex> c;
+  std::vector<float> fa;  ///< float32 pipeline: packed half-length transform
+  std::vector<float> fb;  ///< float32 pipeline: untangled real-spectrum bins
+  std::vector<double> d;  ///< batched pipeline: four lane-major transforms
 };
 
 class FftPlan {
@@ -80,6 +83,41 @@ class FftPlan {
   void power_spectrum(std::span<const double> in, std::span<double> out,
                       double scale, FftScratch& scratch) const;
 
+  /// power_spectrum restricted to bins [bin_lo, bin_hi]: runs the identical
+  /// half-length transform, but untangles only the (k, n/2-k) pairs that
+  /// produce bins in range and reduces only those bins to |X[k]|^2 * scale.
+  /// Written bins are bit-identical to the full power_spectrum; out entries
+  /// outside [bin_lo, bin_hi] are left untouched. out must still span all
+  /// real_bins(). The absorption stage uses this — its 16-20 kHz analysis
+  /// band reads ~45 of a 512-point transform's 257 bins, once per chirp.
+  /// Sizes without the even-n radix-2 fast path fall back to the full
+  /// computation (every bin written).
+  void power_spectrum_band(std::span<const double> in, std::span<double> out,
+                           double scale, FftScratch& scratch, std::size_t bin_lo,
+                           std::size_t bin_hi) const;
+
+  /// Four independent power_spectrum_band calls batched into one pass: the
+  /// transforms run in a lane-major layout (one AVX register row holds the
+  /// same complex index of all four inputs), which keeps every vector lane
+  /// busy without any shuffles. Each lane executes the identical per-element
+  /// arithmetic sequence as the single-transform path, so out[l] matches
+  /// power_spectrum_band(in[l], ...) bit for bit. The absorption stage feeds
+  /// its per-chirp PSD loop through this four chirps at a time. Sizes without
+  /// the even-n radix-2 fast path fall back to four single calls.
+  void power_spectrum_band_x4(const double* const in[4], double* const out[4],
+                              double scale, FftScratch& scratch,
+                              std::size_t bin_lo, std::size_t bin_hi) const;
+
+  /// power_spectrum with float32 kernel arithmetic: the input is narrowed to
+  /// float once, the half-length transform / untangle / |X|^2 reduction run
+  /// in float, and the bins are widened back to double on store. The public
+  /// signature stays double — callers opt in per call (see
+  /// SpectrumConfig::precision). Accuracy is bounded by the
+  /// `dsp.fft.power_spectrum.f32` oracle pair. Sizes without the even-n
+  /// radix-2 fast path fall back to the double pipeline.
+  void power_spectrum_f32(std::span<const double> in, std::span<double> out,
+                          double scale, FftScratch& scratch) const;
+
   /// out[k] = |X[k]| for the n/2+1 non-negative-frequency bins.
   void magnitude_spectrum(std::span<const double> in, std::span<double> out,
                           FftScratch& scratch) const;
@@ -107,6 +145,7 @@ class FftPlan {
   // Radix-2 tables (power-of-two complex plans).
   std::vector<std::size_t> bitrev_;  ///< bit-reversed index of each position
   std::vector<Complex> twiddles_;    ///< stage with half-length h at [h, 2h)
+  std::vector<float> twiddles_f_;    ///< same table narrowed, interleaved re/im
 
   // Bluestein state (non-power-of-two complex plans).
   std::shared_ptr<const FftPlan> pad_plan_;  ///< radix-2 plan of size m
@@ -117,6 +156,7 @@ class FftPlan {
   std::shared_ptr<const FftPlan> half_plan_;  ///< complex plan of size n/2 (even n)
   std::shared_ptr<const FftPlan> full_plan_;  ///< complex plan of size n (odd n)
   std::vector<Complex> real_twiddles_;        ///< exp(-2*pi*i*k/n), k = 0..n/2
+  std::vector<float> real_twiddles_f_;        ///< narrowed, interleaved re/im
 };
 
 }  // namespace earsonar::dsp

@@ -1,0 +1,242 @@
+// Templated kernel bodies shared by every dispatch level.
+//
+// Each translation unit (kernels_base.cpp, kernels_avx2.cpp,
+// kernels_pack.cpp) instantiates Kern<V> over its own vector types from
+// simd_vec.hpp and exports the resulting function pointers through a
+// KernelSet. Because the code here is the single source for both the
+// intrinsic and the Pack builds, per-lane operation sequences are identical
+// by construction — the foundation of the scalar-vs-native bit-parity
+// guarantee (see simd.hpp). Keep every arithmetic decision (e.g. expressing
+// v as add(t1, neg_even(t2)), the lane-ordered reductions, the scalar tails)
+// in this file only.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/simd.hpp"
+#include "dsp/simd_vec.hpp"
+
+namespace earsonar::dsp::simd {
+
+template <class V>
+struct Kern {
+  using T = typename V::value_type;
+  static constexpr std::size_t W = V::kLanes;
+
+  /// Radix-2 DIT butterfly stages over n complex values (2n scalars) already
+  /// in bit-reversed order. Stage twiddle layout matches FftPlan: the stage
+  /// with half-length h keeps its h complex twiddles at scalar offset 2h.
+  static void butterflies(T* d, const T* twiddles, std::size_t n) {
+    const std::size_t n2 = 2 * n;
+    // The first two stages need no multiplies: their twiddles are exactly 1
+    // and {1, -i}. They stay scalar — identical code in every instantiation.
+    if (n >= 2) {
+      for (std::size_t i = 0; i < n2; i += 4) {
+        const T ur = d[i], ui = d[i + 1], vr = d[i + 2], vi = d[i + 3];
+        d[i] = ur + vr;
+        d[i + 1] = ui + vi;
+        d[i + 2] = ur - vr;
+        d[i + 3] = ui - vi;
+      }
+    }
+    if (n >= 4) {
+      for (std::size_t i = 0; i < n2; i += 8) {
+        const T u0r = d[i], u0i = d[i + 1], v0r = d[i + 4], v0i = d[i + 5];
+        d[i] = u0r + v0r;
+        d[i + 1] = u0i + v0i;
+        d[i + 4] = u0r - v0r;
+        d[i + 5] = u0i - v0i;
+        const T u1r = d[i + 2], u1i = d[i + 3];
+        const T v1r = d[i + 7], v1i = -d[i + 6];  // x * -i
+        d[i + 2] = u1r + v1r;
+        d[i + 3] = u1i + v1i;
+        d[i + 6] = u1r - v1r;
+        d[i + 7] = u1i - v1i;
+      }
+    }
+    // Generic stages: half-length h >= 4 means each half spans 2h >= 8
+    // scalars, a multiple of every supported lane count, so the inner loop
+    // needs no tail. Complex multiply in interleaved form:
+    //   v = x*w = (xr*wr - xi*wi, xi*wr + xr*wi)
+    //     = x*dup_even(w) + neg_even(swap_pairs(x)*dup_odd(w)).
+    for (std::size_t h = 4; h < n; h <<= 1) {
+      const T* w = twiddles + 2 * h;
+      const std::size_t h2 = 2 * h;
+      for (std::size_t i = 0; i < n2; i += 2 * h2) {
+        T* lo = d + i;
+        T* hi = d + i + h2;
+        for (std::size_t k = 0; k < h2; k += W) {
+          const V wv = V::load(w + k);
+          const V x = V::load(hi + k);
+          const V u = V::load(lo + k);
+          const V t1 = V::mul(x, V::dup_even(wv));
+          const V t2 = V::mul(V::swap_pairs(x), V::dup_odd(wv));
+          const V v = V::add(t1, V::neg_even(t2));
+          V::store(lo + k, V::add(u, v));
+          V::store(hi + k, V::add(u, V::negate(v)));
+        }
+      }
+    }
+  }
+
+  /// butterflies over four transforms batched in a lane-major layout: complex
+  /// index k of transform l lives at z[8k + l] (re) and z[8k + 4 + l] (im).
+  /// Rows of four same-index reals (or imags) are contiguous, so every
+  /// butterfly is elementwise over 4/W vectors with broadcast twiddles — no
+  /// shuffles, every lane busy. The per-transform arithmetic mirrors
+  /// butterflies stage for stage (the u + negate(v) there is V::sub here,
+  /// which simd_vec.hpp requires to be the identical IEEE operation), so each
+  /// transform's result equals the single-transform path bit for bit.
+  static void butterflies_x4(T* z, const T* twiddles, std::size_t n) {
+    constexpr std::size_t R = 4;      // batched transforms per row
+    constexpr std::size_t S = 2 * R;  // scalars per complex index
+    static_assert(W <= R && R % W == 0, "lane width must tile the batch rows");
+    if (n >= 2) {  // stage h=1: twiddle is exactly 1
+      for (std::size_t i = 0; i < n; i += 2) {
+        T* u = z + S * i;
+        T* v = u + S;
+        for (std::size_t l = 0; l < S; l += W) {
+          const V a = V::load(u + l), b = V::load(v + l);
+          V::store(u + l, V::add(a, b));
+          V::store(v + l, V::sub(a, b));
+        }
+      }
+    }
+    if (n >= 4) {  // stage h=2: twiddles are exactly {1, -i}
+      for (std::size_t i = 0; i < n; i += 4) {
+        T* c0 = z + S * i;
+        T* c2 = c0 + 2 * S;
+        for (std::size_t l = 0; l < S; l += W) {
+          const V a = V::load(c0 + l), b = V::load(c2 + l);
+          V::store(c0 + l, V::add(a, b));
+          V::store(c2 + l, V::sub(a, b));
+        }
+        T* c1 = c0 + S;
+        T* c3 = c0 + 3 * S;
+        for (std::size_t l = 0; l < R; l += W) {
+          const V ur = V::load(c1 + l);
+          const V ui = V::load(c1 + R + l);
+          const V vr = V::load(c3 + R + l);           // x * -i: re' = im
+          const V vi = V::negate(V::load(c3 + l));    //         im' = -re
+          V::store(c1 + l, V::add(ur, vr));
+          V::store(c1 + R + l, V::add(ui, vi));
+          V::store(c3 + l, V::sub(ur, vr));
+          V::store(c3 + R + l, V::sub(ui, vi));
+        }
+      }
+    }
+    for (std::size_t h = 4; h < n; h <<= 1) {
+      const T* w = twiddles + 2 * h;
+      for (std::size_t i = 0; i < n; i += 2 * h) {
+        T* lo = z + S * i;
+        T* hi = lo + S * h;
+        for (std::size_t k = 0; k < h; ++k) {
+          const V wr = V::broadcast(w[2 * k]);
+          const V wi = V::broadcast(w[2 * k + 1]);
+          T* u = lo + S * k;
+          T* x = hi + S * k;
+          for (std::size_t l = 0; l < R; l += W) {
+            const V xr = V::load(x + l);
+            const V xi = V::load(x + R + l);
+            const V vr = V::sub(V::mul(xr, wr), V::mul(xi, wi));
+            const V vi = V::add(V::mul(xi, wr), V::mul(xr, wi));
+            const V ur = V::load(u + l);
+            const V ui = V::load(u + R + l);
+            V::store(u + l, V::add(ur, vr));
+            V::store(u + R + l, V::add(ui, vi));
+            V::store(x + l, V::sub(ur, vr));
+            V::store(x + R + l, V::sub(ui, vi));
+          }
+        }
+      }
+    }
+  }
+
+  /// out[k] = (bins[2k]^2 + bins[2k+1]^2) * scale for k in [0, m).
+  static void power_bins(const T* bins, T* out, std::size_t m, T scale) {
+    const V vscale = V::broadcast(scale);
+    std::size_t k = 0;
+    for (; k + W <= m; k += W) {
+      const V a = V::load(bins + 2 * k);
+      const V b = V::load(bins + 2 * k + W);
+      const V p = V::hadd_pairs(V::mul(a, a), V::mul(b, b));
+      V::store(out + k, V::mul(p, vscale));
+    }
+    for (; k < m; ++k)
+      out[k] = (bins[2 * k] * bins[2 * k] + bins[2 * k + 1] * bins[2 * k + 1]) * scale;
+  }
+
+  /// dst[i] = a[i] * b[i]; dst may alias either input.
+  static void mul(T* dst, const T* a, const T* b, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + W <= n; i += W)
+      V::store(dst + i, V::mul(V::load(a + i), V::load(b + i)));
+    for (; i < n; ++i) dst[i] = a[i] * b[i];
+  }
+
+  /// Dot product: W parallel accumulators, lanes combined in index order,
+  /// then the scalar tail folded in last — one fixed summation order.
+  static T dot(const T* a, const T* b, std::size_t n) {
+    V acc = V::zero();
+    std::size_t i = 0;
+    for (; i + W <= n; i += W)
+      acc = V::add(acc, V::mul(V::load(a + i), V::load(b + i)));
+    T lanes[W];
+    V::store(lanes, acc);
+    T sum = lanes[0];
+    for (std::size_t l = 1; l < W; ++l) sum += lanes[l];
+    for (; i < n; ++i) sum += a[i] * b[i];
+    return sum;
+  }
+
+  /// One transposed-DF2 biquad section over `frame_count` frames of W
+  /// interleaved channels, in place. coef = {b0, b1, b2, a1, a2}.
+  static void biquad_interleaved(T* frames, std::size_t frame_count,
+                                 const T* coef, T* z1p, T* z2p) {
+    const V b0 = V::broadcast(coef[0]);
+    const V b1 = V::broadcast(coef[1]);
+    const V b2 = V::broadcast(coef[2]);
+    const V a1 = V::broadcast(coef[3]);
+    const V a2 = V::broadcast(coef[4]);
+    V z1 = V::load(z1p);
+    V z2 = V::load(z2p);
+    for (std::size_t t = 0; t < frame_count; ++t) {
+      T* p = frames + t * W;
+      const V x = V::load(p);
+      const V y = V::add(V::mul(b0, x), z1);
+      z1 = V::add(V::sub(V::mul(b1, x), V::mul(a1, y)), z2);
+      z2 = V::sub(V::mul(b2, x), V::mul(a2, y));
+      V::store(p, y);
+    }
+    V::store(z1p, z1);
+    V::store(z2p, z2);
+  }
+};
+
+/// Assembles a KernelSet from a double-lane and a float-lane vector type of
+/// the same level.
+template <class VD, class VF>
+inline KernelSet make_kernel_set(const char* name) {
+  KernelSet set{};
+  set.name = name;
+  set.lanes_d = VD::kLanes;
+  set.lanes_f = VF::kLanes;
+  set.butterflies_d = &Kern<VD>::butterflies;
+  set.butterflies_f = &Kern<VF>::butterflies;
+  set.butterflies_x4_d = &Kern<VD>::butterflies_x4;
+  set.power_bins_d = &Kern<VD>::power_bins;
+  set.power_bins_f = &Kern<VF>::power_bins;
+  set.mul_d = &Kern<VD>::mul;
+  set.dot_d = &Kern<VD>::dot;
+  set.dot_f = &Kern<VF>::dot;
+  set.biquad_interleaved_d = &Kern<VD>::biquad_interleaved;
+  return set;
+}
+
+// Internal cross-TU hooks (defined in kernels_*.cpp, consumed by simd.cpp).
+const KernelSet& pack_set_w2();   ///< Pack<double,2> / Pack<float,4>
+const KernelSet& pack_set_w4();   ///< Pack<double,4> / Pack<float,8>
+const KernelSet& base_set();      ///< SSE2 / NEON / pack2 per build arch
+const KernelSet* avx2_set();      ///< non-null only in an AVX2-capable build
+
+}  // namespace earsonar::dsp::simd

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/window.hpp"
 
 namespace earsonar::dsp {
@@ -60,17 +61,42 @@ MelFilterbank::MelFilterbank(const MelFilterbankConfig& config) : config_(config
       weights_[f][std::min(nearest, n_bins - 1)] = 1.0;
     }
   }
+
+  // Row-major copies for the SIMD matvec: one contiguous double array plus a
+  // float mirror for the opt-in float32 path.
+  flat_.reserve(config.filter_count * n_bins);
+  flat_f_.reserve(config.filter_count * n_bins);
+  for (const auto& row : weights_)
+    for (double w : row) {
+      flat_.push_back(w);
+      flat_f_.push_back(static_cast<float>(w));
+    }
 }
 
 std::vector<double> MelFilterbank::apply(std::span<const double> power_spectrum) const {
   require(power_spectrum.size() == bins(), "MelFilterbank::apply: spectrum size mismatch");
+  const std::size_t n_bins = bins();
+  const auto& kernel = simd::active();
   std::vector<double> energies(config_.filter_count, 0.0);
-  for (std::size_t f = 0; f < config_.filter_count; ++f) {
-    double acc = 0.0;
-    const auto& row = weights_[f];
-    for (std::size_t b = 0; b < row.size(); ++b) acc += row[b] * power_spectrum[b];
-    energies[f] = acc;
-  }
+  for (std::size_t f = 0; f < config_.filter_count; ++f)
+    energies[f] =
+        kernel.dot_d(flat_.data() + f * n_bins, power_spectrum.data(), n_bins);
+  return energies;
+}
+
+std::vector<double> MelFilterbank::apply_f32(
+    std::span<const double> power_spectrum) const {
+  require(power_spectrum.size() == bins(),
+          "MelFilterbank::apply_f32: spectrum size mismatch");
+  const std::size_t n_bins = bins();
+  const auto& kernel = simd::active();
+  std::vector<float> narrow(n_bins);
+  for (std::size_t b = 0; b < n_bins; ++b)
+    narrow[b] = static_cast<float>(power_spectrum[b]);
+  std::vector<double> energies(config_.filter_count, 0.0);
+  for (std::size_t f = 0; f < config_.filter_count; ++f)
+    energies[f] = static_cast<double>(
+        kernel.dot_f(flat_f_.data() + f * n_bins, narrow.data(), n_bins));
   return energies;
 }
 
@@ -80,6 +106,18 @@ MfccExtractor::MfccExtractor(const MfccConfig& config)
               config.coefficient_count <= config.filterbank.filter_count,
           "MfccExtractor: coefficient_count must be in [1, filter_count]");
   require_positive("MfccExtractor log_floor", config.log_floor);
+
+  const std::size_t n = config.filterbank.filter_count;
+  const double pi = 3.14159265358979323846;
+  const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double scale = std::sqrt(2.0 / static_cast<double>(n));
+  dct_table_.resize(config.coefficient_count * n);
+  for (std::size_t k = 0; k < config.coefficient_count; ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      dct_table_[k * n + i] =
+          (k == 0 ? scale0 : scale) *
+          std::cos(pi / static_cast<double>(n) *
+                   (static_cast<double>(i) + 0.5) * static_cast<double>(k));
 }
 
 std::vector<double> MfccExtractor::compute(std::span<const double> frame) const {
@@ -102,19 +140,12 @@ std::vector<double> MfccExtractor::compute_from_power(
     std::span<const double> power_spectrum) const {
   std::vector<double> energies = filterbank_.apply(power_spectrum);
   for (double& e : energies) e = std::log(std::max(e, config_.log_floor));
-  // DCT-II, keep the leading coefficients.
+  // DCT-II against the precomputed orthonormal basis, keep the leading rows.
   const std::size_t n = energies.size();
+  const auto& kernel = simd::active();
   std::vector<double> mfcc(config_.coefficient_count, 0.0);
-  const double pi = 3.14159265358979323846;
-  const double scale0 = std::sqrt(1.0 / static_cast<double>(n));
-  const double scale = std::sqrt(2.0 / static_cast<double>(n));
-  for (std::size_t k = 0; k < mfcc.size(); ++k) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-      acc += energies[i] * std::cos(pi / static_cast<double>(n) *
-                                    (static_cast<double>(i) + 0.5) * static_cast<double>(k));
-    mfcc[k] = acc * (k == 0 ? scale0 : scale);
-  }
+  for (std::size_t k = 0; k < mfcc.size(); ++k)
+    mfcc[k] = kernel.dot_d(dct_table_.data() + k * n, energies.data(), n);
   return mfcc;
 }
 

@@ -40,13 +40,21 @@ class MelFilterbank {
   /// returns filter_count band energies.
   [[nodiscard]] std::vector<double> apply(std::span<const double> power_spectrum) const;
 
+  /// apply() with float32 kernel arithmetic: the spectrum is narrowed once
+  /// and each row reduction runs in float against pre-narrowed weights; the
+  /// energies are widened on return. Accuracy is bounded by the
+  /// dsp.mel.filterbank.f32 oracle pair.
+  [[nodiscard]] std::vector<double> apply_f32(std::span<const double> power_spectrum) const;
+
   [[nodiscard]] const MelFilterbankConfig& config() const { return config_; }
   [[nodiscard]] std::size_t bins() const { return config_.fft_size / 2 + 1; }
   [[nodiscard]] const std::vector<std::vector<double>>& weights() const { return weights_; }
 
  private:
   MelFilterbankConfig config_;
-  std::vector<std::vector<double>> weights_;
+  std::vector<std::vector<double>> weights_;  ///< row per filter (public view)
+  std::vector<double> flat_;   ///< row-major copy the SIMD matvec reads
+  std::vector<float> flat_f_;  ///< narrowed mirror for the float32 path
 };
 
 struct MfccConfig {
@@ -73,6 +81,9 @@ class MfccExtractor {
  private:
   MfccConfig config_;
   MelFilterbank filterbank_;
+  /// DCT-II basis with the orthonormal scale folded in, row-major
+  /// [coefficient][filter] — computed once instead of per compute() call.
+  std::vector<double> dct_table_;
 };
 
 }  // namespace earsonar::dsp

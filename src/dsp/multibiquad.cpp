@@ -1,0 +1,90 @@
+#include "dsp/multibiquad.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "dsp/simd.hpp"
+
+namespace earsonar::dsp {
+
+MultiBiquadCascade::MultiBiquadCascade(std::vector<Biquad> sections,
+                                       std::size_t channels)
+    : sections_(std::move(sections)),
+      channels_(channels),
+      lanes_(simd::active().lanes_d),
+      groups_((channels + lanes_ - 1) / lanes_) {
+  require(channels >= 1, "MultiBiquadCascade: channels must be >= 1");
+  z1_.assign(sections_.size() * groups_ * lanes_, 0.0);
+  z2_.assign(sections_.size() * groups_ * lanes_, 0.0);
+}
+
+void MultiBiquadCascade::process(std::span<const std::span<const double>> inputs,
+                                 std::span<const std::span<double>> outputs) {
+  require(inputs.size() == channels_ && outputs.size() == channels_,
+          "MultiBiquadCascade::process: one block per channel required");
+  if (channels_ == 0) return;
+  const std::size_t n = inputs[0].size();
+  for (std::size_t c = 0; c < channels_; ++c)
+    require(inputs[c].size() == n && outputs[c].size() == n,
+            "MultiBiquadCascade::process: blocks must have equal length");
+  if (n == 0) return;
+
+  const auto& kernel = simd::active();
+  const std::size_t w = lanes_;
+  buf_.resize(n * w);
+  for (std::size_t g = 0; g < groups_; ++g) {
+    const std::size_t c0 = g * w;
+    const std::size_t used = std::min(w, channels_ - c0);
+    // Interleave the group's channels frame-major; idle lanes carry zeros
+    // (their state is zero and stays zero, so they cost nothing numerically).
+    for (std::size_t lane = 0; lane < used; ++lane) {
+      const double* src = inputs[c0 + lane].data();
+      for (std::size_t t = 0; t < n; ++t) buf_[t * w + lane] = src[t];
+    }
+    for (std::size_t lane = used; lane < w; ++lane)
+      for (std::size_t t = 0; t < n; ++t) buf_[t * w + lane] = 0.0;
+
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      const Biquad& sec = sections_[s];
+      const double coef[5] = {sec.b0, sec.b1, sec.b2, sec.a1, sec.a2};
+      const std::size_t base = (s * groups_ + g) * w;
+      kernel.biquad_interleaved_d(buf_.data(), n, coef, z1_.data() + base,
+                                  z2_.data() + base);
+    }
+
+    for (std::size_t lane = 0; lane < used; ++lane) {
+      double* dst = outputs[c0 + lane].data();
+      for (std::size_t t = 0; t < n; ++t) dst[t] = buf_[t * w + lane];
+    }
+  }
+}
+
+void MultiBiquadCascade::set_channel_state(
+    std::size_t c, std::span<const BiquadCascade::State> state) {
+  require(c < channels_, "MultiBiquadCascade::set_channel_state: channel out of range");
+  require(state.size() == sections_.size(),
+          "MultiBiquadCascade::set_channel_state: state size mismatch");
+  for (std::size_t s = 0; s < sections_.size(); ++s) {
+    z1_[state_index(s, c)] = state[s].z1;
+    z2_[state_index(s, c)] = state[s].z2;
+  }
+}
+
+void MultiBiquadCascade::get_channel_state(
+    std::size_t c, std::span<BiquadCascade::State> out) const {
+  require(c < channels_, "MultiBiquadCascade::get_channel_state: channel out of range");
+  require(out.size() == sections_.size(),
+          "MultiBiquadCascade::get_channel_state: state size mismatch");
+  for (std::size_t s = 0; s < sections_.size(); ++s) {
+    out[s].z1 = z1_[state_index(s, c)];
+    out[s].z2 = z2_[state_index(s, c)];
+  }
+}
+
+void MultiBiquadCascade::reset() {
+  z1_.assign(z1_.size(), 0.0);
+  z2_.assign(z2_.size(), 0.0);
+}
+
+}  // namespace earsonar::dsp

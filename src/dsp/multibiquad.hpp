@@ -1,0 +1,66 @@
+// Multi-channel interleaved biquad cascade.
+//
+// A serving host runs many concurrent streaming sessions through the *same*
+// band-pass design; filtering them one at a time leaves every SIMD lane but
+// one empty. MultiBiquadCascade processes up to `channels` independent
+// streams in one pass by interleaving them frame-major — buf[t*W + lane] is
+// sample t of the stream in `lane` — and running each transposed-DF2 section
+// across all lanes at once (simd::KernelSet::biquad_interleaved_d).
+//
+// Per-lane arithmetic is the exact BiquadCascade recurrence in the same
+// order, so each channel's output is bit-identical to filtering it alone
+// through a BiquadCascade with the same sections and state — the property
+// StreamingSession::feed_many relies on and the `simd`-labeled equivalence
+// tests pin. Channel state can be moved lane<->cascade via
+// set_channel_state / get_channel_state, so a stream may alternate freely
+// between batched and individual filtering.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/biquad.hpp"
+
+namespace earsonar::dsp {
+
+class MultiBiquadCascade {
+ public:
+  /// `channels` independent streams (>= 1), each filtered by its own copy of
+  /// `sections`. Channels beyond SIMD width are handled in ceil(channels/W)
+  /// lane groups.
+  MultiBiquadCascade(std::vector<Biquad> sections, std::size_t channels);
+
+  [[nodiscard]] std::size_t channels() const { return channels_; }
+  [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
+  /// SIMD lanes per group under the active dispatch level.
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+
+  /// Filters one equal-length block per channel (stateful across calls).
+  /// inputs[c] and outputs[c] must have the same length for every channel;
+  /// outputs[c] may alias inputs[c].
+  void process(std::span<const std::span<const double>> inputs,
+               std::span<const std::span<double>> outputs);
+
+  /// Copies a BiquadCascade-style delay line into / out of channel `c`.
+  /// `state` must have section_count() entries.
+  void set_channel_state(std::size_t c, std::span<const BiquadCascade::State> state);
+  void get_channel_state(std::size_t c, std::span<BiquadCascade::State> out) const;
+
+  /// Clears every channel's delay lines.
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t state_index(std::size_t section, std::size_t c) const {
+    return (section * groups_ + c / lanes_) * lanes_ + c % lanes_;
+  }
+
+  std::vector<Biquad> sections_;
+  std::size_t channels_;
+  std::size_t lanes_;   ///< kernel lane width (doubles)
+  std::size_t groups_;  ///< ceil(channels / lanes)
+  std::vector<double> z1_, z2_;  ///< [section][group][lane]
+  std::vector<double> buf_;      ///< interleaved frame buffer, grown on demand
+};
+
+}  // namespace earsonar::dsp

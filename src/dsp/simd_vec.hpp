@@ -1,0 +1,331 @@
+// Vector types plugged into the templated kernels (src/dsp/kernel_impl.hpp).
+//
+// Each type models the same static interface:
+//
+//   using value_type = double|float;       scalar element
+//   static constexpr std::size_t kLanes;   element count
+//   load / store (unaligned), zero, broadcast, add, sub, mul, negate,
+//   dup_even   — a[0],a[0],a[2],a[2],...   (complex: broadcast real parts)
+//   dup_odd    — a[1],a[1],a[3],a[3],...   (complex: broadcast imag parts)
+//   swap_pairs — a[1],a[0],a[3],a[2],...   (complex: swap re/im)
+//   neg_even   — -a[0],a[1],-a[2],a[3],... (complex: negate real lanes)
+//   hadd_pairs(a, b) — concatenated pairwise sums: lanes [0, W/2) hold
+//                      a[2k]+a[2k+1], lanes [W/2, W) hold b[2k]+b[2k+1]
+//                      (complex: |z|^2 reduction of 2W scalars to W, in order)
+//
+// `Pack<T, W>` is the intrinsic-free twin: a plain array looped per lane.
+// Bit-parity across dispatch modes rests on every intrinsic here mapping to
+// exactly the per-lane IEEE operation the Pack version performs — permutes
+// and sign-flips are exact, and add/sub/mul are correctly-rounded per lane on
+// every target — so any Pack<T, W> instantiation matches any W-lane intrinsic
+// type bit for bit. sub() is required to equal add(x, negate(y)) exactly;
+// IEEE-754 guarantees that identity for every operand including zeros and
+// NaN payload propagation on all supported targets.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SSE2__) || defined(_M_X64)
+#include <immintrin.h>
+#define EARSONAR_SIMD_X86 1
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#include <arm_neon.h>
+#define EARSONAR_SIMD_NEON 1
+#endif
+
+namespace earsonar::dsp::simd {
+
+// ---------------------------------------------------------------------------
+// Pack<T, W>: scalar emulation at an arbitrary lane count.
+// ---------------------------------------------------------------------------
+template <class T, std::size_t W>
+struct Pack {
+  using value_type = T;
+  static constexpr std::size_t kLanes = W;
+  T v[W];
+
+  static Pack load(const T* p) {
+    Pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = p[i];
+    return r;
+  }
+  static void store(T* p, Pack a) {
+    for (std::size_t i = 0; i < W; ++i) p[i] = a.v[i];
+  }
+  static Pack zero() {
+    Pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = T(0);
+    return r;
+  }
+  static Pack broadcast(T x) {
+    Pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = x;
+    return r;
+  }
+  static Pack add(Pack a, Pack b) {
+    Pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  static Pack sub(Pack a, Pack b) {
+    // Expressed as add-of-negation so the operation sequence matches the
+    // intrinsic builds that synthesize ops this way (see neg_even users).
+    return add(a, negate(b));
+  }
+  static Pack mul(Pack a, Pack b) {
+    Pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = a.v[i] * b.v[i];
+    return r;
+  }
+  static Pack negate(Pack a) {
+    Pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = -a.v[i];
+    return r;
+  }
+  static Pack dup_even(Pack a) {
+    Pack r;
+    for (std::size_t i = 0; i < W; i += 2) r.v[i] = r.v[i + 1] = a.v[i];
+    return r;
+  }
+  static Pack dup_odd(Pack a) {
+    Pack r;
+    for (std::size_t i = 0; i < W; i += 2) r.v[i] = r.v[i + 1] = a.v[i + 1];
+    return r;
+  }
+  static Pack swap_pairs(Pack a) {
+    Pack r;
+    for (std::size_t i = 0; i < W; i += 2) {
+      r.v[i] = a.v[i + 1];
+      r.v[i + 1] = a.v[i];
+    }
+    return r;
+  }
+  static Pack neg_even(Pack a) {
+    Pack r;
+    for (std::size_t i = 0; i < W; i += 2) {
+      r.v[i] = -a.v[i];
+      r.v[i + 1] = a.v[i + 1];
+    }
+    return r;
+  }
+  static Pack hadd_pairs(Pack a, Pack b) {
+    Pack r;
+    for (std::size_t i = 0; i < W / 2; ++i) {
+      r.v[i] = a.v[2 * i] + a.v[2 * i + 1];
+      r.v[W / 2 + i] = b.v[2 * i] + b.v[2 * i + 1];
+    }
+    return r;
+  }
+};
+
+#if defined(EARSONAR_SIMD_X86)
+
+// ---------------------------------------------------------------------------
+// SSE2 (baseline on x86-64): 2 doubles / 4 floats.
+// ---------------------------------------------------------------------------
+struct VecSse2D {
+  using value_type = double;
+  static constexpr std::size_t kLanes = 2;
+  __m128d v;
+
+  static VecSse2D wrap(__m128d x) { return VecSse2D{x}; }
+  static VecSse2D load(const double* p) { return wrap(_mm_loadu_pd(p)); }
+  static void store(double* p, VecSse2D a) { _mm_storeu_pd(p, a.v); }
+  static VecSse2D zero() { return wrap(_mm_setzero_pd()); }
+  static VecSse2D broadcast(double x) { return wrap(_mm_set1_pd(x)); }
+  static VecSse2D add(VecSse2D a, VecSse2D b) { return wrap(_mm_add_pd(a.v, b.v)); }
+  static VecSse2D sub(VecSse2D a, VecSse2D b) { return wrap(_mm_sub_pd(a.v, b.v)); }
+  static VecSse2D mul(VecSse2D a, VecSse2D b) { return wrap(_mm_mul_pd(a.v, b.v)); }
+  static VecSse2D negate(VecSse2D a) {
+    return wrap(_mm_xor_pd(a.v, _mm_set1_pd(-0.0)));
+  }
+  static VecSse2D dup_even(VecSse2D a) {
+    return wrap(_mm_shuffle_pd(a.v, a.v, 0b00));
+  }
+  static VecSse2D dup_odd(VecSse2D a) {
+    return wrap(_mm_shuffle_pd(a.v, a.v, 0b11));
+  }
+  static VecSse2D swap_pairs(VecSse2D a) {
+    return wrap(_mm_shuffle_pd(a.v, a.v, 0b01));
+  }
+  static VecSse2D neg_even(VecSse2D a) {
+    return wrap(_mm_xor_pd(a.v, _mm_set_pd(0.0, -0.0)));
+  }
+  static VecSse2D hadd_pairs(VecSse2D a, VecSse2D b) {
+    return wrap(_mm_add_pd(_mm_unpacklo_pd(a.v, b.v), _mm_unpackhi_pd(a.v, b.v)));
+  }
+};
+
+struct VecSse2F {
+  using value_type = float;
+  static constexpr std::size_t kLanes = 4;
+  __m128 v;
+
+  static VecSse2F wrap(__m128 x) { return VecSse2F{x}; }
+  static VecSse2F load(const float* p) { return wrap(_mm_loadu_ps(p)); }
+  static void store(float* p, VecSse2F a) { _mm_storeu_ps(p, a.v); }
+  static VecSse2F zero() { return wrap(_mm_setzero_ps()); }
+  static VecSse2F broadcast(float x) { return wrap(_mm_set1_ps(x)); }
+  static VecSse2F add(VecSse2F a, VecSse2F b) { return wrap(_mm_add_ps(a.v, b.v)); }
+  static VecSse2F sub(VecSse2F a, VecSse2F b) { return wrap(_mm_sub_ps(a.v, b.v)); }
+  static VecSse2F mul(VecSse2F a, VecSse2F b) { return wrap(_mm_mul_ps(a.v, b.v)); }
+  static VecSse2F negate(VecSse2F a) {
+    return wrap(_mm_xor_ps(a.v, _mm_set1_ps(-0.0f)));
+  }
+  static VecSse2F dup_even(VecSse2F a) {
+    return wrap(_mm_shuffle_ps(a.v, a.v, _MM_SHUFFLE(2, 2, 0, 0)));
+  }
+  static VecSse2F dup_odd(VecSse2F a) {
+    return wrap(_mm_shuffle_ps(a.v, a.v, _MM_SHUFFLE(3, 3, 1, 1)));
+  }
+  static VecSse2F swap_pairs(VecSse2F a) {
+    return wrap(_mm_shuffle_ps(a.v, a.v, _MM_SHUFFLE(2, 3, 0, 1)));
+  }
+  static VecSse2F neg_even(VecSse2F a) {
+    return wrap(_mm_xor_ps(a.v, _mm_set_ps(0.0f, -0.0f, 0.0f, -0.0f)));
+  }
+  static VecSse2F hadd_pairs(VecSse2F a, VecSse2F b) {
+    // even lanes of both operands, then odd; their sum is already in the
+    // required concatenated order a01, a23, b01, b23.
+    const __m128 even = _mm_shuffle_ps(a.v, b.v, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m128 odd = _mm_shuffle_ps(a.v, b.v, _MM_SHUFFLE(3, 1, 3, 1));
+    return wrap(_mm_add_ps(even, odd));
+  }
+};
+
+#if defined(__AVX2__)
+
+// ---------------------------------------------------------------------------
+// AVX2: 4 doubles / 8 floats. Only compiled into the -mavx2 TU.
+// ---------------------------------------------------------------------------
+struct VecAvx2D {
+  using value_type = double;
+  static constexpr std::size_t kLanes = 4;
+  __m256d v;
+
+  static VecAvx2D wrap(__m256d x) { return VecAvx2D{x}; }
+  static VecAvx2D load(const double* p) { return wrap(_mm256_loadu_pd(p)); }
+  static void store(double* p, VecAvx2D a) { _mm256_storeu_pd(p, a.v); }
+  static VecAvx2D zero() { return wrap(_mm256_setzero_pd()); }
+  static VecAvx2D broadcast(double x) { return wrap(_mm256_set1_pd(x)); }
+  static VecAvx2D add(VecAvx2D a, VecAvx2D b) { return wrap(_mm256_add_pd(a.v, b.v)); }
+  static VecAvx2D sub(VecAvx2D a, VecAvx2D b) { return wrap(_mm256_sub_pd(a.v, b.v)); }
+  static VecAvx2D mul(VecAvx2D a, VecAvx2D b) { return wrap(_mm256_mul_pd(a.v, b.v)); }
+  static VecAvx2D negate(VecAvx2D a) {
+    return wrap(_mm256_xor_pd(a.v, _mm256_set1_pd(-0.0)));
+  }
+  static VecAvx2D dup_even(VecAvx2D a) { return wrap(_mm256_movedup_pd(a.v)); }
+  static VecAvx2D dup_odd(VecAvx2D a) {
+    return wrap(_mm256_permute_pd(a.v, 0b1111));
+  }
+  static VecAvx2D swap_pairs(VecAvx2D a) {
+    return wrap(_mm256_permute_pd(a.v, 0b0101));
+  }
+  static VecAvx2D neg_even(VecAvx2D a) {
+    return wrap(_mm256_xor_pd(a.v, _mm256_set_pd(0.0, -0.0, 0.0, -0.0)));
+  }
+  static VecAvx2D hadd_pairs(VecAvx2D a, VecAvx2D b) {
+    // _mm256_hadd_pd works within 128-bit halves: (a01, b01, a23, b23);
+    // permute lanes 0,2,1,3 into the required order (a01, a23, b01, b23).
+    return wrap(_mm256_permute4x64_pd(_mm256_hadd_pd(a.v, b.v), 0xD8));
+  }
+};
+
+struct VecAvx2F {
+  using value_type = float;
+  static constexpr std::size_t kLanes = 8;
+  __m256 v;
+
+  static VecAvx2F wrap(__m256 x) { return VecAvx2F{x}; }
+  static VecAvx2F load(const float* p) { return wrap(_mm256_loadu_ps(p)); }
+  static void store(float* p, VecAvx2F a) { _mm256_storeu_ps(p, a.v); }
+  static VecAvx2F zero() { return wrap(_mm256_setzero_ps()); }
+  static VecAvx2F broadcast(float x) { return wrap(_mm256_set1_ps(x)); }
+  static VecAvx2F add(VecAvx2F a, VecAvx2F b) { return wrap(_mm256_add_ps(a.v, b.v)); }
+  static VecAvx2F sub(VecAvx2F a, VecAvx2F b) { return wrap(_mm256_sub_ps(a.v, b.v)); }
+  static VecAvx2F mul(VecAvx2F a, VecAvx2F b) { return wrap(_mm256_mul_ps(a.v, b.v)); }
+  static VecAvx2F negate(VecAvx2F a) {
+    return wrap(_mm256_xor_ps(a.v, _mm256_set1_ps(-0.0f)));
+  }
+  static VecAvx2F dup_even(VecAvx2F a) { return wrap(_mm256_moveldup_ps(a.v)); }
+  static VecAvx2F dup_odd(VecAvx2F a) { return wrap(_mm256_movehdup_ps(a.v)); }
+  static VecAvx2F swap_pairs(VecAvx2F a) {
+    return wrap(_mm256_permute_ps(a.v, 0xB1));  // 2,3,0,1 per 128-bit half
+  }
+  static VecAvx2F neg_even(VecAvx2F a) {
+    return wrap(_mm256_xor_ps(
+        a.v, _mm256_set_ps(0.0f, -0.0f, 0.0f, -0.0f, 0.0f, -0.0f, 0.0f, -0.0f)));
+  }
+  static VecAvx2F hadd_pairs(VecAvx2F a, VecAvx2F b) {
+    // hadd_ps per half: a01,a23,b01,b23 | a45,a67,b45,b67. Viewed as four
+    // 64-bit lanes that is (A0, B0, A1, B1); permuting lanes 0,2,1,3 gives
+    // the required concatenated order a01,a23,a45,a67,b01,b23,b45,b67.
+    const __m256d h = _mm256_castps_pd(_mm256_hadd_ps(a.v, b.v));
+    return wrap(_mm256_castpd_ps(_mm256_permute4x64_pd(h, 0xD8)));
+  }
+};
+
+#endif  // __AVX2__
+
+#elif defined(EARSONAR_SIMD_NEON)
+
+// ---------------------------------------------------------------------------
+// NEON (aarch64): 2 doubles / 4 floats.
+// ---------------------------------------------------------------------------
+struct VecNeonD {
+  using value_type = double;
+  static constexpr std::size_t kLanes = 2;
+  float64x2_t v;
+
+  static VecNeonD wrap(float64x2_t x) { return VecNeonD{x}; }
+  static VecNeonD load(const double* p) { return wrap(vld1q_f64(p)); }
+  static void store(double* p, VecNeonD a) { vst1q_f64(p, a.v); }
+  static VecNeonD zero() { return wrap(vdupq_n_f64(0.0)); }
+  static VecNeonD broadcast(double x) { return wrap(vdupq_n_f64(x)); }
+  static VecNeonD add(VecNeonD a, VecNeonD b) { return wrap(vaddq_f64(a.v, b.v)); }
+  static VecNeonD sub(VecNeonD a, VecNeonD b) { return wrap(vsubq_f64(a.v, b.v)); }
+  static VecNeonD mul(VecNeonD a, VecNeonD b) { return wrap(vmulq_f64(a.v, b.v)); }
+  static VecNeonD negate(VecNeonD a) { return wrap(vnegq_f64(a.v)); }
+  static VecNeonD dup_even(VecNeonD a) { return wrap(vdupq_laneq_f64(a.v, 0)); }
+  static VecNeonD dup_odd(VecNeonD a) { return wrap(vdupq_laneq_f64(a.v, 1)); }
+  static VecNeonD swap_pairs(VecNeonD a) { return wrap(vextq_f64(a.v, a.v, 1)); }
+  static VecNeonD neg_even(VecNeonD a) {
+    const uint64x2_t mask = {0x8000000000000000ULL, 0};
+    return wrap(vreinterpretq_f64_u64(
+        veorq_u64(vreinterpretq_u64_f64(a.v), mask)));
+  }
+  static VecNeonD hadd_pairs(VecNeonD a, VecNeonD b) {
+    return wrap(vpaddq_f64(a.v, b.v));
+  }
+};
+
+struct VecNeonF {
+  using value_type = float;
+  static constexpr std::size_t kLanes = 4;
+  float32x4_t v;
+
+  static VecNeonF wrap(float32x4_t x) { return VecNeonF{x}; }
+  static VecNeonF load(const float* p) { return wrap(vld1q_f32(p)); }
+  static void store(float* p, VecNeonF a) { vst1q_f32(p, a.v); }
+  static VecNeonF zero() { return wrap(vdupq_n_f32(0.0f)); }
+  static VecNeonF broadcast(float x) { return wrap(vdupq_n_f32(x)); }
+  static VecNeonF add(VecNeonF a, VecNeonF b) { return wrap(vaddq_f32(a.v, b.v)); }
+  static VecNeonF sub(VecNeonF a, VecNeonF b) { return wrap(vsubq_f32(a.v, b.v)); }
+  static VecNeonF mul(VecNeonF a, VecNeonF b) { return wrap(vmulq_f32(a.v, b.v)); }
+  static VecNeonF negate(VecNeonF a) { return wrap(vnegq_f32(a.v)); }
+  static VecNeonF dup_even(VecNeonF a) { return wrap(vtrn1q_f32(a.v, a.v)); }
+  static VecNeonF dup_odd(VecNeonF a) { return wrap(vtrn2q_f32(a.v, a.v)); }
+  static VecNeonF swap_pairs(VecNeonF a) { return wrap(vrev64q_f32(a.v)); }
+  static VecNeonF neg_even(VecNeonF a) {
+    const uint32x4_t mask = {0x80000000U, 0, 0x80000000U, 0};
+    return wrap(vreinterpretq_f32_u32(
+        veorq_u32(vreinterpretq_u32_f32(a.v), mask)));
+  }
+  static VecNeonF hadd_pairs(VecNeonF a, VecNeonF b) {
+    return wrap(vpaddq_f32(a.v, b.v));  // a01, a23, b01, b23 — already in order
+  }
+};
+
+#endif  // arch
+
+}  // namespace earsonar::dsp::simd

@@ -6,6 +6,7 @@
 #include "common/stats.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fft_plan.hpp"
+#include "dsp/simd.hpp"
 
 namespace earsonar::dsp {
 
@@ -37,7 +38,7 @@ Spectrogram stft(std::span<const double> signal, double sample_rate,
        start += config.hop) {
     std::fill(frame.begin(), frame.end(), 0.0);
     const std::size_t take = std::min(config.window_length, signal.size() - start);
-    for (std::size_t i = 0; i < take; ++i) frame[i] = signal[start + i] * win[i];
+    simd::active().mul_d(frame.data(), signal.data() + start, win.data(), take);
 
     std::vector<double> power(plan->real_bins());
     plan->power_spectrum(frame, power, norm, scratch);

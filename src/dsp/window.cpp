@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "dsp/simd.hpp"
 
 namespace earsonar::dsp {
 
@@ -80,7 +81,7 @@ std::vector<double> blackman_window(std::size_t length) {
 
 void apply_window_inplace(std::span<double> signal, std::span<const double> window) {
   require(signal.size() == window.size(), "apply_window: size mismatch");
-  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= window[i];
+  simd::active().mul_d(signal.data(), signal.data(), window.data(), signal.size());
 }
 
 std::vector<double> apply_window(std::span<const double> signal,

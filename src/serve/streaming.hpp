@@ -66,6 +66,18 @@ class StreamingSession {
   /// full under OverflowPolicy::kReject.
   FeedStatus feed(std::span<const double> chunk);
 
+  /// feed() for one chunk per session, sharing band-pass filter passes:
+  /// sessions with an identical filter design and equal chunk length are
+  /// filtered together through one interleaved dsp::MultiBiquadCascade pass
+  /// (N streams per SIMD sweep) instead of N sequential cascades; the rest
+  /// fall back to individual processing. Per-session results — filter state,
+  /// buffered samples, detected events, rejection status, fault injection —
+  /// are bit-identical to calling sessions[i]->feed(chunks[i]) in order.
+  /// Sessions must be distinct; a session may appear at most once per call.
+  static std::vector<FeedStatus> feed_many(
+      std::span<StreamingSession* const> sessions,
+      std::span<const std::span<const double>> chunks);
+
   /// Exact finalization: the same events / echoes / spectrum / features /
   /// diagnosis-input the batch pipeline computes for everything fed (see the
   /// file comment for the evict-mode caveat). Ends the session. The result's
@@ -95,6 +107,11 @@ class StreamingSession {
 
  private:
   void ingest_event(const core::Event& event);
+  /// kReject-policy capacity gate; bumps rejected_chunks_ when it trips.
+  bool reject_would_overflow(std::size_t incoming);
+  /// Post-filter half of feed(): buffer the filtered chunk, apply eviction,
+  /// scan for events. `fed` is the raw chunk length for samples_fed_.
+  void ingest_filtered(std::span<const double> filtered, std::size_t fed);
 
   StreamingConfig config_;
   core::EarSonar pipeline_;  ///< finish() runs its analyze_filtered

@@ -2,6 +2,8 @@
 // CSV/table formatting, logging.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -308,6 +310,48 @@ TEST(StatsTest, PercentileEndpoints) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
   EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
   EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(StatsTest, PercentileLargeInputMatchesSort) {
+  // Exercises the radix-select path (>= 2048 elements) against a full sort,
+  // including interpolated ranks.
+  std::vector<double> xs(6000);
+  std::uint64_t state = 12345;
+  for (double& v : xs) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    v = (static_cast<double>(state >> 11) / 9007199254740992.0 - 0.5) * 1e6;
+  }
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.0, 1.0, 25.0, 50.0, 73.3, 99.0, 100.0}) {
+    const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    const double expected = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    EXPECT_DOUBLE_EQ(percentile(xs, p), expected) << "p=" << p;
+  }
+}
+
+TEST(StatsTest, PercentileRanksStraddlingRadixBuckets) {
+  // Median ranks fall on the last element of one exponent bucket and the
+  // first of another: the selection must not recurse on lower key digits
+  // across the bucket boundary. 2048 values near 1.0 and 2048 near 2.0 with
+  // distinct mantissa tails make any cross-bucket mixing visible.
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < 2048; ++i)
+    xs.push_back(1.0 + static_cast<double>(i) * 1e-7);
+  for (std::size_t i = 0; i < 2048; ++i)
+    xs.push_back(2.0 + static_cast<double>(i) * 1e-7);
+  // Interleave so the radix path sees them unsorted.
+  std::vector<double> shuffled;
+  for (std::size_t i = 0; i < 2048; ++i) {
+    shuffled.push_back(xs[4095 - i]);
+    shuffled.push_back(xs[i]);
+  }
+  const double lo_max = 1.0 + 2047.0 * 1e-7;  // largest of the 1.x group
+  const double hi_min = 2.0;                  // smallest of the 2.x group
+  EXPECT_DOUBLE_EQ(median(shuffled), 0.5 * (lo_max + hi_min));
 }
 
 TEST(StatsTest, PearsonPerfectCorrelation) {

@@ -273,6 +273,34 @@ TEST(AbsorptionTest, AverageOfIdenticalEchoesIsStable) {
     EXPECT_NEAR(avg.psd[i], one.psd[i], 0.05 * (one.psd[i] + 1e-12));
 }
 
+TEST(AbsorptionTest, ExtractAllMatchesPerEchoExtractBitwise) {
+  // extract_all routes groups of four echoes through the batched four-lane
+  // band PSD with a scalar tail; every spectrum must equal the per-echo
+  // extract() bit for bit (the feature vector depends on exact values).
+  audio::FmcwConfig chirp;
+  EchoSpectrumExtractor extractor;
+  extractor.set_reference(chirp);
+  const audio::Waveform rec = synthetic_recording(7, 8, 0.4, 10, 0.02);
+  std::vector<EchoSegment> echoes;
+  for (std::size_t k = 0; k < 7; ++k) {
+    EchoSegment e;
+    e.event_start = k * 240;
+    e.peak_index = k * 240 + 20;
+    e.direct_peak_index = k * 240 + 12;
+    echoes.push_back(e);
+  }
+  const std::vector<dsp::Spectrum> batched = extractor.extract_all(rec, echoes);
+  ASSERT_EQ(batched.size(), echoes.size());
+  for (std::size_t k = 0; k < echoes.size(); ++k) {
+    const dsp::Spectrum single = extractor.extract(rec, echoes[k]);
+    ASSERT_EQ(batched[k].size(), single.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(batched[k].psd[i], single.psd[i]) << "echo=" << k << " bin=" << i;
+      EXPECT_EQ(batched[k].frequency_hz[i], single.frequency_hz[i]);
+    }
+  }
+}
+
 TEST(AbsorptionTest, ConfigValidation) {
   SpectrumConfig cfg;
   cfg.fft_size = 100;  // not a power of two

@@ -1,0 +1,428 @@
+// SIMD dispatch-parity and float32-pipeline tests (ctest label `simd`).
+//
+// The dispatch contract (src/dsp/simd.hpp) is that kernel_set(kScalar) — the
+// Pack emulation at the native lane geometry — produces BIT-IDENTICAL output
+// to kernel_set(kNative) for every kernel, double and float alike, because
+// both instantiate the same templated operation sequence. These tests
+// exercise every KernelSet entry point on both levels and compare bitwise
+// (the `dsp.simd.dispatch` oracle pair, tolerance {0, 0}).
+//
+// Also covered here:
+//   * dsp.biquad.interleaved — MultiBiquadCascade vs per-channel
+//     BiquadCascade, bit-exact, including partial lanes and carried state;
+//   * StreamingSession::feed_many vs sequential feed(), bit-exact at chunk
+//     sizes {1, 64, 480, whole};
+//   * the float32 pairs dsp.fft.power_spectrum.f32, dsp.mel.filterbank.f32
+//     and dsp.features.f32 against their float64 references.
+//
+// tests/CMakeLists.txt registers this binary twice — once with
+// EARSONAR_SIMD=scalar and once with =native — so the env-dispatched
+// `active()` path runs under both levels in CI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <span>
+#include <vector>
+
+#include "check/tolerance.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/butterworth.hpp"
+#include "dsp/fft_plan.hpp"
+#include "dsp/mel.hpp"
+#include "dsp/multibiquad.hpp"
+#include "dsp/simd.hpp"
+#include "serve/streaming.hpp"
+#include "sim/dataset.hpp"
+#include "sim/probe.hpp"
+
+namespace earsonar {
+namespace {
+
+using check::CompareResult;
+using dsp::simd::KernelSet;
+using dsp::simd::Level;
+
+constexpr std::uint64_t kSeed = 0x51D0'15AAULL;
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed,
+                                  double lo = -1.0, double hi = 1.0) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+std::vector<float> narrowed(const std::vector<double>& v) {
+  std::vector<float> f(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) f[i] = static_cast<float>(v[i]);
+  return f;
+}
+
+// Builds the interleaved radix-2 twiddle table in FftPlan's layout: the
+// stage with half-length h keeps its h complex twiddles exp(-i*pi*k/h) at
+// scalar offset 2h. Total 2n scalars (entry 0..1 unused).
+template <class T>
+std::vector<T> twiddle_table(std::size_t n) {
+  std::vector<T> w(2 * n, T(0));
+  for (std::size_t h = 1; h < n; h <<= 1) {
+    const double angle = -std::numbers::pi / static_cast<double>(h);
+    for (std::size_t k = 0; k < h; ++k) {
+      const double a = angle * static_cast<double>(k);
+      w[2 * (h + k)] = static_cast<T>(std::cos(a));
+      w[2 * (h + k) + 1] = static_cast<T>(std::sin(a));
+    }
+  }
+  return w;
+}
+
+template <class T>
+void expect_bitwise_equal(std::span<const T> got, std::span<const T> want,
+                          const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], want[i]) << what << " lane " << i
+                               << " differs between dispatch levels";
+}
+
+// ------------------------------------------------ per-kernel dispatch parity
+
+TEST(SimdDispatchTest, LevelsResolveAndReportLanes) {
+  const KernelSet& native = dsp::simd::kernel_set(Level::kNative);
+  const KernelSet& scalar = dsp::simd::kernel_set(Level::kScalar);
+  EXPECT_GE(native.lanes_d, 2u);
+  EXPECT_EQ(scalar.lanes_d, native.lanes_d)
+      << "scalar twin must match the native lane geometry for bit parity";
+  EXPECT_EQ(scalar.lanes_f, native.lanes_f);
+  EXPECT_STREQ(dsp::simd::native_arch(), native.name);
+}
+
+TEST(SimdDispatchTest, ButterfliesBitIdenticalAcrossLevels) {
+  const check::Tolerance tol = check::pair_policy("dsp.simd.dispatch").tol;
+  for (std::size_t n : {1ul, 2ul, 4ul, 8ul, 64ul, 512ul, 4096ul}) {
+    const std::vector<double> input = random_vector(2 * n, kSeed + n);
+    const std::vector<double> wd = twiddle_table<double>(n);
+    std::vector<double> a = input, b = input;
+    dsp::simd::kernel_set(Level::kNative).butterflies_d(a.data(), wd.data(), n);
+    dsp::simd::kernel_set(Level::kScalar).butterflies_d(b.data(), wd.data(), n);
+    const CompareResult r = check::compare_vectors(a, b, tol);
+    EXPECT_TRUE(r.ok) << "n=" << n << ": "
+                      << check::describe_failure("dsp.simd.dispatch", r);
+
+    const std::vector<float> wf = twiddle_table<float>(n);
+    std::vector<float> fa = narrowed(input), fb = fa;
+    dsp::simd::kernel_set(Level::kNative).butterflies_f(fa.data(), wf.data(), n);
+    dsp::simd::kernel_set(Level::kScalar).butterflies_f(fb.data(), wf.data(), n);
+    expect_bitwise_equal<float>(fa, fb, "butterflies_f");
+  }
+}
+
+TEST(SimdDispatchTest, PowerBinsBitIdenticalAcrossLevels) {
+  for (std::size_t m : {1ul, 3ul, 8ul, 257ul}) {
+    const std::vector<double> bins = random_vector(2 * m, kSeed + 11 * m);
+    std::vector<double> a(m), b(m);
+    dsp::simd::kernel_set(Level::kNative)
+        .power_bins_d(bins.data(), a.data(), m, 0.125);
+    dsp::simd::kernel_set(Level::kScalar)
+        .power_bins_d(bins.data(), b.data(), m, 0.125);
+    expect_bitwise_equal<double>(a, b, "power_bins_d");
+
+    const std::vector<float> fbins = narrowed(bins);
+    std::vector<float> fa(m), fb(m);
+    dsp::simd::kernel_set(Level::kNative)
+        .power_bins_f(fbins.data(), fa.data(), m, 0.125f);
+    dsp::simd::kernel_set(Level::kScalar)
+        .power_bins_f(fbins.data(), fb.data(), m, 0.125f);
+    expect_bitwise_equal<float>(fa, fb, "power_bins_f");
+  }
+}
+
+TEST(SimdDispatchTest, MulAndDotBitIdenticalAcrossLevels) {
+  for (std::size_t n : {1ul, 7ul, 16ul, 1023ul}) {
+    const std::vector<double> x = random_vector(n, kSeed + 3 * n);
+    const std::vector<double> y = random_vector(n, kSeed + 5 * n);
+    std::vector<double> a(n), b(n);
+    dsp::simd::kernel_set(Level::kNative).mul_d(a.data(), x.data(), y.data(), n);
+    dsp::simd::kernel_set(Level::kScalar).mul_d(b.data(), x.data(), y.data(), n);
+    expect_bitwise_equal<double>(a, b, "mul_d");
+
+    const double dn = dsp::simd::kernel_set(Level::kNative).dot_d(x.data(), y.data(), n);
+    const double ds = dsp::simd::kernel_set(Level::kScalar).dot_d(x.data(), y.data(), n);
+    EXPECT_EQ(dn, ds) << "dot_d n=" << n;
+
+    const std::vector<float> fx = narrowed(x), fy = narrowed(y);
+    const float fn = dsp::simd::kernel_set(Level::kNative).dot_f(fx.data(), fy.data(), n);
+    const float fs = dsp::simd::kernel_set(Level::kScalar).dot_f(fx.data(), fy.data(), n);
+    EXPECT_EQ(fn, fs) << "dot_f n=" << n;
+  }
+}
+
+TEST(SimdDispatchTest, BiquadInterleavedBitIdenticalAcrossLevels) {
+  const KernelSet& native = dsp::simd::kernel_set(Level::kNative);
+  const KernelSet& scalar = dsp::simd::kernel_set(Level::kScalar);
+  const std::size_t w = native.lanes_d;
+  const std::size_t frames = 300;
+  const std::vector<double> input = random_vector(frames * w, kSeed + 77);
+  const double coef[5] = {0.2, 0.4, 0.2, -1.1, 0.45};
+  std::vector<double> a = input, b = input;
+  std::vector<double> z1a(w, 0.0), z2a(w, 0.0), z1b(w, 0.0), z2b(w, 0.0);
+  native.biquad_interleaved_d(a.data(), frames, coef, z1a.data(), z2a.data());
+  scalar.biquad_interleaved_d(b.data(), frames, coef, z1b.data(), z2b.data());
+  expect_bitwise_equal<double>(a, b, "biquad_interleaved_d frames");
+  expect_bitwise_equal<double>(z1a, z1b, "biquad_interleaved_d z1");
+  expect_bitwise_equal<double>(z2a, z2b, "biquad_interleaved_d z2");
+}
+
+// --------------------------------------- interleaved multi-channel cascade
+
+TEST(MultiBiquadTest, MatchesPerChannelCascadeBitExact) {
+  const check::Tolerance tol = check::pair_policy("dsp.biquad.interleaved").tol;
+  const dsp::BiquadCascade design =
+      dsp::butterworth_bandpass(4, 14000.0, 21000.0, 48000.0);
+  for (std::size_t channels : {1ul, 2ul, 3ul, 5ul, 9ul}) {
+    for (std::size_t n : {1ul, 17ul, 997ul}) {
+      std::vector<std::vector<double>> inputs(channels);
+      for (std::size_t c = 0; c < channels; ++c)
+        inputs[c] = random_vector(n, kSeed + 101 * channels + c);
+
+      dsp::MultiBiquadCascade multi(design.sections(), channels);
+      std::vector<std::vector<double>> outs(channels, std::vector<double>(n));
+      std::vector<std::span<const double>> ins(channels);
+      std::vector<std::span<double>> out_spans(channels);
+      for (std::size_t c = 0; c < channels; ++c) {
+        ins[c] = inputs[c];
+        out_spans[c] = outs[c];
+      }
+      multi.process(ins, out_spans);
+
+      for (std::size_t c = 0; c < channels; ++c) {
+        dsp::BiquadCascade solo = design;
+        const std::vector<double> want = solo.process(inputs[c]);
+        const CompareResult r = check::compare_vectors(outs[c], want, tol);
+        EXPECT_TRUE(r.ok) << "channels=" << channels << " n=" << n
+                          << " channel " << c << ": "
+                          << check::describe_failure("dsp.biquad.interleaved", r);
+      }
+    }
+  }
+}
+
+TEST(MultiBiquadTest, ChannelStateCarriesAcrossCalls) {
+  const dsp::BiquadCascade design =
+      dsp::butterworth_bandpass(4, 14000.0, 21000.0, 48000.0);
+  const std::size_t channels = 3, n = 400, split = 153;
+  std::vector<std::vector<double>> inputs(channels);
+  for (std::size_t c = 0; c < channels; ++c)
+    inputs[c] = random_vector(n, kSeed + 211 + c);
+
+  // One shot per channel (the reference)...
+  std::vector<std::vector<double>> want(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    dsp::BiquadCascade solo = design;
+    want[c] = solo.process(inputs[c]);
+  }
+
+  // ...vs two multi passes with get/set_channel_state between them.
+  dsp::MultiBiquadCascade first(design.sections(), channels);
+  dsp::MultiBiquadCascade second(design.sections(), channels);
+  std::vector<std::vector<double>> got(channels, std::vector<double>(n));
+  auto run = [&](dsp::MultiBiquadCascade& multi, std::size_t from, std::size_t to) {
+    std::vector<std::span<const double>> ins(channels);
+    std::vector<std::span<double>> outs(channels);
+    for (std::size_t c = 0; c < channels; ++c) {
+      ins[c] = std::span<const double>(inputs[c]).subspan(from, to - from);
+      outs[c] = std::span<double>(got[c]).subspan(from, to - from);
+    }
+    multi.process(ins, outs);
+  };
+  run(first, 0, split);
+  for (std::size_t c = 0; c < channels; ++c) {
+    std::vector<dsp::BiquadCascade::State> state(design.section_count());
+    first.get_channel_state(c, state);
+    second.set_channel_state(c, state);
+  }
+  run(second, split, n);
+
+  for (std::size_t c = 0; c < channels; ++c)
+    expect_bitwise_equal<double>(got[c], want[c], "state handoff");
+}
+
+// --------------------------------------------- feed_many stream equivalence
+
+// Same deterministic recording idiom as tests/serve_test.cpp.
+audio::Waveform test_recording(std::uint64_t seed) {
+  sim::SubjectFactory factory(42);
+  sim::ProbeConfig pc;
+  pc.chirp_count = 10;
+  sim::EarProbe probe(pc);
+  Rng rng(seed);
+  return probe.record_state(factory.make(0), sim::EffusionState::kClear,
+                            sim::reference_earphone(), {}, rng);
+}
+
+serve::StreamingConfig streaming_config() {
+  serve::StreamingConfig cfg;
+  cfg.pipeline.preprocess.zero_phase = false;
+  return cfg;
+}
+
+TEST(FeedManyTest, BitIdenticalToSequentialFeedsAtEveryChunkSize) {
+  const std::vector<audio::Waveform> recordings = {
+      test_recording(7), test_recording(8), test_recording(9)};
+  const std::size_t shortest =
+      std::min({recordings[0].samples().size(), recordings[1].samples().size(),
+                recordings[2].samples().size()});
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{64}, std::size_t{480},
+                            shortest}) {
+    std::vector<serve::StreamingSession> batched, sequential;
+    for (std::size_t i = 0; i < recordings.size(); ++i) {
+      batched.emplace_back(streaming_config());
+      sequential.emplace_back(streaming_config());
+    }
+    // Feed in lockstep: one feed_many per step vs three feed() calls. The
+    // shortest recording bounds the stepped region; tails go in one final
+    // per-session pass so every session ingests its full recording.
+    for (std::size_t start = 0; start < shortest; start += chunk) {
+      std::vector<serve::StreamingSession*> sessions;
+      std::vector<std::span<const double>> chunks;
+      for (std::size_t i = 0; i < recordings.size(); ++i) {
+        const std::size_t take = std::min(chunk, shortest - start);
+        sessions.push_back(&batched[i]);
+        chunks.push_back(std::span<const double>(recordings[i].samples())
+                             .subspan(start, take));
+        const serve::FeedStatus st = sequential[i].feed(chunks.back());
+        ASSERT_EQ(st, serve::FeedStatus::kAccepted);
+      }
+      const std::vector<serve::FeedStatus> status =
+          serve::StreamingSession::feed_many(sessions, chunks);
+      for (serve::FeedStatus st : status) ASSERT_EQ(st, serve::FeedStatus::kAccepted);
+    }
+    for (std::size_t i = 0; i < recordings.size(); ++i) {
+      const std::span<const double> tail =
+          std::span<const double>(recordings[i].samples()).subspan(shortest);
+      if (!tail.empty()) {
+        batched[i].feed(tail);
+        sequential[i].feed(tail);
+      }
+      ASSERT_EQ(batched[i].samples_fed(), sequential[i].samples_fed());
+      ASSERT_EQ(batched[i].samples_buffered(), sequential[i].samples_buffered());
+      EXPECT_EQ(batched[i].provisional_event_count(),
+                sequential[i].provisional_event_count())
+          << "chunk=" << chunk << " session " << i;
+      const core::EchoAnalysis a = batched[i].finish();
+      const core::EchoAnalysis b = sequential[i].finish();
+      ASSERT_EQ(a.features.size(), b.features.size());
+      expect_bitwise_equal<double>(a.features, b.features, "finish features");
+      EXPECT_EQ(a.events.size(), b.events.size());
+    }
+  }
+}
+
+TEST(FeedManyTest, MixedChunkLengthsFallBackToSingletonPasses) {
+  const audio::Waveform rec = test_recording(11);
+  std::vector<serve::StreamingSession> batched, sequential;
+  for (int i = 0; i < 2; ++i) {
+    batched.emplace_back(streaming_config());
+    sequential.emplace_back(streaming_config());
+  }
+  // Different chunk lengths per session — cannot interleave, must still be
+  // bit-identical through the singleton path.
+  const std::span<const double> all(rec.samples());
+  const std::vector<std::span<const double>> chunks = {all.first(1000),
+                                                       all.first(777)};
+  std::vector<serve::StreamingSession*> sessions = {&batched[0], &batched[1]};
+  serve::StreamingSession::feed_many(sessions, chunks);
+  sequential[0].feed(chunks[0]);
+  sequential[1].feed(chunks[1]);
+  for (int i = 0; i < 2; ++i)
+    ASSERT_EQ(batched[i].samples_buffered(), sequential[i].samples_buffered());
+}
+
+TEST(FeedManyTest, RejectsOverflowPerSessionLikeFeed) {
+  serve::StreamingConfig small = streaming_config();
+  small.max_buffered_samples = 1024;
+  serve::StreamingSession a(small), b(streaming_config());
+  const std::vector<double> big(2048, 0.25);
+  const std::vector<double> ok(256, 0.25);
+  std::vector<serve::StreamingSession*> sessions = {&a, &b};
+  std::vector<std::span<const double>> chunks = {big, ok};
+  const std::vector<serve::FeedStatus> status =
+      serve::StreamingSession::feed_many(sessions, chunks);
+  EXPECT_EQ(status[0], serve::FeedStatus::kRejected);
+  EXPECT_EQ(status[1], serve::FeedStatus::kAccepted);
+  EXPECT_EQ(a.rejected_chunks(), 1u);
+  EXPECT_EQ(a.samples_buffered(), 0u);
+  EXPECT_EQ(b.samples_buffered(), 256u);
+}
+
+// ------------------------------------------------------- float32 pipeline
+
+TEST(Float32PipelineTest, PowerSpectrumWithinOracleTolerance) {
+  const check::Tolerance tol = check::pair_policy("dsp.fft.power_spectrum.f32").tol;
+  thread_local dsp::FftScratch scratch;
+  for (std::size_t n : {64ul, 512ul, 4096ul}) {
+    const std::vector<double> signal = random_vector(n, kSeed + 13 * n);
+    const auto plan = dsp::FftPlan::get(n, dsp::FftPlan::Kind::kReal);
+    const double norm = 1.0 / static_cast<double>(n);
+    std::vector<double> want(plan->real_bins()), got(plan->real_bins());
+    plan->power_spectrum(signal, want, norm, scratch);
+    plan->power_spectrum_f32(signal, got, norm, scratch);
+    const CompareResult r = check::compare_vectors(got, want, tol);
+    EXPECT_TRUE(r.ok) << "n=" << n << ": "
+                      << check::describe_failure("dsp.fft.power_spectrum.f32", r);
+  }
+}
+
+TEST(Float32PipelineTest, PowerSpectrumF32FallsBackForNonRadix2) {
+  // Odd / non-power-of-two sizes have no float32 kernel path; the f32 entry
+  // point must produce the double result exactly.
+  thread_local dsp::FftScratch scratch;
+  for (std::size_t n : {1ul, 9ul, 12ul}) {
+    const std::vector<double> signal = random_vector(n, kSeed + 17 * n);
+    const auto plan = dsp::FftPlan::get(n, dsp::FftPlan::Kind::kReal);
+    std::vector<double> want(plan->real_bins()), got(plan->real_bins());
+    plan->power_spectrum(signal, want, 1.0, scratch);
+    plan->power_spectrum_f32(signal, got, 1.0, scratch);
+    expect_bitwise_equal<double>(got, want, "f32 fallback");
+  }
+}
+
+TEST(Float32PipelineTest, MelFilterbankWithinOracleTolerance) {
+  const check::Tolerance tol = check::pair_policy("dsp.mel.filterbank.f32").tol;
+  dsp::MelFilterbankConfig cfg;
+  cfg.filter_count = 26;
+  cfg.fft_size = 1024;
+  const dsp::MelFilterbank bank(cfg);
+  const std::vector<double> spectrum =
+      random_vector(cfg.fft_size / 2 + 1, kSeed + 31, 0.0, 2.0);
+  const std::vector<double> want = bank.apply(spectrum);
+  const std::vector<double> got = bank.apply_f32(spectrum);
+  const CompareResult r = check::compare_vectors(got, want, tol);
+  EXPECT_TRUE(r.ok) << check::describe_failure("dsp.mel.filterbank.f32", r);
+}
+
+TEST(Float32PipelineTest, EndToEndFeaturesWithinOracleTolerance) {
+  const check::Tolerance tol = check::pair_policy("dsp.features.f32").tol;
+  const audio::Waveform rec = test_recording(7);
+
+  core::PipelineConfig f64_cfg;
+  f64_cfg.features.spectrum.float32_kernels = false;
+  core::PipelineConfig f32_cfg;
+  f32_cfg.features.spectrum.float32_kernels = true;
+  const core::EchoAnalysis want = core::EarSonar(f64_cfg).analyze(rec);
+  const core::EchoAnalysis got = core::EarSonar(f32_cfg).analyze(rec);
+
+  ASSERT_EQ(got.features.size(), want.features.size());
+  ASSERT_FALSE(want.features.empty());
+  const CompareResult r = check::compare_vectors(got.features, want.features, tol);
+  EXPECT_TRUE(r.ok) << check::describe_failure("dsp.features.f32", r);
+  // The echo segmentation itself runs in float64 either way.
+  EXPECT_EQ(got.events.size(), want.events.size());
+  EXPECT_EQ(got.echoes.size(), want.echoes.size());
+}
+
+}  // namespace
+}  // namespace earsonar
