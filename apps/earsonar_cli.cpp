@@ -15,6 +15,12 @@
 //   earsonar serve --model FILE --watch DIR
 //       Run the streaming serving engine over a watched directory, diagnosing
 //       WAVs as they appear and hot-swapping the model file when it changes.
+//   earsonar serve-net [--port P] [--shards N] ...
+//       Run the networked sharded serving front-end: a TCP listener speaking
+//       the binary frame protocol over a consistent-hash shard pool.
+//   earsonar loadgen --port P [--sessions N] ...
+//       Replay a simulated user population against a serve-net instance and
+//       report tail latency plus per-shard counters.
 //
 // Global options (every subcommand): --log-level LVL routes the leveled
 // narration (common/log.hpp), --trace-out FILE enables obs tracing and
@@ -42,6 +48,8 @@
 #include "core/pipeline.hpp"
 #include "dsp/stft.hpp"
 #include "obs/trace.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
 #include "serve/engine.hpp"
 #include "sim/dataset.hpp"
 
@@ -60,7 +68,9 @@ struct Args {
 /// Options that are flags: present or absent, never followed by a value.
 /// (Before this set existed, `earsonar diagnose --help` died with
 /// "missing value for --help".)
-const std::set<std::string> kBooleanFlags = {"help", "verbose", "once", "simulate"};
+const std::set<std::string> kBooleanFlags = {"help",     "verbose", "once",
+                                             "simulate", "open-loop", "diurnal",
+                                             "json"};
 
 Args parse_args(int argc, char** argv, int first) {
   Args args;
@@ -179,6 +189,63 @@ void print_serve_usage() {
       "  --verbose         print the metrics snapshot on exit\n"
       "  --trace-out FILE  write a Chrome-trace JSON profile on exit (global)\n"
       "  --log-level LVL   debug|info|warn|error|off             [info]\n");
+}
+
+void print_serve_net_usage() {
+  std::printf(
+      "usage: earsonar serve-net [options]\n"
+      "\n"
+      "Run the networked sharded serving front-end: a TCP listener speaking\n"
+      "the length-prefixed binary frame protocol (docs/serving.md), sharding\n"
+      "sessions across N serving engines by consistent hash of the session\n"
+      "id. Overload is answered with explicit Reject frames at three layers\n"
+      "(connections, per-shard session slots, per-shard request queue) —\n"
+      "nothing is silently dropped.\n"
+      "\n"
+      "  --host H            IPv4 listen address              [127.0.0.1]\n"
+      "  --port P            listen port; 0 picks one         [0]\n"
+      "  --shards N          serving engine shards            [4]\n"
+      "  --shard-workers N   worker threads per shard         [1]\n"
+      "  --queue N           per-shard request queue          [64]\n"
+      "  --max-sessions N    live sessions per shard          [64]\n"
+      "  --max-connections N concurrent connections           [256]\n"
+      "  --model FILE        detector model loaded into every shard\n"
+      "  --deadline-ms M     default session deadline; 0 off  [0]\n"
+      "  --duration-s S      serve for S seconds then drain; 0 = forever\n"
+      "  --once              bind, report the port, drain, and exit\n"
+      "  --verbose           print per-shard metrics snapshots on exit\n"
+      "  --trace-out FILE    write a Chrome-trace JSON profile on exit (global)\n"
+      "  --log-level LVL     debug|info|warn|error|off        [info]\n");
+}
+
+void print_loadgen_usage() {
+  std::printf(
+      "usage: earsonar loadgen --port P [options]\n"
+      "\n"
+      "Replay a population of simulated ears against a running serve-net\n"
+      "instance. Closed loop by default (--concurrency workers running\n"
+      "sessions back to back); --open-loop replays a Poisson arrival\n"
+      "schedule at --rate, optionally shaped by a --diurnal curve (the run\n"
+      "is one compressed day). Reports exact client-observed p50/p99/p999\n"
+      "latency plus the server's per-shard counters.\n"
+      "\n"
+      "  --port P          server port (required)\n"
+      "  --host H          server address                   [127.0.0.1]\n"
+      "  --sessions N      total sessions to attempt        [64]\n"
+      "  --concurrency N   worker connections               [8]\n"
+      "  --open-loop       Poisson arrivals instead of closed loop\n"
+      "  --rate HZ         open-loop mean arrival rate      [8]\n"
+      "  --diurnal         modulate open-loop arrivals over a compressed day\n"
+      "  --peak-trough R   diurnal peak/trough rate ratio   [4]\n"
+      "  --population N    distinct simulated subjects      [16]\n"
+      "  --chirps N        probe chirps per recording       [6]\n"
+      "  --chunk N         samples per chunk frame          [4800]\n"
+      "  --time-scale X    chunk pacing as fraction of real time; 0 = backlogged\n"
+      "  --deadline-ms M   per-session deadline; 0 = server default\n"
+      "  --seed S          population / arrival RNG seed    [42]\n"
+      "  --json            emit the report as one JSON object\n"
+      "  --trace-out FILE  write a Chrome-trace JSON profile on exit (global)\n"
+      "  --log-level LVL   debug|info|warn|error|off        [info]\n");
 }
 
 // ------------------------------------------------------------- subcommands
@@ -538,6 +605,96 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_serve_net(const Args& args) {
+  if (flag_set(args, "help")) {
+    print_serve_net_usage();
+    return 0;
+  }
+  net::NetServerConfig cfg;
+  cfg.host = option_or(args, "host", "127.0.0.1");
+  cfg.port = static_cast<std::uint16_t>(std::stoul(option_or(args, "port", "0")));
+  cfg.max_connections =
+      static_cast<std::size_t>(std::stoul(option_or(args, "max-connections", "256")));
+  cfg.default_deadline_ms = std::stod(option_or(args, "deadline-ms", "0"));
+  cfg.shards.shards =
+      static_cast<std::size_t>(std::stoul(option_or(args, "shards", "4")));
+  cfg.shards.max_sessions_per_shard =
+      static_cast<std::size_t>(std::stoul(option_or(args, "max-sessions", "64")));
+  cfg.shards.engine.workers =
+      static_cast<std::size_t>(std::stoul(option_or(args, "shard-workers", "1")));
+  cfg.shards.engine.queue_capacity =
+      static_cast<std::size_t>(std::stoul(option_or(args, "queue", "64")));
+  // Networked sessions stream chunks; the pipeline must be causal.
+  cfg.shards.engine.session.pipeline.preprocess.zero_phase = false;
+  const double duration_s = std::stod(option_or(args, "duration-s", "0"));
+
+  net::NetServer server(cfg);
+  const std::string model_path = option_or(args, "model", "");
+  if (!model_path.empty()) {
+    server.shards().install_model(core::load_detector_file(model_path),
+                                  model_path);
+    log_info("model loaded into ", cfg.shards.shards, " shard(s) from ",
+             model_path);
+  }
+  server.start();
+  std::printf("serve-net listening on %s:%u (%zu shards, %zu sessions/shard)\n",
+              cfg.host.c_str(), server.port(), cfg.shards.shards,
+              cfg.shards.max_sessions_per_shard);
+  std::fflush(stdout);
+
+  if (!flag_set(args, "once")) {
+    if (duration_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+    } else {
+      for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+    }
+  }
+  server.stop();
+  if (flag_set(args, "verbose")) {
+    for (std::size_t s = 0; s < server.shards().shard_count(); ++s)
+      std::printf("\n--- shard %zu ---\n%s", s,
+                  server.shards().engine(s).metrics_snapshot().c_str());
+  }
+  return 0;
+}
+
+int cmd_loadgen(const Args& args) {
+  if (flag_set(args, "help")) {
+    print_loadgen_usage();
+    return 0;
+  }
+  net::LoadGenConfig cfg;
+  cfg.port = static_cast<std::uint16_t>(std::stoul(require_option(args, "port")));
+  cfg.host = option_or(args, "host", "127.0.0.1");
+  cfg.sessions =
+      static_cast<std::size_t>(std::stoul(option_or(args, "sessions", "64")));
+  cfg.concurrency =
+      static_cast<std::size_t>(std::stoul(option_or(args, "concurrency", "8")));
+  cfg.open_loop = flag_set(args, "open-loop");
+  cfg.arrival_rate_hz = std::stod(option_or(args, "rate", "8"));
+  cfg.diurnal = flag_set(args, "diurnal");
+  cfg.diurnal_peak_to_trough = std::stod(option_or(args, "peak-trough", "4"));
+  cfg.population =
+      static_cast<std::size_t>(std::stoul(option_or(args, "population", "16")));
+  cfg.chirp_count =
+      static_cast<std::size_t>(std::stoul(option_or(args, "chirps", "6")));
+  cfg.chunk_samples =
+      static_cast<std::size_t>(std::stoul(option_or(args, "chunk", "4800")));
+  cfg.time_scale = std::stod(option_or(args, "time-scale", "0"));
+  cfg.deadline_ms = std::stod(option_or(args, "deadline-ms", "0"));
+  cfg.seed = std::stoull(option_or(args, "seed", "42"));
+
+  const net::LoadReport report = net::run_loadgen(cfg);
+  if (flag_set(args, "json")) {
+    std::printf("%s\n", report.json().c_str());
+  } else {
+    std::printf("%s", report.text().c_str());
+  }
+  // A run where nothing completed and nothing was explicitly refused means
+  // the server was unreachable — fail loudly.
+  return report.completed + report.rejected + report.errored > 0 ? 0 : 1;
+}
+
 void print_usage() {
   std::printf(
       "earsonar — acoustic middle-ear-effusion screening (ICDCS'23 reproduction)\n"
@@ -551,6 +708,10 @@ void print_usage() {
       "  earsonar serve    --model FILE --watch DIR [--threads N] [--queue N]\n"
       "                    [--chunk N] [--interval-ms M] [--deadline-ms M]\n"
       "                    [--once] [--verbose]\n"
+      "  earsonar serve-net [--port P] [--shards N] [--max-sessions N]\n"
+      "                    [--max-connections N] [--model FILE] [--duration-s S]\n"
+      "  earsonar loadgen  --port P [--sessions N] [--concurrency N]\n"
+      "                    [--open-loop --rate HZ [--diurnal]] [--json]\n"
       "\n"
       "global options (every command):\n"
       "  --trace-out FILE  capture an obs trace of the run and write it as\n"
@@ -568,6 +729,8 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "inspect") return cmd_inspect(args);
   if (command == "analyze") return cmd_analyze(args);
   if (command == "serve") return cmd_serve(args);
+  if (command == "serve-net") return cmd_serve_net(args);
+  if (command == "loadgen") return cmd_loadgen(args);
   print_usage();
   return command == "help" || command == "--help" ? 0 : 1;
 }

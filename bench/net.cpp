@@ -1,0 +1,250 @@
+// Networked front-end bench: loopback frame RTT, shard-scaling of paced
+// real-time sessions, and overload behavior at 2x the measured capacity.
+//
+// Shard scaling on a small host is a latency-hiding story, the same one
+// bench_serve tells for engine workers: a real-time session occupies one of
+// its shard's live-session slots for the recording's audio duration while
+// costing only a few milliseconds of CPU, so the sustainable session rate is
+// (slots / duration) long before CPU saturates. Shards multiply the slots —
+// 1 -> 4 shards should multiply completed sessions/sec accordingly.
+//
+// The overload run drives an open-loop Poisson arrival stream at twice the
+// measured 4-shard capacity and demonstrates the admission contract: every
+// arrival gets exactly one terminal outcome (result, explicit reject, or
+// error), rejects carry reasons, and the latency of *accepted* sessions
+// stays bounded instead of growing an invisible queue.
+//
+// Prints human-readable tables by default; `--json` emits a single JSON
+// object for bench/run_bench.sh to embed in the repo bench report.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/model_io.hpp"
+#include "net/client.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "sim/probe.hpp"
+
+using namespace earsonar;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+core::PipelineConfig causal_config() {
+  core::PipelineConfig cfg;
+  cfg.preprocess.zero_phase = false;  // streaming ingestion is causal
+  return cfg;
+}
+
+core::DetectorModel bench_model() {
+  core::DetectorModel model;
+  const std::size_t dim = core::EarSonar(causal_config()).feature_dimension();
+  model.scaler_mean.assign(dim, 0.0);
+  model.scaler_std.assign(dim, 1.0);
+  model.selected_features = {0, 1};
+  model.centroids = {{-1.0, -1.0}, {1.0, 1.0}};
+  model.cluster_to_state = {0, 2};
+  return model;
+}
+
+audio::Waveform bench_recording() {
+  sim::SubjectFactory factory(42);
+  sim::ProbeConfig pc;
+  pc.chirp_count = bench::smoke_mode() ? 6 : 30;
+  sim::EarProbe probe(pc);
+  Rng rng(7);
+  return probe.record_state(factory.make(0), sim::EffusionState::kClear,
+                            sim::reference_earphone(), {}, rng);
+}
+
+net::NetServerConfig server_config(std::size_t shards,
+                                   std::size_t sessions_per_shard) {
+  net::NetServerConfig cfg;
+  cfg.port = 0;
+  cfg.shards.shards = shards;
+  cfg.shards.max_sessions_per_shard = sessions_per_shard;
+  cfg.shards.engine.workers = 1;
+  cfg.shards.engine.session.pipeline = causal_config();
+  return cfg;
+}
+
+double ping_rtt_p50_ms(std::uint16_t port, int rounds) {
+  net::NetClient client("127.0.0.1", port);
+  std::vector<double> rtts;
+  rtts.reserve(static_cast<std::size_t>(rounds));
+  for (int i = 0; i < rounds; ++i)
+    if (const auto rtt = client.ping(256)) rtts.push_back(*rtt);
+  if (rtts.empty()) return 0.0;
+  std::sort(rtts.begin(), rtts.end());
+  return rtts[rtts.size() / 2];
+}
+
+struct ScalePoint {
+  std::size_t shards = 0;
+  std::size_t completed = 0;
+  std::size_t rejects_seen = 0;  ///< admission retries along the way
+  double rate = 0.0;             ///< completed sessions/sec
+  double p99_ms = 0.0;
+};
+
+// Closed-loop workers replay paced real-time sessions until `target`
+// completions. A worker whose session is refused admission backs off
+// briefly and retries with a fresh session id — so the measured rate is the
+// *sustained completed* rate at full slot occupancy, not an accept ratio.
+ScalePoint run_scaling(const audio::Waveform& recording, std::size_t shards,
+                       std::size_t sessions_per_shard, std::size_t target) {
+  net::NetServer server(server_config(shards, sessions_per_shard));
+  server.shards().install_model(bench_model(), "bench");
+  server.start();
+
+  const std::size_t slots = shards * sessions_per_shard;
+  const std::size_t workers = slots * 2;  // enough pressure to keep slots full
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> rejects{0};
+  std::vector<double> latencies(target, 0.0);
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      net::NetClient client("127.0.0.1", server.port());
+      while (completed.load(std::memory_order_relaxed) < target) {
+        net::SessionOptions options;
+        options.session_id = next_id.fetch_add(1, std::memory_order_relaxed);
+        options.chunk_samples = 480;  // 10 ms at 48 kHz
+        options.chunk_period_s = 0.01;  // live earbud cadence
+        const net::SessionOutcome outcome =
+            client.run_session(recording, options);
+        if (outcome.kind == net::SessionOutcome::Kind::kResult) {
+          const std::size_t slot = completed.fetch_add(1);
+          if (slot < target) latencies[slot] = outcome.rtt_ms;
+        } else if (outcome.kind == net::SessionOutcome::Kind::kRejected) {
+          rejects.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        } else {
+          break;  // transport/error: don't spin a broken connection
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = seconds_since(t0);
+  server.stop();
+
+  ScalePoint point;
+  point.shards = shards;
+  point.completed = completed.load();
+  point.rejects_seen = rejects.load();
+  point.rate = static_cast<double>(point.completed) / elapsed;
+  std::sort(latencies.begin(), latencies.end());
+  point.p99_ms = latencies[latencies.size() * 99 / 100];
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+
+  const audio::Waveform recording = bench_recording();
+  const double audio_s = recording.duration_seconds();
+  const std::size_t sessions_per_shard = 2;
+  const std::size_t target = bench::smoke_mode() ? 6 : 24;
+
+  // Ping RTT over a tiny idle server.
+  double rtt_ms = 0.0;
+  {
+    net::NetServer server(server_config(1, 1));
+    server.start();
+    rtt_ms = ping_rtt_p50_ms(server.port(), bench::smoke_mode() ? 20 : 200);
+    server.stop();
+  }
+
+  std::vector<ScalePoint> scaling;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}})
+    scaling.push_back(
+        run_scaling(recording, shards, sessions_per_shard, target * shards));
+  const double speedup = scaling.back().rate / scaling.front().rate;
+
+  // Overload: open-loop arrivals at 2x the measured 4-shard capacity.
+  net::NetServer server(server_config(4, sessions_per_shard));
+  server.shards().install_model(bench_model(), "bench");
+  server.start();
+  net::LoadGenConfig load;
+  load.port = server.port();
+  load.sessions = bench::smoke_mode() ? 24 : 96;
+  load.concurrency = 16;
+  load.open_loop = true;
+  load.arrival_rate_hz = 2.0 * scaling.back().rate;
+  load.population = 2;
+  load.chirp_count = bench::smoke_mode() ? 6 : 30;
+  load.time_scale = 1.0;  // live pacing: sessions genuinely occupy slots
+  const net::LoadReport overload = net::run_loadgen(load);
+  server.stop();
+  const std::size_t accounted = overload.completed + overload.rejected +
+                                overload.errored + overload.transport_failures;
+
+  if (json) {
+    std::ostringstream out;
+    out << "{\n  \"recording_seconds\": " << audio_s
+        << ",\n  \"ping_rtt_p50_ms\": " << rtt_ms << ",\n  \"shard_scaling\": [";
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+      const ScalePoint& p = scaling[i];
+      out << (i ? ", " : "") << "{\"shards\": " << p.shards
+          << ", \"completed\": " << p.completed << ", \"rate\": " << p.rate
+          << ", \"p99_ms\": " << p.p99_ms
+          << ", \"rejects_seen\": " << p.rejects_seen << "}";
+    }
+    out << "],\n  \"scaling_1_to_4\": " << speedup
+        << ",\n  \"overload_2x\": {\"offered_hz\": " << load.arrival_rate_hz
+        << ", \"attempted\": " << overload.attempted
+        << ", \"completed\": " << overload.completed
+        << ", \"rejected\": " << overload.rejected
+        << ", \"errored\": " << overload.errored
+        << ", \"transport_failures\": " << overload.transport_failures
+        << ", \"accounted\": " << accounted
+        << ", \"p99_ms\": " << overload.p99_ms << "}\n}\n";
+    std::fputs(out.str().c_str(), stdout);
+    return 0;
+  }
+
+  bench::print_header("Networked serving front-end",
+                      "deployment extension (no paper figure)");
+  std::printf("recording: %.0f ms of audio; loopback ping p50: %.3f ms\n\n",
+              audio_s * 1000.0, rtt_ms);
+
+  std::printf("real-time paced sessions vs shards (%zu slots/shard):\n",
+              sessions_per_shard);
+  AsciiTable table({"shards", "completed", "sess/s", "p99 ms", "rejects"});
+  for (const ScalePoint& p : scaling)
+    table.add_row({std::to_string(p.shards), std::to_string(p.completed),
+                   AsciiTable::format(p.rate, 1), AsciiTable::format(p.p99_ms, 1),
+                   std::to_string(p.rejects_seen)});
+  bench::print_table(table);
+  std::printf("1 -> 4 shard scaling: %.1fx\n\n", speedup);
+
+  std::printf("overload: open-loop arrivals at 2x capacity (%.1f/s):\n",
+              load.arrival_rate_hz);
+  std::printf("  attempted %zu = completed %zu + rejected %zu + errored %zu "
+              "+ transport %zu (every session accounted)\n",
+              overload.attempted, overload.completed, overload.rejected,
+              overload.errored, overload.transport_failures);
+  std::printf("  accepted-session p99: %.1f ms (bounded by admission, not "
+              "queue growth)\n",
+              overload.p99_ms);
+  return accounted == overload.attempted ? 0 : 1;
+}

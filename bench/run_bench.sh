@@ -43,7 +43,7 @@ case "$BUILD_TYPE" in
     ;;
 esac
 
-for bin in bench_table2_latency bench_fft_plan bench_kernels bench_serve; do
+for bin in bench_table2_latency bench_fft_plan bench_kernels bench_serve bench_net; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR --target $bin)" >&2
     exit 1
@@ -67,6 +67,8 @@ echo "running bench_kernels ..." >&2
     --benchmark_format=json >"$TMP_DIR/kernels.json.raw"
 echo "running bench_serve ..." >&2
 "$BUILD_DIR/bench/bench_serve" --json >"$TMP_DIR/serve.json"
+echo "running bench_net ..." >&2
+"$BUILD_DIR/bench/bench_net" --json >"$TMP_DIR/net.json"
 
 # bench_table2_latency prints a human banner line before benchmark::Initialize
 # takes over; strip everything before the first '{' so the remainder is JSON.
@@ -89,6 +91,8 @@ done
   cat "$TMP_DIR/kernels.json"
   printf ',\n"serve": '
   cat "$TMP_DIR/serve.json"
+  printf ',\n"net": '
+  cat "$TMP_DIR/net.json"
   printf '}\n'
 } >"$OUT"
 

@@ -47,7 +47,7 @@ done
 CLI_DOC="$ROOT/docs/cli.md"
 [ -f "$CLI_DOC" ] || err "docs/cli.md is missing"
 
-COMMANDS="simulate train diagnose inspect analyze serve"
+COMMANDS="simulate train diagnose inspect analyze serve serve-net loadgen"
 if [ -f "$CLI_DOC" ]; then
   for cmd in $COMMANDS; do
     grep -q "^## earsonar $cmd" "$CLI_DOC" \

@@ -5,8 +5,9 @@
 # surface. Two fresh build trees:
 #
 #   1. EARSONAR_SANITIZE=address,undefined — memory errors and UB over the
-#      `serve` and `fault` labels (engine chaos tests, fault injection,
-#      fuzz replay) plus the full `oracle` and `simd` labels: the
+#      `serve`, `fault`, and `net` labels (engine chaos tests, fault
+#      injection, fuzz replay, the socket front-end's loopback suite and
+#      frame-decoder replay) plus the full `oracle` and `simd` labels: the
 #      differential oracle drives every optimized kernel through denormals,
 #      primes, and edge-case sizes, exactly where UB likes to hide, and the
 #      simd suite covers the dispatch layer's intrinsics. This flavor's
@@ -14,8 +15,10 @@
 #      EARSONAR_SIMD=scalar — so both kernel sets (intrinsics and the Pack
 #      emulation) execute under the sanitizers.
 #   2. EARSONAR_SANITIZE=thread           — data races in the worker pool,
-#      metrics, registry hot-swap, and the fault registry's armed fast
-#      path; of the oracle suite only the `oracle_stream` label (the
+#      metrics, registry hot-swap, the fault registry's armed fast path,
+#      and the `net` label (accept loop, per-connection threads, shard
+#      admission counters); of the oracle suite only the `oracle_stream`
+#      label (the
 #      streaming-vs-batch equivalence pairs) runs here, since the pure
 #      numeric pairs are single-threaded and O(n^2) references are slow
 #      under TSan.
@@ -51,11 +54,13 @@ run_flavor() {
   done
 }
 
-run_flavor asan address,undefined 'serve|fault|oracle|simd' 'native scalar' \
+run_flavor asan address,undefined 'serve|fault|oracle|simd|net' 'native scalar' \
            serve_test fault_test wav_fuzz_replay simd_test \
+           net_test frame_fuzz_replay \
            oracle_fft_test oracle_dsp_test oracle_stats_test \
            oracle_stream_test oracle_golden_test
-run_flavor tsan thread 'serve|fault|oracle_stream' native \
-           serve_test fault_test wav_fuzz_replay oracle_stream_test
+run_flavor tsan thread 'serve|fault|oracle_stream|net' native \
+           serve_test fault_test wav_fuzz_replay net_test frame_fuzz_replay \
+           oracle_stream_test
 
-echo "check_sanitize: OK (address,undefined over serve|fault|oracle|simd at both SIMD levels + thread over serve|fault|oracle_stream)"
+echo "check_sanitize: OK (address,undefined over serve|fault|oracle|simd|net at both SIMD levels + thread over serve|fault|oracle_stream|net)"

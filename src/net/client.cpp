@@ -1,0 +1,190 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "dsp/interpolate.hpp"
+
+namespace earsonar::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+}  // namespace
+
+NetClient::NetClient(const std::string& host, std::uint16_t port)
+    : stream_(TcpStream::connect(host, port)) {}
+
+SessionOutcome NetClient::run_session(const audio::Waveform& recording,
+                                      const SessionOptions& options) {
+  SessionOutcome outcome;
+  const auto start = Clock::now();
+
+  // Client-side resampling to the pipeline rate — the exact transform
+  // EarSonar::analyze applies first, moved to the device so the server only
+  // ever sees pipeline-rate samples (and the wire carries the same doubles
+  // the batch path would compute on).
+  std::span<const double> samples = recording.view();
+  std::vector<double> resampled;
+  if (recording.sample_rate() != expected_rate_) {
+    resampled = dsp::resample_to_rate(samples, recording.sample_rate(),
+                                      expected_rate_);
+    samples = resampled;
+  }
+
+  const auto fail_transport = [&](const std::string& message) {
+    outcome.kind = SessionOutcome::Kind::kTransport;
+    outcome.message = message;
+    outcome.rtt_ms = ms_since(start);
+    return outcome;
+  };
+
+  // Reads frames until one terminates this session; true when `outcome` is
+  // final. Connection-scoped frames (stray Pong etc.) are skipped.
+  const auto read_terminal = [&]() -> bool {
+    for (;;) {
+      const ReadFrameResult read = read_frame(stream_, arena_);
+      if (read.kind == ReadFrameResult::Kind::kEof) {
+        fail_transport("connection closed by server");
+        return true;
+      }
+      if (read.kind == ReadFrameResult::Kind::kMalformed) {
+        fail_transport(std::string("malformed server frame: ") +
+                       to_string(read.status));
+        return true;
+      }
+      if (read.kind == ReadFrameResult::Kind::kIoError) {
+        fail_transport(read.io_error);
+        return true;
+      }
+      const FrameHeader& header = read.header;
+      if (header.session_id != options.session_id) continue;
+      const std::span<const std::uint8_t> payload = payload_bytes(arena_, header);
+      switch (header.type) {
+        case FrameType::kHelloAck: {
+          const std::optional<HelloAckPayload> ack = decode_hello_ack(payload);
+          if (!ack) {
+            fail_transport("malformed HelloAck");
+            return true;
+          }
+          outcome.admitted = true;
+          outcome.shard = ack->shard;
+          expected_rate_ = ack->sample_rate;
+          return false;  // session continues
+        }
+        case FrameType::kResult: {
+          std::optional<ResultPayload> result = decode_result(payload);
+          if (!result) {
+            fail_transport("malformed Result");
+            return true;
+          }
+          outcome.kind = SessionOutcome::Kind::kResult;
+          outcome.result = std::move(*result);
+          outcome.rtt_ms = ms_since(start);
+          return true;
+        }
+        case FrameType::kReject: {
+          const std::optional<StatusPayload> status = decode_status(payload);
+          outcome.kind = SessionOutcome::Kind::kRejected;
+          outcome.code = status ? status->code : 0;
+          outcome.message = status ? status->message : "";
+          outcome.rtt_ms = ms_since(start);
+          return true;
+        }
+        case FrameType::kError: {
+          const std::optional<StatusPayload> status = decode_status(payload);
+          outcome.kind = SessionOutcome::Kind::kError;
+          outcome.code = status ? status->code : 0;
+          outcome.message = status ? status->message : "";
+          outcome.rtt_ms = ms_since(start);
+          return true;
+        }
+        default:
+          continue;  // not a terminal frame for this session
+      }
+    }
+  };
+
+  try {
+    HelloPayload hello;
+    hello.sample_rate = expected_rate_;
+    hello.deadline_ms = options.deadline_ms;
+    write_frame(stream_, FrameType::kHello, options.session_id,
+                encode_hello(hello));
+  } catch (const std::exception& e) {
+    return fail_transport(e.what());
+  }
+  if (read_terminal()) return outcome;  // rejected or transport-failed at Hello
+
+  // Stream the audio. kMaxPayload bounds a frame, so cap the chunk size at
+  // what one frame can carry.
+  const std::size_t chunk =
+      std::min(std::max<std::size_t>(options.chunk_samples, 1),
+               kMaxPayload / sizeof(double));
+  try {
+    for (std::size_t pos = 0; pos < samples.size(); pos += chunk) {
+      if (pos > 0 && options.chunk_period_s > 0.0) {
+        // Real-time pacing: the device has not captured the next chunk yet.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options.chunk_period_s));
+      }
+      const std::size_t len = std::min(chunk, samples.size() - pos);
+      write_chunk_frame(stream_, options.session_id, samples.subspan(pos, len));
+    }
+    write_frame(stream_, FrameType::kFinish, options.session_id, {});
+  } catch (const std::exception& e) {
+    // The server may have ended the session mid-stream (overflow, deadline)
+    // — its terminal frame explains the failed write better than EPIPE.
+    const std::string transport_error = e.what();
+    if (read_terminal()) {
+      if (outcome.kind == SessionOutcome::Kind::kTransport)
+        outcome.message = transport_error;
+      return outcome;
+    }
+    return fail_transport(transport_error);
+  }
+  read_terminal();
+  return outcome;
+}
+
+std::optional<double> NetClient::ping(std::size_t payload_size) {
+  std::vector<std::uint8_t> pattern(payload_size);
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    pattern[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  const auto start = Clock::now();
+  try {
+    write_frame(stream_, FrameType::kPing, 0, pattern);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const ReadFrameResult read = read_frame(stream_, arena_);
+  if (read.kind != ReadFrameResult::Kind::kFrame ||
+      read.header.type != FrameType::kPong)
+    return std::nullopt;
+  const std::span<const std::uint8_t> echoed = payload_bytes(arena_, read.header);
+  if (echoed.size() != pattern.size() ||
+      (!pattern.empty() &&
+       std::memcmp(echoed.data(), pattern.data(), pattern.size()) != 0))
+    return std::nullopt;
+  return ms_since(start);
+}
+
+std::optional<StatsPayload> NetClient::fetch_stats() {
+  try {
+    write_frame(stream_, FrameType::kStats, 0, {});
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const ReadFrameResult read = read_frame(stream_, arena_);
+  if (read.kind != ReadFrameResult::Kind::kFrame ||
+      read.header.type != FrameType::kStatsReply)
+    return std::nullopt;
+  return decode_stats(payload_bytes(arena_, read.header));
+}
+
+}  // namespace earsonar::net

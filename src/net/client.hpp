@@ -1,0 +1,78 @@
+// NetClient: a blocking wire-protocol client for one connection.
+//
+// run_session() is the whole device-side contract in one call: resample the
+// recording to the server's pipeline rate locally (the same resampler the
+// batch path runs, which is what keeps the networked answer bit-identical),
+// open a session with Hello, stream Chunk frames — optionally paced at the
+// recording's real-time cadence — then Finish and wait for the Result.
+// Every outcome the protocol defines is surfaced explicitly: admitted +
+// result, rejected (with the server's RejectCode), errored (ErrorCode), or
+// a transport failure.
+//
+// One NetClient is one connection and is not thread-safe; the load
+// generator opens one per worker (loadgen.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "audio/waveform.hpp"
+#include "net/socket.hpp"
+
+namespace earsonar::net {
+
+struct SessionOptions {
+  std::uint64_t session_id = 1;  ///< must be nonzero and connection-unique
+  std::size_t chunk_samples = 4800;  ///< 100 ms at 48 kHz
+  /// Seconds between chunk sends (0 = backlogged upload). Real-time device
+  /// streaming = chunk_samples / sample_rate.
+  double chunk_period_s = 0.0;
+  double deadline_ms = 0.0;  ///< carried in Hello; 0 = server default
+};
+
+/// How a session ended. Exactly one of the protocol's terminal frames (or a
+/// transport failure observed as kTransport).
+struct SessionOutcome {
+  enum class Kind : std::uint8_t { kResult, kRejected, kError, kTransport };
+  Kind kind = Kind::kTransport;
+  std::uint32_t shard = 0;      ///< from HelloAck (valid unless rejected at Hello)
+  bool admitted = false;        ///< HelloAck received
+  ResultPayload result;         ///< when kResult
+  std::uint16_t code = 0;       ///< RejectCode / ErrorCode when k{Rejected,Error}
+  std::string message;          ///< server text or transport error
+  double rtt_ms = 0.0;          ///< Hello sent -> terminal frame received
+};
+
+class NetClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on refusal.
+  NetClient(const std::string& host, std::uint16_t port);
+
+  /// Runs one full session (see file comment). The recording may be at any
+  /// sample rate; it is resampled locally to `server_rate` learned from the
+  /// connection's first HelloAck (before that, from `expected_rate`).
+  SessionOutcome run_session(const audio::Waveform& recording,
+                             const SessionOptions& options);
+
+  /// Round-trips an opaque payload through Ping/Pong; nullopt on transport
+  /// failure or mismatched echo. Returns the round-trip in milliseconds.
+  std::optional<double> ping(std::size_t payload_size = 64);
+
+  /// Requests the server's per-shard counters.
+  std::optional<StatsPayload> fetch_stats();
+
+  /// The pipeline rate Hello claims. Updated from each HelloAck; defaults
+  /// to 48 kHz (the probe rate) before the first session.
+  [[nodiscard]] double expected_rate() const { return expected_rate_; }
+  void set_expected_rate(double rate) { expected_rate_ = rate; }
+
+  void close() { stream_.close(); }
+
+ private:
+  TcpStream stream_;
+  std::vector<double> arena_;  ///< read_frame payload buffer
+  double expected_rate_ = 48000.0;
+};
+
+}  // namespace earsonar::net

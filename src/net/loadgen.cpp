@@ -1,0 +1,260 @@
+#include "net/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/client.hpp"
+#include "sim/probe.hpp"
+
+namespace earsonar::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One session's terminal outcome as the workers record it.
+struct Record {
+  SessionOutcome::Kind kind = SessionOutcome::Kind::kTransport;
+  std::uint16_t code = 0;
+  double latency_ms = 0.0;
+};
+
+std::vector<audio::Waveform> build_population(const LoadGenConfig& config) {
+  sim::SubjectFactory factory(static_cast<std::uint32_t>(config.seed));
+  sim::ProbeConfig probe_config;
+  probe_config.chirp_count = config.chirp_count;
+  sim::EarProbe probe(probe_config);
+  const auto states = sim::all_effusion_states();
+  std::vector<audio::Waveform> recordings;
+  recordings.reserve(config.population);
+  for (std::size_t i = 0; i < config.population; ++i) {
+    Rng rng(config.seed * 1000003ULL + i);
+    recordings.push_back(probe.record_state(
+        factory.make(static_cast<std::uint32_t>(i)), states[i % states.size()],
+        sim::reference_earphone(), {}, rng));
+  }
+  return recordings;
+}
+
+/// Poisson arrival offsets (seconds from run start), optionally modulated by
+/// a diurnal curve: the run is one compressed "day", rate peaks mid-run.
+std::vector<double> build_arrivals(const LoadGenConfig& config) {
+  std::vector<double> arrivals;
+  arrivals.reserve(config.sessions);
+  Rng rng(config.seed ^ 0xa77ea15ULL);
+  const double base = config.arrival_rate_hz;
+  const double day_s = static_cast<double>(config.sessions) / base;
+  const double ratio = config.diurnal ? config.diurnal_peak_to_trough : 1.0;
+  const double m = (ratio - 1.0) / (ratio + 1.0);
+  double t = 0.0;
+  for (std::size_t i = 0; i < config.sessions; ++i) {
+    const double frac = std::min(t / day_s, 1.0);
+    const double rate =
+        base * (1.0 - m * std::cos(2.0 * std::numbers::pi * frac));
+    const double u = rng.uniform(0.0, 1.0);
+    t += -std::log1p(-u) / rate;  // Exp(rate) inter-arrival
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(p * static_cast<double>(sorted.size()));
+  const std::size_t index =
+      std::min(sorted.size() - 1,
+               static_cast<std::size_t>(rank > 1.0 ? rank - 1.0 : 0.0));
+  return sorted[index];
+}
+
+}  // namespace
+
+void LoadGenConfig::validate() const {
+  require(sessions >= 1, "LoadGenConfig: sessions must be >= 1");
+  require(concurrency >= 1, "LoadGenConfig: concurrency must be >= 1");
+  require(population >= 1, "LoadGenConfig: population must be >= 1");
+  require(chunk_samples >= 1, "LoadGenConfig: chunk_samples must be >= 1");
+  require(!open_loop || arrival_rate_hz > 0.0,
+          "LoadGenConfig: open loop needs arrival_rate_hz > 0");
+  require(diurnal_peak_to_trough >= 1.0,
+          "LoadGenConfig: diurnal_peak_to_trough must be >= 1");
+  require(time_scale >= 0.0, "LoadGenConfig: time_scale must be >= 0");
+}
+
+LoadReport run_loadgen(const LoadGenConfig& config) {
+  config.validate();
+  const std::vector<audio::Waveform> population = build_population(config);
+  const std::vector<double> arrivals =
+      config.open_loop ? build_arrivals(config) : std::vector<double>{};
+
+  const double rate = 48000.0;  // probe rate; recordings are generated at it
+  const double chunk_period_s =
+      config.time_scale > 0.0
+          ? config.time_scale * static_cast<double>(config.chunk_samples) / rate
+          : 0.0;
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::vector<Record>> per_worker(config.concurrency);
+  const auto t0 = Clock::now();
+
+  const auto worker = [&](std::size_t worker_index) {
+    std::vector<Record>& records = per_worker[worker_index];
+    std::unique_ptr<NetClient> client;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= config.sessions) break;
+      Record record;
+      const auto scheduled =
+          config.open_loop
+              ? t0 + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(arrivals[i]))
+              : Clock::now();
+      if (config.open_loop) std::this_thread::sleep_until(scheduled);
+      try {
+        if (!client)
+          client = std::make_unique<NetClient>(config.host, config.port);
+        SessionOptions options;
+        options.session_id = i + 1;
+        options.chunk_samples = config.chunk_samples;
+        options.chunk_period_s = chunk_period_s;
+        options.deadline_ms = config.deadline_ms;
+        const SessionOutcome outcome =
+            client->run_session(population[i % population.size()], options);
+        record.kind = outcome.kind;
+        record.code = outcome.code;
+        if (outcome.kind == SessionOutcome::Kind::kTransport)
+          client.reset();  // the connection is dead; reconnect for the next
+      } catch (const std::exception&) {
+        record.kind = SessionOutcome::Kind::kTransport;
+        client.reset();
+      }
+      // Open loop: latency counts from the *scheduled* arrival so time spent
+      // waiting for a free worker is charged, not silently omitted.
+      record.latency_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - scheduled)
+              .count();
+      records.push_back(record);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.concurrency);
+  for (std::size_t w = 0; w < config.concurrency; ++w)
+    threads.emplace_back(worker, w);
+  for (std::thread& thread : threads) thread.join();
+
+  LoadReport report;
+  report.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  std::vector<double> completed_latencies;
+  for (const std::vector<Record>& records : per_worker) {
+    for (const Record& record : records) {
+      ++report.attempted;
+      switch (record.kind) {
+        case SessionOutcome::Kind::kResult:
+          ++report.admitted;
+          ++report.completed;
+          completed_latencies.push_back(record.latency_ms);
+          break;
+        case SessionOutcome::Kind::kRejected:
+          ++report.rejected;
+          if (record.code ==
+              static_cast<std::uint16_t>(RejectCode::kShardSessionsFull))
+            ++report.rejected_sessions_full;
+          if (record.code == static_cast<std::uint16_t>(RejectCode::kQueueFull))
+            ++report.rejected_queue_full;
+          break;
+        case SessionOutcome::Kind::kError:
+          ++report.errored;
+          if (record.code ==
+              static_cast<std::uint16_t>(ErrorCode::kDeadlineExceeded))
+            ++report.deadline_exceeded;
+          break;
+        case SessionOutcome::Kind::kTransport:
+          ++report.transport_failures;
+          break;
+      }
+    }
+  }
+  report.completed_per_s =
+      report.wall_s > 0.0 ? static_cast<double>(report.completed) / report.wall_s
+                          : 0.0;
+  std::sort(completed_latencies.begin(), completed_latencies.end());
+  report.p50_ms = percentile(completed_latencies, 0.50);
+  report.p99_ms = percentile(completed_latencies, 0.99);
+  report.p999_ms = percentile(completed_latencies, 0.999);
+  report.max_ms =
+      completed_latencies.empty() ? 0.0 : completed_latencies.back();
+
+  try {
+    NetClient stats_client(config.host, config.port);
+    if (std::optional<StatsPayload> stats = stats_client.fetch_stats()) {
+      report.server = std::move(*stats);
+      report.have_server_stats = true;
+    }
+  } catch (const std::exception&) {
+    // Stats are best-effort; the client-side half of the report stands.
+  }
+  return report;
+}
+
+std::string LoadReport::text() const {
+  std::ostringstream out;
+  out << "sessions: " << attempted << " attempted, " << admitted
+      << " admitted, " << completed << " completed\n";
+  out << "refusals: " << rejected << " rejected ("
+      << rejected_sessions_full << " sessions-full, " << rejected_queue_full
+      << " queue-full), " << errored << " errored (" << deadline_exceeded
+      << " deadline), " << transport_failures << " transport\n";
+  out << "throughput: " << completed_per_s << " completed/s over " << wall_s
+      << " s\n";
+  out << "latency ms: p50 " << p50_ms << ", p99 " << p99_ms << ", p999 "
+      << p999_ms << ", max " << max_ms << "\n";
+  if (have_server_stats) {
+    for (std::size_t s = 0; s < server.shards.size(); ++s) {
+      const ShardStatsWire& shard = server.shards[s];
+      out << "shard " << s << ": accepted " << shard.accepted << ", completed "
+          << shard.completed << ", queue-rejected " << shard.rejected_queue_full
+          << ", deadline " << shard.deadline_exceeded << ", sessions-rejected "
+          << shard.sessions_rejected << ", chunks " << shard.chunks_fed << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string LoadReport::json() const {
+  std::ostringstream out;
+  out << "{\"attempted\": " << attempted << ", \"admitted\": " << admitted
+      << ", \"completed\": " << completed << ", \"rejected\": " << rejected
+      << ", \"rejected_sessions_full\": " << rejected_sessions_full
+      << ", \"rejected_queue_full\": " << rejected_queue_full
+      << ", \"errored\": " << errored
+      << ", \"deadline_exceeded\": " << deadline_exceeded
+      << ", \"transport_failures\": " << transport_failures
+      << ", \"wall_s\": " << wall_s
+      << ", \"completed_per_s\": " << completed_per_s
+      << ", \"p50_ms\": " << p50_ms << ", \"p99_ms\": " << p99_ms
+      << ", \"p999_ms\": " << p999_ms << ", \"max_ms\": " << max_ms
+      << ", \"shards\": [";
+  for (std::size_t s = 0; s < server.shards.size(); ++s) {
+    const ShardStatsWire& shard = server.shards[s];
+    out << (s ? ", " : "") << "{\"accepted\": " << shard.accepted
+        << ", \"completed\": " << shard.completed
+        << ", \"rejected_queue_full\": " << shard.rejected_queue_full
+        << ", \"deadline_exceeded\": " << shard.deadline_exceeded
+        << ", \"sessions_rejected\": " << shard.sessions_rejected
+        << ", \"chunks_fed\": " << shard.chunks_fed << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace earsonar::net

@@ -1,0 +1,91 @@
+// Load harness for the networked front-end: a simulated user population
+// replayed against a NetServer, closed- or open-loop, with tail-latency
+// reporting.
+//
+// Population: `population` distinct simulated ears (sim::SubjectFactory)
+// cycled through the four effusion states, each recorded once up front —
+// the run replays those recordings, so generation cost never pollutes the
+// measurement. Session ids are globally unique, which is what spreads the
+// population across shards via the consistent-hash ring.
+//
+// Two loops:
+//   * closed loop — `concurrency` workers, each running sessions back to
+//     back on its own connection: measures sustainable service rate;
+//   * open loop  — arrivals follow a precomputed Poisson schedule at
+//     `arrival_rate_hz` (optionally modulated by a diurnal curve: the run
+//     is one compressed day, arrivals peak mid-"day" and trough at the
+//     ends). Workers dispatch arrivals from the schedule; an arrival whose
+//     turn comes while every worker is busy is still timed from its
+//     *scheduled* instant, so queueing delay counts against latency
+//     (no coordinated omission).
+//
+// The report carries exact client-observed percentiles (p50/p99/p999 over
+// the recorded per-session latencies — sorted samples, not histogram
+// buckets) plus the server's own per-shard counters fetched over a Stats
+// frame, so a run shows both sides of the admission story: what clients
+// saw, and what each shard counted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace earsonar::net {
+
+struct LoadGenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t sessions = 64;    ///< total sessions to attempt
+  std::size_t concurrency = 8;  ///< worker connections
+  bool open_loop = false;
+  /// Open-loop mean arrival rate. 0 = derive a mildly overloaded rate from
+  /// a quick closed-loop probe is NOT done here — pass an explicit rate.
+  double arrival_rate_hz = 8.0;
+  bool diurnal = false;
+  /// Peak-to-trough arrival-rate ratio of the diurnal curve (>= 1).
+  double diurnal_peak_to_trough = 4.0;
+  std::size_t population = 16;  ///< distinct simulated subjects
+  std::size_t chirp_count = 6;  ///< probe chirps per recording
+  std::size_t chunk_samples = 4800;  ///< 100 ms at 48 kHz
+  /// Chunk pacing as a fraction of real time: 1 = live earbud cadence,
+  /// 0 = backlogged upload (send as fast as TCP accepts).
+  double time_scale = 0.0;
+  double deadline_ms = 0.0;  ///< per-session deadline carried in Hello
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+struct LoadReport {
+  std::size_t attempted = 0;
+  std::size_t admitted = 0;   ///< HelloAck received
+  std::size_t completed = 0;  ///< Result received
+  std::size_t rejected = 0;   ///< Reject frames (all codes)
+  std::size_t rejected_sessions_full = 0;
+  std::size_t rejected_queue_full = 0;
+  std::size_t errored = 0;    ///< Error frames (all codes)
+  std::size_t deadline_exceeded = 0;
+  std::size_t transport_failures = 0;
+  double wall_s = 0.0;
+  double completed_per_s = 0.0;
+  /// Client-observed latency of completed sessions, exact percentiles over
+  /// the sorted samples. Open loop measures from the scheduled arrival.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+  /// Server-side per-shard counters (Stats frame at the end of the run).
+  StatsPayload server;
+  bool have_server_stats = false;
+
+  [[nodiscard]] std::string text() const;
+  [[nodiscard]] std::string json() const;
+};
+
+/// Runs the configured load against a live server and blocks until every
+/// session has a terminal outcome.
+LoadReport run_loadgen(const LoadGenConfig& config);
+
+}  // namespace earsonar::net

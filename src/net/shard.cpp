@@ -1,0 +1,143 @@
+#include "net/shard.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
+namespace earsonar::net {
+
+std::uint64_t HashRing::mix(std::uint64_t x) {
+  // splitmix64 finalizer (Steele et al.): full-avalanche mixing so nearby
+  // session ids land far apart on the ring.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+HashRing::HashRing(std::size_t shards, std::size_t replicas)
+    : shards_(shards), replicas_(replicas) {
+  require(shards >= 1, "HashRing: shards must be >= 1");
+  require(replicas >= 1, "HashRing: replicas must be >= 1");
+  points_.reserve(shards * replicas);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t r = 0; r < replicas; ++r) {
+      // Point identity is (shard, replica), independent of the total shard
+      // count — that is what makes resizing minimal-remap: growing to N+1
+      // shards only *inserts* the new shard's points, every surviving
+      // point keeps its position. The salt keeps the point domain disjoint
+      // from the key domain: without it, shard 0's replica ids 0..63 hash to
+      // the same ring positions as session ids 0..63, and every small
+      // session id lands exactly on (hence just below) a shard-0 point.
+      constexpr std::uint64_t kPointSalt = 0x72696e67706f696eULL;  // "ringpoin"
+      const std::uint64_t id = (static_cast<std::uint64_t>(s) << 32) | r;
+      points_.push_back({mix(id ^ kPointSalt), static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+            });
+}
+
+std::size_t HashRing::shard_for(std::uint64_t session_id) const {
+  const std::uint64_t h = mix(session_id);
+  // First point at or after h; wrap to the lowest point past the top.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t key) { return p.hash < key; });
+  return it != points_.end() ? it->shard : points_.front().shard;
+}
+
+void ShardConfig::validate() const {
+  require(shards >= 1, "ShardConfig: shards must be >= 1");
+  require(replicas >= 1, "ShardConfig: replicas must be >= 1");
+  require(max_sessions_per_shard >= 1,
+          "ShardConfig: max_sessions_per_shard must be >= 1");
+  engine.validate();
+}
+
+ShardPool::ShardPool(ShardConfig config)
+    : config_(std::move(config)), ring_(config_.shards, config_.replicas) {
+  config_.validate();
+  serve::EngineConfig engine_config = config_.engine;
+  // N engines leasing the shared pool would serialize behind its batch
+  // mutex; shard engines always own their threads.
+  engine_config.dedicated_threads = true;
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<serve::ServingEngine>(engine_config);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardPool::~ShardPool() { stop(); }
+
+void ShardPool::start() {
+  if (running_.exchange(true)) return;
+  for (auto& shard : shards_) shard->engine->start();
+}
+
+void ShardPool::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& shard : shards_) shard->engine->stop();
+}
+
+Admission ShardPool::admit_session(std::uint64_t session_id,
+                                   std::size_t* shard_out) {
+  const std::size_t shard_index = ring_.shard_for(session_id);
+  if (shard_out != nullptr) *shard_out = shard_index;
+  Shard& shard = *shards_[shard_index];
+  if (fault::point("net.shard.dispatch")) {
+    shard.sessions_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kDispatchFault;
+  }
+  if (!running_.load()) {
+    shard.sessions_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kStopped;
+  }
+  // Optimistic claim: bump, then back out if over the cap. Two racers can
+  // both observe the bump but only the one(s) within the cap keep it.
+  const std::int64_t now =
+      shard.sessions_active.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (now > static_cast<std::int64_t>(config_.max_sessions_per_shard)) {
+    shard.sessions_active.fetch_sub(1, std::memory_order_relaxed);
+    shard.sessions_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kSessionsFull;
+  }
+  return Admission::kAdmitted;
+}
+
+void ShardPool::release_session(std::size_t shard) {
+  shards_[shard]->sessions_active.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void ShardPool::install_model(const core::DetectorModel& model,
+                              const std::string& source) {
+  for (auto& shard : shards_) shard->engine->registry().install(model, source);
+}
+
+StatsPayload ShardPool::stats() const {
+  StatsPayload payload;
+  payload.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const serve::ServeMetrics& m = shard->engine->metrics();
+    ShardStatsWire wire;
+    wire.accepted = m.accepted.load(std::memory_order_relaxed);
+    wire.completed = m.completed.load(std::memory_order_relaxed);
+    wire.rejected_queue_full = m.rejected_queue_full.load(std::memory_order_relaxed);
+    wire.deadline_exceeded = m.deadline_exceeded.load(std::memory_order_relaxed);
+    wire.degraded = m.degraded.load(std::memory_order_relaxed);
+    wire.failed = m.failed.load(std::memory_order_relaxed);
+    wire.chunks_fed = m.chunks_fed.load(std::memory_order_relaxed);
+    const std::int64_t active = shard->sessions_active.load(std::memory_order_relaxed);
+    wire.sessions_active = active > 0 ? static_cast<std::uint64_t>(active) : 0;
+    wire.sessions_rejected = shard->sessions_rejected.load(std::memory_order_relaxed);
+    payload.shards.push_back(wire);
+  }
+  return payload;
+}
+
+}  // namespace earsonar::net

@@ -1,0 +1,132 @@
+// Session-affine sharding: a consistent-hash ring over N serving engines.
+//
+// Why shard at all on one box: a live streaming session costs almost no CPU
+// (the earbud paces chunks at wall-clock speed; filtering a 10 ms chunk takes
+// microseconds) but occupies a *session slot* for its whole recording
+// duration. The scaled resource is therefore slots, not cores — N shards hold
+// N × max_sessions concurrent paced sessions, and the per-shard BoundedQueue
+// keeps each shard's finalization backlog independent. bench_net measures
+// exactly this: 4 shards sustain ≥2.5× the admitted session throughput of 1.
+//
+// Why a hash *ring* instead of `session_id % N`: session affinity must
+// survive resizing. With modulo, going from N to N+1 shards remaps ~N/(N+1)
+// of all sessions; on the ring only ~1/(N+1) move (only keys that now fall
+// on the new shard's virtual nodes). tests/net_test.cpp pins both the
+// balance (virtual nodes spread load within a factor) and the minimal-remap
+// property.
+//
+// Fault point `net.shard.dispatch` fires at session admission — a fired
+// fault looks like a shard refusing the session (transient dispatch
+// failure), which the server must surface as an explicit Reject frame.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "serve/engine.hpp"
+
+namespace earsonar::net {
+
+/// Consistent-hash ring mapping u64 session ids onto shard indices via
+/// virtual nodes (`replicas` ring points per shard).
+class HashRing {
+ public:
+  HashRing(std::size_t shards, std::size_t replicas);
+
+  /// The shard owning `session_id`: the first ring point at or after the
+  /// id's hash, wrapping at the top.
+  [[nodiscard]] std::size_t shard_for(std::uint64_t session_id) const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_; }
+  [[nodiscard]] std::size_t replicas() const { return replicas_; }
+
+  /// The mixer used for ring points and keys (splitmix64 finalizer —
+  /// avalanche-complete, so sequential session ids spread uniformly).
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x);
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+  std::vector<Point> points_;  ///< sorted by hash
+  std::size_t shards_;
+  std::size_t replicas_;
+};
+
+struct ShardConfig {
+  std::size_t shards = 1;
+  std::size_t replicas = 64;  ///< virtual ring nodes per shard
+  /// Live streaming sessions a shard holds at once — the admission layer
+  /// above the engine's BoundedQueue. A paced session occupies its slot for
+  /// the recording's wall-clock duration; the queue only sees the (cheap)
+  /// finalization, so slots saturate first under real-time load.
+  std::size_t max_sessions_per_shard = 64;
+  /// Per-shard engine template. `dedicated_threads` is forced on by the
+  /// pool: N engines leasing the shared parallel pool would serialize on
+  /// its batch mutex (see EngineConfig::dedicated_threads).
+  serve::EngineConfig engine;
+
+  void validate() const;
+};
+
+/// What admission said. kDispatchFault is an injected/transient dispatch
+/// failure — distinct so the server can report it honestly.
+enum class Admission : std::uint8_t { kAdmitted, kSessionsFull, kStopped, kDispatchFault };
+
+class ShardPool {
+ public:
+  explicit ShardPool(ShardConfig config);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_for(std::uint64_t session_id) const {
+    return ring_.shard_for(session_id);
+  }
+  [[nodiscard]] serve::ServingEngine& engine(std::size_t shard) {
+    return *shards_[shard]->engine;
+  }
+
+  /// Tries to claim a live-session slot on `session_id`'s shard. On
+  /// kAdmitted the caller owns one slot on `*shard_out` and must release it
+  /// exactly once. Fires `net.shard.dispatch`.
+  Admission admit_session(std::uint64_t session_id, std::size_t* shard_out);
+  void release_session(std::size_t shard);
+
+  [[nodiscard]] std::int64_t sessions_active(std::size_t shard) const {
+    return shards_[shard]->sessions_active.load(std::memory_order_relaxed);
+  }
+
+  /// Installs a model into every shard's registry (same version counter per
+  /// registry; shards are independent stores fed the same bytes).
+  void install_model(const core::DetectorModel& model, const std::string& source);
+
+  /// Per-shard counters in wire form (what a kStatsReply carries).
+  [[nodiscard]] StatsPayload stats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<serve::ServingEngine> engine;
+    std::atomic<std::int64_t> sessions_active{0};
+    std::atomic<std::uint64_t> sessions_rejected{0};
+  };
+
+  ShardConfig config_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace earsonar::net

@@ -1,0 +1,140 @@
+// Dependency-free POSIX TCP wrappers for the serving front-end.
+//
+// Deliberately minimal: RAII file descriptors, a blocking listener with a
+// poll()-based accept timeout (so the accept loop can notice stop()), and a
+// blocking stream with read-exact/write-all framing helpers. Thread-per-
+// connection blocking I/O is the right complexity point here — connection
+// counts are bounded by admission control (NetServerConfig::max_connections)
+// long before an event loop would pay for itself, and blocking reads keep
+// the zero-copy chunk handoff trivial (the payload lands directly in the
+// connection's aligned buffer; see server.cpp).
+//
+// Failure injection: `net.accept` makes accept() report a transient failure,
+// `net.frame.read` / `net.frame.write` fail the frame-level I/O helpers —
+// the chaos hooks tests use to prove a dying connection never takes the
+// server down (docs/robustness.md catalogs all fault points).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace earsonar::net {
+
+/// RAII socket file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// shutdown(SHUT_RDWR) without closing: unblocks a read in another thread
+  /// while that thread still owns the fd's lifetime. Safe on closed sockets.
+  void shutdown_both();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Blocking byte stream over a connected TCP socket.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(Socket socket);
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1"). Throws
+  /// std::runtime_error on failure.
+  static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return socket_.valid(); }
+  void shutdown_both() { socket_.shutdown_both(); }
+  void close() { socket_.close(); }
+
+  /// Reads exactly out.size() bytes. False on clean EOF at a frame boundary
+  /// (no bytes read yet); throws std::runtime_error on mid-buffer EOF or a
+  /// socket error.
+  bool read_exact(std::span<std::uint8_t> out);
+
+  /// Writes the whole buffer or throws std::runtime_error.
+  void write_all(std::span<const std::uint8_t> bytes);
+
+ private:
+  Socket socket_;
+};
+
+/// Listening socket bound to 127.0.0.1:port (port 0 = ephemeral).
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  /// Binds and listens. Throws std::runtime_error when the port is taken.
+  static TcpListener bind(const std::string& host, std::uint16_t port,
+                          int backlog = 64);
+
+  [[nodiscard]] bool valid() const { return socket_.valid(); }
+  /// The actually bound port (resolves port 0 to the kernel's choice).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Waits up to timeout_ms for a connection. nullopt on timeout, on a
+  /// transient accept failure (including an injected `net.accept` fault),
+  /// or once close() has been called from another thread.
+  [[nodiscard]] std::optional<TcpStream> accept(int timeout_ms);
+
+  void close() { socket_.close(); }
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+// ------------------------------------------------------- frame-level I/O
+
+/// Outcome of read_frame: a full frame arrived, the peer hung up cleanly,
+/// or the byte stream was malformed (status says how).
+struct ReadFrameResult {
+  enum class Kind : std::uint8_t { kFrame, kEof, kMalformed, kIoError };
+  Kind kind = Kind::kIoError;
+  FrameHeader header;
+  DecodeStatus status = DecodeStatus::kOk;  ///< set when kMalformed
+  std::string io_error;                     ///< set when kIoError
+};
+
+/// Reads one frame. The payload lands in `payload_f64` — a double vector
+/// used as an 8-byte-aligned byte arena — so a kChunk frame's samples can be
+/// viewed in place: payload_f64[0 .. payload_len/8) ARE the samples, no
+/// copy. Non-chunk payloads are viewed as bytes through payload_bytes().
+/// Frame-level CRC and header validation happen here; `net.frame.read`
+/// injects an I/O failure.
+ReadFrameResult read_frame(TcpStream& stream, std::vector<double>& payload_f64,
+                           std::size_t max_payload = kMaxPayload);
+
+/// Byte view of a read_frame payload.
+[[nodiscard]] std::span<const std::uint8_t> payload_bytes(
+    const std::vector<double>& payload_f64, const FrameHeader& header);
+
+/// Writes header + payload (single writev-style call sequence). Throws
+/// std::runtime_error on failure; `net.frame.write` injects one.
+void write_frame(TcpStream& stream, FrameType type, std::uint64_t session_id,
+                 std::span<const std::uint8_t> payload);
+
+/// write_frame for float64 sample payloads: the samples are sent directly
+/// from the caller's buffer (their IEEE-754 bytes are the wire format — the
+/// symmetric zero-copy of read_frame's chunk path).
+void write_chunk_frame(TcpStream& stream, std::uint64_t session_id,
+                       std::span<const double> samples);
+
+}  // namespace earsonar::net

@@ -37,6 +37,15 @@ ServingEngine::~ServingEngine() { stop(); }
 void ServingEngine::start() {
   if (running_.exchange(true)) return;
   queue_.reopen();
+  if (config_.dedicated_threads) {
+    // Sharded mode: the engine owns its worker threads outright so N shard
+    // engines drain their queues concurrently (the pool lease below would
+    // serialize them behind one batch mutex).
+    dedicated_.reserve(config_.workers);
+    for (std::size_t i = 0; i < config_.workers; ++i)
+      dedicated_.emplace_back([this] { worker_loop(); });
+    return;
+  }
   // One coordinator thread leases `workers` pool threads through a single
   // long-running parallel_for batch; each index runs one worker loop until
   // the queue closes. The pool's batch mutex is held for the lease's
@@ -54,6 +63,9 @@ void ServingEngine::stop() {
   // pop() returns false, so no accepted request is dropped.
   queue_.close();
   if (coordinator_.joinable()) coordinator_.join();
+  for (std::thread& worker : dedicated_)
+    if (worker.joinable()) worker.join();
+  dedicated_.clear();
 }
 
 Submission ServingEngine::submit(ServeRequest request) {
@@ -155,46 +167,56 @@ void ServingEngine::worker_loop() {
   }
 }
 
-ServeResult ServingEngine::process(const ServeRequest& request,
+ServeResult ServingEngine::process(ServeRequest& request,
                                    const CancelToken& cancel) {
   ServeResult result;
   result.id = request.id;
 
-  StreamingSession session(config_.session);
-  const double rate = config_.session.pipeline.chirp.sample_rate;
+  double resample_ms = 0.0;
+  StreamingSession* session = request.session.get();
+  std::optional<StreamingSession> own_session;
+  if (session == nullptr) {
+    // Classic path: the engine owns ingestion, feeding the recording through
+    // a fresh session in chunks (optionally paced at the device's cadence).
+    own_session.emplace(config_.session);
+    session = &*own_session;
+    const double rate = config_.session.pipeline.chirp.sample_rate;
 
-  // Streaming sessions ingest at the probe rate; resample other captures up
-  // front (the batch path does the same inside analyze()).
-  std::span<const double> samples = request.recording.view();
-  std::vector<double> resampled;
-  obs::Span resample_span("resample", "serve");
-  if (request.recording.sample_rate() != rate) {
-    resampled = dsp::resample_to_rate(samples, request.recording.sample_rate(), rate);
-    samples = resampled;
-  }
-  resample_span.end();
-  const double resample_ms = resample_span.elapsed_ms();
-
-  const std::size_t chunk =
-      request.chunk_samples > 0 ? request.chunk_samples : config_.chunk_samples;
-  // The ingest span covers arrival pacing too: with chunk_period_s set its
-  // length is the session's wall-clock lifetime, not CPU time.
-  obs::Span ingest_span("stream_ingest", "serve");
-  ingest_span.set_arg("chunks",
-                      static_cast<std::int64_t>((samples.size() + chunk - 1) / chunk));
-  for (std::size_t pos = 0; pos < samples.size(); pos += chunk) {
-    cancel.check("stream_ingest");
-    if (pos > 0 && request.chunk_period_s > 0.0) {
-      // Real-time pacing: the next chunk has not arrived from the device yet.
-      std::this_thread::sleep_for(std::chrono::duration<double>(request.chunk_period_s));
+    // Streaming sessions ingest at the probe rate; resample other captures up
+    // front (the batch path does the same inside analyze()).
+    std::span<const double> samples = request.recording.view();
+    std::vector<double> resampled;
+    obs::Span resample_span("resample", "serve");
+    if (request.recording.sample_rate() != rate) {
+      resampled = dsp::resample_to_rate(samples, request.recording.sample_rate(), rate);
+      samples = resampled;
     }
-    const std::size_t len = std::min(chunk, samples.size() - pos);
-    session.feed(samples.subspan(pos, len));
-    metrics_.chunks_fed.fetch_add(1, std::memory_order_relaxed);
-  }
-  ingest_span.end();
+    resample_span.end();
+    resample_ms = resample_span.elapsed_ms();
 
-  core::EchoAnalysis analysis = session.finish(cancel);
+    const std::size_t chunk =
+        request.chunk_samples > 0 ? request.chunk_samples : config_.chunk_samples;
+    // The ingest span covers arrival pacing too: with chunk_period_s set its
+    // length is the session's wall-clock lifetime, not CPU time.
+    obs::Span ingest_span("stream_ingest", "serve");
+    ingest_span.set_arg("chunks",
+                        static_cast<std::int64_t>((samples.size() + chunk - 1) / chunk));
+    for (std::size_t pos = 0; pos < samples.size(); pos += chunk) {
+      cancel.check("stream_ingest");
+      if (pos > 0 && request.chunk_period_s > 0.0) {
+        // Real-time pacing: the next chunk has not arrived from the device yet.
+        std::this_thread::sleep_for(std::chrono::duration<double>(request.chunk_period_s));
+      }
+      const std::size_t len = std::min(chunk, samples.size() - pos);
+      session->feed(samples.subspan(pos, len));
+      metrics_.chunks_fed.fetch_add(1, std::memory_order_relaxed);
+    }
+    ingest_span.end();
+  }
+  // else: networked path — the connection thread already fed every chunk
+  // (and counted them in chunks_fed); only the finalization runs here.
+
+  core::EchoAnalysis analysis = session->finish(cancel);
   result.usable = analysis.usable();
   result.events = analysis.events.size();
   result.echoes = analysis.echoes.size();
@@ -219,6 +241,7 @@ ServeResult ServingEngine::process(const ServeRequest& request,
       metrics_.inferences.fetch_add(1, std::memory_order_relaxed);
       result.model_version = registry_.version();
     }
+    result.features = std::move(analysis.features);
   }
   return result;
 }

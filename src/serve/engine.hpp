@@ -28,9 +28,11 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "audio/waveform.hpp"
 #include "core/detector.hpp"
@@ -47,6 +49,13 @@ struct EngineConfig {
   std::size_t queue_capacity = 64;  ///< pending requests before rejection
   std::size_t chunk_samples = 480;  ///< default ingestion slice (10 ms @ 48 kHz)
   StreamingConfig session;          ///< per-request streaming configuration
+  /// Run workers on dedicated std::threads instead of leasing the shared
+  /// parallel pool. The pool lease serializes concurrent engines (run() calls
+  /// queue behind one batch mutex), so a sharded deployment — N engines alive
+  /// at once under net::ShardPool — must use dedicated threads; a single
+  /// in-process engine keeps the pool lease and its serving-or-training
+  /// exclusivity (see the file comment).
+  bool dedicated_threads = false;
 
   void validate() const;
 };
@@ -64,6 +73,13 @@ struct ServeRequest {
   /// either way the result carries deadline_exceeded = true and the request
   /// counts toward `requests_deadline_exceeded_total`, not `failed`.
   double timeout_ms = 0.0;
+  /// Alternative payload: a StreamingSession someone else already fed (the
+  /// networked front-end streams chunks into the session on the connection
+  /// thread as they arrive, then submits only the finalization). When set,
+  /// `recording` / chunking fields are ignored and the worker runs
+  /// session->finish() + inference. The session must have been built with a
+  /// causal pipeline config compatible with this engine's.
+  std::unique_ptr<StreamingSession> session = nullptr;
 };
 
 struct ServeResult {
@@ -74,6 +90,9 @@ struct ServeResult {
   std::size_t echoes = 0;
   core::StageTimings timings;   ///< per-stage pipeline latency
   core::AnalysisQuality quality;  ///< per-chirp degradation report
+  /// The 105-dim feature vector when usable (what a remote caller needs to
+  /// verify a networked answer bit-for-bit against the in-process pipeline).
+  std::vector<double> features;
   double queue_ms = 0.0;        ///< time spent waiting in the queue
   double total_ms = 0.0;        ///< queue wait + processing
   std::uint64_t model_version = 0;
@@ -121,6 +140,7 @@ class ServingEngine {
   /// `model_reload_retries`).
   [[nodiscard]] ServeMetrics& metrics() { return metrics_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
 
   /// metrics().text_snapshot() plus engine-level gauges (queue capacity,
   /// worker count, model version/source).
@@ -136,14 +156,15 @@ class ServingEngine {
   };
 
   void worker_loop();
-  [[nodiscard]] ServeResult process(const ServeRequest& request,
+  [[nodiscard]] ServeResult process(ServeRequest& request,
                                     const CancelToken& cancel);
 
   EngineConfig config_;
   ModelRegistry registry_;
   ServeMetrics metrics_;
   BoundedQueue<Job> queue_;
-  std::thread coordinator_;
+  std::thread coordinator_;                ///< pool-lease mode
+  std::vector<std::thread> dedicated_;     ///< dedicated_threads mode
   std::atomic<bool> running_{false};
 };
 

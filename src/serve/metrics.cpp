@@ -1,5 +1,6 @@
 #include "serve/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <sstream>
@@ -59,6 +60,31 @@ double LatencyHistogram::percentile_ms(double quantile) const {
   return bucket_midpoint_ms(kBuckets - 1);
 }
 
+double LatencyHistogram::percentile_interpolated_ms(double quantile) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (quantile < 0.0) quantile = 0.0;
+  if (quantile > 1.0) quantile = 1.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(quantile * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      // The rank falls in this bucket; place it linearly within the bucket's
+      // [2^(b-10), 2^(b-9)) range by its position among the bucket's samples.
+      const double lo = std::exp2(static_cast<double>(b) - 10.0);
+      const double hi = lo * 2.0;
+      const double position = rank > seen ? static_cast<double>(rank - seen) : 0.0;
+      const double frac = position / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(frac, 1.0);
+    }
+    seen += in_bucket;
+  }
+  return bucket_midpoint_ms(kBuckets - 1);
+}
+
 namespace {
 
 void emit_counter(std::ostringstream& out, const char* name, std::uint64_t value) {
@@ -67,12 +93,16 @@ void emit_counter(std::ostringstream& out, const char* name, std::uint64_t value
 
 void emit_histogram(std::ostringstream& out, const char* stage,
                     const LatencyHistogram& h) {
-  const char* kStats[] = {"mean", "p50", "p95", "p99"};
+  // p999 uses within-bucket interpolation: at log2 granularity the midpoint
+  // estimate collapses p99 and p999 onto the same value whenever both ranks
+  // land in one bucket, which is exactly the tail the stat exists to split.
+  const char* kStats[] = {"mean", "p50", "p95", "p99", "p999"};
   const double values[] = {h.mean_ms(), h.percentile_ms(0.50), h.percentile_ms(0.95),
-                           h.percentile_ms(0.99)};
+                           h.percentile_ms(0.99),
+                           h.percentile_interpolated_ms(0.999)};
   out << "earsonar_serve_latency_count{stage=\"" << stage << "\"} " << h.count()
       << '\n';
-  for (std::size_t i = 0; i < 4; ++i)
+  for (std::size_t i = 0; i < 5; ++i)
     out << "earsonar_serve_latency_ms{stage=\"" << stage << "\",stat=\"" << kStats[i]
         << "\"} " << values[i] << '\n';
 }

@@ -32,7 +32,15 @@ class LatencyHistogram {
   [[nodiscard]] std::uint64_t count() const;
   [[nodiscard]] double mean_ms() const;
   /// Latency below which `quantile` (in [0, 1]) of samples fall; 0 when empty.
+  /// Reads the geometric midpoint of the rank's bucket (factor-of-sqrt(2)
+  /// granularity — every sample in a bucket reports the same value).
   [[nodiscard]] double percentile_ms(double quantile) const;
+  /// percentile_ms with linear interpolation inside the rank's bucket: the
+  /// rank's fractional position among the bucket's samples maps onto the
+  /// bucket's [2^(b-10), 2^(b-9)) range. Same bucket storage, but tail
+  /// quantiles (p99 vs p999) separate instead of collapsing onto one
+  /// midpoint — what the load harness reports (docs/observability.md).
+  [[nodiscard]] double percentile_interpolated_ms(double quantile) const;
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
@@ -72,6 +80,14 @@ struct ServeMetrics {
   std::atomic<std::uint64_t> echoes_segmented{0};  ///< segmented eardrum echoes
   std::atomic<std::uint64_t> inferences{0};        ///< detector predictions run
   StageLatencies latency;
+
+  /// End-to-end latency percentile (interpolated) for `p` in [0, 1] — the
+  /// one-call answer to "what is this engine's p50/p99/p999 right now",
+  /// used by the stats frames the networked front-end serves and by the
+  /// load generator's report.
+  [[nodiscard]] double latency_percentile(double p) const {
+    return latency.total.percentile_interpolated_ms(p);
+  }
 
   /// Prometheus-style exposition text of every counter and histogram.
   [[nodiscard]] std::string text_snapshot() const;

@@ -1,0 +1,175 @@
+// Fuzz harness for the wire-protocol frame decoder (src/net/frame.hpp).
+//
+// One entry point, two builds (the same split as wav_fuzz.cpp):
+//
+//  * `frame_fuzz` — a real libFuzzer target, built only with
+//    -DEARSONAR_FUZZ=ON under Clang. Run it as
+//    `./frame_fuzz tests/fuzz/corpus/frame`.
+//
+//  * `frame_fuzz_replay` — an always-built regression runner registered in
+//    ctest (label `net`). It replays every checked-in corpus file through
+//    the identical harness plus a deterministic seeded-mutation smoke pass.
+//
+// The invariant under test: no byte string makes FrameDecoder or the typed
+// payload decoders crash, hang, or read out of bounds. Malformed input must
+// surface as a poisoned decoder or a nullopt payload — never an exception,
+// because remote bytes are data, not invariants. The harness feeds each
+// input twice (whole buffer, then 7-byte slivers) so both the fast path and
+// the incremental reassembly path see every corpus shape.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "net/frame.hpp"
+
+namespace {
+
+using earsonar::net::Frame;
+using earsonar::net::FrameDecoder;
+using earsonar::net::FrameType;
+
+// Decode every typed payload the frame claims to carry; a frame that passed
+// CRC can still hold a truncated payload struct, which must be a nullopt,
+// not a crash.
+void decode_payload(const Frame& frame) {
+  const std::span<const std::uint8_t> p(frame.payload);
+  switch (frame.header.type) {
+    case FrameType::kHello:
+      (void)earsonar::net::decode_hello(p);
+      break;
+    case FrameType::kHelloAck:
+      (void)earsonar::net::decode_hello_ack(p);
+      break;
+    case FrameType::kReject:
+    case FrameType::kError:
+      (void)earsonar::net::decode_status(p);
+      break;
+    case FrameType::kResult:
+      (void)earsonar::net::decode_result(p);
+      break;
+    case FrameType::kStatsReply:
+      (void)earsonar::net::decode_stats(p);
+      break;
+    default:
+      break;  // chunk/finish/ping/pong/stats payloads are opaque bytes
+  }
+}
+
+void drain(FrameDecoder& decoder) {
+  while (auto frame = decoder.next()) decode_payload(*frame);
+}
+
+void fuzz_one(std::span<const std::uint8_t> bytes) {
+  {
+    FrameDecoder decoder;
+    decoder.push(bytes);
+    drain(decoder);
+  }
+  // Incremental path: the same bytes in small slivers must yield the same
+  // accept/poison outcome with no state confusion across push boundaries.
+  FrameDecoder decoder;
+  constexpr std::size_t kSliver = 7;  // prime: misaligns every header field
+  for (std::size_t at = 0; at < bytes.size(); at += kSliver) {
+    decoder.push(bytes.subspan(at, std::min(kSliver, bytes.size() - at)));
+    drain(decoder);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_one({data, size});
+  return 0;
+}
+
+#ifdef EARSONAR_FUZZ_REPLAY_MAIN
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+// xorshift64* — deterministic across platforms, unlike std::mt19937's
+// distribution adapters.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+// Replay a corpus file, then hammer its neighborhood: flip/overwrite a few
+// bytes at seeded-random offsets, occasionally truncate. Every mutant must
+// also be crash-free.
+void replay_and_mutate(const std::vector<std::uint8_t>& seed_bytes,
+                       std::uint64_t seed, int mutants) {
+  fuzz_one(seed_bytes);
+  std::uint64_t state = seed | 1;
+  std::vector<std::uint8_t> mutant;  // hoisted: avoids a GCC 12 -Wfree-nonheap-object false positive
+  for (int m = 0; m < mutants; ++m) {
+    mutant = seed_bytes;
+    if (mutant.empty()) continue;
+    const int edits = 1 + static_cast<int>(next_rand(state) % 4);
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = next_rand(state) % mutant.size();
+      mutant[pos] = static_cast<std::uint8_t>(next_rand(state));
+    }
+    if (next_rand(state) % 8 == 0)
+      mutant.resize(next_rand(state) % (mutant.size() + 1));
+    fuzz_one(mutant);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Usage: frame_fuzz_replay <corpus-dir>... — defaults to 200 mutants per
+  // file; EARSONAR_FUZZ_MUTANTS overrides (0 = replay only).
+  int mutants = 200;
+  if (const char* env = std::getenv("EARSONAR_FUZZ_MUTANTS"))
+    mutants = std::atoi(env);
+
+  std::size_t files = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path dir(argv[i]);
+    if (!std::filesystem::is_directory(dir)) {
+      std::fprintf(stderr, "frame_fuzz_replay: not a directory: %s\n", argv[i]);
+      return 2;
+    }
+    std::vector<std::filesystem::path> paths;
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+      if (entry.is_regular_file()) paths.push_back(entry.path());
+    std::sort(paths.begin(), paths.end());  // deterministic order
+    for (const auto& path : paths) {
+      // Per-file seed from the filename so adding corpus entries does not
+      // shift the mutation streams of existing ones.
+      std::uint64_t seed = 0xcbf29ce484222325ULL;
+      for (const char c : path.filename().string())
+        seed = (seed ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+      replay_and_mutate(read_bytes(path), seed, mutants);
+      ++files;
+    }
+  }
+  if (files == 0) {
+    std::fprintf(stderr, "frame_fuzz_replay: no corpus files found\n");
+    return 2;
+  }
+  std::printf("frame_fuzz_replay: %zu corpus files x %d mutants, no crashes\n",
+              files, mutants);
+  return 0;
+}
+
+#endif  // EARSONAR_FUZZ_REPLAY_MAIN

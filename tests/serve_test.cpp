@@ -115,6 +115,56 @@ TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
   consumer.join();
 }
 
+TEST(BoundedQueueTest, ZeroCapacityIsRejectedAtConstruction) {
+  // A zero-slot queue could never accept work — surfacing the misconfig at
+  // construction beats a silent always-full queue. Same contract as the
+  // underlying ring.
+  EXPECT_THROW(serve::BoundedQueue<int> queue(0), std::exception);
+  EXPECT_THROW(serve::RingBuffer<int> ring(0), std::exception);
+}
+
+TEST(BoundedQueueTest, ReopenRestoresServiceAfterClose) {
+  serve::BoundedQueue<int> queue(2);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.try_push(1));
+  queue.reopen();
+  EXPECT_FALSE(queue.closed());
+  EXPECT_TRUE(queue.try_push(1));
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+}
+
+// The engine's shutdown contract: items the queue *accepted* before close()
+// are never lost, no matter how the producers race the closer. Run with the
+// serve label under TSan to certify the locking.
+TEST(BoundedQueueTest, ConcurrentCloseNeverDropsAcceptedItems) {
+  serve::BoundedQueue<int> queue(8);
+  std::atomic<int> accepted{0};
+  std::atomic<int> drained{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 200; ++i)
+        if (queue.try_push(p * 1000 + i)) accepted.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (queue.pop(out)) drained.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.close();  // races the producers: late pushes are refused, not lost
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();  // pop() drains the backlog, then false
+  EXPECT_EQ(accepted.load(), drained.load());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
 // ----------------------------------------------------------------- metrics
 
 TEST(LatencyHistogramTest, CountMeanPercentile) {
@@ -128,6 +178,46 @@ TEST(LatencyHistogramTest, CountMeanPercentile) {
   // Bucketed percentiles are exact to a factor of sqrt(2).
   EXPECT_NEAR(h.percentile_ms(0.5), 1.0, 1.0);
   EXPECT_GT(h.percentile_ms(0.999), 500.0);
+}
+
+TEST(LatencyHistogramTest, InterpolatedPercentilesAreExactWithinBuckets) {
+  serve::LatencyHistogram h;
+  EXPECT_EQ(h.percentile_interpolated_ms(0.5), 0.0);  // empty: defined, 0
+  for (int i = 0; i < 99; ++i) h.record(1.5);
+  h.record(700.0);
+  // 1.5 ms lives in bucket [1, 2): any quantile that resolves inside the
+  // bucket interpolates within those bounds instead of snapping to sqrt(2).
+  const double p50 = h.percentile_interpolated_ms(0.50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  // The 700 ms outlier owns the top 1%: p999 must land in its bucket
+  // [512, 1024), which the midpoint estimator also reports — but the
+  // interpolated value is additionally monotone in the quantile.
+  const double p99 = h.percentile_interpolated_ms(0.99);
+  const double p999 = h.percentile_interpolated_ms(0.999);
+  EXPECT_GE(p999, 512.0);
+  EXPECT_LE(p999, 1024.0);  // hi edge inclusive: rank == last sample in bucket
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  // Out-of-range quantiles clamp instead of reading past the buckets.
+  EXPECT_EQ(h.percentile_interpolated_ms(-1.0),
+            h.percentile_interpolated_ms(0.0));
+  EXPECT_EQ(h.percentile_interpolated_ms(2.0),
+            h.percentile_interpolated_ms(1.0));
+}
+
+TEST(ServeMetricsTest, LatencyPercentileHelperReadsTotalStage) {
+  serve::ServeMetrics metrics;
+  EXPECT_EQ(metrics.latency_percentile(0.99), 0.0);
+  for (int i = 0; i < 100; ++i) metrics.latency.total.record(4.0);
+  const double p50 = metrics.latency_percentile(0.5);
+  EXPECT_GE(p50, 2.0);  // 4 ms bucket is [4, 8)
+  EXPECT_LE(p50, 8.0);
+  EXPECT_LE(p50, metrics.latency_percentile(0.999));
+  // The tail stat is exported alongside the existing ones.
+  const std::string text = metrics.text_snapshot();
+  EXPECT_NE(text.find("earsonar_serve_latency_ms{stage=\"total\",stat=\"p999\"}"),
+            std::string::npos);
 }
 
 TEST(ServeMetricsTest, SnapshotListsEveryCounter) {
