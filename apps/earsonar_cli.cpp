@@ -183,6 +183,8 @@ void print_serve_usage() {
       "  --threads N       request workers leased from the pool  [2]\n"
       "  --queue N         request queue capacity                [64]\n"
       "  --chunk N         ingestion chunk size in samples       [480]\n"
+      "  --batch-max N     requests batched per worker pass; 1 disables  [1]\n"
+      "  --batch-wait-us U linger for batch stragglers, microseconds     [200]\n"
       "  --interval-ms M   directory scan period                 [500]\n"
       "  --deadline-ms M   per-request deadline; 0 disables      [0]\n"
       "  --once            single scan pass, drain, and exit\n"
@@ -207,6 +209,8 @@ void print_serve_net_usage() {
       "  --shards N          serving engine shards            [4]\n"
       "  --shard-workers N   worker threads per shard         [1]\n"
       "  --queue N           per-shard request queue          [64]\n"
+      "  --batch-max N       requests batched per worker pass [1]\n"
+      "  --batch-wait-us U   batch straggler linger, usec     [200]\n"
       "  --max-sessions N    live sessions per shard          [64]\n"
       "  --max-connections N concurrent connections           [256]\n"
       "  --model FILE        detector model loaded into every shard\n"
@@ -514,6 +518,10 @@ int cmd_serve(const Args& args) {
       static_cast<std::size_t>(std::stoul(option_or(args, "queue", "64")));
   cfg.chunk_samples =
       static_cast<std::size_t>(std::stoul(option_or(args, "chunk", "480")));
+  cfg.batch_max =
+      static_cast<std::size_t>(std::stoul(option_or(args, "batch-max", "1")));
+  cfg.batch_wait_us =
+      static_cast<std::size_t>(std::stoul(option_or(args, "batch-wait-us", "200")));
   // Streaming ingestion is causal by construction; the default pipeline's
   // zero-phase filtering has no chunked form.
   cfg.session.pipeline.preprocess.zero_phase = false;
@@ -624,6 +632,10 @@ int cmd_serve_net(const Args& args) {
       static_cast<std::size_t>(std::stoul(option_or(args, "shard-workers", "1")));
   cfg.shards.engine.queue_capacity =
       static_cast<std::size_t>(std::stoul(option_or(args, "queue", "64")));
+  cfg.shards.engine.batch_max =
+      static_cast<std::size_t>(std::stoul(option_or(args, "batch-max", "1")));
+  cfg.shards.engine.batch_wait_us = static_cast<std::size_t>(
+      std::stoul(option_or(args, "batch-wait-us", "200")));
   // Networked sessions stream chunks; the pipeline must be causal.
   cfg.shards.engine.session.pipeline.preprocess.zero_phase = false;
   const double duration_s = std::stod(option_or(args, "duration-s", "0"));

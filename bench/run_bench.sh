@@ -43,7 +43,8 @@ case "$BUILD_TYPE" in
     ;;
 esac
 
-for bin in bench_table2_latency bench_fft_plan bench_kernels bench_serve bench_net; do
+for bin in bench_table2_latency bench_fft_plan bench_kernels bench_serve \
+           bench_net bench_stagegraph; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR --target $bin)" >&2
     exit 1
@@ -69,6 +70,10 @@ echo "running bench_serve ..." >&2
 "$BUILD_DIR/bench/bench_serve" --json >"$TMP_DIR/serve.json"
 echo "running bench_net ..." >&2
 "$BUILD_DIR/bench/bench_net" --json >"$TMP_DIR/net.json"
+# bench_stagegraph exits nonzero (failing this script via set -e) when
+# batched throughput at batch_max 64 falls below the unbatched baseline.
+echo "running bench_stagegraph ..." >&2
+"$BUILD_DIR/bench/bench_stagegraph" --json >"$TMP_DIR/stagegraph.json"
 
 # bench_table2_latency prints a human banner line before benchmark::Initialize
 # takes over; strip everything before the first '{' so the remainder is JSON.
@@ -76,12 +81,14 @@ for f in table2 fft_plan kernels; do
   sed -n '/^{/,$p' "$TMP_DIR/$f.json.raw" >"$TMP_DIR/$f.json"
 done
 
-# Schema v2: adds the per-kernel roofline section (`kernels`, whose entries
-# carry analytic "GFLOP/s" and "GB/s" counters — see docs/performance.md),
-# the repo build type the numbers came from, and the earsonar_simd_arch /
-# earsonar_simd_level context fields inside each google-benchmark report.
+# Schema v3: adds the `stagegraph` section (cross-request batching sweep —
+# req/s vs engine batch_max, see docs/performance.md). v2 added the
+# per-kernel roofline section (`kernels`, whose entries carry analytic
+# "GFLOP/s" and "GB/s" counters), the repo build type the numbers came from,
+# and the earsonar_simd_arch / earsonar_simd_level context fields inside
+# each google-benchmark report.
 {
-  printf '{\n"schema": "earsonar-bench-v2",\n'
+  printf '{\n"schema": "earsonar-bench-v3",\n'
   printf '"build_type": "%s",\n' "$BUILD_TYPE"
   printf '"table2_latency": '
   cat "$TMP_DIR/table2.json"
@@ -93,6 +100,8 @@ done
   cat "$TMP_DIR/serve.json"
   printf ',\n"net": '
   cat "$TMP_DIR/net.json"
+  printf ',\n"stagegraph": '
+  cat "$TMP_DIR/stagegraph.json"
   printf '}\n'
 } >"$OUT"
 

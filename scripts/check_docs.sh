@@ -16,6 +16,9 @@
 #   6. docs/performance.md must document every top-level field bench/
 #      run_bench.sh emits, every roofline counter bench/roofline.hpp
 #      defines, and every benchmark context key the bench binaries set.
+#   7. docs/architecture.md must name every pipeline stage the stage graph
+#      exports (the EARSONAR_STAGE sites in src/pipeline/stage_graph.cpp),
+#      and docs/cli.md must mention every --batch-* flag the CLI parses.
 set -eu
 
 ROOT=${1:?usage: check_docs.sh REPO_ROOT [EARSONAR_BIN]}
@@ -75,6 +78,7 @@ OBS_DOC="$ROOT/docs/observability.md"
 if [ -f "$OBS_DOC" ]; then
   metrics=$(grep -ohE 'earsonar_serve_[a-z_]+' \
               "$ROOT/src/serve/metrics.cpp" "$ROOT/src/serve/engine.cpp" \
+              "$ROOT/src/pipeline/stage_graph.cpp" \
               | sort -u) || true
   [ -n "$metrics" ] || err "no exported metric names found in src/serve/"
   for m in $metrics; do
@@ -145,6 +149,36 @@ if [ -f "$PERF_DOC" ]; then
   for k in $keys; do
     grep -qF "\`$k\`" "$PERF_DOC" \
       || err "docs/performance.md does not document context field '$k'"
+  done
+fi
+
+# ---- 7. stage-graph names vs architecture doc; batch flags vs CLI doc ----
+ARCH_DOC="$ROOT/docs/architecture.md"
+[ -f "$ARCH_DOC" ] || err "docs/architecture.md is missing"
+
+if [ -f "$ARCH_DOC" ]; then
+  # The one authoritative spelling of each stage name lives at the
+  # EARSONAR_STAGE(...) sites in the stage-graph translation unit.
+  # Skip the #define/#undef lines so the macro's formal parameter does not
+  # read as a stage name.
+  stages=$(grep -h 'EARSONAR_STAGE(' "$ROOT/src/pipeline/stage_graph.cpp" \
+             | grep -v '^#' \
+             | grep -oE 'EARSONAR_STAGE\([a-z_]+\)' \
+             | sed 's/EARSONAR_STAGE(//; s/)//' | sort -u) || true
+  [ -n "$stages" ] || err "no EARSONAR_STAGE sites found in src/pipeline/stage_graph.cpp"
+  for s in $stages; do
+    grep -qF "\`$s\`" "$ARCH_DOC" \
+      || err "docs/architecture.md does not name pipeline stage '$s'"
+  done
+fi
+
+if [ -f "$CLI_DOC" ]; then
+  batch_flags=$(grep -ohE -- '--batch-[a-z-]+' "$ROOT/apps/earsonar_cli.cpp" \
+                  | sort -u) || true
+  [ -n "$batch_flags" ] || err "no --batch-* flags found in apps/earsonar_cli.cpp"
+  for flag in $batch_flags; do
+    grep -qF -- "$flag" "$CLI_DOC" \
+      || err "docs/cli.md does not mention batching flag '$flag'"
   done
 fi
 

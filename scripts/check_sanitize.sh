@@ -5,8 +5,9 @@
 # surface. Two fresh build trees:
 #
 #   1. EARSONAR_SANITIZE=address,undefined — memory errors and UB over the
-#      `serve`, `fault`, and `net` labels (engine chaos tests, fault
-#      injection, fuzz replay, the socket front-end's loopback suite and
+#      `serve`, `stagegraph`, `fault`, and `net` labels (engine chaos tests,
+#      cross-request batch bit-identity, fault injection, fuzz replay, the
+#      socket front-end's loopback suite and
 #      frame-decoder replay) plus the full `oracle` and `simd` labels: the
 #      differential oracle drives every optimized kernel through denormals,
 #      primes, and edge-case sizes, exactly where UB likes to hide, and the
@@ -16,8 +17,9 @@
 #      emulation) execute under the sanitizers.
 #   2. EARSONAR_SANITIZE=thread           — data races in the worker pool,
 #      metrics, registry hot-swap, the fault registry's armed fast path,
-#      and the `net` label (accept loop, per-connection threads, shard
-#      admission counters); of the oracle suite only the `oracle_stream`
+#      the `stagegraph` label (batch collection, the StageGraph's relaxed
+#      occupancy counters shared across workers), and the `net` label
+#      (accept loop, per-connection threads, shard admission counters); of the oracle suite only the `oracle_stream`
 #      label (the
 #      streaming-vs-batch equivalence pairs) runs here, since the pure
 #      numeric pairs are single-threaded and O(n^2) references are slow
@@ -54,13 +56,14 @@ run_flavor() {
   done
 }
 
-run_flavor asan address,undefined 'serve|fault|oracle|simd|net' 'native scalar' \
-           serve_test fault_test wav_fuzz_replay simd_test \
+run_flavor asan address,undefined 'serve|stagegraph|fault|oracle|simd|net' \
+           'native scalar' \
+           serve_test stagegraph_test fault_test wav_fuzz_replay simd_test \
            net_test frame_fuzz_replay \
            oracle_fft_test oracle_dsp_test oracle_stats_test \
            oracle_stream_test oracle_golden_test
-run_flavor tsan thread 'serve|fault|oracle_stream|net' native \
-           serve_test fault_test wav_fuzz_replay net_test frame_fuzz_replay \
-           oracle_stream_test
+run_flavor tsan thread 'serve|stagegraph|fault|oracle_stream|net' native \
+           serve_test stagegraph_test fault_test wav_fuzz_replay net_test \
+           frame_fuzz_replay oracle_stream_test
 
-echo "check_sanitize: OK (address,undefined over serve|fault|oracle|simd|net at both SIMD levels + thread over serve|fault|oracle_stream|net)"
+echo "check_sanitize: OK (address,undefined over serve|stagegraph|fault|oracle|simd|net at both SIMD levels + thread over serve|stagegraph|fault|oracle_stream|net)"

@@ -353,6 +353,86 @@ std::vector<dsp::Spectrum> EchoSpectrumExtractor::extract_all(
   return out;
 }
 
+std::vector<std::vector<dsp::Spectrum>> EchoSpectrumExtractor::extract_all_multi(
+    std::span<const EchoBatch> items) const {
+  std::vector<std::vector<dsp::Spectrum>> out(items.size());
+  std::size_t total = 0;
+  double fs0 = 0.0;
+  bool uniform_fs = true;
+  for (const EchoBatch& item : items) {
+    require(item.signal != nullptr && item.echoes != nullptr,
+            "extract_all_multi: null item");
+    total += item.echoes->size();
+    if (fs0 == 0.0) fs0 = item.signal->sample_rate();
+    uniform_fs = uniform_fs && item.signal->sample_rate() == fs0;
+  }
+  if (config_.interpolate || config_.hann_taper || config_.float32_kernels ||
+      !uniform_fs || total < 4) {
+    for (std::size_t i = 0; i < items.size(); ++i)
+      out[i] = extract_all(*items[i].signal, *items[i].echoes);
+    return out;
+  }
+
+  // Flatten the (recording, echo) pairs in submission order; x4 groups then
+  // slice the flat sequence, crossing recording boundaries where they fall.
+  struct Slot {
+    std::size_t item, echo;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(total);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out[i].reserve(items[i].echoes->size());
+    for (std::size_t e = 0; e < items[i].echoes->size(); ++e) slots.push_back({i, e});
+  }
+
+  require(config_.band_high_hz <= fs0 / 2.0, "extract: band exceeds Nyquist");
+  WindowPsdScratch& s = window_psd_scratch();
+  ensure_psd_cache(s, config_, fs0);  // no interpolation: effective rate == fs
+  const dsp::FftPlan& plan = *s.plan;
+  const std::size_t bins = plan.real_bins();
+  const double scale = 1.0 / static_cast<double>(config_.fft_size);
+  s.dense4.assign(4 * config_.fft_size, 0.0);
+  s.psd4.resize(4 * bins);
+  std::size_t k = 0;
+  for (; k + 4 <= slots.size(); k += 4) {
+    const double* in[4];
+    double* psd[4];
+    for (std::size_t l = 0; l < 4; ++l) {
+      const Slot& slot = slots[k + l];
+      const audio::Waveform& signal = *items[slot.item].signal;
+      const EchoSegment& echo = (*items[slot.item].echoes)[slot.echo];
+      require(echo.peak_index < signal.size(), "extract: echo peak outside signal");
+      const WindowGeometry g = window_geometry(config_, echo);
+      const std::size_t window_len = g.pre + g.post + 1;
+      double* dense = s.dense4.data() + l * config_.fft_size;
+      // Only the window head is dirty from the previous group; the
+      // zero-padded tail beyond window_len is never written.
+      std::fill_n(dense, window_len, 0.0);
+      const std::vector<double>& x = signal.samples();
+      for (std::size_t j = 0; j < window_len; ++j) {
+        const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(g.center) -
+                                   static_cast<std::ptrdiff_t>(g.pre) +
+                                   static_cast<std::ptrdiff_t>(j);
+        if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(signal.size()))
+          dense[j] = x[static_cast<std::size_t>(idx)];
+      }
+      in[l] = dense;
+      psd[l] = s.psd4.data() + l * bins;
+    }
+    plan.power_spectrum_band_x4(in, psd, scale, s.fft, s.band_klo, s.band_khi);
+    for (std::size_t l = 0; l < 4; ++l) {
+      const Slot& slot = slots[k + l];
+      out[slot.item].push_back(finalize(resample_with_cache(s, psd[l]),
+                                        *items[slot.item].signal,
+                                        (*items[slot.item].echoes)[slot.echo]));
+    }
+  }
+  for (; k < slots.size(); ++k)
+    out[slots[k].item].push_back(extract(*items[slots[k].item].signal,
+                                         (*items[slots[k].item].echoes)[slots[k].echo]));
+  return out;
+}
+
 dsp::Spectrum EchoSpectrumExtractor::average_of(
     std::span<const dsp::Spectrum> spectra) const {
   require_nonempty("average_of spectra", spectra.size());

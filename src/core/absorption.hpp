@@ -105,6 +105,26 @@ class EchoSpectrumExtractor {
   [[nodiscard]] std::vector<dsp::Spectrum> extract_all(
       const audio::Waveform& signal, const std::vector<EchoSegment>& echoes) const;
 
+  /// One recording's window-extraction work order for extract_all_multi.
+  struct EchoBatch {
+    const audio::Waveform* signal = nullptr;
+    const std::vector<EchoSegment>* echoes = nullptr;
+  };
+
+  /// extract_all() for many recordings in one pass: the flattened
+  /// (recording, echo) windows pack into four-lane PSD groups that may cross
+  /// recording boundaries, so a serving batch of short recordings — whose
+  /// per-recording ragged tails would otherwise run single-lane — still
+  /// fills the power_spectrum_band_x4 kernels. Result [i] is bit-identical
+  /// to extract_all(*items[i].signal, *items[i].echoes): each lane's
+  /// arithmetic is independent of its lane-mates (the x4 kernel equals four
+  /// single calls bitwise), so the grouping cannot change any value. When
+  /// the recordings' sample rates differ or the config disables the packed
+  /// path (interpolate / hann_taper / float32_kernels), every item falls
+  /// back to plain extract_all.
+  [[nodiscard]] std::vector<std::vector<dsp::Spectrum>> extract_all_multi(
+      std::span<const EchoBatch> items) const;
+
   /// Element-wise mean of already-extracted per-echo spectra, accumulated in
   /// order — bit-identical to average() over the matching echoes.
   [[nodiscard]] dsp::Spectrum average_of(std::span<const dsp::Spectrum> spectra) const;

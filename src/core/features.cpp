@@ -109,7 +109,16 @@ FeatureExtractor::Result FeatureExtractor::extract_full(
   // One window/FFT pass per echo; the group averages and the mean spectrum
   // below all reduce over these shared PSDs.
   const std::vector<dsp::Spectrum> per_echo = extractor_.extract_all(signal, echoes);
-  const std::span<const dsp::Spectrum> all(per_echo);
+  return extract_full_from_psds(echoes, per_echo);
+}
+
+FeatureExtractor::Result FeatureExtractor::extract_full_from_psds(
+    const std::vector<EchoSegment>& echoes,
+    std::span<const dsp::Spectrum> per_echo) const {
+  require_nonempty("FeatureExtractor echoes", echoes.size());
+  require(per_echo.size() == echoes.size(),
+          "extract_full_from_psds: one spectrum per echo");
+  const std::span<const dsp::Spectrum> all = per_echo;
 
   std::vector<double> features;
   features.reserve(dimension());

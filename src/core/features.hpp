@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,12 +65,29 @@ class FeatureExtractor {
   [[nodiscard]] Result extract_full(const audio::Waveform& signal,
                                     const std::vector<EchoSegment>& echoes) const;
 
+  /// extract_full() when the per-echo PSDs are already in hand — the
+  /// cross-request batched pipeline extracts many recordings' PSDs in one
+  /// four-lane pass (EchoSpectrumExtractor::extract_all_multi), then
+  /// assembles each recording's features through this entry point.
+  /// `per_echo` must be extract_all(signal, echoes)'s output for the same
+  /// echoes; the result is bit-identical to extract_full().
+  [[nodiscard]] Result extract_full_from_psds(
+      const std::vector<EchoSegment>& echoes,
+      std::span<const dsp::Spectrum> per_echo) const;
+
   /// MFCC-style coefficients of one band spectrum (mel triangles across the
   /// analysis band, log, DCT-II). Exposed for tests.
   [[nodiscard]] std::vector<double> band_mfcc(const dsp::Spectrum& spectrum) const;
 
   [[nodiscard]] std::size_t dimension() const { return config_.dimension(); }
   [[nodiscard]] const FeatureConfig& config() const { return config_; }
+
+  /// The inner per-echo PSD extractor, for callers that batch the PSD stage
+  /// themselves (pipeline::BatchExecutor) before assembling features through
+  /// extract_full_from_psds().
+  [[nodiscard]] const EchoSpectrumExtractor& spectrum_extractor() const {
+    return extractor_;
+  }
 
  private:
   FeatureConfig config_;

@@ -72,9 +72,19 @@ EchoAnalysis EarSonar::analyze_filtered(const audio::Waveform& filtered,
                                         const CancelToken& cancel) const {
   require_nonempty("EarSonar::analyze_filtered signal", filtered.size());
   EchoAnalysis analysis;
-  AnalysisQuality& quality = analysis.quality;
-  quality.min_usable = config_.min_usable_chirps;
+  analysis.quality.min_usable = config_.min_usable_chirps;
+  stage_event_detect(filtered, analysis);
+  cancel.check("segment");
+  stage_segment(filtered, analysis, cancel);
+  if (analysis.echoes.empty()) return analysis;
+  cancel.check("features");
+  stage_features(filtered, analysis, cancel, nullptr);
+  return analysis;
+}
 
+void EarSonar::stage_event_detect(const audio::Waveform& filtered,
+                                  EchoAnalysis& analysis) const {
+  AnalysisQuality& quality = analysis.quality;
   obs::Span events_span("event_detect", "pipeline");
   try {
     if (fault::point("pipeline.event_detect"))
@@ -92,8 +102,11 @@ EchoAnalysis EarSonar::analyze_filtered(const audio::Waveform& filtered,
   events_span.end();
   analysis.timings.event_detect_ms = events_span.elapsed_ms();
   quality.chirps_total = analysis.events.size();
-  cancel.check("segment");
+}
 
+void EarSonar::stage_segment(const audio::Waveform& filtered, EchoAnalysis& analysis,
+                             const CancelToken& cancel) const {
+  AnalysisQuality& quality = analysis.quality;
   obs::Span segment_span("segment", "pipeline");
   for (std::size_t i = 0; i < analysis.events.size(); ++i) {
     cancel.check("segment_chirp");
@@ -120,16 +133,24 @@ EchoAnalysis EarSonar::analyze_filtered(const audio::Waveform& filtered,
   quality.degraded = !quality.drops.empty();
   if (quality.degraded && quality.chirps_used < quality.min_usable)
     throw_degraded(quality);
-  if (analysis.echoes.empty()) return analysis;
-  cancel.check("features");
+}
 
+void EarSonar::stage_features(const audio::Waveform& filtered, EchoAnalysis& analysis,
+                              const CancelToken& cancel,
+                              const std::vector<dsp::Spectrum>* per_echo) const {
+  (void)cancel;
+  AnalysisQuality& quality = analysis.quality;
   obs::Span feature_span("features", "pipeline");
   // One extraction pass yields both the feature vector and the mean echo
-  // spectrum; the per-echo PSDs inside are computed once and shared.
+  // spectrum; the per-echo PSDs inside are computed once and shared. When
+  // the batched executor hands in precomputed PSDs, only the happy-path
+  // extraction switches sources — the recovery path below always
+  // re-extracts per request, so both entry points converge on errors.
   try {
     if (fault::point("pipeline.features")) fail("injected fault: pipeline.features");
     FeatureExtractor::Result extracted =
-        extractor_.extract_full(filtered, analysis.echoes);
+        per_echo ? extractor_.extract_full_from_psds(analysis.echoes, *per_echo)
+                 : extractor_.extract_full(filtered, analysis.echoes);
     analysis.mean_spectrum = std::move(extracted.mean_spectrum);
     analysis.features = std::move(extracted.features);
   } catch (const CancelledError&) {
@@ -170,7 +191,6 @@ EchoAnalysis EarSonar::analyze_filtered(const audio::Waveform& filtered,
   }
   feature_span.end();
   analysis.timings.feature_ms = feature_span.elapsed_ms();
-  return analysis;
 }
 
 void EarSonar::fit(const std::vector<audio::Waveform>& recordings,

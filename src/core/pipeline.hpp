@@ -21,6 +21,10 @@
 #include "core/preprocess.hpp"
 #include "core/segment.hpp"
 
+namespace earsonar::pipeline {
+class BatchExecutor;  // src/pipeline/batch.hpp: cross-request batched stages
+}  // namespace earsonar::pipeline
+
 namespace earsonar::core {
 
 struct PipelineConfig {
@@ -148,6 +152,23 @@ class EarSonar {
   [[nodiscard]] std::size_t feature_dimension() const { return extractor_.dimension(); }
 
  private:
+  // The stage bodies of analyze_filtered(), split out so the batched
+  // executor (src/pipeline/) can run the same code per stage across many
+  // requests. analyze_filtered() composes exactly these, in order; keeping
+  // one set of stage bodies is what makes batched results bit-identical.
+  void stage_event_detect(const audio::Waveform& filtered, EchoAnalysis& analysis) const;
+  /// Includes the min_usable_chirps floor check (may throw "degraded").
+  void stage_segment(const audio::Waveform& filtered, EchoAnalysis& analysis,
+                     const CancelToken& cancel) const;
+  /// `per_echo` non-null supplies precomputed per-echo PSDs
+  /// (extract_all output) for the happy path; null computes them here. The
+  /// error-recovery path always re-extracts per request.
+  void stage_features(const audio::Waveform& filtered, EchoAnalysis& analysis,
+                      const CancelToken& cancel,
+                      const std::vector<dsp::Spectrum>* per_echo) const;
+
+  friend class ::earsonar::pipeline::BatchExecutor;
+
   PipelineConfig config_;
   Preprocessor preprocessor_;
   AdaptiveEventDetector event_detector_;

@@ -1,0 +1,85 @@
+// The explicit stage graph behind analyze(): every request flows
+//
+//   filter -> event_detect -> segment -> echo_psd -> features -> inference
+//
+// (docs/architecture.md draws the full picture). core::EarSonar runs the
+// stages fused, one request at a time; this layer names them as first-class
+// nodes so the serving engine can batch homogeneous work across requests —
+// one MultiBiquadCascade pass filtering many sessions' chunks, one
+// power_spectrum_band_x4 pass computing many requests' chirp PSDs through a
+// shared FftPlan + scratch arena — while the per-stage occupancy counters
+// here prove where the batching wins.
+//
+// The graph is a straight line today (each stage's output feeds exactly the
+// next stage), so the edge list is implicit in the StageId order; what the
+// graph abstraction buys is the per-stage seam: a place to batch, a place to
+// count, and a stable set of exported stage names the docs gate pins.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace earsonar::pipeline {
+
+/// The stage nodes, in dataflow order.
+enum class StageId : std::size_t {
+  kFilter = 0,     ///< band-pass preprocessing (streaming: chunked biquads)
+  kEventDetect,    ///< adaptive-energy chirp event detection
+  kSegment,        ///< parity-decomposition echo segmentation, per chirp
+  kEchoPsd,        ///< windowed band PSD per echo (the x4-lane batch point)
+  kFeatures,       ///< 105-dim feature assembly from the per-echo PSDs
+  kInference,      ///< detection head on the feature vector
+};
+
+inline constexpr std::size_t kStageCount = 6;
+
+/// Stable exported stage name ("filter", "event_detect", ...). These names
+/// appear in metric lines and spans, and scripts/check_docs.sh requires each
+/// of them in docs/architecture.md.
+[[nodiscard]] const char* stage_name(StageId id);
+
+/// All stage names, in dataflow order.
+[[nodiscard]] std::span<const char* const> stage_names();
+
+/// Occupancy counters of one stage node. `items` counts units of work
+/// entering the stage (requests, or chirps for the per-chirp stages);
+/// `passes` counts executions; a pass covering more than one request is a
+/// batched pass and its requests are also counted in `batched_items`.
+/// Updated with relaxed atomics from worker threads; a snapshot is a
+/// consistent-enough monotonic read, same as serve::ServeMetrics.
+struct StageStats {
+  std::atomic<std::uint64_t> items{0};
+  std::atomic<std::uint64_t> passes{0};
+  std::atomic<std::uint64_t> batched_items{0};
+  std::atomic<std::uint64_t> busy_us{0};  ///< wall time inside the stage
+};
+
+/// The stage nodes plus their occupancy counters; one instance per serving
+/// engine. Thread-safe.
+class StageGraph {
+ public:
+  [[nodiscard]] StageStats& stats(StageId id) {
+    return stats_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const StageStats& stats(StageId id) const {
+    return stats_[static_cast<std::size_t>(id)];
+  }
+
+  /// Records one pass through `id`: `item_count` units of work took
+  /// `busy_ms` wall milliseconds; `batched` marks a pass that carried more
+  /// than one request.
+  void record(StageId id, double busy_ms, std::size_t item_count, bool batched);
+
+  /// Prometheus-style text lines (earsonar_serve_stage_* gauges with a
+  /// stage label), appended to the serving metrics snapshot.
+  [[nodiscard]] std::string text_snapshot() const;
+
+ private:
+  std::array<StageStats, kStageCount> stats_;
+};
+
+}  // namespace earsonar::pipeline

@@ -24,6 +24,7 @@ void EngineConfig::validate() const {
   require(workers >= 1, "EngineConfig: workers must be >= 1");
   require(queue_capacity >= 1, "EngineConfig: queue_capacity must be >= 1");
   require(chunk_samples >= 1, "EngineConfig: chunk_samples must be >= 1");
+  require(batch_max >= 1, "EngineConfig: batch_max must be >= 1");
   session.validate();
 }
 
@@ -109,62 +110,95 @@ void ServingEngine::worker_loop() {
   obs::Span worker_span("worker", "serve");
   Job job;
   while (queue_.pop(job)) {
-    metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
-    const auto dequeued = Clock::now();
-    const double queue_ms =
-        std::chrono::duration<double, std::milli>(dequeued - job.enqueued).count();
-    metrics_.latency.queue_wait.record(queue_ms);
-    // Queue wait spans submit() on one thread to pop() on another; record it
-    // with explicit endpoints on the consuming worker's row.
-    obs::TraceRecorder::instance().record_complete("queue_wait", "serve",
-                                                   job.enqueued, dequeued);
-    const CancelToken cancel = job.deadline
-                                   ? CancelToken::with_deadline(*job.deadline)
-                                   : CancelToken();
-    if (cancel.expired()) {
-      // Shed at dequeue: the caller's deadline passed while the job waited in
-      // the queue, so no pipeline work is worth doing. Counted separately
-      // from failures — the engine did nothing wrong, it was just too busy.
-      ServeResult shed;
-      shed.id = job.request.id;
-      shed.deadline_exceeded = true;
-      shed.error = "deadline_exceeded: shed at dequeue";
-      shed.queue_ms = queue_ms;
-      shed.total_ms = ms_since(job.enqueued);
-      metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
-      job.promise.set_value(std::move(shed));
+    if (config_.batch_max <= 1) {
+      double queue_ms = 0.0;
+      if (std::optional<CancelToken> cancel = admit_dequeued(job, queue_ms))
+        handle_job(std::move(job), queue_ms, *cancel);
       continue;
     }
-    obs::Span request_span("serve_request", "serve");
-    ServeResult result;
-    try {
-      result = process(job.request, cancel);
-    } catch (const CancelledError& e) {
-      result.id = job.request.id;
-      result.deadline_exceeded = true;
-      result.error = e.what();
-    } catch (const std::exception& e) {
-      result.id = job.request.id;
-      result.error = e.what();
-    } catch (...) {
-      result.id = job.request.id;
-      result.error = "unknown error";
-    }
-    result.queue_ms = queue_ms;
-    result.total_ms = ms_since(job.enqueued);
-    metrics_.latency.total.record(result.total_ms);
-    if (result.deadline_exceeded) {
-      metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
-    } else if (!result.error.empty()) {
-      metrics_.failed.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      metrics_.completed.fetch_add(1, std::memory_order_relaxed);
-      if (!result.usable) metrics_.no_echo.fetch_add(1, std::memory_order_relaxed);
-      if (result.quality.degraded)
-        metrics_.degraded.fetch_add(1, std::memory_order_relaxed);
-    }
-    job.promise.set_value(std::move(result));
+    // Batching: the first pop leads a batch; linger up to batch_wait_us for
+    // stragglers (or until the batch fills). A closed queue cuts the linger
+    // short, so stop() still drains promptly.
+    std::vector<Job> batch;
+    batch.push_back(std::move(job));
+    obs::Span collect_span("batch_collect", "serve");
+    const auto linger_until =
+        Clock::now() + std::chrono::microseconds(config_.batch_wait_us);
+    Job extra;
+    while (batch.size() < config_.batch_max &&
+           queue_.try_pop_until(extra, linger_until))
+      batch.push_back(std::move(extra));
+    collect_span.set_arg("requests", static_cast<std::int64_t>(batch.size()));
+    collect_span.end();
+    process_batch(std::move(batch));
   }
+}
+
+std::optional<CancelToken> ServingEngine::admit_dequeued(Job& job,
+                                                         double& queue_ms) {
+  metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+  const auto dequeued = Clock::now();
+  queue_ms =
+      std::chrono::duration<double, std::milli>(dequeued - job.enqueued).count();
+  metrics_.latency.queue_wait.record(queue_ms);
+  // Queue wait spans submit() on one thread to pop() on another; record it
+  // with explicit endpoints on the consuming worker's row.
+  obs::TraceRecorder::instance().record_complete("queue_wait", "serve",
+                                                 job.enqueued, dequeued);
+  const CancelToken cancel = job.deadline ? CancelToken::with_deadline(*job.deadline)
+                                          : CancelToken();
+  if (cancel.expired()) {
+    // Shed at dequeue: the caller's deadline passed while the job waited in
+    // the queue (or in a leader's batch-collect linger), so no pipeline work
+    // is worth doing. Counted separately from failures — the engine did
+    // nothing wrong, it was just too busy.
+    ServeResult shed;
+    shed.id = job.request.id;
+    shed.deadline_exceeded = true;
+    shed.error = "deadline_exceeded: shed at dequeue";
+    shed.queue_ms = queue_ms;
+    shed.total_ms = ms_since(job.enqueued);
+    metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(shed));
+    return std::nullopt;
+  }
+  return cancel;
+}
+
+void ServingEngine::handle_job(Job job, double queue_ms, const CancelToken& cancel) {
+  obs::Span request_span("serve_request", "serve");
+  ServeResult result;
+  try {
+    result = process(job.request, cancel);
+  } catch (const CancelledError& e) {
+    result.id = job.request.id;
+    result.deadline_exceeded = true;
+    result.error = e.what();
+  } catch (const std::exception& e) {
+    result.id = job.request.id;
+    result.error = e.what();
+  } catch (...) {
+    result.id = job.request.id;
+    result.error = "unknown error";
+  }
+  finish_job(job, std::move(result), queue_ms);
+}
+
+void ServingEngine::finish_job(Job& job, ServeResult result, double queue_ms) {
+  result.queue_ms = queue_ms;
+  result.total_ms = ms_since(job.enqueued);
+  metrics_.latency.total.record(result.total_ms);
+  if (result.deadline_exceeded) {
+    metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+  } else if (!result.error.empty()) {
+    metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    if (!result.usable) metrics_.no_echo.fetch_add(1, std::memory_order_relaxed);
+    if (result.quality.degraded)
+      metrics_.degraded.fetch_add(1, std::memory_order_relaxed);
+  }
+  job.promise.set_value(std::move(result));
 }
 
 ServeResult ServingEngine::process(ServeRequest& request,
@@ -217,6 +251,14 @@ ServeResult ServingEngine::process(ServeRequest& request,
   // (and counted them in chunks_fed); only the finalization runs here.
 
   core::EchoAnalysis analysis = session->finish(cancel);
+  return finalize_analysis(request.id, std::move(analysis), resample_ms);
+}
+
+ServeResult ServingEngine::finalize_analysis(const std::string& id,
+                                             core::EchoAnalysis analysis,
+                                             double resample_ms) {
+  ServeResult result;
+  result.id = id;
   result.usable = analysis.usable();
   result.events = analysis.events.size();
   result.echoes = analysis.echoes.size();
@@ -240,21 +282,229 @@ ServeResult ServingEngine::process(ServeRequest& request,
       metrics_.latency.inference.record(result.timings.inference_ms);
       metrics_.inferences.fetch_add(1, std::memory_order_relaxed);
       result.model_version = registry_.version();
+      stage_graph_.record(pipeline::StageId::kInference,
+                          result.timings.inference_ms, 1, false);
     }
     result.features = std::move(analysis.features);
   }
   return result;
 }
 
+void ServingEngine::process_batch(std::vector<Job> batch) {
+  // Shed-before-work: every job's deadline is re-checked here, after the
+  // batch-collect linger, so a request that expired while the leader waited
+  // for stragglers never reaches the pipeline (docs/serving.md).
+  struct Admitted {
+    std::size_t job;      ///< index into `batch`
+    CancelToken cancel;
+    double queue_ms = 0.0;
+  };
+  std::vector<Admitted> live;
+  live.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    double queue_ms = 0.0;
+    if (std::optional<CancelToken> cancel = admit_dequeued(batch[i], queue_ms))
+      live.push_back({i, *cancel, queue_ms});
+  }
+  if (live.empty()) return;
+
+  // Paced jobs (chunk_period_s > 0) hold wall-clock sleeps between chunks;
+  // batching them would stall their lane-mates. They — and a batch that
+  // collapsed to one job — take the classic per-request path, which keeps
+  // batch_max=1 and batch-of-one behavior exactly the unbatched code.
+  std::vector<Admitted> batched;
+  batched.reserve(live.size());
+  for (const Admitted& a : live) {
+    if (batch[a.job].request.session == nullptr &&
+        batch[a.job].request.chunk_period_s > 0.0)
+      handle_job(std::move(batch[a.job]), a.queue_ms, a.cancel);
+    else
+      batched.push_back(a);
+  }
+  if (batched.empty()) return;
+  if (batched.size() == 1) {
+    const Admitted& a = batched.front();
+    handle_job(std::move(batch[a.job]), a.queue_ms, a.cancel);
+    return;
+  }
+
+  obs::Span request_span("serve_batch", "serve");
+  request_span.set_arg("requests", static_cast<std::int64_t>(batched.size()));
+  metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+  metrics_.batched_requests.fetch_add(batched.size(), std::memory_order_relaxed);
+
+  // --- Ingest: jobs that arrived as whole recordings stream into fresh
+  // sessions in chunk rounds; each round feeds every active job's next chunk
+  // through ONE StreamingSession::feed_many call, whose interleaved
+  // MultiBiquadCascade pass filters the lanes together (bit-identical to
+  // per-session feeds). Pre-fed sessions (the networked path) skip this.
+  struct Lane {
+    StreamingSession* session = nullptr;
+    std::unique_ptr<StreamingSession> own;  ///< engine-built (classic path)
+    std::vector<double> resampled;          ///< owns off-rate sample storage
+    std::span<const double> samples;
+    std::size_t chunk = 0, pos = 0;
+    double resample_ms = 0.0;
+    bool failed = false;
+    std::exception_ptr error;
+  };
+  std::vector<Lane> lanes(batched.size());
+  const double rate = config_.session.pipeline.chirp.sample_rate;
+  // Engine-owned lanes never read provisional state between feed and finish
+  // (finish_many re-detects events from the buffered waveform — bit-identical
+  // results), so skip the per-lane serial detector scan during shared ingest.
+  StreamingConfig lane_config = config_.session;
+  lane_config.defer_event_detection = true;
+  for (std::size_t j = 0; j < batched.size(); ++j) {
+    Lane& lane = lanes[j];
+    ServeRequest& request = batch[batched[j].job].request;
+    if (request.session != nullptr) {
+      lane.session = request.session.get();
+      continue;  // already fed by the connection thread
+    }
+    try {
+      lane.own = std::make_unique<StreamingSession>(lane_config);
+      lane.session = lane.own.get();
+      lane.samples = request.recording.view();
+      obs::Span resample_span("resample", "serve");
+      if (request.recording.sample_rate() != rate) {
+        lane.resampled =
+            dsp::resample_to_rate(lane.samples, request.recording.sample_rate(), rate);
+        lane.samples = lane.resampled;
+      }
+      resample_span.end();
+      lane.resample_ms = resample_span.elapsed_ms();
+      lane.chunk =
+          request.chunk_samples > 0 ? request.chunk_samples : config_.chunk_samples;
+    } catch (...) {
+      lane.failed = true;
+      lane.error = std::current_exception();
+    }
+  }
+
+  bool feeding = true;
+  while (feeding) {
+    feeding = false;
+    std::vector<StreamingSession*> round_sessions;
+    std::vector<std::span<const double>> round_chunks;
+    std::vector<std::size_t> round_lanes;
+    for (std::size_t j = 0; j < batched.size(); ++j) {
+      Lane& lane = lanes[j];
+      if (lane.failed || lane.own == nullptr || lane.pos >= lane.samples.size())
+        continue;
+      try {
+        batched[j].cancel.check("stream_ingest");
+      } catch (...) {
+        lane.failed = true;
+        lane.error = std::current_exception();
+        continue;
+      }
+      const std::size_t len = std::min(lane.chunk, lane.samples.size() - lane.pos);
+      round_sessions.push_back(lane.session);
+      round_chunks.push_back(lane.samples.subspan(lane.pos, len));
+      round_lanes.push_back(j);
+      lane.pos += len;
+    }
+    if (round_sessions.empty()) break;
+    feeding = true;
+    obs::Span filter_span("batch.filter", "serve");
+    filter_span.set_arg("sessions",
+                        static_cast<std::int64_t>(round_sessions.size()));
+    try {
+      (void)StreamingSession::feed_many(round_sessions, round_chunks);
+      metrics_.chunks_fed.fetch_add(round_sessions.size(),
+                                    std::memory_order_relaxed);
+    } catch (...) {
+      // feed_many failed as a unit (e.g. an injected serve.stream.feed
+      // fault). Re-feed this round per session so the error lands on the
+      // session that owns it and lane-mates survive.
+      for (std::size_t r = 0; r < round_lanes.size(); ++r) {
+        Lane& lane = lanes[round_lanes[r]];
+        try {
+          (void)lane.session->feed(round_chunks[r]);
+          metrics_.chunks_fed.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+          lane.failed = true;
+          lane.error = std::current_exception();
+        }
+      }
+    }
+    filter_span.end();
+    stage_graph_.record(pipeline::StageId::kFilter, filter_span.elapsed_ms(),
+                        round_sessions.size(), round_sessions.size() > 1);
+  }
+
+  // --- Finish: one batched pass over every surviving session; the echo-PSD
+  // stage packs all requests' chirp windows into shared x4 lanes.
+  std::vector<StreamingSession*> finish_sessions;
+  std::vector<CancelToken> finish_cancels;
+  std::vector<std::size_t> finish_lanes;
+  for (std::size_t j = 0; j < batched.size(); ++j) {
+    if (lanes[j].failed) continue;
+    finish_sessions.push_back(lanes[j].session);
+    finish_cancels.push_back(batched[j].cancel);
+    finish_lanes.push_back(j);
+  }
+  pipeline::BatchRunInfo info;
+  std::vector<pipeline::BatchOutcome> outcomes;
+  if (!finish_sessions.empty())
+    outcomes = StreamingSession::finish_many(finish_sessions, finish_cancels,
+                                             &stage_graph_, &info);
+  if (info.forced_fallback)
+    metrics_.batch_fallbacks.fetch_add(1, std::memory_order_relaxed);
+
+  for (std::size_t r = 0; r < finish_lanes.size(); ++r) {
+    Lane& lane = lanes[finish_lanes[r]];
+    if (outcomes[r].ok())
+      continue;
+    lane.failed = true;
+    lane.error = outcomes[r].error;
+  }
+
+  // --- Per-job completion, identical outcome mapping to handle_job().
+  std::size_t ok_cursor = 0;
+  for (std::size_t j = 0; j < batched.size(); ++j) {
+    Job& job = batch[batched[j].job];
+    Lane& lane = lanes[j];
+    ServeResult result;
+    const bool finished_ok =
+        ok_cursor < finish_lanes.size() && finish_lanes[ok_cursor] == j;
+    if (finished_ok) ++ok_cursor;
+    if (!lane.failed && finished_ok) {
+      result = finalize_analysis(job.request.id,
+                                 std::move(outcomes[ok_cursor - 1].analysis),
+                                 lane.resample_ms);
+    } else {
+      try {
+        std::rethrow_exception(lane.error);
+      } catch (const CancelledError& e) {
+        result.id = job.request.id;
+        result.deadline_exceeded = true;
+        result.error = e.what();
+      } catch (const std::exception& e) {
+        result.id = job.request.id;
+        result.error = e.what();
+      } catch (...) {
+        result.id = job.request.id;
+        result.error = "unknown error";
+      }
+    }
+    finish_job(job, std::move(result), batched[j].queue_ms);
+  }
+}
+
 std::string ServingEngine::metrics_snapshot() const {
   std::ostringstream out;
   out << "earsonar_serve_workers " << config_.workers << "\n";
   out << "earsonar_serve_queue_capacity " << config_.queue_capacity << "\n";
+  out << "earsonar_serve_batch_max " << config_.batch_max << "\n";
+  out << "earsonar_serve_batch_wait_us " << config_.batch_wait_us << "\n";
   out << "earsonar_serve_model_version " << registry_.version() << "\n";
   const obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
   out << "earsonar_serve_trace_enabled " << (recorder.enabled() ? 1 : 0) << "\n";
   out << "earsonar_serve_trace_spans_total " << recorder.size() << "\n";
   out << metrics_.text_snapshot();
+  out << stage_graph_.text_snapshot();
   return out.str();
 }
 

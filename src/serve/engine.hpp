@@ -37,6 +37,7 @@
 #include "audio/waveform.hpp"
 #include "core/detector.hpp"
 #include "core/pipeline.hpp"
+#include "pipeline/stage_graph.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
 #include "serve/registry.hpp"
@@ -56,6 +57,19 @@ struct EngineConfig {
   /// in-process engine keeps the pool lease and its serving-or-training
   /// exclusivity (see the file comment).
   bool dedicated_threads = false;
+  /// Cross-request batching: a worker that pops a request keeps collecting
+  /// up to this many requests (lingering at most batch_wait_us for
+  /// stragglers), then runs them through the stage graph as ONE batch —
+  /// shared MultiBiquadCascade filter passes during ingest and
+  /// cross-request x4 lanes in the echo-PSD stage (pipeline::BatchExecutor).
+  /// 1 disables batching (the classic per-request path). Results are
+  /// bit-identical either way; see docs/serving.md "Batching semantics".
+  std::size_t batch_max = 1;
+  /// Microseconds a batch-leading worker lingers for more requests after its
+  /// first pop. 0 still batches whatever is already queued, adding no
+  /// latency. Bounded by the request deadline rule: a request whose deadline
+  /// expires during the linger is shed before any pipeline work.
+  std::size_t batch_wait_us = 200;
 
   void validate() const;
 };
@@ -143,8 +157,16 @@ class ServingEngine {
   [[nodiscard]] const EngineConfig& config() const { return config_; }
 
   /// metrics().text_snapshot() plus engine-level gauges (queue capacity,
-  /// worker count, model version/source).
+  /// worker count, batching knobs, model version/source) and the per-stage
+  /// occupancy counters of the stage graph.
   [[nodiscard]] std::string metrics_snapshot() const;
+
+  /// Per-stage occupancy of the batched execution path (see
+  /// pipeline::StageGraph; unbatched occupancy lives in the latency
+  /// histograms).
+  [[nodiscard]] const pipeline::StageGraph& stage_graph() const {
+    return stage_graph_;
+  }
 
  private:
   struct Job {
@@ -158,10 +180,29 @@ class ServingEngine {
   void worker_loop();
   [[nodiscard]] ServeResult process(ServeRequest& request,
                                     const CancelToken& cancel);
+  /// Dequeue-side bookkeeping shared by both paths: records queue wait,
+  /// sheds the job (promise satisfied, nullopt returned) when its deadline
+  /// already expired, else hands back the request's cancel token.
+  [[nodiscard]] std::optional<CancelToken> admit_dequeued(Job& job,
+                                                          double& queue_ms);
+  /// process() for one dequeued job, with the error mapping and completion
+  /// metrics — the classic per-request path.
+  void handle_job(Job job, double queue_ms, const CancelToken& cancel);
+  /// One collected batch: shed expired jobs, run paced jobs classically,
+  /// batch the rest through feed_many + StreamingSession::finish_many.
+  void process_batch(std::vector<Job> batch);
+  /// The tail shared by process() and the batched path: result assembly from
+  /// one analysis, stage-latency metrics, and inference.
+  [[nodiscard]] ServeResult finalize_analysis(const std::string& id,
+                                              core::EchoAnalysis analysis,
+                                              double resample_ms);
+  /// Total/outcome metrics + promise completion for one job.
+  void finish_job(Job& job, ServeResult result, double queue_ms);
 
   EngineConfig config_;
   ModelRegistry registry_;
   ServeMetrics metrics_;
+  pipeline::StageGraph stage_graph_;
   BoundedQueue<Job> queue_;
   std::thread coordinator_;                ///< pool-lease mode
   std::vector<std::thread> dedicated_;     ///< dedicated_threads mode

@@ -133,6 +133,11 @@ std::string ServeMetrics::text_snapshot() const {
   emit_counter(out, "echoes_segmented_total",
                echoes_segmented.load(std::memory_order_relaxed));
   emit_counter(out, "inferences_total", inferences.load(std::memory_order_relaxed));
+  emit_counter(out, "batches_total", batches.load(std::memory_order_relaxed));
+  emit_counter(out, "batched_requests_total",
+               batched_requests.load(std::memory_order_relaxed));
+  emit_counter(out, "batch_fallbacks_total",
+               batch_fallbacks.load(std::memory_order_relaxed));
   out << "earsonar_serve_queue_depth "
       << queue_depth.load(std::memory_order_relaxed) << '\n';
   emit_histogram(out, "bandpass", latency.bandpass);

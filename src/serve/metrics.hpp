@@ -79,6 +79,13 @@ struct ServeMetrics {
   std::atomic<std::uint64_t> events_detected{0};   ///< chirp events, all requests
   std::atomic<std::uint64_t> echoes_segmented{0};  ///< segmented eardrum echoes
   std::atomic<std::uint64_t> inferences{0};        ///< detector predictions run
+  // Cross-request batching (docs/serving.md "Batching semantics"): how many
+  // multi-request batch passes ran, how many requests rode them, and how
+  // many passes fell back to per-request processing (pipeline.batch fault or
+  // a shared-pass failure).
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batched_requests{0};
+  std::atomic<std::uint64_t> batch_fallbacks{0};
   StageLatencies latency;
 
   /// End-to-end latency percentile (interpolated) for `p` in [0, 1] — the

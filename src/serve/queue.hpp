@@ -6,6 +6,7 @@
 // engine stop never loses accepted requests.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -39,6 +40,18 @@ class BoundedQueue {
   bool pop(T& out) {
     std::unique_lock<std::mutex> lock(mutex_);
     ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = items_.pop();
+    return true;
+  }
+
+  /// pop() that gives up at `deadline`: returns false when no item arrived
+  /// by then (or the queue closed and drained). A batching worker uses this
+  /// to linger briefly for stragglers after its first pop without holding
+  /// the batch open indefinitely.
+  bool try_pop_until(T& out, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait_until(lock, deadline, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;
     out = items_.pop();
     return true;

@@ -55,6 +55,7 @@ void StreamingSession::ingest_filtered(std::span<const double> filtered,
                     filtered_.begin() + static_cast<std::ptrdiff_t>(drop));
     base_ += drop;
   }
+  if (config_.defer_event_detection) return;
   for (const core::Event& event : detector_.push(filtered)) ingest_event(event);
 }
 
@@ -187,7 +188,8 @@ core::EchoAnalysis StreamingSession::finish(const CancelToken& cancel) {
   obs::Span finish_span("stream_finish", "stream");
   finish_span.set_arg("samples", static_cast<std::int64_t>(samples_fed_));
   finished_ = true;
-  for (const core::Event& event : detector_.flush()) ingest_event(event);
+  if (!config_.defer_event_detection)
+    for (const core::Event& event : detector_.flush()) ingest_event(event);
   audio::Waveform wave(std::move(filtered_), config_.pipeline.chirp.sample_rate);
   filtered_.clear();
   core::EchoAnalysis analysis = pipeline_.analyze_filtered(wave, cancel);
@@ -201,6 +203,62 @@ core::EchoAnalysis StreamingSession::finish(const CancelToken& cancel) {
     analysis.quality.degraded = true;
   }
   return analysis;
+}
+
+std::vector<pipeline::BatchOutcome> StreamingSession::finish_many(
+    std::span<StreamingSession* const> sessions,
+    std::span<const CancelToken> cancels, pipeline::StageGraph* graph,
+    pipeline::BatchRunInfo* info) {
+  require(sessions.size() == cancels.size(),
+          "StreamingSession::finish_many: one cancel token per session");
+  const std::size_t n = sessions.size();
+  std::vector<pipeline::BatchOutcome> out(n);
+  std::vector<audio::Waveform> waves(n);
+  std::vector<pipeline::BatchItem> items;
+  std::vector<std::size_t> idx;  // items[j] belongs to sessions[idx[j]]
+  items.reserve(n);
+  idx.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    StreamingSession* s = sessions[i];
+    // Per-session capture: one session's finish-guard failure must not take
+    // down its lane-mates.
+    try {
+      require(s != nullptr, "StreamingSession::finish_many: null session");
+      require(!s->finished_, "StreamingSession: finish twice");
+      require(s->samples_fed_ > 0, "StreamingSession: finish with no audio fed");
+      obs::Span finish_span("stream_finish", "stream");
+      finish_span.set_arg("samples", static_cast<std::int64_t>(s->samples_fed_));
+      s->finished_ = true;
+      if (!s->config_.defer_event_detection)
+        for (const core::Event& event : s->detector_.flush()) s->ingest_event(event);
+      waves[i] = audio::Waveform(std::move(s->filtered_),
+                                 s->config_.pipeline.chirp.sample_rate);
+      s->filtered_.clear();
+      items.push_back({&waves[i], cancels[i]});
+      idx.push_back(i);
+    } catch (...) {
+      out[i].error = std::current_exception();
+    }
+  }
+  if (items.empty()) return out;
+  const pipeline::BatchExecutor exec(graph);
+  std::vector<pipeline::BatchOutcome> results =
+      exec.analyze_filtered(sessions[idx.front()]->pipeline_, items, info);
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    const std::size_t i = idx[j];
+    out[i] = std::move(results[j]);
+    if (out[i].ok() && sessions[i]->truncated()) {
+      // Same truncation fold as finish().
+      std::ostringstream os;
+      os << "stream evicted " << sessions[i]->base_ << " of "
+         << sessions[i]->samples_fed_ << " samples";
+      out[i].analysis.quality.drops.push_back(
+          {core::ChirpDrop::kWholeStage, "stream", os.str()});
+      out[i].analysis.quality.chirps_dropped = out[i].analysis.quality.drops.size();
+      out[i].analysis.quality.degraded = true;
+    }
+  }
+  return out;
 }
 
 core::EchoAnalysis StreamingSession::partial_analysis() const {

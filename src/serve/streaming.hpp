@@ -38,6 +38,7 @@
 #include "core/pipeline.hpp"
 #include "core/segment.hpp"
 #include "dsp/biquad.hpp"
+#include "pipeline/batch.hpp"
 
 namespace earsonar::serve {
 
@@ -51,6 +52,16 @@ struct StreamingConfig {
     kEvictOldest,  ///< drop oldest samples; finish() analyzes the tail only
   };
   OverflowPolicy overflow = OverflowPolicy::kReject;
+
+  /// Skip the incremental (causal) event detector during feed(). The detector
+  /// only feeds provisional results — partial_analysis() and the
+  /// provisional_* accessors — which stay empty; finish()/finish_many() are
+  /// bit-identical either way because the authoritative pass re-detects
+  /// events from the buffered filtered waveform. A batching engine sets this
+  /// for sessions it owns end-to-end (backlogged whole uploads, where nothing
+  /// reads provisional state between feed and finish) to keep the shared
+  /// ingest pass from paying a per-lane serial detector scan.
+  bool defer_event_detection = false;
 
   void validate() const;
 };
@@ -85,6 +96,21 @@ class StreamingSession {
   /// truncation folded in; `cancel` aborts between pipeline stages with
   /// CancelledError.
   core::EchoAnalysis finish(const CancelToken& cancel = {});
+
+  /// finish() for many sessions in one batched pass: per-session event flush
+  /// and waveform handoff run in submission order, then a
+  /// pipeline::BatchExecutor walks the analysis stages with the echo-PSD
+  /// stage batched across sessions (cross-request x4 lanes). Outcome [i] —
+  /// analysis or captured error — is bit-identical to what
+  /// sessions[i]->finish(cancels[i]) would have returned or thrown. Sessions
+  /// must be distinct and built from one pipeline config (a serving engine
+  /// constructs every session from its own); `graph` optionally receives
+  /// per-stage occupancy and `info` reports how the pass batched.
+  static std::vector<pipeline::BatchOutcome> finish_many(
+      std::span<StreamingSession* const> sessions,
+      std::span<const CancelToken> cancels,
+      pipeline::StageGraph* graph = nullptr,
+      pipeline::BatchRunInfo* info = nullptr);
 
   /// Provisional snapshot from the incremental path: events and echoes
   /// finalized so far, plus the feature vector over those echoes (computed
