@@ -68,9 +68,9 @@ struct Args {
 /// Options that are flags: present or absent, never followed by a value.
 /// (Before this set existed, `earsonar diagnose --help` died with
 /// "missing value for --help".)
-const std::set<std::string> kBooleanFlags = {"help",     "verbose", "once",
+const std::set<std::string> kBooleanFlags = {"help",     "verbose",   "once",
                                              "simulate", "open-loop", "diurnal",
-                                             "json"};
+                                             "json",     "admin",     "chaos"};
 
 Args parse_args(int argc, char** argv, int first) {
   Args args;
@@ -215,6 +215,8 @@ void print_serve_net_usage() {
       "  --max-connections N concurrent connections           [256]\n"
       "  --model FILE        detector model loaded into every shard\n"
       "  --deadline-ms M     default session deadline; 0 off  [0]\n"
+      "  --admin             enable session-0 admin frames (live add/drain/\n"
+      "                      restart/health; loadgen --chaos needs this)\n"
       "  --duration-s S      serve for S seconds then drain; 0 = forever\n"
       "  --once              bind, report the port, drain, and exit\n"
       "  --verbose           print per-shard metrics snapshots on exit\n"
@@ -247,6 +249,16 @@ void print_loadgen_usage() {
       "  --time-scale X    chunk pacing as fraction of real time; 0 = backlogged\n"
       "  --deadline-ms M   per-session deadline; 0 = server default\n"
       "  --seed S          population / arrival RNG seed    [42]\n"
+      "  --connect-timeout-ms T  bound each dial; 0 = blocking     [0]\n"
+      "  --read-timeout-ms T     bound each read; 0 = no timeout   [0]\n"
+      "  --max-attempts N  attempts per session incl. first; >1 enables the\n"
+      "                    deadline-budgeted retry loop     [1]\n"
+      "  --retry-budget-ms M  wall-clock retry budget per session; 0 = none\n"
+      "  --chaos           fire seeded kill/drain/add lifecycle events\n"
+      "                    mid-replay (server needs --admin) and assert the\n"
+      "                    accounting + recovery invariants\n"
+      "  --chaos-events N  lifecycle events to fire         [3]\n"
+      "  --chaos-seed S    chaos schedule RNG seed          [7]\n"
       "  --json            emit the report as one JSON object\n"
       "  --trace-out FILE  write a Chrome-trace JSON profile on exit (global)\n"
       "  --log-level LVL   debug|info|warn|error|off        [info]\n");
@@ -538,7 +550,11 @@ int cmd_serve(const Args& args) {
   // when a rewrite fails to parse, retries with exponential backoff while the
   // engine keeps serving the last good model. Retries feed the
   // `model_reload_retries` metric.
-  serve::ModelReloader reloader(engine.registry(), model_path, {},
+  serve::ReloaderConfig reloader_cfg;
+  // Jitter the retry schedule: several engines watching the same exported
+  // model file should not re-stat and re-parse a broken write in lockstep.
+  reloader_cfg.jitter = 0.1;
+  serve::ModelReloader reloader(engine.registry(), model_path, reloader_cfg,
                                 &engine.metrics().model_reload_retries);
   std::set<std::string> seen;
   std::vector<std::pair<std::string, std::future<serve::ServeResult>>> pending;
@@ -638,6 +654,7 @@ int cmd_serve_net(const Args& args) {
       std::stoul(option_or(args, "batch-wait-us", "200")));
   // Networked sessions stream chunks; the pipeline must be causal.
   cfg.shards.engine.session.pipeline.preprocess.zero_phase = false;
+  cfg.enable_admin = flag_set(args, "admin");
   const double duration_s = std::stod(option_or(args, "duration-s", "0"));
 
   net::NetServer server(cfg);
@@ -663,9 +680,13 @@ int cmd_serve_net(const Args& args) {
   }
   server.stop();
   if (flag_set(args, "verbose")) {
-    for (std::size_t s = 0; s < server.shards().shard_count(); ++s)
-      std::printf("\n--- shard %zu ---\n%s", s,
-                  server.shards().engine(s).metrics_snapshot().c_str());
+    for (std::size_t s = 0; s < server.shards().shard_count(); ++s) {
+      const auto engine = server.shards().engine(s);
+      if (engine)
+        std::printf("\n--- shard %zu ---\n%s", s,
+                    engine->metrics_snapshot().c_str());
+    }
+    std::printf("\n%s", server.shards().metrics_text().c_str());
   }
   return 0;
 }
@@ -695,12 +716,33 @@ int cmd_loadgen(const Args& args) {
   cfg.time_scale = std::stod(option_or(args, "time-scale", "0"));
   cfg.deadline_ms = std::stod(option_or(args, "deadline-ms", "0"));
   cfg.seed = std::stoull(option_or(args, "seed", "42"));
+  cfg.connect_timeout_ms = std::stoi(option_or(args, "connect-timeout-ms", "0"));
+  cfg.read_timeout_ms = std::stoi(option_or(args, "read-timeout-ms", "0"));
+  cfg.max_attempts =
+      static_cast<std::size_t>(std::stoul(option_or(args, "max-attempts", "1")));
+  cfg.retry_budget_ms = std::stod(option_or(args, "retry-budget-ms", "0"));
+  cfg.chaos = flag_set(args, "chaos");
+  cfg.chaos_events = static_cast<std::size_t>(
+      std::stoul(option_or(args, "chaos-events", "3")));
+  cfg.chaos_seed = std::stoull(option_or(args, "chaos-seed", "7"));
+  if (cfg.chaos && cfg.max_attempts == 1) {
+    // A drill without retries would count every lifecycle blip as a session
+    // loss; the drill measures recovery, so give clients the retry contract.
+    cfg.max_attempts = 4;
+  }
 
   const net::LoadReport report = net::run_loadgen(cfg);
   if (flag_set(args, "json")) {
     std::printf("%s\n", report.json().c_str());
   } else {
     std::printf("%s", report.text().c_str());
+  }
+  if (cfg.chaos && !(report.accounting_ok && report.all_healthy)) {
+    // The drill's contract: every session accounted for, every surviving
+    // shard healthy again. Either miss is a failed drill.
+    std::fprintf(stderr, "chaos drill FAILED: accounting_ok=%d all_healthy=%d\n",
+                 report.accounting_ok ? 1 : 0, report.all_healthy ? 1 : 0);
+    return 1;
   }
   // A run where nothing completed and nothing was explicitly refused means
   // the server was unreachable — fail loudly.
@@ -721,9 +763,11 @@ void print_usage() {
       "                    [--chunk N] [--interval-ms M] [--deadline-ms M]\n"
       "                    [--once] [--verbose]\n"
       "  earsonar serve-net [--port P] [--shards N] [--max-sessions N]\n"
-      "                    [--max-connections N] [--model FILE] [--duration-s S]\n"
+      "                    [--max-connections N] [--model FILE] [--admin]\n"
+      "                    [--duration-s S]\n"
       "  earsonar loadgen  --port P [--sessions N] [--concurrency N]\n"
-      "                    [--open-loop --rate HZ [--diurnal]] [--json]\n"
+      "                    [--open-loop --rate HZ [--diurnal]] [--chaos]\n"
+      "                    [--max-attempts N] [--retry-budget-ms M] [--json]\n"
       "\n"
       "global options (every command):\n"
       "  --trace-out FILE  capture an obs trace of the run and write it as\n"

@@ -8,7 +8,8 @@
 #      subcommand, and must mention every --flag that the subcommand's
 #      `--help` output advertises (skipped when the binary is not built).
 #   3. docs/observability.md must enumerate every earsonar_serve_* metric
-#      name exported by src/serve/metrics.cpp and src/serve/engine.cpp.
+#      name exported by src/serve/metrics.cpp and src/serve/engine.cpp, and
+#      every earsonar_net_* metric name exported by src/net/.
 #   4. docs/robustness.md must catalog every fault point registered in the
 #      source tree (each fault::point("...") call site).
 #   5. docs/testing.md must catalog every differential-oracle pair registered
@@ -82,6 +83,13 @@ if [ -f "$OBS_DOC" ]; then
               | sort -u) || true
   [ -n "$metrics" ] || err "no exported metric names found in src/serve/"
   for m in $metrics; do
+    grep -qF "$m" "$OBS_DOC" \
+      || err "docs/observability.md does not document metric '$m'"
+  done
+  net_metrics=$(grep -rhoE 'earsonar_net_[a-z_]+' "$ROOT/src/net" \
+                  | sort -u) || true
+  [ -n "$net_metrics" ] || err "no exported metric names found in src/net/"
+  for m in $net_metrics; do
     grep -qF "$m" "$OBS_DOC" \
       || err "docs/observability.md does not document metric '$m'"
   done

@@ -5,10 +5,11 @@
 # surface. Two fresh build trees:
 #
 #   1. EARSONAR_SANITIZE=address,undefined — memory errors and UB over the
-#      `serve`, `stagegraph`, `fault`, and `net` labels (engine chaos tests,
-#      cross-request batch bit-identity, fault injection, fuzz replay, the
-#      socket front-end's loopback suite and
-#      frame-decoder replay) plus the full `oracle` and `simd` labels: the
+#      `serve`, `stagegraph`, `fault`, `net`, and `chaos` labels (engine
+#      chaos tests, cross-request batch bit-identity, fault injection, fuzz
+#      replay, the socket front-end's loopback suite and frame-decoder
+#      replay, and the shard lifecycle / failure-recovery drills) plus the
+#      full `oracle` and `simd` labels: the
 #      differential oracle drives every optimized kernel through denormals,
 #      primes, and edge-case sizes, exactly where UB likes to hide, and the
 #      simd suite covers the dispatch layer's intrinsics. This flavor's
@@ -18,8 +19,11 @@
 #   2. EARSONAR_SANITIZE=thread           — data races in the worker pool,
 #      metrics, registry hot-swap, the fault registry's armed fast path,
 #      the `stagegraph` label (batch collection, the StageGraph's relaxed
-#      occupancy counters shared across workers), and the `net` label
-#      (accept loop, per-connection threads, shard admission counters); of the oracle suite only the `oracle_stream`
+#      occupancy counters shared across workers), and the `net` and `chaos`
+#      labels (accept loop, per-connection threads, shard admission
+#      counters, and the supervisor thread's restart/drain/resize machinery
+#      racing live sessions — the lifecycle layer is exactly where TSan
+#      earns its keep); of the oracle suite only the `oracle_stream`
 #      label (the
 #      streaming-vs-batch equivalence pairs) runs here, since the pure
 #      numeric pairs are single-threaded and O(n^2) references are slow
@@ -56,14 +60,14 @@ run_flavor() {
   done
 }
 
-run_flavor asan address,undefined 'serve|stagegraph|fault|oracle|simd|net' \
+run_flavor asan address,undefined 'serve|stagegraph|fault|oracle|simd|net|chaos' \
            'native scalar' \
            serve_test stagegraph_test fault_test wav_fuzz_replay simd_test \
-           net_test frame_fuzz_replay \
+           net_test chaos_test frame_fuzz_replay \
            oracle_fft_test oracle_dsp_test oracle_stats_test \
            oracle_stream_test oracle_golden_test
-run_flavor tsan thread 'serve|stagegraph|fault|oracle_stream|net' native \
+run_flavor tsan thread 'serve|stagegraph|fault|oracle_stream|net|chaos' native \
            serve_test stagegraph_test fault_test wav_fuzz_replay net_test \
-           frame_fuzz_replay oracle_stream_test
+           chaos_test frame_fuzz_replay oracle_stream_test
 
-echo "check_sanitize: OK (address,undefined over serve|stagegraph|fault|oracle|simd|net at both SIMD levels + thread over serve|stagegraph|fault|oracle_stream|net)"
+echo "check_sanitize: OK (address,undefined over serve|stagegraph|fault|oracle|simd|net|chaos at both SIMD levels + thread over serve|stagegraph|fault|oracle_stream|net|chaos)"

@@ -10,7 +10,7 @@ namespace earsonar::net {
 
 bool frame_type_known(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint8_t>(FrameType::kStatsReply);
+         type <= static_cast<std::uint8_t>(FrameType::kAdminReply);
 }
 
 const char* to_string(RejectCode code) {
@@ -19,6 +19,8 @@ const char* to_string(RejectCode code) {
     case RejectCode::kQueueFull: return "shard queue full";
     case RejectCode::kStopped: return "server stopped";
     case RejectCode::kTooManyConnections: return "too many connections";
+    case RejectCode::kShardDraining: return "shard draining";
+    case RejectCode::kShardRestarting: return "shard restarting";
   }
   return "unknown reject code";
 }
@@ -32,6 +34,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return "deadline exceeded";
     case ErrorCode::kStreamOverflow: return "stream buffer overflow";
     case ErrorCode::kInternal: return "internal error";
+    case ErrorCode::kShardRestart: return "shard restarted mid-session";
   }
   return "unknown error code";
 }
@@ -308,7 +311,7 @@ std::optional<ResultPayload> decode_result(std::span<const std::uint8_t> p) {
 
 std::vector<std::uint8_t> encode_stats(const StatsPayload& stats) {
   std::vector<std::uint8_t> out;
-  out.reserve(4 + stats.shards.size() * 72);
+  out.reserve(4 + stats.shards.size() * 96);
   put_u32(out, static_cast<std::uint32_t>(stats.shards.size()));
   for (const ShardStatsWire& s : stats.shards) {
     put_u64(out, s.accepted);
@@ -320,12 +323,15 @@ std::vector<std::uint8_t> encode_stats(const StatsPayload& stats) {
     put_u64(out, s.chunks_fed);
     put_u64(out, s.sessions_active);
     put_u64(out, s.sessions_rejected);
+    put_u64(out, s.health);
+    put_u64(out, s.epoch);
+    put_u64(out, s.restarts);
   }
   return out;
 }
 
 std::optional<StatsPayload> decode_stats(std::span<const std::uint8_t> p) {
-  constexpr std::size_t kPerShard = 72;
+  constexpr std::size_t kPerShard = 96;
   if (p.size() < 4) return std::nullopt;
   const std::uint32_t count = get_u32(p, 0);
   if (p.size() != 4 + std::size_t{count} * kPerShard) return std::nullopt;
@@ -343,8 +349,79 @@ std::optional<StatsPayload> decode_stats(std::span<const std::uint8_t> p) {
     s.chunks_fed = get_u64(p, at + 48);
     s.sessions_active = get_u64(p, at + 56);
     s.sessions_rejected = get_u64(p, at + 64);
+    s.health = get_u64(p, at + 72);
+    s.epoch = get_u64(p, at + 80);
+    s.restarts = get_u64(p, at + 88);
   }
   return stats;
+}
+
+std::vector<std::uint8_t> encode_admin(const AdminPayload& admin) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8);
+  out.push_back(static_cast<std::uint8_t>(admin.op));
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  put_u32(out, admin.shard);
+  return out;
+}
+
+std::optional<AdminPayload> decode_admin(std::span<const std::uint8_t> p) {
+  if (p.size() != 8) return std::nullopt;
+  const std::uint8_t op = p[0];
+  if (op < static_cast<std::uint8_t>(AdminOp::kAddShard) ||
+      op > static_cast<std::uint8_t>(AdminOp::kHealth))
+    return std::nullopt;
+  if (p[1] != 0 || p[2] != 0 || p[3] != 0) return std::nullopt;
+  AdminPayload admin;
+  admin.op = static_cast<AdminOp>(op);
+  admin.shard = get_u32(p, 4);
+  return admin;
+}
+
+std::vector<std::uint8_t> encode_admin_reply(const AdminReplyPayload& reply) {
+  constexpr std::size_t kPerShard = 24;
+  std::vector<std::uint8_t> out;
+  out.reserve(2 + 4 + reply.message.size() + 4 + reply.shards.size() * kPerShard);
+  put_u16(out, reply.code);
+  put_u32(out, static_cast<std::uint32_t>(reply.message.size()));
+  out.insert(out.end(), reply.message.begin(), reply.message.end());
+  put_u32(out, static_cast<std::uint32_t>(reply.shards.size()));
+  for (const ShardHealthWire& s : reply.shards) {
+    put_u32(out, s.slot);
+    out.push_back(s.health);
+    out.push_back(s.in_ring);
+    put_u16(out, 0);  // pad to 8-byte record alignment
+    put_u64(out, s.epoch);
+    put_u64(out, s.restarts);
+  }
+  return out;
+}
+
+std::optional<AdminReplyPayload> decode_admin_reply(std::span<const std::uint8_t> p) {
+  constexpr std::size_t kPerShard = 24;
+  if (p.size() < 6) return std::nullopt;
+  AdminReplyPayload reply;
+  reply.code = get_u16(p, 0);
+  const std::uint32_t msg_len = get_u32(p, 2);
+  if (p.size() < 6 + std::size_t{msg_len} + 4) return std::nullopt;
+  reply.message.assign(reinterpret_cast<const char*>(p.data()) + 6, msg_len);
+  const std::size_t at_count = 6 + std::size_t{msg_len};
+  const std::uint32_t count = get_u32(p, at_count);
+  if (p.size() != at_count + 4 + std::size_t{count} * kPerShard) return std::nullopt;
+  reply.shards.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t at = at_count + 4 + std::size_t{i} * kPerShard;
+    ShardHealthWire& s = reply.shards[i];
+    s.slot = get_u32(p, at);
+    s.health = p[at + 4];
+    s.in_ring = p[at + 5];
+    if (get_u16(p, at + 6) != 0) return std::nullopt;
+    s.epoch = get_u64(p, at + 8);
+    s.restarts = get_u64(p, at + 16);
+  }
+  return reply;
 }
 
 }  // namespace earsonar::net

@@ -60,7 +60,9 @@ enum class FrameType : std::uint8_t {
   kPing = 8,       ///< c->s: echo request (opaque payload)
   kPong = 9,       ///< s->c: echo reply (payload mirrored)
   kStats = 10,     ///< c->s: per-shard stats request (empty payload)
-  kStatsReply = 11 ///< s->c: StatsPayload
+  kStatsReply = 11,///< s->c: StatsPayload
+  kAdmin = 12,     ///< c->s: shard lifecycle op, session id 0 (AdminPayload)
+  kAdminReply = 13 ///< s->c: op outcome + health snapshot (AdminReplyPayload)
 };
 
 /// True for the type values the protocol defines (decoders reject the rest).
@@ -73,6 +75,8 @@ enum class RejectCode : std::uint16_t {
   kQueueFull = 2,          ///< shard's request queue rejected the finish
   kStopped = 3,            ///< server or shard is shutting down
   kTooManyConnections = 4, ///< connection-level admission cap reached
+  kShardDraining = 5,      ///< target shard is draining; retry (remaps on drop)
+  kShardRestarting = 6,    ///< target shard is down/restarting; retry shortly
 };
 
 /// Why a frame or session failed. On the wire as the u16 head of a
@@ -85,6 +89,7 @@ enum class ErrorCode : std::uint16_t {
   kDeadlineExceeded = 5, ///< shed or cancelled on the session deadline
   kStreamOverflow = 6,   ///< session sample buffer full (chunk rejected)
   kInternal = 7,         ///< server-side dispatch failure
+  kShardRestart = 8,     ///< the session's shard was restarted mid-session
 };
 
 [[nodiscard]] const char* to_string(RejectCode code);
@@ -231,10 +236,44 @@ struct ShardStatsWire {
   std::uint64_t chunks_fed = 0;
   std::uint64_t sessions_active = 0;
   std::uint64_t sessions_rejected = 0;
+  std::uint64_t health = 0;    ///< ShardHealth value (shard.hpp)
+  std::uint64_t epoch = 0;     ///< admission epoch; bumps on restart/drain overrun
+  std::uint64_t restarts = 0;  ///< completed supervisor restarts
 };
 
 struct StatsPayload {
   std::vector<ShardStatsWire> shards;
+};
+
+// ------------------------------------------------------ admin (lifecycle)
+
+/// What a session-0 kAdmin frame asks the shard pool to do. Gated behind
+/// NetServerConfig::enable_admin; refused with ErrorCode::kProtocol when off.
+enum class AdminOp : std::uint8_t {
+  kAddShard = 1,      ///< grow the pool by one shard (minimal-remap ring insert)
+  kDrainShard = 2,    ///< graceful drain: out of the ring, finish in-flight, retire
+  kRestartShard = 3,  ///< kill the shard (supervisor restarts it)
+  kHealth = 4,        ///< no-op; reply carries the health snapshot
+};
+
+struct AdminPayload {
+  AdminOp op = AdminOp::kHealth;
+  std::uint32_t shard = 0;  ///< target slot (ignored by kAddShard/kHealth)
+};
+
+/// One shard slot's lifecycle state inside a kAdminReply.
+struct ShardHealthWire {
+  std::uint32_t slot = 0;
+  std::uint8_t health = 0;   ///< ShardHealth value (shard.hpp)
+  std::uint8_t in_ring = 0;  ///< 1 when the slot still owns ring points
+  std::uint64_t epoch = 0;
+  std::uint64_t restarts = 0;
+};
+
+struct AdminReplyPayload {
+  std::uint16_t code = 0;  ///< 0 = ok, nonzero = refused (message says why)
+  std::string message;
+  std::vector<ShardHealthWire> shards;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_hello(const HelloPayload& hello);
@@ -243,6 +282,9 @@ struct StatsPayload {
                                                       std::string_view message);
 [[nodiscard]] std::vector<std::uint8_t> encode_result(const ResultPayload& result);
 [[nodiscard]] std::vector<std::uint8_t> encode_stats(const StatsPayload& stats);
+[[nodiscard]] std::vector<std::uint8_t> encode_admin(const AdminPayload& admin);
+[[nodiscard]] std::vector<std::uint8_t> encode_admin_reply(
+    const AdminReplyPayload& reply);
 
 /// Decoders return nullopt on short/malformed payloads (a protocol error at
 /// the call site, not an exception: remote bytes are data, not invariants).
@@ -252,5 +294,8 @@ struct StatsPayload {
 [[nodiscard]] std::optional<StatusPayload> decode_status(std::span<const std::uint8_t> p);
 [[nodiscard]] std::optional<ResultPayload> decode_result(std::span<const std::uint8_t> p);
 [[nodiscard]] std::optional<StatsPayload> decode_stats(std::span<const std::uint8_t> p);
+[[nodiscard]] std::optional<AdminPayload> decode_admin(std::span<const std::uint8_t> p);
+[[nodiscard]] std::optional<AdminReplyPayload> decode_admin_reply(
+    std::span<const std::uint8_t> p);
 
 }  // namespace earsonar::net

@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "net/client.hpp"
+#include "net/shard.hpp"
 #include "sim/probe.hpp"
 
 namespace earsonar::net {
@@ -26,6 +27,17 @@ struct Record {
   SessionOutcome::Kind kind = SessionOutcome::Kind::kTransport;
   std::uint16_t code = 0;
   double latency_ms = 0.0;
+  std::size_t attempts = 1;
+  Clock::time_point finished{};  ///< for the post-recovery tail split
+};
+
+/// What the chaos controller thread observed (single-writer; read after join).
+struct ChaosOutcome {
+  std::size_t events_fired = 0;
+  double recovery_ms = -1.0;  ///< -1 until the pool converged
+  bool all_healthy = false;
+  Clock::time_point recovered_at{};
+  bool have_recovered_at = false;
 };
 
 std::vector<audio::Waveform> build_population(const LoadGenConfig& config) {
@@ -67,6 +79,88 @@ std::vector<double> build_arrivals(const LoadGenConfig& config) {
   return arrivals;
 }
 
+/// True when every non-retired shard in the snapshot is healthy — the
+/// convergence predicate of the chaos drill. Retired slots are tombstones
+/// of completed drains; they never become healthy again by design.
+bool pool_healthy(const AdminReplyPayload& reply) {
+  for (const ShardHealthWire& shard : reply.shards) {
+    if (shard.health == static_cast<std::uint8_t>(ShardHealth::kRetired))
+      continue;
+    if (shard.health != static_cast<std::uint8_t>(ShardHealth::kHealthy))
+      return false;
+  }
+  return !reply.shards.empty();
+}
+
+/// The drill's event loop: fires `chaos_events` seeded kill/drain/add
+/// operations at evenly spaced points of the replay (watching the shared
+/// dispatch counter), then polls health until the pool converges.
+void chaos_controller(const LoadGenConfig& config,
+                      const std::atomic<std::size_t>& next,
+                      ChaosOutcome& out) {
+  using namespace std::chrono_literals;
+  try {
+    NetClient admin(config.host, config.port, config.connect_timeout_ms,
+                    config.read_timeout_ms);
+    Rng rng(splitmix64(config.chaos_seed ^ 0xc4a05c4a05ULL));
+    const std::size_t step = std::max<std::size_t>(
+        1, config.sessions / (config.chaos_events + 1));
+    Clock::time_point last_event{};
+    for (std::size_t e = 1; e <= config.chaos_events; ++e) {
+      const std::size_t threshold = std::min(e * step, config.sessions);
+      while (next.load(std::memory_order_relaxed) < threshold)
+        std::this_thread::sleep_for(2ms);
+      const std::optional<AdminReplyPayload> health =
+          admin.admin(AdminOp::kHealth);
+      if (!health) return;  // admin channel broken; drill aborts silently
+      std::vector<std::uint32_t> live;  // healthy, in-ring: valid targets
+      for (const ShardHealthWire& shard : health->shards)
+        if (shard.health == static_cast<std::uint8_t>(ShardHealth::kHealthy) &&
+            shard.in_ring != 0)
+          live.push_back(shard.slot);
+      // 0 = kill, 1 = drain, 2 = add. A drain needs a survivor and a kill
+      // needs a victim; infeasible draws degrade to an add (which always
+      // grows capacity back).
+      std::int64_t draw = rng.uniform_int(0, 2);
+      if ((draw == 0 && live.empty()) || (draw == 1 && live.size() < 2))
+        draw = 2;
+      std::optional<AdminReplyPayload> reply;
+      if (draw == 2) {
+        reply = admin.admin(AdminOp::kAddShard);
+      } else {
+        const std::uint32_t victim = live[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+        reply = admin.admin(
+            draw == 0 ? AdminOp::kRestartShard : AdminOp::kDrainShard, victim);
+      }
+      if (!reply) return;
+      ++out.events_fired;
+      last_event = Clock::now();
+    }
+    if (out.events_fired == 0) return;
+    // Recovery: poll until every surviving shard is healthy again. The
+    // patience bound only caps the drill; a healthy pool converges in a few
+    // supervisor ticks.
+    const Clock::time_point patience = last_event + 30s;
+    while (Clock::now() < patience) {
+      const std::optional<AdminReplyPayload> health =
+          admin.admin(AdminOp::kHealth);
+      if (health && pool_healthy(*health)) {
+        out.recovered_at = Clock::now();
+        out.have_recovered_at = true;
+        out.recovery_ms = std::chrono::duration<double, std::milli>(
+                              out.recovered_at - last_event)
+                              .count();
+        out.all_healthy = true;
+        return;
+      }
+      std::this_thread::sleep_for(10ms);
+    }
+  } catch (const std::exception&) {
+    // The drill observes; it must never crash the measurement.
+  }
+}
+
 double percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double rank = std::ceil(p * static_cast<double>(sorted.size()));
@@ -88,6 +182,14 @@ void LoadGenConfig::validate() const {
   require(diurnal_peak_to_trough >= 1.0,
           "LoadGenConfig: diurnal_peak_to_trough must be >= 1");
   require(time_scale >= 0.0, "LoadGenConfig: time_scale must be >= 0");
+  require(max_attempts >= 1, "LoadGenConfig: max_attempts must be >= 1");
+  require(retry_budget_ms >= 0.0,
+          "LoadGenConfig: retry_budget_ms must be >= 0");
+  require(connect_timeout_ms >= 0,
+          "LoadGenConfig: connect_timeout_ms must be >= 0");
+  require(read_timeout_ms >= 0, "LoadGenConfig: read_timeout_ms must be >= 0");
+  require(!chaos || chaos_events >= 1,
+          "LoadGenConfig: chaos needs chaos_events >= 1");
 }
 
 LoadReport run_loadgen(const LoadGenConfig& config) {
@@ -121,16 +223,29 @@ LoadReport run_loadgen(const LoadGenConfig& config) {
       if (config.open_loop) std::this_thread::sleep_until(scheduled);
       try {
         if (!client)
-          client = std::make_unique<NetClient>(config.host, config.port);
+          client = std::make_unique<NetClient>(config.host, config.port,
+                                               config.connect_timeout_ms,
+                                               config.read_timeout_ms);
         SessionOptions options;
         options.session_id = i + 1;
         options.chunk_samples = config.chunk_samples;
         options.chunk_period_s = chunk_period_s;
         options.deadline_ms = config.deadline_ms;
-        const SessionOutcome outcome =
-            client->run_session(population[i % population.size()], options);
+        SessionOutcome outcome;
+        if (config.max_attempts > 1) {
+          RetryPolicy policy;
+          policy.max_attempts = config.max_attempts;
+          policy.budget_ms = config.retry_budget_ms;
+          policy.seed = config.seed;
+          outcome = client->run_session_with_retry(
+              population[i % population.size()], options, policy);
+        } else {
+          outcome = client->run_session(population[i % population.size()],
+                                        options);
+        }
         record.kind = outcome.kind;
         record.code = outcome.code;
+        record.attempts = outcome.attempts;
         if (outcome.kind == SessionOutcome::Kind::kTransport)
           client.reset();  // the connection is dead; reconnect for the next
       } catch (const std::exception&) {
@@ -139,8 +254,9 @@ LoadReport run_loadgen(const LoadGenConfig& config) {
       }
       // Open loop: latency counts from the *scheduled* arrival so time spent
       // waiting for a free worker is charged, not silently omitted.
+      record.finished = Clock::now();
       record.latency_ms =
-          std::chrono::duration<double, std::milli>(Clock::now() - scheduled)
+          std::chrono::duration<double, std::milli>(record.finished - scheduled)
               .count();
       records.push_back(record);
     }
@@ -150,14 +266,27 @@ LoadReport run_loadgen(const LoadGenConfig& config) {
   threads.reserve(config.concurrency);
   for (std::size_t w = 0; w < config.concurrency; ++w)
     threads.emplace_back(worker, w);
+  ChaosOutcome chaos_out;
+  std::thread chaos_thread;
+  if (config.chaos)
+    chaos_thread =
+        std::thread(chaos_controller, std::cref(config), std::cref(next),
+                    std::ref(chaos_out));
   for (std::thread& thread : threads) thread.join();
+  if (chaos_thread.joinable()) chaos_thread.join();
 
   LoadReport report;
   report.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
   std::vector<double> completed_latencies;
+  std::vector<double> recovered_latencies;
   for (const std::vector<Record>& records : per_worker) {
     for (const Record& record : records) {
       ++report.attempted;
+      report.retry_attempts += record.attempts - 1;
+      if (record.kind == SessionOutcome::Kind::kResult &&
+          (!chaos_out.have_recovered_at ||
+           record.finished >= chaos_out.recovered_at))
+        recovered_latencies.push_back(record.latency_ms);
       switch (record.kind) {
         case SessionOutcome::Kind::kResult:
           ++report.admitted;
@@ -193,6 +322,16 @@ LoadReport run_loadgen(const LoadGenConfig& config) {
   report.p999_ms = percentile(completed_latencies, 0.999);
   report.max_ms =
       completed_latencies.empty() ? 0.0 : completed_latencies.back();
+  std::sort(recovered_latencies.begin(), recovered_latencies.end());
+  report.p99_recovered_ms = percentile(recovered_latencies, 0.99);
+
+  report.chaos_events_fired = chaos_out.events_fired;
+  report.recovery_ms = chaos_out.recovery_ms;
+  report.all_healthy = config.chaos ? chaos_out.all_healthy : true;
+  report.accounting_ok =
+      report.attempted == config.sessions &&
+      report.attempted == report.completed + report.rejected + report.errored +
+                              report.transport_failures;
 
   try {
     NetClient stats_client(config.host, config.port);
@@ -218,13 +357,23 @@ std::string LoadReport::text() const {
       << " s\n";
   out << "latency ms: p50 " << p50_ms << ", p99 " << p99_ms << ", p999 "
       << p999_ms << ", max " << max_ms << "\n";
+  if (retry_attempts > 0)
+    out << "retries: " << retry_attempts << " extra attempts\n";
+  if (chaos_events_fired > 0) {
+    out << "chaos: " << chaos_events_fired << " events, recovery "
+        << recovery_ms << " ms, all-healthy "
+        << (all_healthy ? "yes" : "NO") << ", accounting "
+        << (accounting_ok ? "ok" : "BROKEN") << ", post-recovery p99 "
+        << p99_recovered_ms << " ms\n";
+  }
   if (have_server_stats) {
     for (std::size_t s = 0; s < server.shards.size(); ++s) {
       const ShardStatsWire& shard = server.shards[s];
       out << "shard " << s << ": accepted " << shard.accepted << ", completed "
           << shard.completed << ", queue-rejected " << shard.rejected_queue_full
           << ", deadline " << shard.deadline_exceeded << ", sessions-rejected "
-          << shard.sessions_rejected << ", chunks " << shard.chunks_fed << "\n";
+          << shard.sessions_rejected << ", chunks " << shard.chunks_fed
+          << ", restarts " << shard.restarts << "\n";
     }
   }
   return out.str();
@@ -243,6 +392,12 @@ std::string LoadReport::json() const {
       << ", \"completed_per_s\": " << completed_per_s
       << ", \"p50_ms\": " << p50_ms << ", \"p99_ms\": " << p99_ms
       << ", \"p999_ms\": " << p999_ms << ", \"max_ms\": " << max_ms
+      << ", \"retry_attempts\": " << retry_attempts
+      << ", \"chaos_events_fired\": " << chaos_events_fired
+      << ", \"recovery_ms\": " << recovery_ms
+      << ", \"all_healthy\": " << (all_healthy ? "true" : "false")
+      << ", \"accounting_ok\": " << (accounting_ok ? "true" : "false")
+      << ", \"p99_recovered_ms\": " << p99_recovered_ms
       << ", \"shards\": [";
   for (std::size_t s = 0; s < server.shards.size(); ++s) {
     const ShardStatsWire& shard = server.shards[s];

@@ -24,6 +24,17 @@
 // buckets) plus the server's own per-shard counters fetched over a Stats
 // frame, so a run shows both sides of the admission story: what clients
 // saw, and what each shard counted.
+//
+// Chaos drill (`chaos = true`, requires the server's admin interface): a
+// controller thread fires `chaos_events` seeded lifecycle events — shard
+// kill, graceful drain, live add — at evenly spaced points of the replay,
+// then polls shard health until every surviving shard reports healthy.
+// Workers run with the deadline-budgeted retry policy, and the report adds
+// the recovery clock plus the accounting and health invariants the drill
+// asserts: every attempted session still terminates exactly once
+// (attempted == completed + rejected + errored + transport), every killed
+// shard returns to healthy, and `p99_recovered_ms` shows the post-recovery
+// tail so a drill can prove latency actually came back.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +66,21 @@ struct LoadGenConfig {
   double deadline_ms = 0.0;  ///< per-session deadline carried in Hello
   std::uint64_t seed = 42;
 
+  // --- client robustness knobs (see NetClient::RetryPolicy) ---
+  int connect_timeout_ms = 0;  ///< bound on each dial (0 = blocking connect)
+  int read_timeout_ms = 0;     ///< bound on each read (0 = block forever)
+  /// Total attempts per session including the first; > 1 enables the
+  /// deadline-budgeted retry loop (reconnect on transport failure,
+  /// exponential backoff + jitter on retryable outcomes).
+  std::size_t max_attempts = 1;
+  /// Wall-clock retry budget per session in ms (0 = unbudgeted).
+  double retry_budget_ms = 0.0;
+
+  // --- chaos drill ---
+  bool chaos = false;           ///< fire lifecycle events mid-replay
+  std::size_t chaos_events = 3; ///< kills / drains / adds to fire
+  std::uint64_t chaos_seed = 7; ///< event schedule seed
+
   void validate() const;
 };
 
@@ -79,6 +105,22 @@ struct LoadReport {
   /// Server-side per-shard counters (Stats frame at the end of the run).
   StatsPayload server;
   bool have_server_stats = false;
+
+  // --- retry / chaos accounting ---
+  /// Extra attempts beyond each session's first (0 when retries are off).
+  std::size_t retry_attempts = 0;
+  std::size_t chaos_events_fired = 0;
+  /// Last chaos event -> every surviving shard healthy, in ms (-1 when the
+  /// pool never converged within the drill's patience).
+  double recovery_ms = 0.0;
+  /// Every non-retired shard reported healthy at the end of the run.
+  bool all_healthy = false;
+  /// attempted == sessions and attempted == completed+rejected+errored+
+  /// transport — the "nothing vanished" invariant the drill asserts.
+  bool accounting_ok = false;
+  /// p99 over sessions that completed after the pool recovered (equals
+  /// p99_ms when no chaos ran); shows whether the tail actually came back.
+  double p99_recovered_ms = 0.0;
 
   [[nodiscard]] std::string text() const;
   [[nodiscard]] std::string json() const;

@@ -101,10 +101,13 @@ void NetServer::accept_loop() {
 
 namespace {
 
-/// One open session on a connection: its shard slot, the streaming session
-/// the chunk frames feed, and the deadline its Finish will carry.
+/// One open session on a connection: its shard slot, the admission epoch it
+/// was admitted under (a later mismatch means the shard restarted or drained
+/// out from under it), the streaming session the chunk frames feed, and the
+/// deadline its Finish will carry.
 struct OpenSession {
   std::size_t shard = 0;
+  std::uint64_t epoch = 0;
   std::unique_ptr<serve::StreamingSession> session;
   double deadline_ms = 0.0;
 };
@@ -174,6 +177,48 @@ void NetServer::serve_connection(Connection& connection) {
         send(FrameType::kStatsReply, sid, encode_stats(pool_.stats()));
         break;
 
+      case FrameType::kAdmin: {
+        if (sid != 0) {
+          send_error(sid, ErrorCode::kProtocol,
+                     "admin frames are connection-scoped (session id 0)");
+          break;
+        }
+        if (!config_.enable_admin) {
+          send_error(sid, ErrorCode::kProtocol, "admin interface disabled");
+          break;
+        }
+        const std::optional<AdminPayload> admin =
+            decode_admin(payload_bytes(arena, header));
+        if (!admin) {
+          send_error(sid, ErrorCode::kBadFrame, "malformed Admin payload");
+          break;
+        }
+        AdminReplyPayload reply;
+        std::string error;
+        bool ok = true;
+        switch (admin->op) {
+          case AdminOp::kAddShard:
+            ok = pool_.add_shard(&error);
+            reply.message = ok ? "shard added" : error;
+            break;
+          case AdminOp::kDrainShard:
+            ok = pool_.begin_drain(admin->shard, &error);
+            reply.message = ok ? "drain started" : error;
+            break;
+          case AdminOp::kRestartShard:
+            ok = pool_.kill_shard(admin->shard, &error);
+            reply.message = ok ? "shard killed; supervisor restarting" : error;
+            break;
+          case AdminOp::kHealth:
+            reply.message = "ok";
+            break;
+        }
+        reply.code = ok ? 0 : 1;
+        reply.shards = pool_.health_snapshot();
+        send(FrameType::kAdminReply, sid, encode_admin_reply(reply));
+        break;
+      }
+
       case FrameType::kHello: {
         if (sid == 0) {
           send_error(sid, ErrorCode::kProtocol, "session id 0 is reserved");
@@ -189,7 +234,7 @@ void NetServer::serve_connection(Connection& connection) {
           send_error(sid, ErrorCode::kBadFrame, "malformed Hello payload");
           break;
         }
-        const serve::EngineConfig& engine_config = pool_.engine(0).config();
+        const serve::EngineConfig& engine_config = pool_.engine_config();
         const double rate = engine_config.session.pipeline.chirp.sample_rate;
         if (hello->sample_rate != rate) {
           // The client resamples before streaming (that is what keeps the
@@ -202,10 +247,12 @@ void NetServer::serve_connection(Connection& connection) {
           break;
         }
         std::size_t shard = 0;
-        switch (pool_.admit_session(sid, &shard)) {
+        std::uint64_t epoch = 0;
+        switch (pool_.admit_session(sid, &shard, &epoch)) {
           case Admission::kAdmitted: {
             OpenSession open;
             open.shard = shard;
+            open.epoch = epoch;
             open.session =
                 std::make_unique<serve::StreamingSession>(engine_config.session);
             open.deadline_ms = hello->deadline_ms > 0.0
@@ -231,6 +278,18 @@ void NetServer::serve_connection(Connection& connection) {
           case Admission::kDispatchFault:
             send_error(sid, ErrorCode::kInternal, "shard dispatch failed");
             break;
+          case Admission::kDraining: {
+            std::ostringstream msg;
+            msg << "shard " << shard << " is draining; retry to remap";
+            send_reject(sid, RejectCode::kShardDraining, msg.str());
+            break;
+          }
+          case Admission::kRestarting: {
+            std::ostringstream msg;
+            msg << "shard " << shard << " is restarting; retry shortly";
+            send_reject(sid, RejectCode::kShardRestarting, msg.str());
+            break;
+          }
         }
         break;
       }
@@ -239,6 +298,15 @@ void NetServer::serve_connection(Connection& connection) {
         auto it = sessions.find(sid);
         if (it == sessions.end()) {
           send_error(sid, ErrorCode::kProtocol, "chunk for unknown session");
+          break;
+        }
+        if (!pool_.session_current(it->second.shard, it->second.epoch)) {
+          // The shard crashed/restarted (or drained past its deadline) under
+          // this session: re-admit nothing silently — the client learns its
+          // streamed audio is gone and decides whether to resend.
+          send_error(sid, ErrorCode::kShardRestart,
+                     to_string(ErrorCode::kShardRestart));
+          close_session(sid);
           break;
         }
         if (header.payload_len % sizeof(double) != 0) {
@@ -258,7 +326,7 @@ void NetServer::serve_connection(Connection& connection) {
           close_session(sid);
           break;
         }
-        pool_.engine(shard).metrics().chunks_fed.fetch_add(
+        pool_.engine(shard)->metrics().chunks_fed.fetch_add(
             1, std::memory_order_relaxed);
         break;
       }
@@ -270,6 +338,12 @@ void NetServer::serve_connection(Connection& connection) {
           break;
         }
         const std::size_t shard = it->second.shard;
+        if (!pool_.session_current(shard, it->second.epoch)) {
+          send_error(sid, ErrorCode::kShardRestart,
+                     to_string(ErrorCode::kShardRestart));
+          close_session(sid);
+          break;
+        }
         serve::ServeRequest request;
         {
           std::ostringstream id;
@@ -278,12 +352,22 @@ void NetServer::serve_connection(Connection& connection) {
         }
         request.timeout_ms = it->second.deadline_ms;
         request.session = std::move(it->second.session);
-        serve::Submission submission =
-            pool_.engine(shard).submit(std::move(request));
+        // Snapshot the engine once: a restart may swap the shard's engine
+        // pointer while this Finish is in flight, and the snapshot keeps the
+        // old engine (whose stop() resolves our future) alive until we have
+        // our answer.
+        const std::shared_ptr<serve::ServingEngine> engine = pool_.engine(shard);
+        serve::Submission submission = engine->submit(std::move(request));
         if (!submission.accepted) {
-          const RejectCode code = pool_.engine(shard).running()
-                                      ? RejectCode::kQueueFull
-                                      : RejectCode::kStopped;
+          const ShardHealth health = pool_.shard_health(shard);
+          if (health == ShardHealth::kDown || health == ShardHealth::kRestarting) {
+            send_error(sid, ErrorCode::kShardRestart,
+                       to_string(ErrorCode::kShardRestart));
+            close_session(sid);
+            break;
+          }
+          const RejectCode code = engine->running() ? RejectCode::kQueueFull
+                                                    : RejectCode::kStopped;
           send_reject(sid, code, submission.reason);
           close_session(sid);
           break;

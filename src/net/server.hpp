@@ -52,6 +52,11 @@ struct NetServerConfig {
   ShardConfig shards;
   /// Deadline applied to sessions whose Hello carries none (0 = none).
   double default_deadline_ms = 0.0;
+  /// Accept session-0 kAdmin frames (live resize / drain / restart / health).
+  /// Off by default: lifecycle control is an operator surface, not something
+  /// every client should reach. When off, kAdmin is answered with
+  /// Error{kProtocol}.
+  bool enable_admin = false;
 
   void validate() const;
 };

@@ -1,10 +1,12 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <bit>
@@ -39,21 +41,19 @@ sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = other.fd_;
-    other.fd_ = -1;
+    fd_.store(other.fd_.exchange(-1));
   }
   return *this;
 }
 
 void Socket::shutdown_both() {
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  const int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 void Socket::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
 }
 
 TcpStream::TcpStream(Socket socket) : socket_(std::move(socket)) {
@@ -64,14 +64,59 @@ TcpStream::TcpStream(Socket socket) : socket_(std::move(socket)) {
   }
 }
 
-TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port,
+                             int timeout_ms) {
   Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
   if (!socket.valid()) fail_errno("socket");
   const sockaddr_in addr = make_addr(host, port);
+  if (timeout_ms <= 0) {
+    if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0)
+      fail_errno("connect");
+    return TcpStream(std::move(socket));
+  }
+  // Bounded connect: flip the socket non-blocking, start the connect, wait
+  // for writability with poll, read the outcome from SO_ERROR, then restore
+  // blocking mode for the stream's read/write path.
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0) fail_errno("fcntl(F_GETFL)");
+  if (::fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK) != 0)
+    fail_errno("fcntl(F_SETFL)");
   if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) != 0)
-    fail_errno("connect");
+                sizeof addr) != 0) {
+    if (errno != EINPROGRESS) fail_errno("connect");
+    pollfd pfd{socket.fd(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      std::ostringstream msg;
+      msg << "connect to " << host << ":" << port << " timed out after "
+          << timeout_ms << " ms";
+      throw NetTimeoutError(msg.str());
+    }
+    if (ready < 0) fail_errno("poll(connect)");
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &so_error, &len) != 0)
+      fail_errno("getsockopt(SO_ERROR)");
+    if (so_error != 0) {
+      errno = so_error;
+      fail_errno("connect");
+    }
+  }
+  if (::fcntl(socket.fd(), F_SETFL, flags) != 0) fail_errno("fcntl(F_SETFL)");
   return TcpStream(std::move(socket));
+}
+
+void TcpStream::set_read_timeout_ms(int ms) {
+  if (!socket_.valid()) return;
+  timeval tv{};
+  if (ms > 0) {
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  }
+  if (::setsockopt(socket_.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0)
+    fail_errno("setsockopt(SO_RCVTIMEO)");
+  read_timeout_ms_ = ms;
 }
 
 bool TcpStream::read_exact(std::span<std::uint8_t> out) {
@@ -84,6 +129,11 @@ bool TcpStream::read_exact(std::span<std::uint8_t> out) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && read_timeout_ms_ > 0) {
+        std::ostringstream msg;
+        msg << "read timed out after " << read_timeout_ms_ << " ms";
+        throw NetTimeoutError(msg.str());
+      }
       fail_errno("read");
     }
     got += static_cast<std::size_t>(n);
@@ -173,6 +223,11 @@ ReadFrameResult read_frame(TcpStream& stream, std::vector<double>& payload_f64,
       result.status = DecodeStatus::kBadCrc;
       return result;
     }
+  } catch (const NetTimeoutError& e) {
+    result.kind = ReadFrameResult::Kind::kIoError;
+    result.io_error = e.what();
+    result.timed_out = true;
+    return result;
   } catch (const std::exception& e) {
     result.kind = ReadFrameResult::Kind::kIoError;
     result.io_error = e.what();

@@ -15,10 +15,12 @@
 // server down (docs/robustness.md catalogs all fault points).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,20 +28,31 @@
 
 namespace earsonar::net {
 
-/// RAII socket file descriptor. Move-only; closes on destruction.
+/// A connect or read exceeded its configured timeout. Typed (rather than a
+/// plain runtime_error) so callers can tell "the peer is slow/dead" from
+/// "the byte stream broke" — the retry layer treats only the former as a
+/// deadline-budgeted retryable condition.
+struct NetTimeoutError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// RAII socket file descriptor. Move-only; closes on destruction. The fd is
+/// atomic because close()/shutdown_both() are the documented cross-thread
+/// wakeup mechanism (stop() closes a listener another thread is polling);
+/// the atomic makes that hand-off race-free at the language level.
 class Socket {
  public:
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { close(); }
 
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
 
-  [[nodiscard]] bool valid() const { return fd_ >= 0; }
-  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_.load(std::memory_order_relaxed) >= 0; }
+  [[nodiscard]] int fd() const { return fd_.load(std::memory_order_relaxed); }
 
   /// shutdown(SHUT_RDWR) without closing: unblocks a read in another thread
   /// while that thread still owns the fd's lifetime. Safe on closed sockets.
@@ -47,7 +60,7 @@ class Socket {
   void close();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 /// Blocking byte stream over a connected TCP socket.
@@ -57,16 +70,24 @@ class TcpStream {
   explicit TcpStream(Socket socket);
 
   /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1"). Throws
-  /// std::runtime_error on failure.
-  static TcpStream connect(const std::string& host, std::uint16_t port);
+  /// std::runtime_error on failure. timeout_ms > 0 bounds the connect
+  /// (non-blocking connect + poll; NetTimeoutError past the deadline);
+  /// 0 keeps the kernel's blocking connect.
+  static TcpStream connect(const std::string& host, std::uint16_t port,
+                           int timeout_ms = 0);
 
   [[nodiscard]] bool valid() const { return socket_.valid(); }
   void shutdown_both() { socket_.shutdown_both(); }
   void close() { socket_.close(); }
 
+  /// Bounds every subsequent read (SO_RCVTIMEO): a read that delivers no
+  /// bytes within ms throws NetTimeoutError instead of blocking forever.
+  /// 0 restores unbounded blocking reads.
+  void set_read_timeout_ms(int ms);
+
   /// Reads exactly out.size() bytes. False on clean EOF at a frame boundary
   /// (no bytes read yet); throws std::runtime_error on mid-buffer EOF or a
-  /// socket error.
+  /// socket error, NetTimeoutError when a configured read timeout expires.
   bool read_exact(std::span<std::uint8_t> out);
 
   /// Writes the whole buffer or throws std::runtime_error.
@@ -74,6 +95,7 @@ class TcpStream {
 
  private:
   Socket socket_;
+  int read_timeout_ms_ = 0;
 };
 
 /// Listening socket bound to 127.0.0.1:port (port 0 = ephemeral).
@@ -111,6 +133,7 @@ struct ReadFrameResult {
   FrameHeader header;
   DecodeStatus status = DecodeStatus::kOk;  ///< set when kMalformed
   std::string io_error;                     ///< set when kIoError
+  bool timed_out = false;  ///< kIoError caused by a read timeout (NetTimeoutError)
 };
 
 /// Reads one frame. The payload lands in `payload_f64` — a double vector

@@ -48,11 +48,14 @@ ModelReloader::ModelReloader(ModelRegistry& registry, std::string path,
     : registry_(registry),
       path_(std::move(path)),
       config_(config),
-      retry_counter_(retry_counter) {
+      retry_counter_(retry_counter),
+      jitter_rng_(splitmix64(config.jitter_seed)) {
   require_positive("ModelReloader.initial_backoff_ms", config_.initial_backoff_ms);
   require(config_.max_backoff_ms >= config_.initial_backoff_ms,
           "ModelReloader: max_backoff_ms must be >= initial_backoff_ms");
   require(config_.multiplier >= 1.0, "ModelReloader: multiplier must be >= 1");
+  require(config_.jitter >= 0.0 && config_.jitter < 1.0,
+          "ModelReloader: jitter must be in [0, 1)");
   std::error_code ec;
   const auto mtime = std::filesystem::last_write_time(path_, ec);
   if (!ec) {
@@ -96,12 +99,21 @@ ModelReloader::Status ModelReloader::attempt(Clock::time_point now) {
                                  config_.max_backoff_ms)
                       : config_.initial_backoff_ms;
     retry_pending_ = true;
-    next_attempt_ = now + std::chrono::duration_cast<Clock::duration>(
-                              std::chrono::duration<double, std::milli>(backoff_ms_));
+    // Jitter perturbs only the scheduled wait, never the base ladder —
+    // current_backoff_ms() stays exact while a fleet of reloaders watching
+    // the same file spreads its retry storm.
+    scheduled_delay_ms_ = backoff_ms_;
+    if (config_.jitter > 0.0)
+      scheduled_delay_ms_ *=
+          1.0 + jitter_rng_.uniform(-config_.jitter, config_.jitter);
+    next_attempt_ =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(scheduled_delay_ms_));
     return Status::kFailedWillRetry;
   }
   retry_pending_ = false;
   backoff_ms_ = 0.0;
+  scheduled_delay_ms_ = 0.0;
   last_error_.clear();
   ++reloads_;
   return Status::kReloaded;

@@ -17,6 +17,7 @@
 #include <shared_mutex>
 #include <string>
 
+#include "common/rng.hpp"
 #include "core/model_io.hpp"
 
 namespace earsonar::serve {
@@ -59,6 +60,14 @@ struct ReloaderConfig {
   double initial_backoff_ms = 100.0;  ///< delay after the first failure
   double max_backoff_ms = 10000.0;    ///< backoff ceiling
   double multiplier = 2.0;            ///< growth per consecutive failure
+  /// Fractional jitter on the *scheduled* retry time: each failure waits
+  /// backoff × (1 ± jitter), drawn from a seeded stream so tests can replay
+  /// the exact schedule. 0 (the default) keeps the classic deterministic
+  /// ladder; current_backoff_ms() always reports the un-jittered base.
+  /// Jitter desynchronizes a fleet of engines all watching the same
+  /// rewritten model file, so they do not re-stat and re-parse in lockstep.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 1;  ///< seed for the jitter stream
 };
 
 class ModelReloader {
@@ -85,7 +94,12 @@ class ModelReloader {
 
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
   [[nodiscard]] std::uint64_t reloads() const { return reloads_; }
+  /// The un-jittered backoff base (jitter applies only to the scheduled
+  /// retry time, so this stays an exact geometric ladder for assertions).
   [[nodiscard]] double current_backoff_ms() const { return backoff_ms_; }
+  /// The actual delay scheduled for the pending retry, jitter included
+  /// (equals current_backoff_ms() when jitter is 0 or no retry is pending).
+  [[nodiscard]] double scheduled_delay_ms() const { return scheduled_delay_ms_; }
   [[nodiscard]] const std::string& last_error() const { return last_error_; }
   [[nodiscard]] const std::string& path() const { return path_; }
 
@@ -101,6 +115,8 @@ class ModelReloader {
   bool retry_pending_ = false;
   Clock::time_point next_attempt_{};
   double backoff_ms_ = 0.0;
+  double scheduled_delay_ms_ = 0.0;
+  Rng jitter_rng_;
   std::uint64_t retries_ = 0;
   std::uint64_t reloads_ = 0;
   std::string last_error_;

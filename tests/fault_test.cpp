@@ -528,6 +528,65 @@ TEST(ModelReloaderTest, InvalidConfigRejected) {
   serve::ReloaderConfig shrink;
   shrink.multiplier = 0.5;
   EXPECT_THROW(serve::ModelReloader(registry, "m", shrink), std::invalid_argument);
+  serve::ReloaderConfig wild;
+  wild.jitter = 1.0;  // [0, 1): full-range jitter could schedule a 0 ms retry
+  EXPECT_THROW(serve::ModelReloader(registry, "m", wild), std::invalid_argument);
+}
+
+// Jitter contract: the *scheduled* retry delay wobbles inside the configured
+// band while current_backoff_ms() stays the exact geometric ladder, the
+// wobble is a pure function of jitter_seed (same seed → identical schedule),
+// and different seeds decorrelate — the point of jitter is that a fleet of
+// reloaders watching the same broken file does not retry in lockstep.
+TEST(ModelReloaderTest, JitterIsSeededBandedAndLeavesLadderExact) {
+  using Clock = serve::ModelReloader::Clock;
+  TempDir dir;
+  const std::string path = dir.file("model.txt");
+  {  // Never parseable: every attempt fails, walking the backoff ladder.
+    std::ofstream out(path);
+    out << "garbage\n";
+  }
+  serve::ModelRegistry registry;
+
+  const auto collect = [&](std::uint64_t seed) {
+    serve::ReloaderConfig rc;
+    rc.initial_backoff_ms = 100.0;
+    rc.max_backoff_ms = 800.0;
+    rc.multiplier = 2.0;
+    rc.jitter = 0.25;
+    rc.jitter_seed = seed;
+    serve::ModelReloader reloader(registry, path, rc);
+    // The ctor baselined the mtime; step it so the first poll attempts.
+    fs::last_write_time(path,
+                        fs::last_write_time(path) + std::chrono::seconds(1));
+    Clock::time_point now = Clock::now();
+    std::vector<double> delays;
+    for (int k = 0; k < 5; ++k) {
+      EXPECT_EQ(reloader.poll(now),
+                serve::ModelReloader::Status::kFailedWillRetry);
+      delays.push_back(reloader.scheduled_delay_ms());
+      now += std::chrono::milliseconds(
+          static_cast<long>(reloader.scheduled_delay_ms()) + 5);
+    }
+    // The ladder itself is un-jittered: 100, 200, 400, then the 800 cap.
+    EXPECT_DOUBLE_EQ(reloader.current_backoff_ms(), 800.0);
+    return delays;
+  };
+
+  const std::vector<double> a = collect(99);
+  const std::vector<double> b = collect(99);
+  const std::vector<double> c = collect(100);
+  ASSERT_EQ(a.size(), 5u);
+  const double bases[] = {100.0, 200.0, 400.0, 800.0, 800.0};
+  bool differs_from_c = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a[k], b[k]) << "same seed must replay delay " << k;
+    EXPECT_GE(a[k], bases[k] * 0.75) << "delay " << k << " below jitter band";
+    EXPECT_LE(a[k], bases[k] * 1.25) << "delay " << k << " above jitter band";
+    EXPECT_NE(a[k], bases[k]) << "delay " << k << " not jittered at all";
+    if (a[k] != c[k]) differs_from_c = true;
+  }
+  EXPECT_TRUE(differs_from_c) << "different seeds produced identical schedules";
 }
 
 }  // namespace

@@ -51,6 +51,12 @@ void decode_payload(const Frame& frame) {
     case FrameType::kStatsReply:
       (void)earsonar::net::decode_stats(p);
       break;
+    case FrameType::kAdmin:
+      (void)earsonar::net::decode_admin(p);
+      break;
+    case FrameType::kAdminReply:
+      (void)earsonar::net::decode_admin_reply(p);
+      break;
     default:
       break;  // chunk/finish/ping/pong/stats payloads are opaque bytes
   }

@@ -269,6 +269,45 @@ TEST(HashRingTest, ResizeRemapsMinimally) {
   EXPECT_LT(static_cast<double>(moved) / keys, 0.40);
 }
 
+// Live membership ops must be equivalent to building the ring at the target
+// size: add_shard(4) on a 4-shard ring maps every key exactly as a fresh
+// 5-shard ring does, only keys landing on the newcomer moved, and removing
+// it restores the original mapping bit for bit.
+TEST(HashRingTest, LiveAddAndRemoveAreMinimalAndExact) {
+  const std::size_t keys = 2000;
+  const net::HashRing fresh4(4, 64);
+  const net::HashRing fresh5(5, 64);
+  net::HashRing live(4, 64);
+
+  live.add_shard(4);
+  EXPECT_TRUE(live.contains(4));
+  EXPECT_EQ(live.shard_count(), 5u);
+  std::size_t moved = 0;
+  for (std::uint64_t id = 1; id <= keys; ++id) {
+    EXPECT_EQ(live.shard_for(id), fresh5.shard_for(id)) << "key " << id;
+    const std::size_t from = fresh4.shard_for(id);
+    const std::size_t to = live.shard_for(id);
+    if (from != to) {
+      EXPECT_EQ(to, 4u) << "key " << id << " moved between old shards";
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(static_cast<double>(moved) / keys, 0.40);
+
+  live.remove_shard(4);
+  EXPECT_FALSE(live.contains(4));
+  EXPECT_EQ(live.shard_count(), 4u);
+  for (std::uint64_t id = 1; id <= keys; ++id)
+    EXPECT_EQ(live.shard_for(id), fresh4.shard_for(id))
+        << "key " << id << " did not return home after remove";
+  // Idempotence: re-adding and re-removing are no-ops on a member/non-member.
+  live.add_shard(2);
+  EXPECT_EQ(live.shard_count(), 4u);
+  live.remove_shard(4);
+  EXPECT_EQ(live.shard_count(), 4u);
+}
+
 // ---------------------------------------------------------------- shard pool
 
 TEST(ShardPoolTest, SessionSlotsAreBoundedAndReleasable) {
@@ -340,6 +379,58 @@ TEST(NetLoopbackTest, BitIdenticalToInProcessAnalyzeAtEveryChunkSize) {
     EXPECT_EQ(result.confidence, expected.confidence);
     EXPECT_EQ(result.model_version, 1u);
   }
+  server.stop();
+}
+
+// The bit-identity contract must survive a *live resize*: sessions answered
+// after an admin add-shard (and after a graceful drain) still produce the
+// exact features of the in-process analyze() — lifecycle churn may move
+// keys, never perturb the math.
+TEST(NetLoopbackTest, BitIdenticalSurvivesMidRunResize) {
+  const audio::Waveform recording = test_recording();
+  core::EarSonar batch(causal_config());
+  const core::EchoAnalysis reference = batch.analyze(recording);
+  ASSERT_TRUE(reference.usable());
+
+  net::NetServerConfig cfg = small_server_config(2);
+  cfg.enable_admin = true;
+  net::NetServer server(cfg);
+  server.shards().install_model(tiny_model(), "test");
+  server.start();
+
+  net::NetClient client("127.0.0.1", server.port());
+  const auto run_and_check = [&](std::uint64_t sid) {
+    net::SessionOptions options;
+    options.session_id = sid;
+    const net::SessionOutcome outcome = client.run_session(recording, options);
+    ASSERT_EQ(outcome.kind, net::SessionOutcome::Kind::kResult)
+        << "session " << sid << ": " << outcome.message;
+    ASSERT_EQ(outcome.result.features.size(), reference.features.size());
+    for (std::size_t i = 0; i < reference.features.size(); ++i)
+      EXPECT_EQ(outcome.result.features[i], reference.features[i])
+          << "feature " << i << " differs in session " << sid;
+  };
+  for (std::uint64_t sid = 1; sid <= 4; ++sid)
+    ASSERT_NO_FATAL_FAILURE(run_and_check(sid));
+
+  // Grow the pool by one shard over the wire (session-0 Admin frame).
+  const std::optional<net::AdminReplyPayload> grown =
+      client.admin(net::AdminOp::kAddShard);
+  ASSERT_TRUE(grown.has_value());
+  EXPECT_EQ(grown->code, 0) << grown->message;
+  EXPECT_EQ(server.shards().ring_members(), 3u);
+  // Session ids chosen to land across the ring, including the newcomer.
+  for (std::uint64_t sid = 100; sid <= 120; ++sid)
+    ASSERT_NO_FATAL_FAILURE(run_and_check(sid));
+
+  // Drain one of the original shards; later sessions remap and still match.
+  const std::optional<net::AdminReplyPayload> drained =
+      client.admin(net::AdminOp::kDrainShard, 0);
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(drained->code, 0) << drained->message;
+  EXPECT_EQ(server.shards().ring_members(), 2u);
+  for (std::uint64_t sid = 200; sid <= 220; ++sid)
+    ASSERT_NO_FATAL_FAILURE(run_and_check(sid));
   server.stop();
 }
 

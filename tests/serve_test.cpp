@@ -165,6 +165,48 @@ TEST(BoundedQueueTest, ConcurrentCloseNeverDropsAcceptedItems) {
   EXPECT_EQ(queue.size(), 0u);
 }
 
+// The batching worker's linger pop must honor close() promptly and still
+// drain every accepted item when close() races it mid-wait — a consumer
+// parked in try_pop_until with a far deadline must wake on close, not sleep
+// the deadline out, and nothing accepted may vanish. Run under TSan via the
+// serve label.
+TEST(BoundedQueueTest, TryPopUntilRacingCloseWakesAndDrains) {
+  using SteadyClock = std::chrono::steady_clock;
+  for (int round = 0; round < 8; ++round) {
+    serve::BoundedQueue<int> queue(16);
+    std::atomic<int> accepted{0};
+    std::atomic<int> drained{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 2; ++c) {
+      consumers.emplace_back([&] {
+        int out = 0;
+        for (;;) {
+          // Far deadline: without the close() wakeup this would stall the
+          // test; with it, the loop exits as soon as closed-and-drained.
+          if (queue.try_pop_until(out, SteadyClock::now() +
+                                           std::chrono::seconds(30))) {
+            drained.fetch_add(1);
+            continue;
+          }
+          if (queue.closed()) return;  // false + closed = drained, done
+        }
+      });
+    }
+    std::thread producer([&] {
+      for (int i = 0; i < 50; ++i)
+        if (queue.try_push(i)) accepted.fetch_add(1);
+    });
+    // Close at a jittered instant so different rounds hit the race at
+    // different points: before, during, and after the producer's burst.
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * round));
+    queue.close();
+    producer.join();
+    for (auto& t : consumers) t.join();
+    EXPECT_EQ(accepted.load(), drained.load()) << "round " << round;
+    EXPECT_EQ(queue.size(), 0u);
+  }
+}
+
 // ----------------------------------------------------------------- metrics
 
 TEST(LatencyHistogramTest, CountMeanPercentile) {
