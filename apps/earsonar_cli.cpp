@@ -21,6 +21,9 @@
 //   earsonar loadgen --port P [--sessions N] ...
 //       Replay a simulated user population against a serve-net instance and
 //       report tail latency plus per-shard counters.
+//   earsonar longitudinal [--subjects N] [--days D] [--seed S] ...
+//       Synthesize a longitudinal effusion cohort and score the online CUSUM
+//       change-point detector against its ground-truth onsets/resolutions.
 //
 // Global options (every subcommand): --log-level LVL routes the leveled
 // narration (common/log.hpp), --trace-out FILE enables obs tracing and
@@ -46,12 +49,16 @@
 #include "common/table.hpp"
 #include "core/model_io.hpp"
 #include "core/pipeline.hpp"
+#include "core/wideband.hpp"
 #include "dsp/stft.hpp"
+#include "longitudinal/cohort.hpp"
 #include "obs/trace.hpp"
 #include "net/loadgen.hpp"
 #include "net/server.hpp"
 #include "serve/engine.hpp"
+#include "sim/absorbance.hpp"
 #include "sim/dataset.hpp"
+#include "sim/trajectory.hpp"
 
 using namespace earsonar;
 namespace fs = std::filesystem;
@@ -214,6 +221,9 @@ void print_serve_net_usage() {
       "  --max-sessions N    live sessions per shard          [64]\n"
       "  --max-connections N concurrent connections           [256]\n"
       "  --model FILE        detector model loaded into every shard\n"
+      "  --wideband-subjects N  simulated subjects the startup-fitted wideband\n"
+      "                      absorbance screener trains on; 0 disables the\n"
+      "                      absorbance workload          [12]\n"
       "  --deadline-ms M     default session deadline; 0 off  [0]\n"
       "  --admin             enable session-0 admin frames (live add/drain/\n"
       "                      restart/health; loadgen --chaos needs this)\n"
@@ -248,6 +258,10 @@ void print_loadgen_usage() {
       "  --chunk N         samples per chunk frame          [4800]\n"
       "  --time-scale X    chunk pacing as fraction of real time; 0 = backlogged\n"
       "  --deadline-ms M   per-session deadline; 0 = server default\n"
+      "  --workload-mix X  fraction of sessions carrying the wideband\n"
+      "                    absorbance workload instead of EarSonar audio,\n"
+      "                    seeded per session index; report splits every\n"
+      "                    counter per type [0]\n"
       "  --seed S          population / arrival RNG seed    [42]\n"
       "  --connect-timeout-ms T  bound each dial; 0 = blocking     [0]\n"
       "  --read-timeout-ms T     bound each read; 0 = no timeout   [0]\n"
@@ -264,7 +278,46 @@ void print_loadgen_usage() {
       "  --log-level LVL   debug|info|warn|error|off        [info]\n");
 }
 
+void print_longitudinal_usage() {
+  std::printf(
+      "usage: earsonar longitudinal [options]\n"
+      "\n"
+      "Synthesize a cohort of per-subject effusion trajectories (seeded\n"
+      "semi-Markov over the effusion states, two screening sessions per day)\n"
+      "and run the online two-sided CUSUM change-point detector over each\n"
+      "subject's 18 kHz notch-depth series. Reports detection rates and mean\n"
+      "delays for onsets and resolutions over the scorable change points,\n"
+      "plus the false-alarm rate. Deterministic for a given seed at every\n"
+      "thread count. See docs/workloads.md for the trajectory model and the\n"
+      "detector math.\n"
+      "\n"
+      "  --subjects N       cohort size                        [112]\n"
+      "  --days D           follow-up window, 2 sessions/day   [20]\n"
+      "  --seed S           cohort RNG seed                    [42]\n"
+      "  --onset-prob P     probability a subject develops effusion  [0.85]\n"
+      "  --baseline N       CUSUM baseline sessions before arming    [6]\n"
+      "  --cusum-h H        CUSUM alarm threshold (sigma units)      [5]\n"
+      "  --cusum-k K        CUSUM per-step drift/slack (sigma units) [0.5]\n"
+      "  --match-window W   max sessions between change point and alarm [12]\n"
+      "  --threads T        worker threads; 0 = auto           [0]\n"
+      "  --trace-out FILE   write a Chrome-trace JSON profile on exit (global)\n"
+      "  --log-level LVL    debug|info|warn|error|off          [info]\n");
+}
+
 // ------------------------------------------------------------- subcommands
+
+/// Fits the wideband absorbance screener (the second serving workload,
+/// docs/workloads.md) on a seeded simulated curve set — small enough to fit
+/// at startup, and deterministic so every shard classifies identically.
+std::shared_ptr<const core::WidebandScreener> fit_wideband_screener(
+    std::size_t subjects, std::uint64_t seed) {
+  const std::vector<double> grid = core::wideband_frequency_grid();
+  const sim::AbsorbanceDataset data =
+      sim::absorbance_dataset(subjects, /*per_state=*/2, grid, seed);
+  auto screener = std::make_shared<core::WidebandScreener>();
+  screener->fit(data.curves, data.labels);
+  return screener;
+}
 
 int cmd_simulate(const Args& args) {
   if (flag_set(args, "help")) {
@@ -541,6 +594,10 @@ int cmd_serve(const Args& args) {
   serve::ServingEngine engine(cfg);
   const std::uint64_t v0 = engine.registry().load_file(model_path);
   log_info("model v", v0, " loaded from ", model_path);
+  // Register the absorbance workload alongside EarSonar: curves submitted to
+  // this engine (in-process callers; the watch dir only yields WAVs) classify
+  // against a startup-fitted wideband screener.
+  engine.install_wideband(fit_wideband_screener(/*subjects=*/12, /*seed=*/42));
   engine.start();
   log_info("serving ", watch_dir.string(), " with ", cfg.workers,
            " workers (queue ", cfg.queue_capacity, ", chunk ", cfg.chunk_samples,
@@ -665,6 +722,14 @@ int cmd_serve_net(const Args& args) {
     log_info("model loaded into ", cfg.shards.shards, " shard(s) from ",
              model_path);
   }
+  const std::size_t wideband_subjects = static_cast<std::size_t>(
+      std::stoul(option_or(args, "wideband-subjects", "12")));
+  if (wideband_subjects > 0) {
+    server.shards().install_wideband(
+        fit_wideband_screener(wideband_subjects, /*seed=*/42));
+    log_info("wideband screener (", wideband_subjects,
+             " subjects) installed into every shard");
+  }
   server.start();
   std::printf("serve-net listening on %s:%u (%zu shards, %zu sessions/shard)\n",
               cfg.host.c_str(), server.port(), cfg.shards.shards,
@@ -715,6 +780,7 @@ int cmd_loadgen(const Args& args) {
       static_cast<std::size_t>(std::stoul(option_or(args, "chunk", "4800")));
   cfg.time_scale = std::stod(option_or(args, "time-scale", "0"));
   cfg.deadline_ms = std::stod(option_or(args, "deadline-ms", "0"));
+  cfg.workload_mix = std::stod(option_or(args, "workload-mix", "0"));
   cfg.seed = std::stoull(option_or(args, "seed", "42"));
   cfg.connect_timeout_ms = std::stoi(option_or(args, "connect-timeout-ms", "0"));
   cfg.read_timeout_ms = std::stoi(option_or(args, "read-timeout-ms", "0"));
@@ -744,9 +810,51 @@ int cmd_loadgen(const Args& args) {
                  report.accounting_ok ? 1 : 0, report.all_healthy ? 1 : 0);
     return 1;
   }
-  // A run where nothing completed and nothing was explicitly refused means
-  // the server was unreachable — fail loudly.
-  return report.completed + report.rejected + report.errored > 0 ? 0 : 1;
+  if (!report.accounting_ok) {
+    // Broken accounting (sessions vanished, a per-type slice that does not
+    // reconcile, or attempted > 0 with nothing completed) must never exit 0
+    // — a fully-rejected run is a failed run even outside a chaos drill.
+    std::fprintf(stderr, "loadgen accounting FAILED: attempted=%zu completed=%zu "
+                 "rejected=%zu errored=%zu transport=%zu\n",
+                 report.attempted, report.completed, report.rejected,
+                 report.errored, report.transport_failures);
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_longitudinal(const Args& args) {
+  if (flag_set(args, "help")) {
+    print_longitudinal_usage();
+    return 0;
+  }
+  sim::TrajectoryConfig tc;
+  tc.subject_count =
+      static_cast<std::size_t>(std::stoul(option_or(args, "subjects", "112")));
+  tc.days = static_cast<std::size_t>(std::stoul(option_or(args, "days", "20")));
+  tc.seed = std::stoull(option_or(args, "seed", "42"));
+  tc.onset_probability = std::stod(option_or(args, "onset-prob", "0.85"));
+  tc.threads =
+      static_cast<std::size_t>(std::stoul(option_or(args, "threads", "0")));
+
+  longitudinal::CohortAnalysisConfig cc;
+  cc.cusum.baseline_sessions =
+      static_cast<std::size_t>(std::stoul(option_or(args, "baseline", "6")));
+  cc.cusum.threshold = std::stod(option_or(args, "cusum-h", "5"));
+  cc.cusum.drift = std::stod(option_or(args, "cusum-k", "0.5"));
+  cc.match_window =
+      static_cast<std::size_t>(std::stoul(option_or(args, "match-window", "12")));
+  cc.threads = tc.threads;
+
+  log_info("synthesizing ", tc.subject_count, " trajectories over ", tc.days,
+           " days (seed ", tc.seed, ")");
+  const auto cohort = sim::TrajectoryGenerator(tc).generate();
+  obs::Span span("analyze_cohort", "longitudinal");
+  const longitudinal::CohortCpdReport report =
+      longitudinal::analyze_cohort(cohort, cc);
+  span.end();
+  std::printf("%s", report.text().c_str());
+  return 0;
 }
 
 void print_usage() {
@@ -767,7 +875,10 @@ void print_usage() {
       "                    [--duration-s S]\n"
       "  earsonar loadgen  --port P [--sessions N] [--concurrency N]\n"
       "                    [--open-loop --rate HZ [--diurnal]] [--chaos]\n"
-      "                    [--max-attempts N] [--retry-budget-ms M] [--json]\n"
+      "                    [--workload-mix X] [--max-attempts N]\n"
+      "                    [--retry-budget-ms M] [--json]\n"
+      "  earsonar longitudinal [--subjects N] [--days D] [--seed S]\n"
+      "                    [--cusum-h H] [--cusum-k K] [--threads T]\n"
       "\n"
       "global options (every command):\n"
       "  --trace-out FILE  capture an obs trace of the run and write it as\n"
@@ -787,6 +898,7 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "serve") return cmd_serve(args);
   if (command == "serve-net") return cmd_serve_net(args);
   if (command == "loadgen") return cmd_loadgen(args);
+  if (command == "longitudinal") return cmd_longitudinal(args);
   print_usage();
   return command == "help" || command == "--help" ? 0 : 1;
 }

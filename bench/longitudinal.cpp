@@ -1,0 +1,135 @@
+// Longitudinal pipeline throughput + detector quality: how fast the
+// trajectory synthesizer and the cohort CUSUM analysis run, and — because
+// both are bit-deterministic for a fixed seed — the exact detection quality
+// of the reference operating point (h = 5, k = 0.5) on the reference cohort.
+//
+// Prints a human-readable table by default; `--json` emits one JSON object
+// for bench/run_bench.sh to embed as the report's `longitudinal` field.
+// Exits nonzero when the deterministic quality gate fails — detection rates
+// sliding under the floor or false alarms over the ceiling mean the detector
+// or the simulator moved, and a bench run must not quietly re-baseline that
+// (the golden test pins the exact values; this gate keeps the *bench report*
+// honest too).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "longitudinal/cohort.hpp"
+#include "sim/trajectory.hpp"
+
+using namespace earsonar;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// The same reference cohort the golden test pins (200 subjects x 40
+// sessions, seed 42), shrunk in smoke mode.
+sim::TrajectoryConfig reference_config(std::size_t threads) {
+  sim::TrajectoryConfig tc;
+  tc.subject_count = bench::smoke_mode() ? 16 : 200;
+  tc.days = bench::smoke_mode() ? 5 : 20;
+  tc.seed = 42;
+  tc.threads = threads;
+  return tc;
+}
+
+struct Timings {
+  double synth_subjects_per_s = 0.0;
+  double analyze_sessions_per_s = 0.0;
+};
+
+Timings time_pipeline(std::size_t threads,
+                      longitudinal::CohortCpdReport* report_out) {
+  const sim::TrajectoryConfig tc = reference_config(threads);
+  // Warm-up generation pays first-touch costs off the clock.
+  (void)sim::TrajectoryGenerator(tc).generate_subject(0);
+
+  Timings t;
+  auto t0 = Clock::now();
+  const auto cohort = sim::TrajectoryGenerator(tc).generate();
+  t.synth_subjects_per_s =
+      static_cast<double>(cohort.size()) / seconds_since(t0);
+
+  longitudinal::CohortAnalysisConfig cc;
+  cc.threads = threads;
+  t0 = Clock::now();
+  const longitudinal::CohortCpdReport report =
+      longitudinal::analyze_cohort(cohort, cc);
+  t.analyze_sessions_per_s =
+      static_cast<double>(report.sessions) / seconds_since(t0);
+  if (report_out) *report_out = report;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+
+  longitudinal::CohortCpdReport report;
+  const Timings serial = time_pipeline(1, &report);
+  const Timings parallel = time_pipeline(0, nullptr);
+
+  const double onset_rate = report.onset_detection_rate();
+  const double res_rate = report.resolution_detection_rate();
+
+  if (json) {
+    std::ostringstream out;
+    out << "{\n  \"subjects\": " << report.subjects
+        << ",\n  \"sessions\": " << report.sessions
+        << ",\n  \"synth_subjects_per_s\": " << serial.synth_subjects_per_s
+        << ",\n  \"synth_subjects_per_s_parallel\": "
+        << parallel.synth_subjects_per_s
+        << ",\n  \"analyze_sessions_per_s\": " << serial.analyze_sessions_per_s
+        << ",\n  \"analyze_sessions_per_s_parallel\": "
+        << parallel.analyze_sessions_per_s
+        << ",\n  \"onset_detection_rate\": " << onset_rate
+        << ",\n  \"resolution_detection_rate\": " << res_rate
+        << ",\n  \"mean_onset_delay_sessions\": "
+        << report.mean_onset_delay_sessions
+        << ",\n  \"mean_resolution_delay_sessions\": "
+        << report.mean_resolution_delay_sessions
+        << ",\n  \"false_alarms_per_100_sessions\": "
+        << report.false_alarms_per_100_sessions << "\n}\n";
+    std::fputs(out.str().c_str(), stdout);
+  } else {
+    bench::print_header("Longitudinal trajectories + CUSUM cohort analysis",
+                        "deployment extension (no paper figure)");
+    std::printf("reference cohort: %zu subjects, %zu sessions (seed 42)\n\n",
+                report.subjects, report.sessions);
+    AsciiTable table({"stage", "serial", "auto threads", "unit"});
+    table.add_row({"synthesize", AsciiTable::format(serial.synth_subjects_per_s, 1),
+                   AsciiTable::format(parallel.synth_subjects_per_s, 1),
+                   "subjects/s"});
+    table.add_row({"analyze", AsciiTable::format(serial.analyze_sessions_per_s, 0),
+                   AsciiTable::format(parallel.analyze_sessions_per_s, 0),
+                   "sessions/s"});
+    bench::print_table(table);
+    std::printf("\n%s", report.text().c_str());
+  }
+
+  // The quality gate runs only on the full reference cohort — the smoke
+  // cohort is too small for its rates to mean anything.
+  if (!bench::smoke_mode()) {
+    const bool ok = onset_rate >= 0.60 && res_rate >= 0.45 &&
+                    report.false_alarms_per_100_sessions <= 6.5;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "FAIL: longitudinal quality gate — onset rate %.3f "
+                   "(floor 0.60), resolution rate %.3f (floor 0.45), false "
+                   "alarms %.2f/100 sessions (ceiling 6.5)\n",
+                   onset_rate, res_rate,
+                   report.false_alarms_per_100_sessions);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 //
 // Prints human-readable tables by default; `--json` emits a single JSON
 // object for bench/run_bench.sh to embed in the repo bench report.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>

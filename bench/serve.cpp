@@ -125,7 +125,10 @@ ChunkPoint run_chunk(const audio::Waveform& recording, std::size_t chunk,
   const auto t0 = Clock::now();
   std::vector<std::future<serve::ServeResult>> futures;
   for (std::size_t i = 0; i < requests; ++i) {
-    serve::Submission sub = engine.submit({"c" + std::to_string(i), recording});
+    serve::ServeRequest req;
+    req.id = "c" + std::to_string(i);
+    req.recording = recording;
+    serve::Submission sub = engine.submit(std::move(req));
     if (sub.accepted) futures.push_back(std::move(sub.result));
   }
   for (auto& future : futures) future.get();

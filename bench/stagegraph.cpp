@@ -91,7 +91,10 @@ BatchPoint run_batch(const audio::Waveform& recording, std::size_t batch_max,
   std::vector<std::future<serve::ServeResult>> futures;
   futures.reserve(requests);
   for (std::size_t i = 0; i < requests; ++i) {
-    serve::Submission sub = engine.submit({"b" + std::to_string(i), recording});
+    serve::ServeRequest req;
+    req.id = "b" + std::to_string(i);
+    req.recording = recording;
+    serve::Submission sub = engine.submit(std::move(req));
     if (sub.accepted) futures.push_back(std::move(sub.result));
   }
   for (auto& future : futures) future.get();

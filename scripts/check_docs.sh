@@ -20,6 +20,9 @@
 #   7. docs/architecture.md must name every pipeline stage the stage graph
 #      exports (the EARSONAR_STAGE sites in src/pipeline/stage_graph.cpp),
 #      and docs/cli.md must mention every --batch-* flag the CLI parses.
+#   8. docs/workloads.md (the workload + longitudinal reference) must exist,
+#      be linked from README.md and docs/architecture.md, and name every
+#      serve::WorkloadType label the code defines.
 set -eu
 
 ROOT=${1:?usage: check_docs.sh REPO_ROOT [EARSONAR_BIN]}
@@ -51,7 +54,7 @@ done
 CLI_DOC="$ROOT/docs/cli.md"
 [ -f "$CLI_DOC" ] || err "docs/cli.md is missing"
 
-COMMANDS="simulate train diagnose inspect analyze serve serve-net loadgen"
+COMMANDS="simulate train diagnose inspect analyze serve serve-net loadgen longitudinal"
 if [ -f "$CLI_DOC" ]; then
   for cmd in $COMMANDS; do
     grep -q "^## earsonar $cmd" "$CLI_DOC" \
@@ -187,6 +190,26 @@ if [ -f "$CLI_DOC" ]; then
   for flag in $batch_flags; do
     grep -qF -- "$flag" "$CLI_DOC" \
       || err "docs/cli.md does not mention batching flag '$flag'"
+  done
+fi
+
+# ---- 8. workload reference ------------------------------------------------
+WORKLOADS_DOC="$ROOT/docs/workloads.md"
+[ -f "$WORKLOADS_DOC" ] || err "docs/workloads.md is missing"
+
+if [ -f "$WORKLOADS_DOC" ]; then
+  grep -q "docs/workloads.md" "$ROOT/README.md" \
+    || err "README.md does not link docs/workloads.md"
+  grep -q "docs/workloads.md" "$ARCH_DOC" \
+    || err "docs/architecture.md does not link docs/workloads.md"
+  # Every wire/metric label the workload enum defines (the to_string
+  # spellings in src/serve/workload.cpp) must appear in the reference.
+  labels=$(grep -ohE 'return "[a-z]+";' "$ROOT/src/serve/workload.cpp" \
+             | sed 's/return "//; s/";//' | sort -u) || true
+  [ -n "$labels" ] || err "no workload labels found in src/serve/workload.cpp"
+  for l in $labels; do
+    grep -qF "\"$l\"" "$WORKLOADS_DOC" \
+      || err "docs/workloads.md does not name workload label '$l'"
   done
 fi
 

@@ -5,10 +5,11 @@
 # surface. Two fresh build trees:
 #
 #   1. EARSONAR_SANITIZE=address,undefined — memory errors and UB over the
-#      `serve`, `stagegraph`, `fault`, `net`, and `chaos` labels (engine
-#      chaos tests, cross-request batch bit-identity, fault injection, fuzz
-#      replay, the socket front-end's loopback suite and frame-decoder
-#      replay, and the shard lifecycle / failure-recovery drills) plus the
+#      `serve`, `stagegraph`, `fault`, `net`, `chaos`, and `longitudinal`
+#      labels (engine chaos tests, cross-request batch bit-identity, fault
+#      injection, fuzz replay, the socket front-end's loopback suite and
+#      frame-decoder replay, the shard lifecycle / failure-recovery drills,
+#      and the trajectory-synthesis + cohort-CUSUM suite) plus the
 #      full `oracle` and `simd` labels: the
 #      differential oracle drives every optimized kernel through denormals,
 #      primes, and edge-case sizes, exactly where UB likes to hide, and the
@@ -23,7 +24,10 @@
 #      labels (accept loop, per-connection threads, shard admission
 #      counters, and the supervisor thread's restart/drain/resize machinery
 #      racing live sessions — the lifecycle layer is exactly where TSan
-#      earns its keep); of the oracle suite only the `oracle_stream`
+#      earns its keep), and the `longitudinal` label (parallel trajectory
+#      generation and per-slot cohort scoring, whose thread-count
+#      bit-identity claim deserves a race check, not just a value check);
+#      of the oracle suite only the `oracle_stream`
 #      label (the
 #      streaming-vs-batch equivalence pairs) runs here, since the pure
 #      numeric pairs are single-threaded and O(n^2) references are slow
@@ -60,14 +64,16 @@ run_flavor() {
   done
 }
 
-run_flavor asan address,undefined 'serve|stagegraph|fault|oracle|simd|net|chaos' \
+run_flavor asan address,undefined \
+           'serve|stagegraph|fault|oracle|simd|net|chaos|longitudinal' \
            'native scalar' \
            serve_test stagegraph_test fault_test wav_fuzz_replay simd_test \
-           net_test chaos_test frame_fuzz_replay \
+           net_test chaos_test frame_fuzz_replay longitudinal_test \
            oracle_fft_test oracle_dsp_test oracle_stats_test \
            oracle_stream_test oracle_golden_test
-run_flavor tsan thread 'serve|stagegraph|fault|oracle_stream|net|chaos' native \
+run_flavor tsan thread \
+           'serve|stagegraph|fault|oracle_stream|net|chaos|longitudinal' native \
            serve_test stagegraph_test fault_test wav_fuzz_replay net_test \
-           chaos_test frame_fuzz_replay oracle_stream_test
+           chaos_test frame_fuzz_replay oracle_stream_test longitudinal_test
 
-echo "check_sanitize: OK (address,undefined over serve|stagegraph|fault|oracle|simd|net|chaos at both SIMD levels + thread over serve|stagegraph|fault|oracle_stream|net|chaos)"
+echo "check_sanitize: OK (address,undefined over serve|stagegraph|fault|oracle|simd|net|chaos|longitudinal at both SIMD levels + thread over serve|stagegraph|fault|oracle_stream|net|chaos|longitudinal)"

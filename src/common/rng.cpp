@@ -1,6 +1,8 @@
 #include "common/rng.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <numbers>
 #include <numeric>
 
 namespace earsonar {
@@ -20,29 +22,59 @@ Rng Rng::fork(std::uint64_t stream) const {
   return Rng(splitmix64(base ^ splitmix64(stream)));
 }
 
+std::uint64_t Rng::uniform_below(std::uint64_t bound) {
+  require(bound >= 1, "Rng::uniform_below: bound must be >= 1");
+  // Lemire's multiply-shift with rejection of the biased low fringe:
+  // floor(x * bound / 2^64) is uniform iff the low 64 bits of the product
+  // clear the 2^64 % bound threshold.
+  using u128 = unsigned __int128;
+  std::uint64_t x = next_u64();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;  // 2^64 mod bound
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
 double Rng::uniform(double lo, double hi) {
   require(lo <= hi, "Rng::uniform: lo must be <= hi");
-  std::uniform_real_distribution<double> dist(lo, hi);
-  return dist(engine_);
+  if (lo == hi) return lo;
+  const double v = lo + uniform01() * (hi - lo);
+  // Rounding in the affine map can land exactly on hi; keep the half-open
+  // contract by snapping to the largest representable value below it.
+  return v < hi ? v : std::nextafter(hi, lo);
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   require(lo <= hi, "Rng::uniform_int: lo must be <= hi");
-  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
-  return dist(engine_);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  if (span == std::uint64_t(-1)) return static_cast<std::int64_t>(next_u64());
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   uniform_below(span + 1));
 }
 
 double Rng::normal(double mean, double sigma) {
   require(sigma >= 0.0, "Rng::normal: sigma must be >= 0");
   if (sigma == 0.0) return mean;
-  std::normal_distribution<double> dist(mean, sigma);
-  return dist(engine_);
+  // Box–Muller over exactly two raw draws; the sine branch is discarded so
+  // every call consumes the same amount of engine state regardless of
+  // history (no cached spare, no hidden state beyond the engine).
+  const double u1 = 1.0 - uniform01();  // (0, 1]: keeps log() finite
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + sigma * r * std::cos(2.0 * std::numbers::pi * u2);
 }
 
 bool Rng::bernoulli(double p) {
   require_in_range("Rng::bernoulli p", p, 0.0, 1.0);
-  std::bernoulli_distribution dist(p);
-  return dist(engine_);
+  return uniform01() < p;
 }
 
 std::size_t Rng::weighted_index(std::span<const double> weights) {
@@ -64,7 +96,7 @@ std::size_t Rng::weighted_index(std::span<const double> weights) {
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::vector<std::size_t> idx(n);
   std::iota(idx.begin(), idx.end(), std::size_t{0});
-  std::shuffle(idx.begin(), idx.end(), engine_);
+  shuffle(idx);
   return idx;
 }
 

@@ -2,13 +2,20 @@
 //
 // Every stochastic component in EarSonar (subject generation, noise synthesis,
 // k-means seeding, data shuffling) draws through an explicitly seeded Rng so
-// that tests, examples, and benchmark tables are bit-reproducible run to run.
+// that tests, examples, and benchmark tables are bit-reproducible run to run
+// — and across standard libraries. The engine is std::mt19937_64, whose raw
+// 64-bit output sequence the C++ standard fully specifies; every distribution
+// on top of it is implemented here with explicit portable algorithms (Lemire
+// bounded rejection, Box–Muller, Fisher–Yates) instead of the std::
+// distribution classes, whose outputs are implementation-defined and differ
+// between libstdc++ and libc++. tests/common_test.cpp pins exact draw values
+// so any future drift is caught.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -17,7 +24,8 @@ namespace earsonar {
 
 /// Seedable pseudo-random source with the distribution helpers the library
 /// needs. Thin wrapper over std::mt19937_64; cheap to copy (state is ~2.5 kB)
-/// but usually passed by reference.
+/// but usually passed by reference. All helpers are portable: the same seed
+/// yields the same draws on every conforming standard library.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed'ea25'04a7ULL) : engine_(seed) {}
@@ -26,6 +34,18 @@ class Rng {
   /// Used to give each simulated subject / session its own reproducible RNG.
   [[nodiscard]] Rng fork(std::uint64_t stream) const;
 
+  /// One raw 64-bit engine draw (the standard-specified MT19937-64 output).
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision (one raw draw).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift bounded
+  /// rejection (unbiased, usually one raw draw). `bound` must be >= 1.
+  std::uint64_t uniform_below(std::uint64_t bound);
+
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
 
@@ -33,6 +53,7 @@ class Rng {
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Gaussian with the given mean and standard deviation (sigma >= 0).
+  /// Box–Muller over two raw draws; sigma == 0 consumes no draws.
   double normal(double mean, double sigma);
 
   /// Bernoulli draw with probability `p` of true.
@@ -41,10 +62,12 @@ class Rng {
   /// Index in [0, weights.size()) drawn proportionally to `weights`.
   std::size_t weighted_index(std::span<const double> weights);
 
-  /// In-place Fisher-Yates shuffle.
+  /// In-place Fisher–Yates shuffle (explicit, not std::shuffle, whose
+  /// engine-consumption pattern is implementation-defined).
   template <typename T>
   void shuffle(std::vector<T>& values) {
-    std::shuffle(values.begin(), values.end(), engine_);
+    for (std::size_t i = values.size(); i > 1; --i)
+      std::swap(values[i - 1], values[uniform_below(i)]);
   }
 
   /// A random permutation of 0..n-1.
@@ -52,8 +75,6 @@ class Rng {
 
   /// `k` distinct indices sampled uniformly from 0..n-1 (k <= n).
   std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
-
-  std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;

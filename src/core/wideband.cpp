@@ -1,0 +1,62 @@
+#include "core/wideband.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace earsonar::core {
+
+std::vector<double> wideband_frequency_grid(std::size_t bins) {
+  require(bins >= 2, "wideband_frequency_grid: bins must be >= 2");
+  std::vector<double> grid;
+  grid.reserve(bins);
+  const double log_lo = std::log(kWidebandLowHz);
+  const double log_hi = std::log(kWidebandHighHz);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(bins - 1);
+    grid.push_back(std::exp(log_lo + (log_hi - log_lo) * t));
+  }
+  return grid;
+}
+
+WidebandScreener::WidebandScreener(WidebandConfig config)
+    : config_(config), model_(config.logistic) {
+  require(config_.bins >= 2, "WidebandConfig: bins must be >= 2");
+}
+
+void WidebandScreener::fit(const ml::Matrix& curves,
+                           const std::vector<std::size_t>& labels) {
+  require_nonempty("WidebandScreener::fit curves", curves.size());
+  require(curves.size() == labels.size(),
+          "WidebandScreener::fit: curves and labels must align");
+  for (const std::vector<double>& curve : curves)
+    require(curve.size() == config_.bins,
+            "WidebandScreener::fit: curve length must equal configured bins");
+  scaler_.fit(curves);
+  model_.fit(scaler_.transform(curves), labels);
+}
+
+std::vector<double> WidebandScreener::probabilities(
+    std::span<const double> absorbance) const {
+  require(fitted(), "WidebandScreener: not fitted");
+  require(absorbance.size() == config_.bins,
+          "WidebandScreener: curve length must equal configured bins");
+  const std::vector<double> row(absorbance.begin(), absorbance.end());
+  return model_.predict_proba(scaler_.transform(row));
+}
+
+Diagnosis WidebandScreener::classify(std::span<const double> absorbance) const {
+  const std::vector<double> probs = probabilities(absorbance);
+  Diagnosis diagnosis;
+  diagnosis.state = static_cast<std::size_t>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+  std::vector<double> sorted = probs;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  diagnosis.confidence =
+      std::clamp(sorted[0] - (sorted.size() > 1 ? sorted[1] : 0.0), 0.0, 1.0);
+  diagnosis.distance = 0.0;
+  return diagnosis;
+}
+
+}  // namespace earsonar::core

@@ -1,0 +1,66 @@
+// Wideband absorbance screening (second serving workload, ROADMAP item 4).
+//
+// Wideband acoustic immittance measures how much probe energy the middle ear
+// absorbs across 226 Hz-8 kHz; effusion stiffens the drum-fluid system and
+// depresses absorbance broadly below ~2 kHz (Grais et al., PAPERS.md, arXiv
+// 2103.02982, classify exactly these curves with standard ML heads). This
+// module is the serving-side head for that workload: a log-spaced frequency
+// grid, a StandardScaler + multiclass LogisticRegression over the curve
+// (reusing the ml/ stack like core/screening.hpp does for the binary mode),
+// and a Diagnosis-shaped answer so the serving plumbing treats both workload
+// types uniformly. Curves come from tympanometer-class hardware, not the
+// earphone mic — the simulator synthesizes them from the same eardrum physics
+// (sim/absorbance.hpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "ml/logistic.hpp"
+#include "ml/scaler.hpp"
+
+namespace earsonar::core {
+
+inline constexpr double kWidebandLowHz = 226.0;  ///< clinical standard probe tone
+inline constexpr double kWidebandHighHz = 8000.0;
+inline constexpr std::size_t kWidebandBins = 64;
+
+/// Log-spaced measurement grid over [kWidebandLowHz, kWidebandHighHz],
+/// endpoints included — log spacing matches how immittance hardware reports
+/// (per-octave resolution, denser where the effusion signature lives).
+std::vector<double> wideband_frequency_grid(std::size_t bins = kWidebandBins);
+
+struct WidebandConfig {
+  std::size_t bins = kWidebandBins;
+  ml::LogisticConfig logistic{.classes = kMeeStateCount, .epochs = 300};
+};
+
+/// Four-state screener over one absorbance curve.
+class WidebandScreener {
+ public:
+  explicit WidebandScreener(WidebandConfig config = {});
+
+  /// Fits scaler + softmax head on labeled curves (labels in [0, 4),
+  /// rows of `bins` absorbance values in [0, 1]).
+  void fit(const ml::Matrix& curves, const std::vector<std::size_t>& labels);
+
+  /// Classifies one curve (length must equal the configured bin count).
+  /// confidence = top-two probability margin; distance is unused (0).
+  [[nodiscard]] Diagnosis classify(std::span<const double> absorbance) const;
+
+  /// Per-state probabilities for one curve.
+  [[nodiscard]] std::vector<double> probabilities(
+      std::span<const double> absorbance) const;
+
+  [[nodiscard]] bool fitted() const { return model_.fitted(); }
+  [[nodiscard]] const WidebandConfig& config() const { return config_; }
+
+ private:
+  WidebandConfig config_;
+  ml::StandardScaler scaler_;
+  ml::LogisticRegression model_;
+};
+
+}  // namespace earsonar::core

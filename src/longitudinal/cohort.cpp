@@ -1,0 +1,162 @@
+#include "longitudinal/cohort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace earsonar::longitudinal {
+
+void CohortAnalysisConfig::validate() const {
+  cusum.validate();
+  require(match_window >= 1, "CohortAnalysisConfig: match_window must be >= 1");
+}
+
+SubjectCpdResult analyze_subject(const sim::SubjectTrajectory& trajectory,
+                                 const CohortAnalysisConfig& config) {
+  config.validate();
+  SubjectCpdResult result;
+  result.subject_id = trajectory.subject_id;
+
+  std::vector<double> series;
+  series.reserve(trajectory.sessions.size());
+  for (const sim::TrajectorySession& point : trajectory.sessions)
+    series.push_back(point.notch_depth_db);
+
+  CusumDetector detector(config.cusum);
+  result.alarms = detector.detect(series);
+
+  // Greedy in-order matching: each change point claims the first unclaimed
+  // same-direction alarm in its eligibility span.
+  std::vector<bool> claimed(result.alarms.size(), false);
+  const std::vector<sim::ChangePoint>& truth = trajectory.change_points;
+  for (std::size_t c = 0; c < truth.size(); ++c) {
+    const sim::ChangePoint& cp = truth[c];
+    const bool onset = cp.onset;
+    if (onset)
+      ++result.true_onsets;
+    else
+      ++result.true_resolutions;
+    // A shift fully inside the baseline window is invisible by construction.
+    if (cp.session < config.cusum.baseline_sessions) {
+      if (onset)
+        ++result.unscorable_onsets;
+      else
+        ++result.unscorable_resolutions;
+      continue;
+    }
+    // Eligibility ends at the next ground-truth change point (the regime the
+    // alarm would be evidence of no longer holds) or after match_window.
+    std::uint32_t end = cp.session + static_cast<std::uint32_t>(config.match_window);
+    if (c + 1 < truth.size()) end = std::min(end, truth[c + 1].session);
+    for (std::size_t a = 0; a < result.alarms.size(); ++a) {
+      const Alarm& alarm = result.alarms[a];
+      if (claimed[a] || alarm.upward != onset) continue;
+      if (alarm.session < cp.session || alarm.session >= end) continue;
+      claimed[a] = true;
+      if (onset) {
+        ++result.detected_onsets;
+        result.onset_delay_sessions += alarm.session - cp.session;
+      } else {
+        ++result.detected_resolutions;
+        result.resolution_delay_sessions += alarm.session - cp.session;
+      }
+      break;
+    }
+  }
+  for (bool c : claimed)
+    if (!c) ++result.false_alarms;
+  return result;
+}
+
+CohortCpdReport analyze_cohort(const std::vector<sim::SubjectTrajectory>& cohort,
+                               const CohortAnalysisConfig& config) {
+  config.validate();
+  std::vector<SubjectCpdResult> results(cohort.size());
+  parallel_for(
+      cohort.size(),
+      [&](std::size_t i) { results[i] = analyze_subject(cohort[i], config); },
+      config.threads);
+
+  CohortCpdReport report;
+  report.subjects = cohort.size();
+  double onset_delay = 0.0;
+  double resolution_delay = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SubjectCpdResult& r = results[i];
+    report.sessions += cohort[i].sessions.size();
+    report.true_onsets += r.true_onsets;
+    report.detected_onsets += r.detected_onsets;
+    report.true_resolutions += r.true_resolutions;
+    report.detected_resolutions += r.detected_resolutions;
+    report.false_alarms += r.false_alarms;
+    report.unscorable_onsets += r.unscorable_onsets;
+    report.unscorable_resolutions += r.unscorable_resolutions;
+    onset_delay += r.onset_delay_sessions;
+    resolution_delay += r.resolution_delay_sessions;
+  }
+  report.mean_onset_delay_sessions =
+      report.detected_onsets > 0
+          ? onset_delay / static_cast<double>(report.detected_onsets)
+          : std::numeric_limits<double>::quiet_NaN();
+  report.mean_resolution_delay_sessions =
+      report.detected_resolutions > 0
+          ? resolution_delay / static_cast<double>(report.detected_resolutions)
+          : std::numeric_limits<double>::quiet_NaN();
+  report.false_alarms_per_100_sessions =
+      report.sessions > 0
+          ? 100.0 * static_cast<double>(report.false_alarms) /
+                static_cast<double>(report.sessions)
+          : 0.0;
+  return report;
+}
+
+double CohortCpdReport::onset_detection_rate() const {
+  const std::size_t scorable = true_onsets - unscorable_onsets;
+  return scorable > 0 ? static_cast<double>(detected_onsets) /
+                            static_cast<double>(scorable)
+                      : std::numeric_limits<double>::quiet_NaN();
+}
+
+double CohortCpdReport::resolution_detection_rate() const {
+  const std::size_t scorable = true_resolutions - unscorable_resolutions;
+  return scorable > 0 ? static_cast<double>(detected_resolutions) /
+                            static_cast<double>(scorable)
+                      : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string CohortCpdReport::text() const {
+  std::ostringstream out;
+  const auto rate = [](double r) {
+    if (std::isnan(r)) return std::string("n/a");
+    std::ostringstream s;
+    s << 100.0 * r << "%";
+    return s.str();
+  };
+  const auto delay = [](double d) {
+    if (std::isnan(d)) return std::string("n/a");
+    std::ostringstream r;
+    r << d << " sessions";
+    return r.str();
+  };
+  out << "subjects: " << subjects << ", sessions: " << sessions << "\n";
+  out << "onsets: " << detected_onsets << "/"
+      << (true_onsets - unscorable_onsets) << " scorable detected ("
+      << rate(onset_detection_rate()) << ", " << unscorable_onsets
+      << " of " << true_onsets << " inside the baseline window), mean delay "
+      << delay(mean_onset_delay_sessions) << "\n";
+  out << "resolutions: " << detected_resolutions << "/"
+      << (true_resolutions - unscorable_resolutions) << " scorable detected ("
+      << rate(resolution_detection_rate()) << ", " << unscorable_resolutions
+      << " of " << true_resolutions
+      << " inside the baseline window), mean delay "
+      << delay(mean_resolution_delay_sessions) << "\n";
+  out << "false alarms: " << false_alarms << " ("
+      << false_alarms_per_100_sessions << " per 100 sessions)\n";
+  return out.str();
+}
+
+}  // namespace earsonar::longitudinal

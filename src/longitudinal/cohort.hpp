@@ -1,0 +1,90 @@
+// Cohort-scale longitudinal analysis: run the online change-point detector
+// over every subject's notch-depth trajectory and score its alarms against
+// the simulator's ground-truth onset/resolution change points.
+//
+// Matching discipline: alarms and change points are both in session order.
+// A ground-truth change point is *detected* by the first same-direction alarm
+// that fires at or after it, before the next ground-truth change point of
+// either direction (an alarm for the previous regime that arrives after the
+// regime already changed again is not credit), and within `match_window`
+// sessions. Detection delay is alarm session minus change-point session.
+// Every alarm left unmatched is a false alarm. Change points inside the
+// detector's baseline window can never be detected and are reported in the
+// `unscorable` tally instead of silently inflating the miss rate.
+//
+// Analysis is parallel over subjects (each subject's detector run is
+// independent) with per-slot writes, so the report is bit-identical at every
+// thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "longitudinal/cpd.hpp"
+#include "sim/trajectory.hpp"
+
+namespace earsonar::longitudinal {
+
+struct CohortAnalysisConfig {
+  CusumConfig cusum;
+  /// Max sessions between a change point and its matching alarm.
+  std::size_t match_window = 12;
+  /// Worker threads (0 = auto, see common/parallel.hpp).
+  std::size_t threads = 0;
+
+  void validate() const;
+};
+
+/// One subject's scored detector run.
+struct SubjectCpdResult {
+  std::uint32_t subject_id = 0;
+  std::vector<Alarm> alarms;
+  std::size_t true_onsets = 0;
+  std::size_t detected_onsets = 0;
+  std::size_t true_resolutions = 0;
+  std::size_t detected_resolutions = 0;
+  std::size_t false_alarms = 0;
+  /// Change points inside the baseline window, split by direction — they can
+  /// never be detected, so detection rates must be computed over the
+  /// scorable remainder (true - unscorable), not the raw truth count.
+  std::size_t unscorable_onsets = 0;
+  std::size_t unscorable_resolutions = 0;
+  /// Summed detection delays (sessions) over the detected subsets.
+  double onset_delay_sessions = 0.0;
+  double resolution_delay_sessions = 0.0;
+};
+
+/// Aggregate over the cohort.
+struct CohortCpdReport {
+  std::size_t subjects = 0;
+  std::size_t sessions = 0;  ///< total observations fed to detectors
+  std::size_t true_onsets = 0;
+  std::size_t detected_onsets = 0;
+  std::size_t true_resolutions = 0;
+  std::size_t detected_resolutions = 0;
+  std::size_t false_alarms = 0;
+  std::size_t unscorable_onsets = 0;
+  std::size_t unscorable_resolutions = 0;
+  /// Mean detection delay in sessions over detected change points
+  /// (NaN when nothing was detected — no delay claim without evidence).
+  double mean_onset_delay_sessions = 0.0;
+  double mean_resolution_delay_sessions = 0.0;
+  double false_alarms_per_100_sessions = 0.0;
+
+  /// Detection rates over the scorable denominators (NaN when none).
+  [[nodiscard]] double onset_detection_rate() const;
+  [[nodiscard]] double resolution_detection_rate() const;
+
+  [[nodiscard]] std::string text() const;
+};
+
+/// Scores one subject's trajectory with a fresh detector.
+SubjectCpdResult analyze_subject(const sim::SubjectTrajectory& trajectory,
+                                 const CohortAnalysisConfig& config);
+
+/// Runs analyze_subject over the whole cohort in parallel and aggregates.
+CohortCpdReport analyze_cohort(const std::vector<sim::SubjectTrajectory>& cohort,
+                               const CohortAnalysisConfig& config);
+
+}  // namespace earsonar::longitudinal

@@ -1,0 +1,130 @@
+#include "longitudinal/cpd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace earsonar::longitudinal {
+
+namespace {
+
+double median_of(std::vector<double> values) {
+  const std::size_t n = values.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  double m = values[mid];
+  if (n % 2 == 0) {
+    const auto lower = std::max_element(
+        values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = 0.5 * (m + *lower);
+  }
+  return m;
+}
+
+}  // namespace
+
+void CusumConfig::validate() const {
+  require(baseline_sessions >= 2,
+          "CusumConfig: baseline_sessions must be >= 2");
+  require(threshold > 0.0, "CusumConfig: threshold must be > 0");
+  require(drift >= 0.0, "CusumConfig: drift must be >= 0");
+  require(min_sigma_db > 0.0, "CusumConfig: min_sigma_db must be > 0");
+  require(rebase_sessions >= 1, "CusumConfig: rebase_sessions must be >= 1");
+}
+
+Baseline estimate_baseline(std::span<const double> series, const CusumConfig& config) {
+  require_nonempty("estimate_baseline series", series.size());
+  std::vector<double> values(series.begin(), series.end());
+  Baseline baseline;
+  baseline.mu = median_of(values);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::abs(v - baseline.mu));
+  // 1.4826 scales MAD to the standard deviation of a Gaussian.
+  baseline.sigma = std::max(config.min_sigma_db, 1.4826 * median_of(deviations));
+  return baseline;
+}
+
+CusumDetector::CusumDetector(CusumConfig config) : config_(config) {
+  config_.validate();
+  window_.reserve(config_.baseline_sessions);
+}
+
+void CusumDetector::reset() {
+  window_.clear();
+  baseline_ = Baseline{};
+  armed_ = false;
+  alarmed_ = false;
+  s_hi_ = 0.0;
+  s_lo_ = 0.0;
+  session_ = 0;
+  recent_.clear();
+}
+
+std::optional<Alarm> CusumDetector::observe(double value) {
+  const std::uint32_t session = session_++;
+  recent_.push_back(value);
+  if (recent_.size() > config_.rebase_sessions)
+    recent_.erase(recent_.begin());
+
+  if (!armed_) {
+    window_.push_back(value);
+    if (window_.size() < config_.baseline_sessions) return std::nullopt;
+    baseline_ = estimate_baseline(window_, config_);
+    armed_ = true;
+    return std::nullopt;  // baseline sessions themselves never alarm
+  }
+
+  const double z = (value - baseline_.mu) / baseline_.sigma;
+  s_hi_ = std::max(0.0, s_hi_ + z - config_.drift);
+  s_lo_ = std::max(0.0, s_lo_ - z - config_.drift);
+  const bool up = s_hi_ > config_.threshold;
+  const bool down = s_lo_ > config_.threshold;
+  if (!up && !down) {
+    // Self-starting phase: a baseline estimated from only baseline_sessions
+    // observations carries a mu error of order sigma / sqrt(n), which a
+    // zero-drift CUSUM integrates into false alarms over a long in-control
+    // stretch. Until the first alarm, absorb every no-alarm observation and
+    // re-estimate, shrinking that error as the healthy run grows. Two
+    // boundaries matter: (1) absorption must not be gated on the
+    // accumulators sitting at zero — that censors the window toward small
+    // values and walks mu off the true level; (2) learning must freeze at
+    // the first alarm — a baseline that keeps adapting inside the fluid
+    // regime tracks the slow recovery ramp and swallows the resolution
+    // shift it exists to detect. (Shifted observations absorbed during the
+    // first alarm's detection delay barely move the median, and that alarm
+    // restarts the window anyway.)
+    if (!alarmed_) {
+      window_.push_back(value);
+      baseline_ = estimate_baseline(window_, config_);
+    }
+    return std::nullopt;
+  }
+
+  // Both sides past threshold on one step is pathological; report the larger.
+  const bool upward = up && (!down || s_hi_ >= s_lo_);
+  // Re-anchor on the new regime: the recent observations straddle the shift,
+  // so their mean is a serviceable reference for detecting the next reversal.
+  // The estimation window restarts from them too, so in-control absorption
+  // re-learns the new regime instead of mixing in the old one.
+  double sum = 0.0;
+  for (double v : recent_) sum += v;
+  baseline_.mu = sum / static_cast<double>(recent_.size());
+  window_ = recent_;
+  alarmed_ = true;
+  s_hi_ = 0.0;
+  s_lo_ = 0.0;
+  return Alarm{session, upward};
+}
+
+std::vector<Alarm> CusumDetector::detect(std::span<const double> series) {
+  reset();
+  std::vector<Alarm> alarms;
+  for (double value : series)
+    if (std::optional<Alarm> alarm = observe(value)) alarms.push_back(*alarm);
+  return alarms;
+}
+
+}  // namespace earsonar::longitudinal

@@ -1,0 +1,106 @@
+// Online change-point detection over a subject's notch-depth trajectory.
+//
+// The paper's longitudinal claim is that the 18 kHz notch tracks recovery:
+// fluid behind the drum pulls the drum resonance toward (and through) the
+// probe band, shifting the in-band reflectance-notch depth away from the
+// subject's healthy baseline at onset and back at resolution. The shift's
+// direction depends on where the fluid-loaded resonance lands relative to
+// the band, so this module watches the series *online* — one session at a
+// time, as a deployed screening app would — with a two-sided CUSUM:
+//
+//   baseline:  mu, sigma from the first `baseline_sessions` observations
+//              (median / scaled MAD, robust to a stray bad session), then
+//              refined with every in-control observation until the first
+//              alarm, so the initial small-sample mu error does not
+//              accumulate into false alarms (self-starting phase; learning
+//              freezes once a regime change is seen, else the baseline would
+//              track slow recovery ramps and swallow the resolution shift);
+//   per step:  z    = (x - mu) / sigma
+//              S_hi = max(0, S_hi + z - k)     (upward drift accumulator)
+//              S_lo = max(0, S_lo - z - k)     (downward drift accumulator)
+//   alarm:     S_hi > h  -> upward alarm (onset-like shift)
+//              S_lo > h  -> downward alarm (resolution-like shift)
+//
+// k (the slack) absorbs session-to-session jitter; h (the threshold) sets the
+// false-alarm / delay trade-off (both in sigma units, the classic CUSUM
+// parameterization). After an alarm the detector re-anchors mu on the most
+// recent observations and clears both accumulators, so the *next* transition
+// of the arc (resolution after onset, relapse after resolution) is detected
+// against the new regime rather than the stale baseline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace earsonar::longitudinal {
+
+struct CusumConfig {
+  /// Sessions used to establish the per-subject baseline before the detector
+  /// arms. With the twice-daily cadence, 6 sessions = 3 days of baseline.
+  std::size_t baseline_sessions = 6;
+  /// h / k in sigma units: the textbook CUSUM operating point (k = 0.5
+  /// targets 1-sigma shifts, h = 5 sets the in-control run length). On the
+  /// reference trajectory cohort this detects ~2/3 of scorable onsets at a
+  /// mean delay of ~4 sessions (see tests/longitudinal_test.cpp golden).
+  double threshold = 5.0;    ///< h: alarm when an accumulator exceeds this
+  double drift = 0.5;        ///< k: per-step slack, absorbs jitter
+  double min_sigma_db = 0.2; ///< floor on the baseline spread estimate
+  /// Observations averaged to re-anchor the reference level after an alarm.
+  std::size_t rebase_sessions = 5;
+
+  void validate() const;
+};
+
+/// Robust per-subject baseline: median and scaled-MAD spread.
+struct Baseline {
+  double mu = 0.0;
+  double sigma = 0.0;
+};
+
+/// Robust baseline over the whole span (median + scaled MAD); sigma is
+/// floored at min_sigma_db. The detector feeds it the first
+/// baseline_sessions observations to arm, then every in-control
+/// observation until the first alarm (see CusumDetector::observe).
+Baseline estimate_baseline(std::span<const double> series, const CusumConfig& config);
+
+/// A directional alarm raised by the detector.
+struct Alarm {
+  std::uint32_t session = 0;  ///< 0-based index of the observation that fired
+  bool upward = false;        ///< true: feature rose (onset-like)
+};
+
+/// The online detector. Feed observations in session order; it arms itself
+/// after `baseline_sessions` and reports at most one alarm per observation.
+class CusumDetector {
+ public:
+  explicit CusumDetector(CusumConfig config = {});
+
+  /// Forgets everything; the next observe() starts a new baseline window.
+  void reset();
+
+  /// Consumes the next observation; returns the alarm it raised, if any.
+  std::optional<Alarm> observe(double value);
+
+  /// Offline convenience: reset, then observe the whole series.
+  std::vector<Alarm> detect(std::span<const double> series);
+
+  [[nodiscard]] const CusumConfig& config() const { return config_; }
+  /// The baseline in force (meaningful once armed).
+  [[nodiscard]] Baseline baseline() const { return baseline_; }
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  CusumConfig config_;
+  std::vector<double> window_;  ///< baseline (then rebase) collection buffer
+  Baseline baseline_;
+  bool armed_ = false;
+  bool alarmed_ = false;  ///< a first alarm has fired (learning frozen)
+  double s_hi_ = 0.0;
+  double s_lo_ = 0.0;
+  std::uint32_t session_ = 0;
+  std::vector<double> recent_;  ///< last rebase_sessions observations
+};
+
+}  // namespace earsonar::longitudinal

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <numbers>
 #include <sstream>
@@ -12,8 +13,10 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/wideband.hpp"
 #include "net/client.hpp"
 #include "net/shard.hpp"
+#include "sim/absorbance.hpp"
 #include "sim/probe.hpp"
 
 namespace earsonar::net {
@@ -26,6 +29,7 @@ using Clock = std::chrono::steady_clock;
 struct Record {
   SessionOutcome::Kind kind = SessionOutcome::Kind::kTransport;
   std::uint16_t code = 0;
+  std::uint8_t workload = 0;  ///< serve::workload_index of this session
   double latency_ms = 0.0;
   std::size_t attempts = 1;
   Clock::time_point finished{};  ///< for the post-recovery tail split
@@ -55,6 +59,40 @@ std::vector<audio::Waveform> build_population(const LoadGenConfig& config) {
         sim::reference_earphone(), {}, rng));
   }
   return recordings;
+}
+
+/// The absorbance half of the population: one wideband curve per subject,
+/// cycled through the effusion states like the recordings. The curve rides
+/// the Waveform container unresampled (SessionOptions::workload tells the
+/// client the values are bins, not audio).
+std::vector<audio::Waveform> build_absorbance_population(
+    const LoadGenConfig& config) {
+  sim::SubjectFactory factory(static_cast<std::uint32_t>(config.seed));
+  const std::vector<double> grid = core::wideband_frequency_grid();
+  const auto states = sim::all_effusion_states();
+  std::vector<audio::Waveform> curves;
+  curves.reserve(config.population);
+  for (std::size_t i = 0; i < config.population; ++i) {
+    Rng rng(splitmix64(config.seed * 1000003ULL + i) ^ 0xab5ULL);
+    curves.emplace_back(
+        sim::absorbance_curve_state(factory.make(static_cast<std::uint32_t>(i)),
+                                    states[i % states.size()], /*session=*/0,
+                                    grid, rng),
+        48000.0);
+  }
+  return curves;
+}
+
+/// Seeded per-session workload assignment: session i is absorbance with
+/// probability `workload_mix`, independent of worker scheduling, so one seed
+/// always replays one interleaving.
+std::vector<std::uint8_t> build_workloads(const LoadGenConfig& config) {
+  std::vector<std::uint8_t> workloads(config.sessions, 0);
+  if (config.workload_mix <= 0.0) return workloads;
+  Rng rng(splitmix64(config.seed ^ 0x3a1f00dULL));
+  for (std::uint8_t& w : workloads)
+    w = rng.bernoulli(config.workload_mix) ? 1 : 0;
+  return workloads;
 }
 
 /// Poisson arrival offsets (seconds from run start), optionally modulated by
@@ -162,12 +200,31 @@ void chaos_controller(const LoadGenConfig& config,
 }
 
 double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
+  // No samples means no latency statement. Returning 0.0 here made a
+  // fully-rejected run report "p99_ms: 0" and read as fast; NaN propagates
+  // into null-marked report fields instead.
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
   const double rank = std::ceil(p * static_cast<double>(sorted.size()));
   const std::size_t index =
       std::min(sorted.size() - 1,
                static_cast<std::size_t>(rank > 1.0 ? rank - 1.0 : 0.0));
   return sorted[index];
+}
+
+/// JSON has no NaN literal; an absent measurement serialises as null.
+std::string json_or_null(double value) {
+  if (std::isnan(value)) return "null";
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+/// Text reports mark an absent measurement explicitly instead of printing 0.
+std::string text_or_na(double value) {
+  if (std::isnan(value)) return "n/a";
+  std::ostringstream out;
+  out << value;
+  return out.str();
 }
 
 }  // namespace
@@ -190,11 +247,17 @@ void LoadGenConfig::validate() const {
   require(read_timeout_ms >= 0, "LoadGenConfig: read_timeout_ms must be >= 0");
   require(!chaos || chaos_events >= 1,
           "LoadGenConfig: chaos needs chaos_events >= 1");
+  require(workload_mix >= 0.0 && workload_mix <= 1.0,
+          "LoadGenConfig: workload_mix must be in [0, 1]");
 }
 
 LoadReport run_loadgen(const LoadGenConfig& config) {
   config.validate();
   const std::vector<audio::Waveform> population = build_population(config);
+  const std::vector<std::uint8_t> workloads = build_workloads(config);
+  const std::vector<audio::Waveform> absorbance_population =
+      config.workload_mix > 0.0 ? build_absorbance_population(config)
+                                : std::vector<audio::Waveform>{};
   const std::vector<double> arrivals =
       config.open_loop ? build_arrivals(config) : std::vector<double>{};
 
@@ -215,6 +278,9 @@ LoadReport run_loadgen(const LoadGenConfig& config) {
       const std::size_t i = next.fetch_add(1);
       if (i >= config.sessions) break;
       Record record;
+      // Tag before the try so a thrown dial still lands in the right
+      // per-type bucket.
+      record.workload = workloads[i];
       const auto scheduled =
           config.open_loop
               ? t0 + std::chrono::duration_cast<Clock::duration>(
@@ -226,22 +292,26 @@ LoadReport run_loadgen(const LoadGenConfig& config) {
           client = std::make_unique<NetClient>(config.host, config.port,
                                                config.connect_timeout_ms,
                                                config.read_timeout_ms);
+        const bool absorbance = workloads[i] != 0;
         SessionOptions options;
         options.session_id = i + 1;
         options.chunk_samples = config.chunk_samples;
-        options.chunk_period_s = chunk_period_s;
+        // Pacing models audio capture cadence; a 64-bin curve arrives whole.
+        options.chunk_period_s = absorbance ? 0.0 : chunk_period_s;
         options.deadline_ms = config.deadline_ms;
+        options.workload = workloads[i];
+        const audio::Waveform& payload =
+            absorbance ? absorbance_population[i % absorbance_population.size()]
+                       : population[i % population.size()];
         SessionOutcome outcome;
         if (config.max_attempts > 1) {
           RetryPolicy policy;
           policy.max_attempts = config.max_attempts;
           policy.budget_ms = config.retry_budget_ms;
           policy.seed = config.seed;
-          outcome = client->run_session_with_retry(
-              population[i % population.size()], options, policy);
+          outcome = client->run_session_with_retry(payload, options, policy);
         } else {
-          outcome = client->run_session(population[i % population.size()],
-                                        options);
+          outcome = client->run_session(payload, options);
         }
         record.kind = outcome.kind;
         record.code = outcome.code;
@@ -283,6 +353,8 @@ LoadReport run_loadgen(const LoadGenConfig& config) {
     for (const Record& record : records) {
       ++report.attempted;
       report.retry_attempts += record.attempts - 1;
+      WorkloadLoad& slice = report.per_workload[record.workload % 2];
+      ++slice.attempted;
       if (record.kind == SessionOutcome::Kind::kResult &&
           (!chaos_out.have_recovered_at ||
            record.finished >= chaos_out.recovered_at))
@@ -291,10 +363,12 @@ LoadReport run_loadgen(const LoadGenConfig& config) {
         case SessionOutcome::Kind::kResult:
           ++report.admitted;
           ++report.completed;
+          ++slice.completed;
           completed_latencies.push_back(record.latency_ms);
           break;
         case SessionOutcome::Kind::kRejected:
           ++report.rejected;
+          ++slice.rejected;
           if (record.code ==
               static_cast<std::uint16_t>(RejectCode::kShardSessionsFull))
             ++report.rejected_sessions_full;
@@ -303,12 +377,14 @@ LoadReport run_loadgen(const LoadGenConfig& config) {
           break;
         case SessionOutcome::Kind::kError:
           ++report.errored;
+          ++slice.errored;
           if (record.code ==
               static_cast<std::uint16_t>(ErrorCode::kDeadlineExceeded))
             ++report.deadline_exceeded;
           break;
         case SessionOutcome::Kind::kTransport:
           ++report.transport_failures;
+          ++slice.transport_failures;
           break;
       }
     }
@@ -320,18 +396,30 @@ LoadReport run_loadgen(const LoadGenConfig& config) {
   report.p50_ms = percentile(completed_latencies, 0.50);
   report.p99_ms = percentile(completed_latencies, 0.99);
   report.p999_ms = percentile(completed_latencies, 0.999);
-  report.max_ms =
-      completed_latencies.empty() ? 0.0 : completed_latencies.back();
+  report.max_ms = completed_latencies.empty()
+                      ? std::numeric_limits<double>::quiet_NaN()
+                      : completed_latencies.back();
   std::sort(recovered_latencies.begin(), recovered_latencies.end());
   report.p99_recovered_ms = percentile(recovered_latencies, 0.99);
 
   report.chaos_events_fired = chaos_out.events_fired;
   report.recovery_ms = chaos_out.recovery_ms;
   report.all_healthy = config.chaos ? chaos_out.all_healthy : true;
+  // A run where every session was attempted but none completed has no
+  // latency evidence at all — treat it as an accounting failure so degenerate
+  // chaos runs exit nonzero instead of reporting a null-latency "success".
   report.accounting_ok =
       report.attempted == config.sessions &&
       report.attempted == report.completed + report.rejected + report.errored +
-                              report.transport_failures;
+                              report.transport_failures &&
+      !(report.completed == 0 && report.attempted > 0);
+  // The same exactness must hold inside every workload slice — a session
+  // that terminated under the wrong type tag is an accounting bug even when
+  // the totals happen to balance.
+  for (const WorkloadLoad& slice : report.per_workload)
+    if (slice.attempted != slice.completed + slice.rejected + slice.errored +
+                               slice.transport_failures)
+      report.accounting_ok = false;
 
   try {
     NetClient stats_client(config.host, config.port);
@@ -355,8 +443,18 @@ std::string LoadReport::text() const {
       << " deadline), " << transport_failures << " transport\n";
   out << "throughput: " << completed_per_s << " completed/s over " << wall_s
       << " s\n";
-  out << "latency ms: p50 " << p50_ms << ", p99 " << p99_ms << ", p999 "
-      << p999_ms << ", max " << max_ms << "\n";
+  out << "latency ms: p50 " << text_or_na(p50_ms) << ", p99 "
+      << text_or_na(p99_ms) << ", p999 " << text_or_na(p999_ms) << ", max "
+      << text_or_na(max_ms) << "\n";
+  const char* kWorkloadNames[] = {"earsonar", "absorbance"};
+  for (std::size_t w = 0; w < per_workload.size(); ++w) {
+    const WorkloadLoad& slice = per_workload[w];
+    if (slice.attempted == 0 && w != 0) continue;  // no absorbance traffic ran
+    out << "workload " << kWorkloadNames[w] << ": " << slice.attempted
+        << " attempted, " << slice.completed << " completed, "
+        << slice.rejected << " rejected, " << slice.errored << " errored, "
+        << slice.transport_failures << " transport\n";
+  }
   if (retry_attempts > 0)
     out << "retries: " << retry_attempts << " extra attempts\n";
   if (chaos_events_fired > 0) {
@@ -364,7 +462,7 @@ std::string LoadReport::text() const {
         << recovery_ms << " ms, all-healthy "
         << (all_healthy ? "yes" : "NO") << ", accounting "
         << (accounting_ok ? "ok" : "BROKEN") << ", post-recovery p99 "
-        << p99_recovered_ms << " ms\n";
+        << text_or_na(p99_recovered_ms) << " ms\n";
   }
   if (have_server_stats) {
     for (std::size_t s = 0; s < server.shards.size(); ++s) {
@@ -390,15 +488,28 @@ std::string LoadReport::json() const {
       << ", \"transport_failures\": " << transport_failures
       << ", \"wall_s\": " << wall_s
       << ", \"completed_per_s\": " << completed_per_s
-      << ", \"p50_ms\": " << p50_ms << ", \"p99_ms\": " << p99_ms
-      << ", \"p999_ms\": " << p999_ms << ", \"max_ms\": " << max_ms
+      << ", \"p50_ms\": " << json_or_null(p50_ms)
+      << ", \"p99_ms\": " << json_or_null(p99_ms)
+      << ", \"p999_ms\": " << json_or_null(p999_ms)
+      << ", \"max_ms\": " << json_or_null(max_ms)
       << ", \"retry_attempts\": " << retry_attempts
       << ", \"chaos_events_fired\": " << chaos_events_fired
       << ", \"recovery_ms\": " << recovery_ms
       << ", \"all_healthy\": " << (all_healthy ? "true" : "false")
       << ", \"accounting_ok\": " << (accounting_ok ? "true" : "false")
-      << ", \"p99_recovered_ms\": " << p99_recovered_ms
-      << ", \"shards\": [";
+      << ", \"p99_recovered_ms\": " << json_or_null(p99_recovered_ms)
+      << ", \"workloads\": {";
+  const char* kWorkloadNames[] = {"earsonar", "absorbance"};
+  for (std::size_t w = 0; w < per_workload.size(); ++w) {
+    const WorkloadLoad& slice = per_workload[w];
+    out << (w ? ", " : "") << "\"" << kWorkloadNames[w]
+        << "\": {\"attempted\": " << slice.attempted
+        << ", \"completed\": " << slice.completed
+        << ", \"rejected\": " << slice.rejected
+        << ", \"errored\": " << slice.errored
+        << ", \"transport_failures\": " << slice.transport_failures << "}";
+  }
+  out << "}, \"shards\": [";
   for (std::size_t s = 0; s < server.shards.size(); ++s) {
     const ShardStatsWire& shard = server.shards[s];
     out << (s ? ", " : "") << "{\"accepted\": " << shard.accepted

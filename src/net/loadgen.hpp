@@ -37,7 +37,9 @@
 // tail so a drill can prove latency actually came back.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,11 @@ struct LoadGenConfig {
   double diurnal_peak_to_trough = 4.0;
   std::size_t population = 16;  ///< distinct simulated subjects
   std::size_t chirp_count = 6;  ///< probe chirps per recording
+  /// Fraction of sessions carrying the wideband-absorbance workload instead
+  /// of EarSonar audio, in [0, 1]. The assignment is seeded per session
+  /// index, so the same seed replays the same interleaving; the report then
+  /// splits every outcome counter per workload type (docs/workloads.md).
+  double workload_mix = 0.0;
   std::size_t chunk_samples = 4800;  ///< 100 ms at 48 kHz
   /// Chunk pacing as a fraction of real time: 1 = live earbud cadence,
   /// 0 = backlogged upload (send as fast as TCP accepts).
@@ -84,6 +91,17 @@ struct LoadGenConfig {
   void validate() const;
 };
 
+/// Per-workload-type slice of the outcome counters; index by
+/// serve::workload_index. Exactness invariant per type:
+/// attempted == completed + rejected + errored + transport.
+struct WorkloadLoad {
+  std::size_t attempted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t errored = 0;
+  std::size_t transport_failures = 0;
+};
+
 struct LoadReport {
   std::size_t attempted = 0;
   std::size_t admitted = 0;   ///< HelloAck received
@@ -98,13 +116,19 @@ struct LoadReport {
   double completed_per_s = 0.0;
   /// Client-observed latency of completed sessions, exact percentiles over
   /// the sorted samples. Open loop measures from the scheduled arrival.
-  double p50_ms = 0.0;
-  double p99_ms = 0.0;
-  double p999_ms = 0.0;
-  double max_ms = 0.0;
+  /// NaN (serialised as null / "n/a") when no session completed — a run with
+  /// zero samples makes no latency claim.
+  double p50_ms = std::numeric_limits<double>::quiet_NaN();
+  double p99_ms = std::numeric_limits<double>::quiet_NaN();
+  double p999_ms = std::numeric_limits<double>::quiet_NaN();
+  double max_ms = std::numeric_limits<double>::quiet_NaN();
   /// Server-side per-shard counters (Stats frame at the end of the run).
   StatsPayload server;
   bool have_server_stats = false;
+  /// Outcome counters split by workload type (earsonar, absorbance); the
+  /// per-type sums always reconcile with the totals above, and accounting_ok
+  /// additionally asserts the per-type exactness invariant.
+  std::array<WorkloadLoad, 2> per_workload{};
 
   // --- retry / chaos accounting ---
   /// Extra attempts beyond each session's first (0 when retries are off).
@@ -120,7 +144,8 @@ struct LoadReport {
   bool accounting_ok = false;
   /// p99 over sessions that completed after the pool recovered (equals
   /// p99_ms when no chaos ran); shows whether the tail actually came back.
-  double p99_recovered_ms = 0.0;
+  /// NaN when nothing completed post-recovery.
+  double p99_recovered_ms = std::numeric_limits<double>::quiet_NaN();
 
   [[nodiscard]] std::string text() const;
   [[nodiscard]] std::string json() const;

@@ -1,0 +1,36 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace earsonar::serve {
+
+std::size_t workload_index(WorkloadType type) {
+  return static_cast<std::size_t>(type);
+}
+
+WorkloadType workload_from_index(std::size_t index) {
+  require(index < kWorkloadTypeCount, "workload_from_index: index out of range");
+  return static_cast<WorkloadType>(index);
+}
+
+std::string to_string(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kEarSonar: return "earsonar";
+    case WorkloadType::kAbsorbance: return "absorbance";
+  }
+  fail("to_string: unknown WorkloadType");
+}
+
+WorkloadType workload_from_string(const std::string& label) {
+  std::string lower = label;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "earsonar") return WorkloadType::kEarSonar;
+  if (lower == "absorbance") return WorkloadType::kAbsorbance;
+  fail("workload_from_string: unknown workload '" + label + "'");
+}
+
+}  // namespace earsonar::serve

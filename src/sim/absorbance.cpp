@@ -1,0 +1,59 @@
+#include "sim/absorbance.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/eardrum.hpp"
+
+namespace earsonar::sim {
+
+std::vector<double> absorbance_curve(const Subject& subject, EffusionState state,
+                                     double fill, std::span<const double> grid_hz,
+                                     earsonar::Rng& rng, double noise_sigma) {
+  require_nonempty("absorbance_curve grid_hz", grid_hz.size());
+  require(noise_sigma >= 0.0, "absorbance_curve: noise_sigma must be >= 0");
+  const EardrumModel drum(subject.drum, state, fill);
+  std::vector<double> curve;
+  curve.reserve(grid_hz.size());
+  for (double f : grid_hz) {
+    const double r = drum.reflectance(f);
+    const double a = 1.0 - r * r;
+    curve.push_back(std::clamp(a + rng.normal(0.0, noise_sigma), 0.0, 1.0));
+  }
+  return curve;
+}
+
+std::vector<double> absorbance_curve_state(const Subject& subject, EffusionState state,
+                                           std::uint64_t session,
+                                           std::span<const double> grid_hz,
+                                           earsonar::Rng& rng, double noise_sigma) {
+  // Reuse the subject's seeded fill-draw path so the same (subject, session,
+  // state) triple measures the same ear the echo workload would see.
+  const EardrumModel drum = subject.eardrum(state, -1.0, session);
+  return absorbance_curve(subject, state, drum.fill(), grid_hz, rng, noise_sigma);
+}
+
+AbsorbanceDataset absorbance_dataset(std::size_t subject_count, std::size_t per_state,
+                                     std::span<const double> grid_hz,
+                                     std::uint64_t seed, double noise_sigma) {
+  require(subject_count >= 1, "absorbance_dataset: subject_count must be >= 1");
+  require(per_state >= 1, "absorbance_dataset: per_state must be >= 1");
+  const SubjectFactory factory(seed);
+  AbsorbanceDataset dataset;
+  dataset.curves.reserve(subject_count * kEffusionStateCount * per_state);
+  dataset.labels.reserve(dataset.curves.capacity());
+  for (std::size_t i = 0; i < subject_count; ++i) {
+    const Subject subject = factory.make(static_cast<std::uint32_t>(i));
+    Rng rng(splitmix64(subject.seed ^ splitmix64(0xab50bACEULL)));
+    for (EffusionState state : all_effusion_states()) {
+      for (std::size_t s = 0; s < per_state; ++s) {
+        dataset.curves.push_back(absorbance_curve_state(
+            subject, state, s, grid_hz, rng, noise_sigma));
+        dataset.labels.push_back(state_index(state));
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace earsonar::sim

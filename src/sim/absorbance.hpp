@@ -1,0 +1,47 @@
+// Wideband absorbance curve synthesis from the eardrum physics.
+//
+// The absorbance workload (core/wideband.hpp) classifies 226 Hz-8 kHz energy
+// absorbance curves. The simulator derives them from the same fluid-loaded
+// drum oscillator the echo path uses: a(f) = 1 - |R(f)|^2, where R is the
+// subject's EardrumModel reflectance — fluid loading stiffens the system and
+// depresses low-frequency absorbance, which is the clinical effusion
+// signature. Per-measurement noise models probe-seal and placement variance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/effusion.hpp"
+#include "sim/subject.hpp"
+
+namespace earsonar::sim {
+
+/// a(f) = 1 - |R(f)|^2 on `grid_hz` for this subject/state/fill, with
+/// i.i.d. Gaussian measurement noise of `noise_sigma` per bin, clamped to
+/// [0, 1]. Noise draws come from `rng` in grid order.
+std::vector<double> absorbance_curve(const Subject& subject, EffusionState state,
+                                     double fill, std::span<const double> grid_hz,
+                                     earsonar::Rng& rng, double noise_sigma = 0.01);
+
+/// Convenience: state-typical fill via the subject's seeded per-session draw
+/// (same path Subject::eardrum uses), then absorbance_curve.
+std::vector<double> absorbance_curve_state(const Subject& subject, EffusionState state,
+                                           std::uint64_t session,
+                                           std::span<const double> grid_hz,
+                                           earsonar::Rng& rng,
+                                           double noise_sigma = 0.01);
+
+/// A labeled training/replay set for the wideband screener: `per_state`
+/// curves per effusion state per subject, subject-major, states in severity
+/// order. Returns curves and parallel state-index labels.
+struct AbsorbanceDataset {
+  std::vector<std::vector<double>> curves;
+  std::vector<std::size_t> labels;
+};
+AbsorbanceDataset absorbance_dataset(std::size_t subject_count, std::size_t per_state,
+                                     std::span<const double> grid_hz,
+                                     std::uint64_t seed, double noise_sigma = 0.01);
+
+}  // namespace earsonar::sim

@@ -6,9 +6,14 @@ namespace earsonar::sim {
 
 EardrumModel Subject::eardrum(EffusionState state, double fill, std::uint64_t session) const {
   if (fill < 0.0) {
-    // Session-specific but reproducible fill draw.
-    Rng rng(splitmix64(seed ^ splitmix64(0xf111ULL + session * 7919ULL +
-                                         static_cast<std::uint64_t>(state_index(state)))));
+    // Session-specific but reproducible fill draw. Mix each component through
+    // splitmix64 independently before combining: folding session and state
+    // additively into one constant ahead of a single hash leaves structured
+    // correlation between adjacent (session, state) seeds.
+    const std::uint64_t mixed =
+        splitmix64(seed ^ 0xf111ULL) ^ splitmix64(session) ^
+        splitmix64(0x57a7e000ULL + static_cast<std::uint64_t>(state_index(state)));
+    Rng rng(splitmix64(mixed));
     fill = sample_fill_fraction(state, rng);
   }
   return EardrumModel(drum, state, fill);

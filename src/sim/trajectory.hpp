@@ -1,0 +1,118 @@
+// Per-subject effusion-state trajectories over a clinical follow-up window.
+//
+// The paper follows 112 children for >= 20 days from diagnosis through
+// recovery, recording twice daily (8 am / 6 pm) with otoscope ground truth at
+// every session. CohortGenerator emits a balanced state-grid — good for
+// training classifiers, useless for longitudinal analysis, because no subject
+// has a *history*. TrajectoryGenerator closes that gap: each subject walks a
+// seeded semi-Markov chain over EffusionState (onset -> worsening ->
+// resolution -> possible relapse) with dwell times measured in sessions, the
+// fill fraction behind the drum evolving continuously along the arc, and the
+// ground-truth onset/resolution change points recorded for the change-point
+// detector in src/longitudinal/ to score against.
+//
+// Trajectories are feature-level, not waveform-level: each session carries a
+// surrogate 18 kHz notch-depth measurement computed directly from the
+// subject's EardrumModel reflectance (the same physics the waveform path
+// renders, minus the audio), which is what makes 10^5-subject cohorts
+// tractable. render_session() synthesizes the full microphone capture for any
+// single (subject, session) when an end-to-end check needs real audio.
+//
+// Determinism: every draw for subject i derives from that subject's seed, and
+// generate() writes each subject into its own pre-sized slot under
+// parallel_for — the cohort is bit-identical at every thread count and
+// identical to calling generate_subject(i) yourself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "audio/waveform.hpp"
+#include "sim/conditions.hpp"
+#include "sim/earphone.hpp"
+#include "sim/probe.hpp"
+#include "sim/subject.hpp"
+
+namespace earsonar::sim {
+
+/// One session point on a subject's trajectory (half a day apart).
+struct TrajectorySession {
+  std::uint32_t session = 0;  ///< 0-based; day = session / 2 (am / pm)
+  EffusionState state = EffusionState::kClear;  ///< otoscope ground truth
+  double fill = 0.0;            ///< continuous fill fraction behind the drum
+  /// Surrogate feature: depth (dB) of the drum-reflectance notch within the
+  /// 16-20 kHz probe band, with per-session measurement jitter. This is the
+  /// series the longitudinal change-point detector watches.
+  double notch_depth_db = 0.0;
+};
+
+/// A ground-truth state-arc boundary the detector should find.
+struct ChangePoint {
+  std::uint32_t session = 0;  ///< first session at which the new regime holds
+  bool onset = false;         ///< true: Clear -> fluid; false: fluid -> Clear
+};
+
+struct SubjectTrajectory {
+  std::uint32_t subject_id = 0;
+  std::vector<TrajectorySession> sessions;
+  std::vector<ChangePoint> change_points;  ///< in session order
+};
+
+struct TrajectoryConfig {
+  std::size_t subject_count = 112;
+  std::size_t days = 20;  ///< follow-up window; two sessions per day
+  std::uint64_t seed = 42;
+  /// Probability a subject develops effusion at all during the window;
+  /// the rest stay Clear throughout (healthy controls / false-positive fuel).
+  double onset_probability = 0.85;
+  /// Probability of a second (milder) arc after a resolution, while sessions
+  /// remain in the window.
+  double relapse_probability = 0.2;
+  /// Per-session exponential-approach rate of fill toward the state target.
+  double fill_smoothing = 0.35;
+  /// Per-session jitter of the fill path (before clamping to [0, 1]).
+  double fill_noise_sigma = 0.015;
+  /// Measurement noise on the surrogate notch-depth feature, in dB.
+  double notch_noise_db = 0.35;
+  /// Worker threads for generate() (0 = auto, see common/parallel.hpp).
+  std::size_t threads = 0;
+
+  void validate() const;
+};
+
+/// Seeded semi-Markov trajectory synthesis for a whole cohort.
+class TrajectoryGenerator {
+ public:
+  explicit TrajectoryGenerator(TrajectoryConfig config);
+
+  /// Every subject's trajectory, index == subject id. Parallel over subjects;
+  /// bit-identical at every thread count.
+  [[nodiscard]] std::vector<SubjectTrajectory> generate() const;
+
+  /// One subject's trajectory (exactly what generate()[id] contains).
+  [[nodiscard]] SubjectTrajectory generate_subject(std::uint32_t subject_id) const;
+
+  /// The noise-free notch depth the surrogate model assigns to this subject
+  /// in this state at this fill — exposed so tests can separate the
+  /// physics from the per-session jitter.
+  [[nodiscard]] double surrogate_notch_depth_db(const Subject& subject,
+                                                EffusionState state,
+                                                double fill) const;
+
+  /// Full microphone synthesis for one session of a generated trajectory:
+  /// the same EardrumModel (state + exact fill) the surrogate feature used,
+  /// rendered through EarProbe. For end-to-end tests; costs as much as one
+  /// CohortGenerator recording.
+  [[nodiscard]] audio::Waveform render_session(
+      const SubjectTrajectory& trajectory, std::size_t session_index,
+      const ProbeConfig& probe = {}, const Earphone& earphone = reference_earphone(),
+      const RecordingCondition& condition = {}) const;
+
+  [[nodiscard]] const TrajectoryConfig& config() const { return config_; }
+
+ private:
+  TrajectoryConfig config_;
+  SubjectFactory factory_;
+};
+
+}  // namespace earsonar::sim

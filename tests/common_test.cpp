@@ -67,6 +67,55 @@ TEST(ErrorTest, RequireNonemptyRejectsZero) {
 
 // ------------------------------------------------------------------ rng.hpp
 
+// Exact-value pins for every distribution helper. The raw engine sequence is
+// standard-specified (MT19937-64) and every helper on top of it is an
+// explicit portable algorithm (Lemire, Box–Muller, Fisher–Yates), so these
+// values must hold on every conforming standard library. Any change here is
+// a silent cross-platform reproducibility break — goldens, cohort datasets,
+// and the trajectory simulator all inherit this stream.
+TEST(RngTest, PinnedDrawSequenceIsPortable) {
+  {
+    Rng r(42);
+    EXPECT_EQ(r.next_u64(), 13930160852258120406ull);
+    EXPECT_EQ(r.next_u64(), 11788048577503494824ull);
+    EXPECT_EQ(r.next_u64(), 13874630024467741450ull);
+  }
+  {
+    Rng r(42);
+    EXPECT_DOUBLE_EQ(r.uniform01(), 0.75515553295453897);
+  }
+  {
+    Rng r(42);
+    EXPECT_DOUBLE_EQ(r.uniform(-1.0, 1.0), 0.51031106590907793);
+  }
+  {
+    Rng r(42);
+    EXPECT_EQ(r.uniform_int(1, 6), 5);
+    EXPECT_EQ(r.uniform_int(1, 6), 4);
+    EXPECT_EQ(r.uniform_int(1, 6), 5);
+    EXPECT_EQ(r.uniform_int(1, 6), 1);
+  }
+  {
+    Rng r(42);
+    EXPECT_EQ(r.uniform_below(10), 7u);
+    EXPECT_EQ(r.uniform_below(10), 6u);
+    EXPECT_EQ(r.uniform_below(10), 7u);
+  }
+  {
+    Rng r(42);
+    EXPECT_DOUBLE_EQ(r.normal(0.0, 1.0), -1.0771745442782885);
+    EXPECT_DOUBLE_EQ(r.normal(0.0, 1.0), 1.0945198485006107);
+  }
+  {
+    Rng r(42);
+    EXPECT_FALSE(r.bernoulli(0.5));
+    EXPECT_FALSE(r.bernoulli(0.5));
+    EXPECT_FALSE(r.bernoulli(0.5));
+    EXPECT_TRUE(r.bernoulli(0.5));
+    EXPECT_FALSE(r.bernoulli(0.5));
+  }
+}
+
 TEST(RngTest, DeterministicForSameSeed) {
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));

@@ -209,8 +209,23 @@ TEST(FrameCodecTest, TypedDecodersRejectTruncation) {
   const auto result = net::encode_result(net::ResultPayload{});
   EXPECT_FALSE(
       net::decode_result({result.data(), result.size() - 1}).has_value());
-  const auto hello = net::encode_hello(net::HelloPayload{});
-  EXPECT_FALSE(net::decode_hello({hello.data(), hello.size() - 1}).has_value());
+  // Hello is special: dropping the workload byte yields the 16-byte legacy
+  // encoding, which MUST decode (as the EarSonar workload) for wire
+  // back-compat; dropping anything more is a truncation.
+  net::HelloPayload hello_in;
+  hello_in.workload = 1;
+  const auto hello = net::encode_hello(hello_in);
+  ASSERT_EQ(hello.size(), 17u);
+  const auto tagged = net::decode_hello(hello);
+  ASSERT_TRUE(tagged.has_value());
+  EXPECT_EQ(tagged->workload, 1);
+  const auto legacy = net::decode_hello({hello.data(), 16});
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->workload, 0);
+  EXPECT_FALSE(net::decode_hello({hello.data(), 15}).has_value());
+  auto bad_workload = hello;
+  bad_workload[16] = 2;  // outside serve::kWorkloadTypeCount
+  EXPECT_FALSE(net::decode_hello(bad_workload).has_value());
   EXPECT_FALSE(net::decode_stats(std::span<const std::uint8_t>{}).has_value());
 }
 

@@ -422,6 +422,39 @@ TEST(SubjectTest, EardrumSessionFillsVaryButReproduce) {
   EXPECT_DOUBLE_EQ(d1.fill(), d1_again.fill());
 }
 
+TEST(SubjectTest, EardrumFillDrawsAreDecorrelatedAcrossSessions) {
+  // Regression for the fill-seed mixing bug: folding session and state
+  // additively into one constant before a single splitmix64 pass left
+  // structured correlation between adjacent (session, state) draws —
+  // neighboring sessions of a longitudinal trajectory got near-identical
+  // fills. Each component must be mixed independently (see Subject::eardrum).
+  SubjectFactory f(42);
+  const Subject s = f.make(5);
+  constexpr int kSessions = 400;
+  std::vector<double> fills(kSessions);
+  for (int i = 0; i < kSessions; ++i)
+    fills[i] = s.eardrum(EffusionState::kSerous, -1.0,
+                         static_cast<std::uint64_t>(i))
+                   .fill();
+
+  const double m = mean(fills);
+  double var = 0.0, lag1 = 0.0;
+  for (int i = 0; i < kSessions; ++i) var += (fills[i] - m) * (fills[i] - m);
+  for (int i = 0; i + 1 < kSessions; ++i)
+    lag1 += (fills[i] - m) * (fills[i + 1] - m);
+  ASSERT_GT(var, 0.0) << "session fills are constant";
+  // Serial correlation of an i.i.d. sequence of length 400 has sd ~= 0.05;
+  // |r| < 0.2 is a 4-sigma guard that still catches the structured-seed bug
+  // (which produced |r| near 1 for runs of adjacent sessions).
+  EXPECT_LT(std::abs(lag1 / var), 0.2);
+
+  // Same session, adjacent states must also decorrelate: the old additive
+  // fold made (session+1, state) collide with (session, state+1).
+  const double serous = s.eardrum(EffusionState::kSerous, -1.0, 10).fill();
+  const double mucoid = s.eardrum(EffusionState::kMucoid, -1.0, 9).fill();
+  EXPECT_NE(serous, mucoid);
+}
+
 TEST(SubjectTest, ExplicitFillIsHonored) {
   SubjectFactory f(42);
   const Subject s = f.make(3);
